@@ -1,0 +1,49 @@
+//! # aqt-adversary — adversary generators for the AQT model
+//!
+//! Companion crate to `aqt-model` providing the injection patterns used to
+//! exercise the protocols of `aqt-core`:
+//!
+//! * [`Admitter`] — per-buffer token-bucket admission control; patterns
+//!   built through it are (ρ, σ)-bounded **by construction**.
+//! * [`RandomAdversary`] — randomized bounded adversaries on paths and
+//!   trees, with smooth or bursty cadence and configurable destination
+//!   sets.
+//! * deterministic [`patterns`] — bursts, paced streams, round-robin and
+//!   staircase workloads with exactly known parameters.
+//! * [`LowerBoundAdversary`] — the paper's Section 5 construction, which
+//!   forces Ω(((ℓ+1)ρ−1)/2ℓ · n^{1/ℓ}) buffer usage against *every*
+//!   forwarding protocol.
+//! * [`shape`] — a leaky-bucket shaper that turns arbitrary wish streams
+//!   into bounded patterns.
+//!
+//! ## Example
+//!
+//! ```
+//! use aqt_adversary::{LowerBoundAdversary, RandomAdversary};
+//! use aqt_model::{analyze, Path, Rate};
+//!
+//! // A bounded random adversary…
+//! let topo = Path::new(32);
+//! let rho = Rate::new(1, 2)?;
+//! let random = RandomAdversary::new(rho, 3, 200).seed(1).build_path(&topo);
+//! assert!(analyze(&topo, &random, rho).tight_sigma <= 3);
+//!
+//! // …and the §5 worst case.
+//! let lb = LowerBoundAdversary::new(2, 4, rho)?;
+//! assert_eq!(lb.pattern().len(), 3 * 2 * 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod lower_bound;
+pub mod patterns;
+mod random;
+mod shaper;
+
+pub use admission::Admitter;
+pub use lower_bound::{LowerBoundAdversary, LowerBoundError};
+pub use random::{Cadence, DestSpec, RandomAdversary};
+pub use shaper::shape;

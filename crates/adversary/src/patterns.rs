@@ -1,0 +1,236 @@
+//! Deterministic adversary patterns.
+//!
+//! Hand-crafted injection schedules with exactly known (ρ, σ) parameters,
+//! used in unit tests and as stress inputs in the experiments: bursts,
+//! paced streams at an exact rate, round-robin multi-destination traffic,
+//! and a head-of-line "staircase" that makes naive protocols hoard packets.
+
+use aqt_model::{Injection, NodeId, Pattern, Rate, Round};
+
+/// A single burst: `size` packets injected at `round`, all `source → dest`.
+///
+/// At rate 1 this pattern has tight σ = `size − 1`.
+pub fn burst(round: u64, source: usize, dest: usize, size: usize) -> Pattern {
+    assert!(source != dest, "burst route must be non-empty");
+    Pattern::from_injections(vec![Injection::new(round, source, dest); size])
+}
+
+/// A train of bursts: `count` bursts of `size` packets every `period`
+/// rounds, all on the same route.
+pub fn burst_train(
+    source: usize,
+    dest: usize,
+    size: usize,
+    period: u64,
+    count: usize,
+) -> Pattern {
+    assert!(period > 0, "period must be positive");
+    let mut injections = Vec::with_capacity(size * count);
+    for b in 0..count {
+        injections.extend(vec![Injection::new(b as u64 * period, source, dest); size]);
+    }
+    Pattern::from_injections(injections)
+}
+
+/// A maximally-smooth stream on one route: over `rounds` rounds, round `t`
+/// carries `⌊ρ(t+1)⌋ − ⌊ρt⌋` packets, so every prefix carries at most
+/// `⌈ρ·len⌉` packets and the pattern is (ρ, 1)-bounded.
+pub fn paced_stream(source: usize, dest: usize, rate: Rate, rounds: u64) -> Pattern {
+    assert!(source != dest, "route must be non-empty");
+    let mut injections = Vec::new();
+    for t in 0..rounds {
+        let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
+        injections.extend(vec![Injection::new(t, source, dest); k as usize]);
+    }
+    Pattern::from_injections(injections)
+}
+
+/// Round-robin traffic from node 0 to `dests`, paced at total rate ρ: the
+/// `j`-th injected packet goes to `dests[j mod d]`.
+///
+/// This is the canonical multi-destination workload for PPTS (E2): all
+/// packets cross the low buffers, and `d` pseudo-buffers fill in parallel.
+pub fn round_robin(dests: &[usize], rate: Rate, rounds: u64) -> Pattern {
+    assert!(!dests.is_empty(), "need at least one destination");
+    assert!(dests.iter().all(|&w| w > 0), "destinations must be right of node 0");
+    let mut injections = Vec::new();
+    let mut j = 0usize;
+    for t in 0..rounds {
+        let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
+        for _ in 0..k {
+            injections.push(Injection::new(t, 0, dests[j % dests.len()]));
+            j += 1;
+        }
+    }
+    Pattern::from_injections(injections)
+}
+
+/// The "staircase" stress pattern: a burst toward the farthest destination,
+/// then progressively nearer destinations, forcing `d` pseudo-buffers of
+/// one node to be non-empty simultaneously. With `per_step` = 1 + σ it
+/// exercises PPTS's `1 + d + σ` bound tightly at the injection site.
+pub fn staircase(dests: &[usize], per_step: usize, gap: u64) -> Pattern {
+    assert!(!dests.is_empty(), "need at least one destination");
+    let mut sorted: Vec<usize> = dests.to_vec();
+    sorted.sort_unstable();
+    let mut injections = Vec::new();
+    // Far destinations first.
+    for (step, &w) in sorted.iter().rev().enumerate() {
+        let round = step as u64 * gap;
+        injections.extend(vec![Injection::new(round, 0, w); per_step]);
+    }
+    Pattern::from_injections(injections)
+}
+
+/// Evenly-spaced destination set `{n−1, n−1−(n−1)/d, …}` used by the E2/E6
+/// sweeps: `d` distinct destinations on an `n`-node path, rightmost
+/// included.
+pub fn even_destinations(n: usize, d: usize) -> Vec<usize> {
+    assert!(d >= 1 && d < n, "need 1 ≤ d < n");
+    let mut ws: Vec<usize> = (0..d).map(|k| n - 1 - (k * (n - 1)) / d).collect();
+    ws.sort_unstable();
+    ws.dedup();
+    let mut w = n - 1;
+    while ws.len() < d {
+        if !ws.contains(&w) {
+            ws.push(w);
+            ws.sort_unstable();
+        }
+        w -= 1;
+    }
+    ws
+}
+
+/// Single-destination pursuit pattern on a path of `n` nodes: a paced
+/// rate-ρ stream into node 0 plus σ-bursts that chase the stream head at
+/// mid-line sites, reproducing the "peak" scenarios of the PTS analysis.
+///
+/// The stream is suppressed for `⌈σ/ρ⌉` rounds after each burst so the
+/// burst's excess drains before pacing resumes; the resulting pattern is
+/// (ρ, σ′)-bounded with `σ ≤ σ′ ≤ σ + 1` (the +1 is floor-pacing slack).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or ρ = 0.
+pub fn peak_chase(n: usize, rate: Rate, sigma: u64, rounds: u64) -> Pattern {
+    assert!(n >= 3, "need at least 3 nodes");
+    assert!(rate.num() > 0, "rate must be positive");
+    let dest = n - 1;
+    // Silent rounds needed for one σ-burst's excess to decay at rate ρ.
+    let recovery = sigma
+        .checked_mul(u64::from(rate.den()))
+        .expect("recovery fits u64")
+        .div_ceil(u64::from(rate.num()));
+    let mid = rounds / 2;
+    let mut injections = Vec::new();
+    let mut quiet_until = 0u64;
+    for t in 0..rounds {
+        // One full burst at the start and one mid-stream, at middle sites.
+        let burst_site = match t {
+            0 => Some((n - 1) / 2),
+            _ if t == mid => Some((n + 2) / 3),
+            _ => None,
+        };
+        if let Some(site) = burst_site {
+            injections.extend(vec![Injection::new(t, site, dest); sigma as usize]);
+            quiet_until = t + 1 + recovery;
+            continue;
+        }
+        if t < quiet_until {
+            continue;
+        }
+        let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
+        injections.extend(vec![Injection::new(t, 0, dest); k as usize]);
+    }
+    Pattern::from_injections(injections)
+}
+
+/// Converts destination indices to [`NodeId`]s (convenience for tests).
+pub fn node_ids(indices: &[usize]) -> Vec<NodeId> {
+    indices.iter().map(|&i| NodeId::new(i)).collect()
+}
+
+/// The highest injection round of a pattern plus one (0 for empty), i.e.
+/// the number of rounds the adversary is active.
+pub fn active_rounds(pattern: &Pattern) -> u64 {
+    pattern
+        .last_round()
+        .map(|r: Round| r.value() + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::{analyze, Path};
+
+    #[test]
+    fn burst_has_expected_sigma() {
+        let p = burst(0, 0, 1, 5);
+        let report = analyze(&Path::new(2), &p, Rate::ONE);
+        assert_eq!(report.tight_sigma, 4);
+    }
+
+    #[test]
+    fn burst_train_spaces_bursts() {
+        let p = burst_train(0, 2, 3, 10, 4);
+        assert_eq!(p.len(), 12);
+        let rounds: Vec<u64> = p.rounds().map(|(r, _)| r.value()).collect();
+        assert_eq!(rounds, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn paced_stream_is_rho_one_bounded() {
+        for (num, den) in [(1u32, 1u32), (1, 2), (2, 3), (3, 7)] {
+            let rate = Rate::new(num, den).unwrap();
+            let p = paced_stream(0, 1, rate, 100);
+            assert_eq!(p.len() as u64, rate.mul_floor(100));
+            let report = analyze(&Path::new(2), &p, rate);
+            assert!(report.tight_sigma <= 1, "σ = {}", report.tight_sigma);
+        }
+    }
+
+    #[test]
+    fn round_robin_uses_all_destinations() {
+        let p = round_robin(&[2, 4, 6], Rate::ONE, 9);
+        assert_eq!(p.destinations().len(), 3);
+        assert_eq!(p.len(), 9);
+        // Bounded at rate 1 with small σ.
+        let report = analyze(&Path::new(7), &p, Rate::ONE);
+        assert!(report.tight_sigma <= 1);
+    }
+
+    #[test]
+    fn staircase_hits_every_destination_once() {
+        let p = staircase(&[2, 4, 6], 2, 3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.destinations().len(), 3);
+        // Farthest first.
+        assert_eq!(p.injections()[0].dest, NodeId::new(6));
+    }
+
+    #[test]
+    fn even_destinations_counts() {
+        assert_eq!(even_destinations(17, 4).len(), 4);
+        assert_eq!(even_destinations(17, 1), vec![16]);
+        assert_eq!(even_destinations(5, 4), vec![1, 2, 3, 4]);
+        assert!(even_destinations(33, 8).contains(&32));
+    }
+
+    #[test]
+    fn peak_chase_validates_and_measures() {
+        let topo = Path::new(9);
+        let rate = Rate::new(1, 2).unwrap();
+        let p = peak_chase(9, rate, 3, 40);
+        p.validate(&topo).unwrap();
+        let report = analyze(&topo, &p, rate);
+        // The two σ-bursts plus pacing slack: σ_measured ∈ [3, 4].
+        assert!(report.tight_sigma >= 3 && report.tight_sigma <= 4);
+    }
+
+    #[test]
+    fn active_rounds_counts() {
+        assert_eq!(active_rounds(&Pattern::new()), 0);
+        assert_eq!(active_rounds(&burst(5, 0, 1, 2)), 6);
+    }
+}

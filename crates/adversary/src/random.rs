@@ -1,0 +1,400 @@
+//! Randomized (ρ, σ)-bounded adversaries.
+//!
+//! These generators draw candidate packets at random and pass them through
+//! an [`Admitter`], so every produced [`Pattern`] is (ρ, σ)-bounded by
+//! construction. They are the workhorses of the upper-bound experiments
+//! (E1–E4): the theorems hold for *all* bounded adversaries, so we verify
+//! them against aggressive randomized ones.
+
+use std::collections::BTreeSet;
+
+use aqt_model::{DirectedTree, Injection, NodeId, Path, Pattern, Rate, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::admission::Admitter;
+
+/// Which destinations random packets may have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DestSpec {
+    /// Any node reachable from the source.
+    AnyReachable,
+    /// Only the given destinations (the paper's `W`); sources are drawn so
+    /// that some allowed destination is reachable.
+    Fixed(Vec<NodeId>),
+    /// `count` destinations evenly spread over the topology (rightmost
+    /// nodes on a path; for trees, chosen among distinct depths greedily).
+    Spread {
+        /// Number of distinct destinations to use.
+        count: usize,
+    },
+}
+
+impl DestSpec {
+    /// Convenience constructor for [`DestSpec::Fixed`] from plain node
+    /// indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqt_adversary::DestSpec;
+    /// use aqt_model::NodeId;
+    ///
+    /// assert_eq!(
+    ///     DestSpec::fixed([3, 7]),
+    ///     DestSpec::Fixed(vec![NodeId::new(3), NodeId::new(7)])
+    /// );
+    /// ```
+    pub fn fixed<I: IntoIterator<Item = usize>>(dests: I) -> Self {
+        DestSpec::Fixed(dests.into_iter().map(NodeId::new).collect())
+    }
+}
+
+/// How injections are spaced in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cadence {
+    /// Try to inject in every round (smooth load at rate ≈ ρ).
+    Smooth,
+    /// Stay idle, then exhaust the accumulated budget in bursts every
+    /// `period` rounds — the adversary's nastiest legal behaviour.
+    Bursty {
+        /// Burst period in rounds (≥ 1).
+        period: u64,
+    },
+}
+
+/// Configuration for random adversaries.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_adversary::{Cadence, DestSpec, RandomAdversary};
+/// use aqt_model::{analyze, Path, Rate};
+///
+/// let topo = Path::new(16);
+/// let rate = Rate::new(1, 2)?;
+/// let pattern = RandomAdversary::new(rate, 2, 100)
+///     .destinations(DestSpec::Spread { count: 4 })
+///     .cadence(Cadence::Bursty { period: 10 })
+///     .seed(7)
+///     .build_path(&topo);
+/// // Bounded by construction:
+/// assert!(analyze(&topo, &pattern, rate).tight_sigma <= 2);
+/// assert_eq!(pattern.destinations().len(), 4);
+/// # Ok::<(), aqt_model::RateError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    rate: Rate,
+    sigma: u64,
+    rounds: u64,
+    dests: DestSpec,
+    cadence: Cadence,
+    seed: u64,
+    attempts_per_round: usize,
+}
+
+impl RandomAdversary {
+    /// A random adversary at rate ρ, burst budget σ, for `rounds` rounds.
+    pub fn new(rate: Rate, sigma: u64, rounds: u64) -> Self {
+        RandomAdversary {
+            rate,
+            sigma,
+            rounds,
+            dests: DestSpec::AnyReachable,
+            cadence: Cadence::Smooth,
+            seed: 0,
+            attempts_per_round: 8,
+        }
+    }
+
+    /// Restricts destinations (builder-style).
+    pub fn destinations(mut self, dests: DestSpec) -> Self {
+        self.dests = dests;
+        self
+    }
+
+    /// Sets the injection cadence (builder-style).
+    pub fn cadence(mut self, cadence: Cadence) -> Self {
+        self.cadence = cadence;
+        self
+    }
+
+    /// Sets the RNG seed (builder-style); same seed ⇒ same pattern.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many candidate packets are drawn per active round
+    /// (builder-style). More attempts ⇒ load closer to the (ρ, σ) budget.
+    pub fn attempts_per_round(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "at least one attempt per round");
+        self.attempts_per_round = attempts;
+        self
+    }
+
+    fn resolve_path_dests(&self, topo: &Path) -> Vec<NodeId> {
+        let n = topo.node_count();
+        match &self.dests {
+            DestSpec::AnyReachable => (1..n).map(NodeId::new).collect(),
+            DestSpec::Fixed(ws) => {
+                let mut ws = ws.clone();
+                ws.sort();
+                ws.dedup();
+                assert!(
+                    ws.iter().all(|w| w.index() > 0 && w.index() < n),
+                    "fixed destinations must lie in 1..n"
+                );
+                ws
+            }
+            DestSpec::Spread { count } => spread_path_dests(n, *count),
+        }
+    }
+
+    /// Generates a pattern on a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Fixed`/`Spread` destination spec is invalid for the
+    /// topology (e.g. more destinations than nodes).
+    pub fn build_path(&self, topo: &Path) -> Pattern {
+        let n = topo.node_count();
+        assert!(n >= 2, "need at least two nodes to route");
+        let dests = self.resolve_path_dests(topo);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut admitter = Admitter::new(self.rate, self.sigma, n);
+        let mut injections = Vec::new();
+        for t in 0..self.rounds {
+            let (active, attempts) = self.round_budget(t);
+            if !active {
+                continue;
+            }
+            for _ in 0..attempts {
+                let dest = dests[rng.random_range(0..dests.len())];
+                let source = NodeId::new(rng.random_range(0..dest.index()));
+                let route = topo
+                    .route_buffers(source, dest)
+                    .expect("source is left of dest on a path");
+                if admitter.try_admit(t, &route) {
+                    injections.push(Injection {
+                        round: aqt_model::Round::new(t),
+                        source,
+                        dest,
+                    });
+                }
+            }
+        }
+        Pattern::from_injections(injections)
+    }
+
+    /// Generates a pattern on a directed tree: sources are uniform non-root
+    /// nodes, destinations uniform proper ancestors (restricted by the
+    /// destination spec where applicable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Fixed` destinations contain the tree's leaves' own ids in
+    /// invalid positions (a destination must have at least one descendant).
+    pub fn build_tree(&self, topo: &DirectedTree) -> Pattern {
+        let n = topo.node_count();
+        assert!(n >= 2, "need at least two nodes to route");
+        let allowed: Option<BTreeSet<NodeId>> = match &self.dests {
+            DestSpec::AnyReachable => None,
+            DestSpec::Fixed(ws) => Some(ws.iter().copied().collect()),
+            DestSpec::Spread { count } => Some(spread_tree_dests(topo, *count)),
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut admitter = Admitter::new(self.rate, self.sigma, n);
+        let mut injections = Vec::new();
+        for t in 0..self.rounds {
+            let (active, attempts) = self.round_budget(t);
+            if !active {
+                continue;
+            }
+            for _ in 0..attempts {
+                let source = NodeId::new(rng.random_range(0..n));
+                if source == topo.root() {
+                    continue;
+                }
+                // Climb a random number of steps toward the root.
+                let depth = topo.depth(source);
+                let hops = rng.random_range(1..=depth);
+                let mut dest = source;
+                for _ in 0..hops {
+                    dest = topo.parent(dest).expect("depth bounds the climb");
+                }
+                if let Some(allowed) = &allowed {
+                    if !allowed.contains(&dest) {
+                        continue;
+                    }
+                }
+                let route = topo
+                    .route_buffers(source, dest)
+                    .expect("dest is an ancestor of source");
+                if admitter.try_admit(t, &route) {
+                    injections.push(Injection {
+                        round: aqt_model::Round::new(t),
+                        source,
+                        dest,
+                    });
+                }
+            }
+        }
+        Pattern::from_injections(injections)
+    }
+
+    /// Whether round `t` is active and with how many candidate draws.
+    fn round_budget(&self, t: u64) -> (bool, usize) {
+        match self.cadence {
+            Cadence::Smooth => (true, self.attempts_per_round),
+            Cadence::Bursty { period } => {
+                let period = period.max(1);
+                if t % period == 0 {
+                    // A burst round gets the whole quiet window's attempts.
+                    (
+                        true,
+                        self.attempts_per_round * usize::try_from(period).unwrap_or(usize::MAX),
+                    )
+                } else {
+                    (false, 0)
+                }
+            }
+        }
+    }
+}
+
+/// `count` destinations spread evenly over `1..n` (always includes `n−1`).
+fn spread_path_dests(n: usize, count: usize) -> Vec<NodeId> {
+    assert!(count >= 1, "need at least one destination");
+    assert!(count < n, "cannot have {count} distinct destinations among {n} nodes");
+    let mut dests = BTreeSet::new();
+    for k in 0..count {
+        // Evenly spaced in (0, n−1], biased right so w = n−1 is included.
+        let w = n - 1 - (k * (n - 1)) / count;
+        dests.insert(NodeId::new(w.max(1)));
+    }
+    let mut w = n - 1;
+    while dests.len() < count && w >= 1 {
+        dests.insert(NodeId::new(w));
+        w -= 1;
+    }
+    dests.into_iter().collect()
+}
+
+/// `count` destinations on a tree: internal nodes closest to the root
+/// first (every chosen destination has at least one descendant).
+fn spread_tree_dests(topo: &DirectedTree, count: usize) -> BTreeSet<NodeId> {
+    let mut internal: Vec<NodeId> = (0..topo.node_count())
+        .map(NodeId::new)
+        .filter(|v| !topo.is_leaf(*v))
+        .collect();
+    internal.sort_by_key(|v| (topo.depth(*v), v.index()));
+    assert!(
+        count <= internal.len(),
+        "tree has only {} internal nodes, need {count}",
+        internal.len()
+    );
+    internal.into_iter().take(count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::analyze;
+
+    #[test]
+    fn path_pattern_is_bounded_by_construction() {
+        let topo = Path::new(12);
+        for (num, den, sigma) in [(1u32, 1u32, 0u64), (1, 2, 3), (2, 3, 1)] {
+            let rate = Rate::new(num, den).unwrap();
+            let p = RandomAdversary::new(rate, sigma, 80)
+                .seed(13)
+                .build_path(&topo);
+            assert!(!p.is_empty());
+            let report = analyze(&topo, &p, rate);
+            assert!(
+                report.tight_sigma <= sigma,
+                "σ = {} > {sigma} at ρ = {rate}",
+                report.tight_sigma
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_cadence_uses_burst_budget() {
+        let topo = Path::new(8);
+        let rate = Rate::new(1, 2).unwrap();
+        let p = RandomAdversary::new(rate, 4, 60)
+            .cadence(Cadence::Bursty { period: 12 })
+            .seed(3)
+            .build_path(&topo);
+        // Injections only on multiples of 12.
+        assert!(p.injections().iter().all(|i| i.round.value() % 12 == 0));
+        assert!(analyze(&topo, &p, rate).tight_sigma <= 4);
+    }
+
+    #[test]
+    fn fixed_destinations_are_respected() {
+        let topo = Path::new(10);
+        let ws = vec![NodeId::new(4), NodeId::new(9)];
+        let p = RandomAdversary::new(Rate::ONE, 1, 40)
+            .destinations(DestSpec::Fixed(ws.clone()))
+            .seed(1)
+            .build_path(&topo);
+        let got = p.destinations();
+        assert!(got.iter().all(|w| ws.contains(w)));
+        assert_eq!(got.len(), 2, "both destinations should be used");
+    }
+
+    #[test]
+    fn spread_counts_destinations() {
+        assert_eq!(spread_path_dests(16, 4).len(), 4);
+        assert_eq!(spread_path_dests(16, 1), vec![NodeId::new(15)]);
+        let d8 = spread_path_dests(9, 8);
+        assert_eq!(d8.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let topo = Path::new(8);
+        let mk = |seed| {
+            RandomAdversary::new(Rate::new(1, 2).unwrap(), 2, 50)
+                .seed(seed)
+                .build_path(&topo)
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+
+    #[test]
+    fn tree_pattern_is_bounded_and_routable() {
+        let topo = DirectedTree::random(24, 5);
+        let rate = Rate::new(1, 2).unwrap();
+        let p = RandomAdversary::new(rate, 2, 60).seed(21).build_tree(&topo);
+        assert!(!p.is_empty());
+        p.validate(&topo).unwrap();
+        assert!(analyze(&topo, &p, rate).tight_sigma <= 2);
+    }
+
+    #[test]
+    fn tree_spread_picks_internal_nodes() {
+        let topo = DirectedTree::caterpillar(5, 2);
+        let dests = spread_tree_dests(&topo, 3);
+        assert_eq!(dests.len(), 3);
+        for w in dests {
+            assert!(!topo.is_leaf(w));
+        }
+    }
+
+    #[test]
+    fn single_destination_mode_for_pts_experiments() {
+        let topo = Path::new(16);
+        let p = RandomAdversary::new(Rate::ONE, 2, 64)
+            .destinations(DestSpec::Fixed(vec![NodeId::new(15)]))
+            .seed(2)
+            .build_path(&topo);
+        assert_eq!(p.destinations().len(), 1);
+        assert!(p.len() > 32, "rate-1 traffic should be dense");
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's bound formulas, as executable functions.
+//!
+//! Every experiment compares a measured peak occupancy against one of
+//! these. Integer-valued bounds are exact; the Ω lower-bound reference is a
+//! float (the theorem's constant is asymptotic).
+
+use aqt_model::Rate;
+
+/// Prop. 3.1 — PTS on a path, single destination: `2 + σ`.
+pub fn pts_bound(sigma: u64) -> u64 {
+    2 + sigma
+}
+
+/// Prop. 3.2 — PPTS on a path with `d` destinations: `1 + d + σ`.
+pub fn ppts_bound(d: usize, sigma: u64) -> u64 {
+    1 + d as u64 + sigma
+}
+
+/// Prop. B.3 — Tree-PTS: `2 + σ`.
+pub fn tree_pts_bound(sigma: u64) -> u64 {
+    2 + sigma
+}
+
+/// Prop. 3.5 — Tree-PPTS with destination depth `d′`: `1 + d′ + σ`.
+pub fn tree_ppts_bound(d_prime: usize, sigma: u64) -> u64 {
+    1 + d_prime as u64 + sigma
+}
+
+/// Thm. 4.1 — HPTS with `l` levels and base `m` (so `n = m^l`):
+/// `ℓ·n^{1/ℓ} + σ + 1 = ℓ·m + σ + 1`.
+pub fn hpts_bound(l: u32, m: usize, sigma: u64) -> u64 {
+    u64::from(l) * m as u64 + sigma + 1
+}
+
+/// Thm. 5.1 — the lower-bound reference value
+/// `((ℓ+1)ρ − 1)/(2ℓ) · n^{1/ℓ}`. Any protocol must reach Ω(this) against
+/// the §5 adversary.
+pub fn lower_bound_reference(l: u32, n: u64, rho: Rate) -> f64 {
+    let lf = f64::from(l);
+    ((lf + 1.0) * rho.as_f64() - 1.0) / (2.0 * lf) * (n as f64).powf(1.0 / lf)
+}
+
+/// The optimal level count `k = ⌊1/ρ⌋` for a given rate (abstract): using
+/// more levels than `⌊1/ρ⌋` violates Thm. 4.1's premise `ρ·ℓ ≤ 1`.
+pub fn optimal_levels(rho: Rate) -> Option<u64> {
+    rho.recip_floor()
+}
+
+/// The headline tradeoff value `k·d^{1/k}` (abstract): space needed when
+/// the bandwidth budget allows `k = ⌊1/ρ⌋` time-multiplexed levels over
+/// `d` positions.
+pub fn tradeoff_space(k: u32, d: usize) -> f64 {
+    f64::from(k) * (d as f64).powf(1.0 / f64::from(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_bounds() {
+        assert_eq!(pts_bound(0), 2);
+        assert_eq!(pts_bound(5), 7);
+        assert_eq!(ppts_bound(8, 2), 11);
+        assert_eq!(tree_pts_bound(1), 3);
+        assert_eq!(tree_ppts_bound(3, 2), 6);
+        assert_eq!(hpts_bound(2, 4, 1), 10);
+        assert_eq!(hpts_bound(1, 16, 0), 17);
+    }
+
+    #[test]
+    fn lower_bound_reference_shape() {
+        let rho = Rate::new(1, 2).unwrap();
+        // ℓ = 2, n = 3m²: reference grows linearly in m.
+        let at = |m: u64| lower_bound_reference(2, 3 * m * m, rho);
+        let ratio = at(32) / at(16);
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+        assert!(at(16) > 0.0);
+    }
+
+    #[test]
+    fn optimal_levels_match_rate() {
+        assert_eq!(optimal_levels(Rate::new(1, 3).unwrap()), Some(3));
+        assert_eq!(optimal_levels(Rate::new(2, 5).unwrap()), Some(2));
+        assert_eq!(optimal_levels(Rate::ZERO), None);
+    }
+
+    #[test]
+    fn tradeoff_is_convex_in_k() {
+        // For d = 256: k=1 → 256, k=2 → 32, k=4 → 16, k=8 → 16, log d → ~16.
+        assert_eq!(tradeoff_space(1, 256), 256.0);
+        assert!((tradeoff_space(2, 256) - 32.0).abs() < 1e-9);
+        assert!(tradeoff_space(4, 256) < tradeoff_space(2, 256));
+        // Past the sweet spot the k factor dominates.
+        assert!(tradeoff_space(64, 256) > tradeoff_space(8, 256));
+    }
+}

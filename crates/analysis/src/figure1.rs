@@ -1,0 +1,159 @@
+//! Renderer for Figure 1: the hierarchical partition and a packet's
+//! virtual trajectory.
+//!
+//! The paper's only figure shows the n = 16, m = 2, ℓ = 4 hierarchy: one
+//! row per level with its interval boxes, binary node labels underneath,
+//! and the virtual trajectory of a packet (injection site → destination)
+//! through the levels. [`render_figure1`] reproduces it as ASCII for any
+//! hierarchy small enough to print.
+
+use aqt_core::Hierarchy;
+
+/// Renders the level diagram of `h`, marking the virtual trajectory of a
+/// packet from `source` to `dest` (pass `None` to omit the trajectory).
+///
+/// Each level row shows its intervals as `[ … ]` boxes; the trajectory is
+/// drawn by placing the segment markers `s→x` inside the level row where
+/// the segment lives. A legend lists the segments with their levels and
+/// intermediate destinations.
+///
+/// # Panics
+///
+/// Panics if `source ≥ dest` or `dest ≥ h.n()` when a trajectory is
+/// requested.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_analysis::render_figure1;
+/// use aqt_core::Hierarchy;
+///
+/// let h = Hierarchy::new(2, 4)?;
+/// let fig = render_figure1(&h, Some((0b0000, 0b1011)));
+/// assert!(fig.contains("j = 3"));
+/// assert!(fig.contains("level 3"));
+/// # Ok::<(), aqt_core::hpts::GeometryError>(())
+/// ```
+pub fn render_figure1(h: &Hierarchy, trajectory: Option<(usize, usize)>) -> String {
+    let n = h.n();
+    let l = h.levels();
+    let digits = l as usize; // base-m digit count of a node label
+    let cell = digits + 1; // label + one space
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Hierarchical partition: n = {n}, m = {m}, l = {l}\n\n",
+        m = h.base(),
+    ));
+
+    // Level rows, top level first.
+    for j in (0..l).rev() {
+        let mut row = format!("j = {j}  ");
+        for r in 0..h.interval_count(j) {
+            let (a, b) = h.interval(j, r);
+            let width = (b - a + 1) * cell;
+            // Box: '[' + label + padding + ']' occupying `width` chars.
+            let label = format!("I{j},{r}");
+            let inner = width.saturating_sub(2);
+            row.push('[');
+            row.push_str(&format!("{label:^inner$}"));
+            row.push(']');
+        }
+        out.push_str(row.trim_end());
+        out.push('\n');
+    }
+
+    // Node labels in base m.
+    let mut labels = String::from("nodes  ");
+    for i in 0..n {
+        labels.push(' ');
+        labels.push_str(&base_m_label(h, i));
+    }
+    out.push_str(&labels);
+    out.push('\n');
+
+    // Trajectory legend.
+    if let Some((source, dest)) = trajectory {
+        out.push('\n');
+        out.push_str(&format!(
+            "virtual trajectory of a packet {} -> {}:\n",
+            base_m_label(h, source),
+            base_m_label(h, dest)
+        ));
+        for (from, to) in h.segment_chain(source, dest) {
+            let level = h.level(from, dest);
+            out.push_str(&format!(
+                "  level {level}: {} -> {} (intermediate destination {})\n",
+                base_m_label(h, from),
+                base_m_label(h, to),
+                to
+            ));
+        }
+    }
+    out
+}
+
+/// The base-m representation of node `i`, zero-padded to ℓ digits.
+fn base_m_label(h: &Hierarchy, i: usize) -> String {
+    let l = h.levels() as usize;
+    let mut s = String::with_capacity(l);
+    for j in (0..h.levels()).rev() {
+        let d = h.digit(i, j);
+        // Digits above 9 (large m) are rendered in hex-like letters.
+        s.push(char::from_digit(d as u32, 36).unwrap_or('?'));
+    }
+    debug_assert_eq!(s.len(), l);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_matches_paper_shape() {
+        let h = Hierarchy::new(2, 4).unwrap();
+        let fig = render_figure1(&h, Some((0b0000, 0b1011)));
+        // Four level rows.
+        for j in 0..4 {
+            assert!(fig.contains(&format!("j = {j}")), "missing level {j}");
+        }
+        // Top level has a single interval, bottom level eight.
+        assert!(fig.contains("I3,0"));
+        assert!(fig.contains("I0,7"));
+        // Binary labels.
+        assert!(fig.contains("0000"));
+        assert!(fig.contains("1111"));
+        // Trajectory of Fig. 1: 0000 → 1000 → 1010 → 1011.
+        assert!(fig.contains("level 3: 0000 -> 1000"));
+        assert!(fig.contains("level 1: 1000 -> 1010"));
+        assert!(fig.contains("level 0: 1010 -> 1011"));
+    }
+
+    #[test]
+    fn level_rows_have_consistent_width() {
+        let h = Hierarchy::new(2, 3).unwrap();
+        let fig = render_figure1(&h, None);
+        let rows: Vec<&str> = fig
+            .lines()
+            .filter(|line| line.starts_with("j = "))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let widths: std::collections::BTreeSet<usize> = rows.iter().map(|r| r.len()).collect();
+        assert_eq!(widths.len(), 1, "all level rows equally wide: {rows:?}");
+    }
+
+    #[test]
+    fn base_m_labels() {
+        let h = Hierarchy::new(3, 3).unwrap();
+        assert_eq!(base_m_label(&h, 0), "000");
+        assert_eq!(base_m_label(&h, 17), "122");
+        assert_eq!(base_m_label(&h, 26), "222");
+    }
+
+    #[test]
+    fn no_trajectory_renders_without_legend() {
+        let h = Hierarchy::new(2, 2).unwrap();
+        let fig = render_figure1(&h, None);
+        assert!(!fig.contains("virtual trajectory"));
+    }
+}

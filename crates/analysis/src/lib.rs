@@ -1,0 +1,40 @@
+//! # aqt-analysis — bounds, sweeps and report rendering
+//!
+//! The glue between the algorithms (`aqt-core`), the adversaries
+//! (`aqt-adversary`) and the experiment harness (`aqt-bench`):
+//!
+//! * [`bounds`] — the paper's bound formulas as executable functions;
+//! * [`RunSummary`] / [`run_path`] / [`run_tree`] — one-shot protocol runs
+//!   distilled to the quantities the theorems speak about;
+//! * [`parallel_map`] — scoped-thread parameter sweeps;
+//! * [`Table`] / [`Verdict`] — bound-vs-measured table rendering (ASCII +
+//!   CSV);
+//! * [`render_figure1`] — the paper's Figure 1 as ASCII art.
+//!
+//! ## Example
+//!
+//! ```
+//! use aqt_analysis::{bounds, run_path, Table, Verdict};
+//! use aqt_core::Pts;
+//! use aqt_model::{NodeId, Pattern, Injection};
+//!
+//! let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 7); 3]);
+//! let summary = run_path(8, Pts::new(NodeId::new(7)), &pattern, 20)?;
+//! let bound = bounds::pts_bound(2); // σ = 2 burst
+//! assert_eq!(Verdict::upper(summary.max_occupancy as u64, bound), Verdict::Holds);
+//! # Ok::<(), aqt_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod experiment;
+mod figure1;
+mod sweep;
+
+pub use experiment::{Table, Verdict};
+pub use figure1::render_figure1;
+pub use sweep::{
+    measured_sigma, measured_sigma_on, parallel_map, run_path, run_tree, RunSummary,
+};

@@ -1,0 +1,176 @@
+//! Run helpers and parallel parameter sweeps.
+//!
+//! Thin wrappers that run a protocol against a pattern and distill the
+//! metrics into a [`RunSummary`], plus a scoped-thread `parallel_map` for
+//! embarrassingly-parallel sweeps (no external dependency needed).
+
+use aqt_model::{
+    analyze, DirectedTree, ModelError, Path, Pattern, Protocol, Rate, RunMetrics, Simulation,
+    Topology,
+};
+use serde::{Deserialize, Serialize};
+
+/// Distilled outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Protocol name (from [`Protocol::name`]).
+    pub protocol: String,
+    /// Peak buffer occupancy (the paper's space requirement).
+    pub max_occupancy: usize,
+    /// Peak staging-area size (batched protocols only).
+    pub max_staged: usize,
+    /// Packets injected / delivered.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mean delivery latency in rounds, if anything was delivered.
+    pub mean_latency: Option<f64>,
+    /// Max delivery latency in rounds.
+    pub max_latency: u64,
+}
+
+impl RunSummary {
+    fn from_metrics(protocol: String, metrics: &RunMetrics) -> Self {
+        RunSummary {
+            protocol,
+            max_occupancy: metrics.max_occupancy,
+            max_staged: metrics.max_staged,
+            injected: metrics.injected,
+            delivered: metrics.delivered,
+            mean_latency: metrics.latency.mean(),
+            max_latency: metrics.latency.max_rounds,
+        }
+    }
+}
+
+/// Runs `protocol` on a path of `n` nodes against `pattern`, for the
+/// pattern horizon plus `extra` settle rounds.
+///
+/// # Errors
+///
+/// Propagates pattern validation or plan errors from the engine.
+pub fn run_path<P: Protocol<Path>>(
+    n: usize,
+    protocol: P,
+    pattern: &Pattern,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::new(Path::new(n), protocol, pattern)?;
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(sim.protocol().name(), sim.metrics()))
+}
+
+/// Runs `protocol` on a directed tree against `pattern`.
+///
+/// # Errors
+///
+/// Propagates pattern validation or plan errors from the engine.
+pub fn run_tree<P: Protocol<DirectedTree>>(
+    tree: DirectedTree,
+    protocol: P,
+    pattern: &Pattern,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::new(tree, protocol, pattern)?;
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(sim.protocol().name(), sim.metrics()))
+}
+
+/// Measures the tight σ of `pattern` on a path of `n` nodes at rate ρ —
+/// shorthand used by every experiment to report the *actual* burstiness of
+/// generated workloads.
+pub fn measured_sigma(n: usize, pattern: &Pattern, rate: Rate) -> u64 {
+    analyze(&Path::new(n), pattern, rate).tight_sigma
+}
+
+/// Measures the tight σ on an arbitrary topology.
+pub fn measured_sigma_on<T: Topology>(topo: &T, pattern: &Pattern, rate: Rate) -> u64 {
+    analyze(topo, pattern, rate).tight_sigma
+}
+
+/// Applies `f` to every input on scoped threads (at most `threads` at a
+/// time), preserving input order.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = inputs.len();
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let out = f(&inputs[idx]);
+                let mut guard = results_mutex.lock().expect("no poisoned sweeps");
+                guard[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("all indices computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_core::{Greedy, GreedyPolicy};
+    use aqt_model::Injection;
+
+    #[test]
+    fn run_path_summarizes() {
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let s = run_path(4, Greedy::new(GreedyPolicy::Fifo), &pattern, 5).unwrap();
+        assert_eq!(s.protocol, "Greedy-FIFO");
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.max_occupancy, 1);
+        assert_eq!(s.mean_latency, Some(3.0));
+    }
+
+    #[test]
+    fn run_tree_summarizes() {
+        let tree = DirectedTree::star(3);
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 1, 0)]);
+        let s = run_tree(tree, Greedy::new(GreedyPolicy::Lifo), &pattern, 3).unwrap();
+        assert_eq!(s.delivered, 1);
+    }
+
+    #[test]
+    fn measured_sigma_shorthand() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1); 4]);
+        assert_eq!(measured_sigma(2, &p, Rate::ONE), 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs, 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_map_with_more_threads_than_items() {
+        let out = parallel_map(vec![1, 2], 16, |x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Timing bench for E7b: HPTS-D planning cost vs destination count.
+//!
+//! HPTS-D classifies every buffered packet into contracted-coordinate
+//! classes each round (two binary searches per packet) and scans real
+//! spans of contracted intervals. Its cost should track the *destination*
+//! count d, staying flat as the line length n grows — the same shape as
+//! its space bound.
+
+use aqt_adversary::{patterns, RandomAdversary};
+use aqt_analysis::run_path;
+use aqt_core::HptsD;
+use aqt_model::{Path, Rate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_dest_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7b_hpts_d");
+    let rounds = 600u64;
+
+    // Sweep d at fixed n.
+    let n = 512usize;
+    for d in [3usize, 7, 15, 31] {
+        let dests = patterns::even_destinations(n, d);
+        let rho = Rate::new(1, 2).expect("valid");
+        let pattern = RandomAdversary::new(rho, 2, rounds)
+            .destinations(aqt_adversary::DestSpec::fixed(dests.clone()))
+            .seed(9)
+            .build_path(&Path::new(n));
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("destinations", d), &d, |b, _| {
+            b.iter(|| {
+                let hptsd = HptsD::new(dests.clone(), 2).expect("valid set");
+                run_path(n, hptsd, &pattern, 100).expect("valid run")
+            })
+        });
+    }
+
+    // Sweep n at fixed d: cost (like space) should stay near-flat.
+    let d = 7usize;
+    for n in [128usize, 256, 512, 1024] {
+        let dests = patterns::even_destinations(n, d);
+        let rho = Rate::new(1, 2).expect("valid");
+        let pattern = RandomAdversary::new(rho, 2, rounds)
+            .destinations(aqt_adversary::DestSpec::fixed(dests.clone()))
+            .seed(9)
+            .build_path(&Path::new(n));
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("line_length", n), &n, |b, _| {
+            b.iter(|| {
+                let hptsd = HptsD::new(dests.clone(), 2).expect("valid set");
+                run_path(n, hptsd, &pattern, 100).expect("valid run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dest_space);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Timing bench for E4: HPTS planning cost vs level count.
+//!
+//! Each HPTS round rebuilds pseudo-buffer summaries and runs FormPaths +
+//! ActivatePreBad; the level count ℓ trades buffer space for both
+//! bandwidth (phases) and planning work. This bench pins the cost curve.
+
+use aqt_adversary::RandomAdversary;
+use aqt_analysis::run_path;
+use aqt_core::{Hpts, LevelSchedule};
+use aqt_model::{Path, Rate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_hpts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_hpts");
+    let n = 256usize;
+    let rounds = 600u64;
+    for l in [1u32, 2, 4, 8] {
+        let rho = Rate::one_over(l).expect("valid");
+        let pattern = RandomAdversary::new(rho, 2, rounds)
+            .seed(6)
+            .build_path(&Path::new(n));
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("levels", l), &l, |b, &l| {
+            b.iter(|| {
+                let hpts = Hpts::for_line(n, l).expect("fits");
+                run_path(n, hpts, &pattern, 50).expect("valid run")
+            })
+        });
+    }
+    // Schedule comparison at fixed ℓ.
+    let rho = Rate::new(1, 4).expect("valid");
+    let pattern = RandomAdversary::new(rho, 2, rounds)
+        .seed(6)
+        .build_path(&Path::new(n));
+    for (label, schedule) in [
+        ("descending", LevelSchedule::Descending),
+        ("ascending", LevelSchedule::Ascending),
+    ] {
+        group.bench_function(BenchmarkId::new("schedule", label), |b| {
+            b.iter(|| {
+                let hpts = Hpts::for_line(n, 4).expect("fits").schedule(schedule);
+                run_path(n, hpts, &pattern, 50).expect("valid run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpts);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Timing bench for E5: the §5 lower-bound construction.
+//!
+//! Covers both the pattern generation (pure construction cost) and a full
+//! duel against a representative protocol.
+
+use aqt_adversary::LowerBoundAdversary;
+use aqt_analysis::run_path;
+use aqt_core::{Greedy, GreedyPolicy, Hpts};
+use aqt_model::{Rate, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lower_bound");
+    group.sample_size(20);
+    for (l, m) in [(1u32, 32u64), (2, 8), (2, 16), (3, 6)] {
+        let rho = if l == 1 { Rate::ONE } else { Rate::new(1, 2).expect("valid") };
+        let adv = LowerBoundAdversary::new(l, m, rho).expect("valid parameters");
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("l{l}_m{m}")),
+            &adv,
+            |b, adv| b.iter(|| adv.pattern()),
+        );
+        let pattern = adv.pattern();
+        let n = adv.topology().node_count();
+        group.bench_with_input(
+            BenchmarkId::new("duel_greedy_lis", format!("l{l}_m{m}")),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    run_path(
+                        n,
+                        Greedy::new(GreedyPolicy::LongestInSystem),
+                        pattern,
+                        8,
+                    )
+                    .expect("valid run")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("duel_hpts", format!("l{l}_m{m}")),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| {
+                    let hpts = Hpts::for_line(n, l).expect("fits");
+                    run_path(n, hpts, pattern, 8).expect("valid run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

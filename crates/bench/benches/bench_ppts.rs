@@ -1,0 +1,46 @@
+//! Timing bench for E2: PPTS throughput as the destination count grows.
+//!
+//! PPTS scans pseudo-buffers right-to-left per destination, so its per-round
+//! cost scales with d; this bench quantifies that against the greedy
+//! baseline's d-independent cost.
+
+use aqt_adversary::{DestSpec, RandomAdversary};
+use aqt_analysis::run_path;
+use aqt_core::{Greedy, GreedyPolicy, Ppts};
+use aqt_model::{Path, Pattern, Rate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn pattern_for(n: usize, d: usize, rounds: u64) -> Pattern {
+    RandomAdversary::new(Rate::ONE, 2, rounds)
+        .destinations(DestSpec::Spread { count: d })
+        .seed(2)
+        .build_path(&Path::new(n))
+}
+
+fn bench_ppts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ppts");
+    let n = 257usize;
+    let rounds = 300u64;
+    for d in [4usize, 16, 64] {
+        let pattern = pattern_for(n, d, rounds);
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("ppts", d), &d, |b, _| {
+            b.iter(|| run_path(n, Ppts::new(), &pattern, 50).expect("valid run"))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy-lis", d), &d, |b, _| {
+            b.iter(|| {
+                run_path(
+                    n,
+                    Greedy::new(GreedyPolicy::LongestInSystem),
+                    &pattern,
+                    50,
+                )
+                .expect("valid run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppts);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Timing bench for E6/E7: the tradeoff sweep end to end.
+//!
+//! One iteration = one full E6 point (pattern generation + HPTS run), so
+//! the bench doubles as a performance budget for the experiment runner.
+
+use aqt_adversary::{patterns, RandomAdversary};
+use aqt_analysis::run_path;
+use aqt_core::{Hpts, Ppts};
+use aqt_model::{Path, Rate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_tradeoff");
+    group.sample_size(20);
+    let n = 256usize;
+    for k in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("hpts_point", k), &k, |b, &k| {
+            let rho = Rate::one_over(k).expect("valid");
+            let pattern = RandomAdversary::new(rho, 1, 400)
+                .seed(7)
+                .build_path(&Path::new(n));
+            b.iter(|| {
+                let hpts = Hpts::for_line(n, k).expect("fits");
+                run_path(n, hpts, &pattern, 100).expect("valid run")
+            })
+        });
+    }
+    // E7 point: PPTS on round-robin traffic over d destinations.
+    for d in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("ppts_alpha_point", d), &d, |b, &d| {
+            let dests = patterns::even_destinations(n + 1, d);
+            let pattern = patterns::round_robin(&dests, Rate::ONE, 400);
+            b.iter(|| run_path(n + 1, Ppts::new(), &pattern, 100).expect("valid run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

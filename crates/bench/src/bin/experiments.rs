@@ -1,0 +1,42 @@
+//! Experiment runner: regenerates every paper claim as a table.
+//!
+//! ```text
+//! cargo run -p aqt-bench --release --bin experiments            # all, full size
+//! cargo run -p aqt-bench --release --bin experiments -- e4 e5   # a subset
+//! cargo run -p aqt-bench --release --bin experiments -- --quick # smaller instances
+//! cargo run -p aqt-bench --release --bin experiments -- --csv e2
+//! ```
+
+use aqt_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    let started = std::time::Instant::now();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let tables = run_experiment(id, quick);
+        for table in &tables {
+            if csv {
+                println!("# {}", table.title());
+                print!("{}", table.to_csv());
+                println!();
+            } else {
+                println!("{}", table.render());
+            }
+        }
+        eprintln!("[{id}] finished in {:.1?}", t0.elapsed());
+    }
+    eprintln!("all experiments finished in {:.1?}", started.elapsed());
+}

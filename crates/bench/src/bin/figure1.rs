@@ -1,0 +1,28 @@
+//! Prints the paper's Figure 1 (and variants for other hierarchies).
+//!
+//! ```text
+//! cargo run -p aqt-bench --bin figure1            # the paper's n=16, m=2, l=4
+//! cargo run -p aqt-bench --bin figure1 -- 3 2     # m=3, l=2
+//! ```
+
+use aqt_analysis::render_figure1;
+use aqt_core::Hierarchy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (m, l) = match args.as_slice() {
+        [] => (2usize, 4u32),
+        [m, l] => (
+            m.parse().expect("m must be an integer ≥ 2"),
+            l.parse().expect("l must be an integer ≥ 1"),
+        ),
+        _ => {
+            eprintln!("usage: figure1 [m l]");
+            std::process::exit(2);
+        }
+    };
+    let h = Hierarchy::new(m, l).expect("valid hierarchy parameters");
+    // The paper's trajectory 0000 → 1011 generalizes to first → (n−1 − m).
+    let dest = h.n() - 1 - h.n() / 4;
+    println!("{}", render_figure1(&h, Some((0, dest.max(1)))));
+}

@@ -1,0 +1,90 @@
+//! # aqt-bench — experiment harness
+//!
+//! Regenerates every claim of the paper as a measured table (the paper is a
+//! theory paper: its "tables and figures" are the theorems plus Figure 1 —
+//! see `DESIGN.md` §4 for the mapping):
+//!
+//! | Experiment | Claim | Function |
+//! |-----------|-------|----------|
+//! | E1  | Prop. 3.1 (PTS ≤ 2+σ) | [`e1_pts`] |
+//! | E2  | Prop. 3.2 (PPTS ≤ 1+d+σ) | [`e2_ppts`] |
+//! | E3  | Props. B.3 / 3.5 (trees) | [`e3_trees`] |
+//! | E4  | Thm. 4.1 (HPTS ≤ ℓn^{1/ℓ}+σ+1) | [`e4_hpts`] |
+//! | E5  | Thm. 5.1 (Ω lower bound) | [`e5_duel`] |
+//! | E6  | abstract tradeoff k·n^{1/k} | [`e6_tradeoff`] |
+//! | E7  | §1 α-factor implication | [`e7_alpha`] |
+//! | E8  | Figure 1 | [`e8_figure1`] |
+//! | E9  | locality axis (open problem, exploratory) | [`e9_locality`] |
+//! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
+//! | A2  | eager delivery ablation | [`a2_eager`] |
+//!
+//! Run all of them with `cargo run -p aqt-bench --release --bin
+//! experiments`; timing benches live under `benches/` (`cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp_ablation;
+mod exp_locality;
+mod exp_lower;
+mod exp_tradeoff;
+mod exp_upper;
+
+pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
+pub use exp_locality::e9_locality;
+pub use exp_lower::e5_duel;
+pub use exp_tradeoff::{e6_tradeoff, e7_alpha};
+pub use exp_upper::{e1_pts, e2_ppts, e3_trees, e4_hpts};
+
+use aqt_analysis::Table;
+
+/// All experiment ids in canonical order (`e9` is the exploratory
+/// locality extension, not a paper artifact).
+pub const EXPERIMENT_IDS: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2"];
+
+/// Runs one experiment by id, returning its tables (E8 returns a pseudo
+/// table wrapping the figure).
+///
+/// # Panics
+///
+/// Panics on an unknown id; use [`EXPERIMENT_IDS`] to enumerate.
+pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
+    match id {
+        "e1" => e1_pts(quick),
+        "e2" => e2_ppts(quick),
+        "e3" => e3_trees(quick),
+        "e4" => e4_hpts(quick),
+        "e5" => e5_duel(quick),
+        "e6" => e6_tradeoff(quick),
+        "e7" => e7_alpha(quick),
+        "e8" => {
+            let mut t = Table::new("E8 (Figure 1) - hierarchical partition", ["figure"]);
+            t.push_row([e8_figure1()]);
+            vec![t]
+        }
+        "e9" => e9_locality(quick),
+        "a1" => a1_prebad(quick),
+        "a2" => a2_eager(quick),
+        other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_runnable() {
+        // Smoke-test dispatch for the cheap ones only; the expensive
+        // experiments have their own dedicated tests in their modules.
+        let tables = run_experiment("e8", true);
+        assert_eq!(tables.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run_experiment("e99", true);
+    }
+}

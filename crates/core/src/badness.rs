@@ -1,0 +1,281 @@
+//! Badness instrumentation (Defs. 3.3, 4.4–4.5, B.4).
+//!
+//! The paper's proofs all run through the *badness* potential: the number
+//! of packets stored at position ≥ 2 of their pseudo-buffer, accumulated
+//! over the nodes "behind" a given node. The invariant `B^t(i) ≤ ξ_t(i)+1`
+//! (hence ≤ σ + 1 after injections) drives every space bound. These
+//! functions compute badness from a live configuration so tests and
+//! experiments can check the invariant *during* execution, not just the
+//! final occupancy.
+
+use std::collections::BTreeMap;
+
+use aqt_model::{DirectedTree, NetworkState, NodeId};
+
+use crate::hpts::Hierarchy;
+
+/// `β_k(i)` on a path: the number of bad packets at node `i` destined for
+/// `w` — `max(|L_k(i)| − 1, 0)` (Def. 3.3).
+pub fn beta_path(state: &NetworkState, i: NodeId, w: NodeId) -> usize {
+    state.count_for_dest(i, w).saturating_sub(1)
+}
+
+/// `B_k(i)` on a path: total bad packets destined `w` in buffers `i′ ≤ i`
+/// (Def. 3.3). Counts badness *upstream from and including* `i`.
+pub fn k_badness_path(state: &NetworkState, i: NodeId, w: NodeId) -> usize {
+    (0..=i.index())
+        .map(|v| beta_path(state, NodeId::new(v), w))
+        .sum()
+}
+
+/// `B(i)` on a path: total bad packets in buffers `i′ ≤ i` with
+/// destinations strictly beyond `i` (Def. 3.3).
+pub fn badness_path(state: &NetworkState, i: NodeId) -> usize {
+    let mut per_dest: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for v in 0..=i.index() {
+        for (dest, packets) in state.by_destination(NodeId::new(v)) {
+            if dest > i {
+                *per_dest.entry(dest).or_insert(0) += packets.len().saturating_sub(1);
+            }
+        }
+    }
+    per_dest.values().sum()
+}
+
+/// `B(v)` on a directed tree (Def. B.4): bad packets in the subtree rooted
+/// at `v` (single-destination case — every buffer is one pseudo-buffer).
+pub fn badness_tree(state: &NetworkState, tree: &DirectedTree, v: NodeId) -> usize {
+    tree.subtree(v)
+        .into_iter()
+        .map(|u| state.occupancy(u).saturating_sub(1))
+        .sum()
+}
+
+/// Multi-destination tree badness: bad packets per destination pseudo-buffer
+/// in the subtree of `v`, for destinations whose route passes through `v`
+/// (i.e. destinations that are ancestors-or-self… strictly above `v`).
+pub fn badness_tree_multi(state: &NetworkState, tree: &DirectedTree, v: NodeId) -> usize {
+    let mut total = 0usize;
+    for u in tree.subtree(v) {
+        for (dest, packets) in state.by_destination(u) {
+            // Only packets that still have to cross v's outgoing link.
+            if dest != v && tree.is_ancestor_or_self(dest, v) {
+                total += packets.len().saturating_sub(1);
+            }
+        }
+    }
+    total
+}
+
+/// HPTS badness `B^t(i)` (Def. 4.5): summed over levels j and columns k,
+/// the bad packets in buffers `i′ ≤ i` *within i's level-j interval* whose
+/// segment level is j and whose intermediate destination is the k-th of
+/// that interval.
+pub fn badness_hpts(state: &NetworkState, h: &Hierarchy, i: usize) -> usize {
+    let n_real = state.node_count();
+    let mut total = 0usize;
+    for j in 0..h.levels() {
+        let (a, _) = h.interval_of(j, i);
+        // β_{j,k}(i′) for i′ ∈ [a, i]: count per (k) then subtract 1 per
+        // non-empty pseudo-buffer.
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for v in a..=i.min(n_real - 1) {
+            let mut local: BTreeMap<usize, usize> = BTreeMap::new();
+            for sp in state.buffer(NodeId::new(v)) {
+                let w = sp.dest().index();
+                if w <= v {
+                    continue;
+                }
+                if h.level(v, w) == j {
+                    *local.entry(h.dest_index(v, w)).or_insert(0) += 1;
+                }
+            }
+            for (k, c) in local {
+                *counts.entry(k).or_insert(0) += c.saturating_sub(1);
+            }
+        }
+        total += counts.values().sum::<usize>();
+    }
+    total
+}
+
+/// The maximum HPTS badness `max_i B^t(i)` over the whole network in one
+/// O(n·ℓ + packets) pass (per-node [`badness_hpts`] would be quadratic).
+///
+/// Used by the A1 ablation to track the potential function of Lemma 4.8
+/// across a run.
+pub fn max_badness_hpts(state: &NetworkState, h: &Hierarchy) -> usize {
+    let n_real = state.node_count();
+    if n_real == 0 {
+        return 0;
+    }
+    // β_j(i) = Σ_k max(|L_{j,k}(i)| − 1, 0), per node and level.
+    let mut beta: Vec<Vec<usize>> = vec![vec![0; n_real]; h.levels() as usize];
+    let mut local: BTreeMap<(u32, usize), usize> = BTreeMap::new();
+    for i in 0..n_real {
+        local.clear();
+        for sp in state.buffer(NodeId::new(i)) {
+            let w = sp.dest().index();
+            if w <= i {
+                continue;
+            }
+            *local.entry((h.level(i, w), h.dest_index(i, w))).or_insert(0) += 1;
+        }
+        for (&(j, _), &c) in &local {
+            if c >= 2 {
+                beta[j as usize][i] += c - 1;
+            }
+        }
+    }
+    // B(i) = Σ_j (prefix of β_j within i's level-j interval).
+    let mut b = vec![0usize; n_real];
+    for j in 0..h.levels() {
+        let size = h.interval_size(j);
+        let mut acc = 0usize;
+        for i in 0..n_real {
+            if i % size == 0 {
+                acc = 0;
+            }
+            acc += beta[j as usize][i];
+            b[i] += acc;
+        }
+    }
+    b.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::{
+        ForwardingPlan, Injection, Path, Pattern, Protocol, Round, Simulation, Topology,
+    };
+
+    /// Builds a state by injecting a pattern into an idle simulation.
+    fn settled_state(n: usize, pattern: Pattern, rounds: u64) -> NetworkState {
+        struct Idle;
+        impl<T: Topology> Protocol<T> for Idle {
+            fn name(&self) -> String {
+                "idle".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
+                ForwardingPlan::new(st.node_count())
+            }
+        }
+        let mut sim = Simulation::new(Path::new(n), Idle, &pattern).unwrap();
+        sim.run(rounds).unwrap();
+        sim.state().clone()
+    }
+
+    #[test]
+    fn beta_counts_excess_packets() {
+        let st = settled_state(
+            4,
+            Pattern::from_injections(vec![Injection::new(0, 0, 3); 3]),
+            1,
+        );
+        assert_eq!(beta_path(&st, NodeId::new(0), NodeId::new(3)), 2);
+        assert_eq!(beta_path(&st, NodeId::new(1), NodeId::new(3)), 0);
+    }
+
+    #[test]
+    fn badness_accumulates_upstream() {
+        let st = settled_state(
+            6,
+            Pattern::from_injections(vec![
+                Injection::new(0, 0, 5),
+                Injection::new(0, 0, 5),
+                Injection::new(0, 2, 5),
+                Injection::new(0, 2, 5),
+                Injection::new(0, 2, 4),
+            ]),
+            1,
+        );
+        // Node 0: one bad packet for dest 5. Node 2: one bad for 5
+        // (dest-4 packet is alone in its pseudo-buffer).
+        assert_eq!(k_badness_path(&st, NodeId::new(0), NodeId::new(5)), 1);
+        assert_eq!(k_badness_path(&st, NodeId::new(2), NodeId::new(5)), 2);
+        assert_eq!(badness_path(&st, NodeId::new(0)), 1);
+        assert_eq!(badness_path(&st, NodeId::new(3)), 2);
+        // Behind node 4 the dest-4 packet no longer counts (w > i fails
+        // only for w = 4 < … wait, dest 4 ≤ 4): only dest-5 badness.
+        assert_eq!(badness_path(&st, NodeId::new(4)), 2);
+    }
+
+    #[test]
+    fn tree_badness_over_subtree() {
+        let tree = DirectedTree::star(2);
+        struct Idle;
+        impl<T: Topology> Protocol<T> for Idle {
+            fn name(&self) -> String {
+                "idle".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
+                ForwardingPlan::new(st.node_count())
+            }
+        }
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 1, 0),
+            Injection::new(0, 1, 0),
+            Injection::new(0, 2, 0),
+        ]);
+        let mut sim = Simulation::new(tree.clone(), Idle, &p).unwrap();
+        sim.run(1).unwrap();
+        let st = sim.state();
+        assert_eq!(badness_tree(st, &tree, NodeId::new(1)), 1);
+        assert_eq!(badness_tree(st, &tree, NodeId::new(2)), 0);
+        assert_eq!(badness_tree(st, &tree, NodeId::new(0)), 1);
+        assert_eq!(badness_tree_multi(st, &tree, NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn hpts_badness_counts_per_level() {
+        let h = Hierarchy::new(4, 2).unwrap();
+        // Two packets at node 0 with dest 15: level 1, k = 3 → 1 bad.
+        // Two packets at node 12 destined 15: level 0, k = 3 → 1 bad.
+        let st = settled_state(
+            16,
+            Pattern::from_injections(vec![
+                Injection::new(0, 0, 15),
+                Injection::new(0, 0, 15),
+                Injection::new(0, 12, 15),
+                Injection::new(0, 12, 15),
+            ]),
+            1,
+        );
+        // Node 0's badness: its own level-1 bad packet (interval [0,15]).
+        assert_eq!(badness_hpts(&st, &h, 0), 1);
+        // Node 12 accumulates the level-1 badness (same interval, i′ ≤ 12)
+        // plus its own level-0 badness.
+        assert_eq!(badness_hpts(&st, &h, 12), 2);
+        // Node 11 is in a different level-0 interval: only level-1 badness.
+        assert_eq!(badness_hpts(&st, &h, 11), 1);
+    }
+
+    #[test]
+    fn max_badness_matches_per_node_maximum() {
+        let h = Hierarchy::new(4, 2).unwrap();
+        let st = settled_state(
+            16,
+            Pattern::from_injections(vec![
+                Injection::new(0, 0, 15),
+                Injection::new(0, 0, 15),
+                Injection::new(0, 0, 15),
+                Injection::new(0, 12, 15),
+                Injection::new(0, 12, 15),
+                Injection::new(0, 5, 7),
+                Injection::new(0, 5, 7),
+            ]),
+            1,
+        );
+        let brute = (0..16).map(|i| badness_hpts(&st, &h, i)).max().unwrap();
+        assert_eq!(max_badness_hpts(&st, &h), brute);
+        assert!(brute >= 3, "expected stacked badness in the fixture");
+    }
+
+    #[test]
+    fn max_badness_of_empty_network_is_zero() {
+        let h = Hierarchy::new(2, 3).unwrap();
+        let st = settled_state(8, Pattern::new(), 1);
+        assert_eq!(max_badness_hpts(&st, &h), 0);
+    }
+}

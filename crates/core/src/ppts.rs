@@ -1,0 +1,340 @@
+//! PPTS — "Parallel Peak to Sink" forwarding (Algorithm 2, §3.2).
+//!
+//! Multi-destination forwarding on a path via *virtual output queuing*:
+//! each buffer is split into per-destination pseudo-buffers. Destinations
+//! are processed right-to-left; for each destination `w_k`, if a bad
+//! `k`-pseudo-buffer exists to the left of everything activated so far, the
+//! left-most one opens an activation interval running right toward `w_k`
+//! (capped where previous intervals begin). Intervals for distinct
+//! destinations are disjoint (Lemma B.1), so each node forwards at most one
+//! packet.
+//!
+//! Prop. 3.2: against any (ρ, σ)-bounded adversary with destinations in a
+//! set of size `d`, the maximum buffer occupancy is at most **1 + d + σ**.
+
+use std::collections::BTreeMap;
+
+use aqt_model::{ForwardingPlan, NetworkState, NodeId, PacketId, Path, Protocol, Round};
+
+/// Priority used to pick the packet forwarded out of an activated
+/// pseudo-buffer. Occupancy bounds are priority-independent; the paper
+/// assumes LIFO "for concreteness".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PseudoPriority {
+    /// Most recently arrived packet first (the paper's convention).
+    #[default]
+    Lifo,
+    /// Earliest arrived packet first.
+    Fifo,
+}
+
+/// Per-pseudo-buffer summary assembled once per round.
+#[derive(Debug, Clone, Copy)]
+struct PseudoInfo {
+    count: usize,
+    fifo_head: PacketId,
+    fifo_seq: u64,
+    lifo_top: PacketId,
+    lifo_seq: u64,
+}
+
+impl PseudoInfo {
+    fn pick(&self, priority: PseudoPriority) -> PacketId {
+        match priority {
+            PseudoPriority::Lifo => self.lifo_top,
+            PseudoPriority::Fifo => self.fifo_head,
+        }
+    }
+}
+
+/// The PPTS protocol on a path.
+///
+/// PPTS needs no advance knowledge of the destination set `W` (§3.2): it
+/// treats every node as a potential destination and discovers `W` from the
+/// buffered packets each round.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_core::Ppts;
+/// use aqt_model::{Injection, Path, Pattern, Simulation};
+///
+/// // Two destinations, one σ=1 burst each.
+/// let pattern = Pattern::from_injections(vec![
+///     Injection::new(0, 0, 4),
+///     Injection::new(0, 0, 4),
+///     Injection::new(0, 1, 7),
+///     Injection::new(0, 1, 7),
+/// ]);
+/// let mut sim = Simulation::new(Path::new(8), Ppts::new(), &pattern)?;
+/// sim.run(12)?;
+/// // d = 2, σ ≤ 2 ⇒ occupancy ≤ 1 + 2 + 2.
+/// assert!(sim.metrics().max_occupancy <= 5);
+/// # Ok::<(), aqt_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ppts {
+    priority: PseudoPriority,
+    eager: bool,
+}
+
+impl Ppts {
+    /// PPTS faithful to Algorithm 2 (LIFO pseudo-buffers).
+    pub fn new() -> Self {
+        Ppts::default()
+    }
+
+    /// Sets the intra-pseudo-buffer priority (builder-style).
+    pub fn priority(mut self, priority: PseudoPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The eager extension (ablation A2): after the Algorithm 2 activation,
+    /// every still-inactive node with buffered packets forwards one packet
+    /// (its globally most recent). Capacity is respected because each node
+    /// sends at most one packet over its unique outgoing link.
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// Whether the eager extension is enabled.
+    pub fn is_eager(&self) -> bool {
+        self.eager
+    }
+
+    /// Builds the per-node virtual-output-queue summaries.
+    fn pseudo_buffers(state: &NetworkState) -> Vec<BTreeMap<NodeId, PseudoInfo>> {
+        let n = state.node_count();
+        let mut out: Vec<BTreeMap<NodeId, PseudoInfo>> = vec![BTreeMap::new(); n];
+        for v in 0..n {
+            let node = NodeId::new(v);
+            for sp in state.buffer(node) {
+                let entry = out[v].entry(sp.dest());
+                match entry {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(PseudoInfo {
+                            count: 1,
+                            fifo_head: sp.id(),
+                            fifo_seq: sp.seq(),
+                            lifo_top: sp.id(),
+                            lifo_seq: sp.seq(),
+                        });
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        let info = slot.get_mut();
+                        info.count += 1;
+                        if sp.seq() < info.fifo_seq {
+                            info.fifo_seq = sp.seq();
+                            info.fifo_head = sp.id();
+                        }
+                        if sp.seq() > info.lifo_seq {
+                            info.lifo_seq = sp.seq();
+                            info.lifo_top = sp.id();
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Protocol<Path> for Ppts {
+    fn name(&self) -> String {
+        let mut name = String::from("PPTS");
+        if self.priority == PseudoPriority::Fifo {
+            name.push_str("-fifo");
+        }
+        if self.eager {
+            name.push_str("-eager");
+        }
+        name
+    }
+
+    fn plan(&mut self, _round: Round, _topo: &Path, state: &NetworkState) -> ForwardingPlan {
+        let n = state.node_count();
+        let mut plan = ForwardingPlan::new(n);
+        let pseudo = Self::pseudo_buffers(state);
+
+        // Observed destination set W = {w_0 < w_1 < … < w_{d−1}}.
+        let mut dests: Vec<NodeId> = pseudo
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        dests.sort();
+
+        // Algorithm 2: k from d−1 downto 0, sentinel i = n.
+        let mut right = n; // exclusive frontier of previously claimed nodes
+        for &w in dests.iter().rev() {
+            // Left-most bad k-pseudo-buffer strictly left of `right`
+            // (packets destined w can only sit at nodes < w anyway).
+            let scan_end = right.min(w.index());
+            let bad = (0..scan_end).find(|&i| {
+                pseudo[i]
+                    .get(&w)
+                    .is_some_and(|info| info.count >= 2)
+            });
+            let Some(ik) = bad else { continue };
+            // Activate k-pseudo-buffers on [i_k, min(right−1, w−1)].
+            let hi = (right - 1).min(w.index() - 1);
+            for i in ik..=hi {
+                if let Some(info) = pseudo[i].get(&w) {
+                    if info.count >= 1 {
+                        plan.send(NodeId::new(i), info.pick(self.priority));
+                    }
+                }
+            }
+            right = ik;
+        }
+
+        if self.eager {
+            for v in 0..n {
+                let node = NodeId::new(v);
+                if !plan.is_active(node) && state.occupancy(node) > 0 {
+                    let pick = match self.priority {
+                        PseudoPriority::Lifo => state.lifo_top_where(node, |_| true),
+                        PseudoPriority::Fifo => state.fifo_head_where(node, |_| true),
+                    };
+                    if let Some(sp) = pick {
+                        plan.send(node, sp.id());
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::{Injection, Pattern, Simulation};
+
+    fn run(n: usize, pattern: Pattern, rounds: u64, ppts: Ppts) -> aqt_model::RunMetrics {
+        let mut sim = Simulation::new(Path::new(n), ppts, &pattern).unwrap();
+        sim.run(rounds).unwrap();
+        sim.metrics().clone()
+    }
+
+    #[test]
+    fn single_destination_reduces_to_pts_behaviour() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 7); 4]);
+        let m = run(8, p, 30, Ppts::new());
+        // d = 1, σ = 3 ⇒ 1 + 1 + 3 = 5.
+        assert!(m.max_occupancy <= 5);
+    }
+
+    #[test]
+    fn disjoint_intervals_one_send_per_node() {
+        // Bad pseudo-buffers for two destinations at the same node: only
+        // one may forward (plan.send panics on double-activation, so
+        // reaching a plan at all proves Lemma B.1 held).
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 3),
+            Injection::new(0, 0, 3),
+            Injection::new(0, 0, 6),
+            Injection::new(0, 0, 6),
+        ]);
+        let mut sim = Simulation::new(Path::new(7), Ppts::new(), &p).unwrap();
+        let outcome = sim.step().unwrap();
+        assert_eq!(outcome.forwarded, 1, "node 0 forwards exactly once");
+    }
+
+    #[test]
+    fn rightmost_destination_claims_first() {
+        // Bad buffer for far dest at node 2, bad buffer for near dest at
+        // node 0: far interval [2, …] is claimed first, near interval may
+        // then claim [0, 1].
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 2, 6),
+            Injection::new(0, 2, 6),
+            Injection::new(0, 0, 4),
+            Injection::new(0, 0, 4),
+        ]);
+        let mut sim = Simulation::new(Path::new(7), Ppts::new(), &p).unwrap();
+        let outcome = sim.step().unwrap();
+        // Node 2 forwards (toward 6); node 0 forwards (toward 4): the near
+        // interval is capped at node 1 = i_k(far) − 1.
+        assert_eq!(outcome.forwarded, 2);
+        assert_eq!(sim.state().occupancy(NodeId::new(1)), 1);
+        assert_eq!(sim.state().occupancy(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn near_bad_buffer_blocked_by_far_claim_waits() {
+        // Far-destination interval starts at node 0; the near-destination
+        // bad pseudo-buffer also at node 0 cannot activate this round.
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 6),
+            Injection::new(0, 0, 6),
+            Injection::new(0, 0, 3),
+            Injection::new(0, 0, 3),
+        ]);
+        let mut sim = Simulation::new(Path::new(7), Ppts::new(), &p).unwrap();
+        sim.step().unwrap();
+        // Exactly one packet left node 0.
+        assert_eq!(sim.state().occupancy(NodeId::new(0)), 3);
+    }
+
+    #[test]
+    fn round_robin_traffic_respects_one_plus_d_plus_sigma() {
+        // d = 3 destinations, paced rate-1 traffic (σ ≤ 1).
+        let dests = [3usize, 5, 7];
+        let injections: Vec<Injection> = (0..60)
+            .map(|t| Injection::new(t, 0, dests[(t % 3) as usize]))
+            .collect();
+        let m = run(8, Pattern::from_injections(injections), 80, Ppts::new());
+        assert!(
+            m.max_occupancy <= 1 + 3 + 1,
+            "occupancy {} exceeds 1+d+σ",
+            m.max_occupancy
+        );
+    }
+
+    #[test]
+    fn fifo_priority_forwards_oldest() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 3),
+            Injection::new(0, 0, 3),
+        ]);
+        let mut sim = Simulation::new(
+            Path::new(4),
+            Ppts::new().priority(PseudoPriority::Fifo),
+            &p,
+        )
+        .unwrap();
+        sim.step().unwrap();
+        // The survivor at node 0 must be the *younger* packet (id 1).
+        let left = sim.state().buffer(NodeId::new(0));
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].id(), aqt_model::PacketId::new(1));
+    }
+
+    #[test]
+    fn eager_variant_drains_and_preserves_bound() {
+        let dests = [3usize, 5, 7];
+        let injections: Vec<Injection> = (0..30)
+            .map(|t| Injection::new(t, 0, dests[(t % 3) as usize]))
+            .collect();
+        let p = Pattern::from_injections(injections);
+        let mut sim = Simulation::new(Path::new(8), Ppts::new().eager(), &p).unwrap();
+        sim.run_past_horizon(20).unwrap();
+        assert!(sim.is_drained(), "eager PPTS should deliver everything");
+        assert!(sim.metrics().max_occupancy <= 1 + 3 + 1);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Ppts::new().name(), "PPTS");
+        assert_eq!(Ppts::new().eager().name(), "PPTS-eager");
+        assert_eq!(
+            Ppts::new().priority(PseudoPriority::Fifo).name(),
+            "PPTS-fifo"
+        );
+        assert!(Ppts::new().eager().is_eager());
+    }
+}

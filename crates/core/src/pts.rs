@@ -1,0 +1,211 @@
+//! PTS — "Peak to Sink" forwarding (Algorithm 1, §3.1).
+//!
+//! Single-destination forwarding on a path: every round, find the left-most
+//! *bad* buffer (occupancy ≥ 2); activate it and every buffer to its right
+//! (up to the destination); all activated non-empty buffers forward one
+//! packet simultaneously.
+//!
+//! Prop. 3.1: against any (ρ, σ)-bounded adversary with ρ ≤ 1 whose packets
+//! all share one destination, the maximum buffer occupancy is at most
+//! **2 + σ**.
+
+use aqt_model::{ForwardingPlan, NetworkState, NodeId, Path, Protocol, Round};
+
+/// The PTS protocol for a fixed destination `w` on a path.
+///
+/// # Preconditions
+///
+/// Every injected packet must be destined for `w`; PTS ignores (and never
+/// forwards) packets with other destinations, and debug builds assert the
+/// precondition. Use [`Ppts`](crate::Ppts) for multi-destination traffic.
+///
+/// # Faithfulness note
+///
+/// Exactly as in the paper, PTS forwards **nothing** when no buffer is bad:
+/// the theorems bound space, not latency. The [`Pts::eager`] variant
+/// additionally drains quiet configurations (every non-empty buffer
+/// forwards when no buffer is bad); this is an extension evaluated in
+/// ablation A2 — it preserves the space bound empirically because
+/// forwarding every buffer can only shift, never stack, packets.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_core::Pts;
+/// use aqt_model::{Injection, NodeId, Path, Pattern, Simulation};
+///
+/// let topo = Path::new(8);
+/// let pattern = Pattern::from_injections(vec![
+///     Injection::new(0, 0, 7),
+///     Injection::new(0, 3, 7),
+///     Injection::new(0, 3, 7),
+/// ]);
+/// let mut sim = Simulation::new(topo, Pts::new(NodeId::new(7)), &pattern)?;
+/// sim.run(10)?;
+/// // σ = 2 burst ⇒ occupancy stays ≤ 2 + 2 (Prop. 3.1); here it is 2.
+/// assert!(sim.metrics().max_occupancy <= 4);
+/// # Ok::<(), aqt_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pts {
+    dest: NodeId,
+    eager: bool,
+}
+
+impl Pts {
+    /// PTS toward destination `w`, faithful to Algorithm 1.
+    pub fn new(dest: NodeId) -> Self {
+        Pts { dest, eager: false }
+    }
+
+    /// The eager extension: when no buffer is bad, every non-empty buffer
+    /// forwards (finite latency on quiet configurations).
+    pub fn eager(dest: NodeId) -> Self {
+        Pts { dest, eager: true }
+    }
+
+    /// The destination this instance serves.
+    pub fn dest(&self) -> NodeId {
+        self.dest
+    }
+
+    /// Whether the eager extension is enabled.
+    pub fn is_eager(&self) -> bool {
+        self.eager
+    }
+}
+
+impl Protocol<Path> for Pts {
+    fn name(&self) -> String {
+        if self.eager {
+            format!("PTS-eager(w={})", self.dest)
+        } else {
+            format!("PTS(w={})", self.dest)
+        }
+    }
+
+    fn plan(&mut self, _round: Round, _topo: &Path, state: &NetworkState) -> ForwardingPlan {
+        let mut plan = ForwardingPlan::new(state.node_count());
+        let w = self.dest.index();
+        debug_assert!(
+            (0..state.node_count())
+                .all(|v| state.buffer(NodeId::new(v)).iter().all(|p| p.dest() == self.dest)),
+            "PTS requires single-destination traffic"
+        );
+        // Left-most bad buffer among 0..w.
+        let bad = (0..w).find(|&i| state.occupancy(NodeId::new(i)) >= 2);
+        match bad {
+            Some(i) => {
+                // Activate [i, w−1]; non-empty buffers forward their LIFO top.
+                for v in i..w {
+                    let v = NodeId::new(v);
+                    if let Some(top) = state.lifo_top_where(v, |p| p.dest() == self.dest) {
+                        plan.send(v, top.id());
+                    }
+                }
+            }
+            None if self.eager => {
+                for v in 0..w {
+                    let v = NodeId::new(v);
+                    if let Some(top) = state.lifo_top_where(v, |p| p.dest() == self.dest) {
+                        plan.send(v, top.id());
+                    }
+                }
+            }
+            None => {}
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::{Injection, Pattern, Simulation};
+
+    fn run_pts(n: usize, pattern: Pattern, rounds: u64, eager: bool) -> aqt_model::RunMetrics {
+        let dest = NodeId::new(n - 1);
+        let protocol = if eager { Pts::eager(dest) } else { Pts::new(dest) };
+        let mut sim = Simulation::new(Path::new(n), protocol, &pattern).unwrap();
+        sim.run(rounds).unwrap();
+        sim.metrics().clone()
+    }
+
+    #[test]
+    fn quiet_configuration_does_not_forward() {
+        // One packet, never a bad buffer: faithful PTS leaves it parked.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let m = run_pts(4, p, 10, false);
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.max_occupancy, 1);
+    }
+
+    #[test]
+    fn eager_variant_delivers_quiet_packets() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let m = run_pts(4, p, 10, true);
+        assert_eq!(m.delivered, 1);
+    }
+
+    #[test]
+    fn burst_respects_two_plus_sigma() {
+        // Burst of 5 at node 0 toward 7: σ = 4 at ρ = 1 ⇒ bound 6.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 7); 5]);
+        let m = run_pts(8, p, 30, false);
+        assert!(m.max_occupancy <= 6);
+        // The burst site itself holds 5 initially.
+        assert_eq!(m.max_occupancy, 5);
+    }
+
+    #[test]
+    fn bad_buffer_triggers_downstream_wave() {
+        // Two packets at node 1: bad ⇒ [1..w) forwards; the packet at node 3
+        // moves too even though node 3 is not bad.
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 1, 5),
+            Injection::new(0, 1, 5),
+            Injection::new(0, 3, 5),
+        ]);
+        let dest = NodeId::new(5);
+        let mut sim = Simulation::new(Path::new(6), Pts::new(dest), &p).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.state().occupancy(NodeId::new(1)), 1);
+        assert_eq!(sim.state().occupancy(NodeId::new(2)), 1);
+        assert_eq!(sim.state().occupancy(NodeId::new(3)), 0);
+        assert_eq!(sim.state().occupancy(NodeId::new(4)), 1);
+    }
+
+    #[test]
+    fn left_of_bad_buffer_stays_put() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 5),
+            Injection::new(0, 2, 5),
+            Injection::new(0, 2, 5),
+        ]);
+        let mut sim = Simulation::new(Path::new(6), Pts::new(NodeId::new(5)), &p).unwrap();
+        sim.step().unwrap();
+        // Node 0 (left of left-most bad buffer 2) must not forward.
+        assert_eq!(sim.state().occupancy(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn sustained_rate_one_traffic_stays_small() {
+        // 40 rounds of 1 packet/round from node 0 to node 7 (ρ = 1, σ = 0).
+        let p: Pattern = (0..40).map(|t| Injection::new(t, 0, 7)).collect();
+        let m = run_pts(8, p, 60, false);
+        assert!(
+            m.max_occupancy <= 2,
+            "Prop 3.1 bound 2+0 violated: {}",
+            m.max_occupancy
+        );
+        assert!(m.delivered > 0);
+    }
+
+    #[test]
+    fn name_reflects_variant() {
+        assert!(Pts::new(NodeId::new(3)).name().starts_with("PTS(w="));
+        assert!(Pts::eager(NodeId::new(3)).name().starts_with("PTS-eager"));
+        assert!(Pts::eager(NodeId::new(3)).is_eager());
+        assert_eq!(Pts::new(NodeId::new(3)).dest(), NodeId::new(3));
+    }
+}

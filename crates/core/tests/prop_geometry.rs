@@ -1,0 +1,162 @@
+//! Property tests for the hierarchical geometry (Defs. 4.2–4.3), the
+//! destination-space contraction, and the tree low-antichain.
+
+use proptest::prelude::*;
+
+use aqt_core::hpts::{Hierarchy, HptsD};
+use aqt_core::low_antichain;
+use aqt_model::{DirectedTree, NodeId};
+
+/// Strategy: a hierarchy with m ∈ [2,5], ℓ ∈ [1,4] (n = m^ℓ ≤ 625).
+fn hierarchies() -> impl Strategy<Value = Hierarchy> {
+    (2usize..=5, 1u32..=4).prop_map(|(m, l)| Hierarchy::new(m, l).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Digits reconstruct the index: Σ digit(i, j)·m^j = i.
+    #[test]
+    fn digits_reconstruct(h in hierarchies(), frac in 0.0f64..1.0) {
+        let i = ((h.n() as f64) * frac) as usize % h.n();
+        let mut rebuilt = 0usize;
+        let mut pow = 1usize;
+        for j in 0..h.levels() {
+            rebuilt += h.digit(i, j) * pow;
+            pow *= h.base();
+        }
+        prop_assert_eq!(rebuilt, i);
+    }
+
+    /// Def. 4.2 invariants: the intermediate destination strictly advances,
+    /// never overshoots, and is the left endpoint of a level-j interval.
+    #[test]
+    fn intermediate_advances_without_overshoot(
+        h in hierarchies(),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let n = h.n();
+        let (mut i, mut w) = (((n as f64) * a) as usize % n, ((n as f64) * b) as usize % n);
+        if i == w { w = (w + 1) % n; }
+        if i > w { std::mem::swap(&mut i, &mut w); }
+        let j = h.level(i, w);
+        let x = h.intermediate(i, w);
+        prop_assert!(x > i, "intermediate must advance");
+        prop_assert!(x <= w, "intermediate must not overshoot");
+        // x is a multiple of m^j (left endpoint of a level-j subinterval).
+        prop_assert_eq!(x % h.base().pow(j), 0);
+        // i and x lie in the same level-j interval.
+        prop_assert_eq!(h.interval_of(j, i), h.interval_of(j, x.min(n - 1)).clone());
+    }
+
+    /// The segment chain runs i → w with strictly decreasing levels
+    /// (the digit-by-digit correction of Fig. 1).
+    #[test]
+    fn segment_chain_descends(h in hierarchies(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let n = h.n();
+        let (mut i, mut w) = (((n as f64) * a) as usize % n, ((n as f64) * b) as usize % n);
+        if i == w { w = (w + 1) % n; }
+        if i > w { std::mem::swap(&mut i, &mut w); }
+        let chain = h.segment_chain(i, w);
+        prop_assert!(!chain.is_empty());
+        prop_assert_eq!(chain[0].0, i);
+        prop_assert_eq!(chain.last().expect("non-empty").1, w);
+        let mut last_level = h.levels();
+        for &(from, to) in &chain {
+            prop_assert!(from < to);
+            let lv = h.level(from, w);
+            prop_assert!(lv < last_level, "levels must strictly decrease");
+            last_level = lv;
+            prop_assert_eq!(to, h.intermediate(from, w));
+        }
+        // Chain length is at most ℓ (one segment per level).
+        prop_assert!(chain.len() <= h.levels() as usize);
+    }
+
+    /// Level-j intervals partition ⟨n⟩ for every j.
+    #[test]
+    fn intervals_partition(h in hierarchies(), j in 0u32..4) {
+        prop_assume!(j < h.levels());
+        let mut covered = vec![false; h.n()];
+        for r in 0..h.interval_count(j) {
+            let (a, b) = h.interval(j, r);
+            prop_assert!(b < h.n());
+            for i in a..=b {
+                prop_assert!(!covered[i], "intervals overlap at {}", i);
+                covered[i] = true;
+            }
+            prop_assert_eq!(b - a + 1, h.interval_size(j));
+        }
+        prop_assert!(covered.iter().all(|&c| c), "intervals must cover ⟨n⟩");
+    }
+
+    /// HPTS-D zone arithmetic: zone_of is the rank function of the
+    /// destination set — monotone, and exactly rank+1 at destinations.
+    #[test]
+    fn zones_are_ranks(dests in prop::collection::btree_set(1usize..200, 1..8), l in 1u32..4) {
+        let sorted: Vec<usize> = dests.iter().copied().collect();
+        let hptsd = HptsD::new(sorted.clone(), l).expect("valid set");
+        let max = *sorted.last().expect("non-empty") + 2;
+        let mut last_zone = 0usize;
+        for i in 0..max {
+            let z = hptsd.zone_of(i);
+            prop_assert!(z >= last_zone, "zone_of must be monotone");
+            prop_assert!(z <= sorted.len());
+            last_zone = z;
+        }
+        for (rank, &w) in sorted.iter().enumerate() {
+            prop_assert_eq!(hptsd.rank_of(w), Some(rank));
+            prop_assert_eq!(hptsd.zone_of(w), rank + 1);
+            if w > 0 {
+                prop_assert_eq!(hptsd.zone_of(w - 1), rank);
+            }
+        }
+    }
+
+    /// The HPTS-D hierarchy covers d + 1 zones with the minimal base:
+    /// m^ℓ ≥ d + 1 > (m − 1)^ℓ.
+    #[test]
+    fn dest_space_base_is_minimal(d in 1usize..40, l in 1u32..4) {
+        let dests: Vec<usize> = (1..=d).map(|k| k * 3).collect();
+        let hptsd = HptsD::new(dests, l).expect("valid");
+        let m = hptsd.hierarchy().base();
+        prop_assert!(m.pow(l) >= d + 1);
+        if m > 2 {
+            prop_assert!((m - 1).pow(l) < d + 1, "base must be minimal");
+        }
+    }
+
+    /// Low-antichain (Def. B.2): elements are bad, pairwise incomparable,
+    /// and every bad node has an antichain element at or below it.
+    #[test]
+    fn low_antichain_properties(
+        n in 2usize..40,
+        seed in 0u64..200,
+        picks in prop::collection::btree_set(0usize..40, 0..10),
+    ) {
+        let tree = DirectedTree::random(n, seed);
+        let bad: Vec<NodeId> = picks.into_iter().filter(|&v| v < n).map(NodeId::new).collect();
+        let chain = low_antichain(&tree, &bad);
+        // Subset of bad.
+        for v in &chain {
+            prop_assert!(bad.contains(v));
+        }
+        // Pairwise incomparable.
+        for a in &chain {
+            for b in &chain {
+                if a != b {
+                    prop_assert!(!tree.strictly_precedes(*a, *b));
+                    prop_assert!(!tree.strictly_precedes(*b, *a));
+                }
+            }
+        }
+        // Dominates every bad node from below.
+        for v in &bad {
+            prop_assert!(
+                chain.iter().any(|u| u == v || tree.strictly_precedes(*u, *v)),
+                "bad node {v} has no antichain element below it"
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Strongly-typed identifiers for nodes, packets and rounds.
+//!
+//! All three are thin newtypes over integers ([`NodeId`], [`PacketId`],
+//! [`Round`]); they exist so that a round can never be passed where a node is
+//! expected and vice versa. Conversions to the underlying integers are
+//! explicit ([`NodeId::index`], [`Round::value`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a network node (a buffer site).
+///
+/// On a path network of `n` nodes, valid ids are `0..n` and node `i` is
+/// connected to node `i + 1`. On trees, ids index into the parent array.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the node's index as a `usize`, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the node immediately to the right on a path network.
+    #[inline]
+    pub fn succ(self) -> NodeId {
+        NodeId(self.0 + 1)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a single injected packet, unique within a pattern/run.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::PacketId;
+///
+/// let p = PacketId::new(7);
+/// assert_eq!(p.value(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet id from a raw value.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        PacketId(value)
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A round number of the synchronous execution. Rounds are 0-based.
+///
+/// Each round consists of an injection step followed by a forwarding step;
+/// state observations written `L^t` in the paper are taken *after* injection
+/// and *before* forwarding of round `t`.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::Round;
+///
+/// let t = Round::new(10);
+/// assert_eq!(t.next(), Round::new(11));
+/// assert_eq!(t.value(), 10);
+/// assert!(Round::new(9) < t);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round of every execution.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from its 0-based number.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        Round(value)
+    }
+
+    /// Returns the raw 0-based round number.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the round that follows this one.
+    #[inline]
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Returns this round advanced by `n` rounds.
+    #[inline]
+    pub const fn plus(self, n: u64) -> Round {
+        Round(self.0 + n)
+    }
+
+    /// Number of whole rounds between `earlier` and `self`
+    /// (`self - earlier`), or `None` if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Round) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_succ_advances_by_one() {
+        assert_eq!(NodeId::new(4).succ(), NodeId::new(5));
+    }
+
+    #[test]
+    fn node_id_ordering_matches_index_ordering() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+        assert!(NodeId::new(10) <= NodeId::new(10));
+    }
+
+    #[test]
+    fn round_arithmetic() {
+        let t = Round::new(5);
+        assert_eq!(t.next().value(), 6);
+        assert_eq!(t.plus(10).value(), 15);
+        assert_eq!(t.since(Round::new(3)), Some(2));
+        assert_eq!(Round::new(3).since(t), None);
+        assert_eq!(t.since(t), Some(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(PacketId::new(42).to_string(), "p42");
+        assert_eq!(Round::new(9).to_string(), "t9");
+    }
+
+    #[test]
+    fn packet_id_value_roundtrip() {
+        assert_eq!(PacketId::new(u64::MAX).value(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,69 @@
+//! # aqt-model — Adversarial Queuing Theory substrate
+//!
+//! The simulation substrate for the reproduction of *"With Great Speed Come
+//! Small Buffers: Space-Bandwidth Tradeoffs for Routing"* (Miller,
+//! Patt-Shamir, Rosenbaum; PODC 2019).
+//!
+//! This crate implements the model of the paper's Section 2:
+//!
+//! * **Topologies** — the directed path ([`Path`]) and directed trees with
+//!   edges oriented toward the root ([`DirectedTree`]), unified by the
+//!   [`Topology`] trait.
+//! * **Packets and patterns** — an adversary is a set of packets
+//!   `(t, i_P, w_P)` ([`Pattern`] of [`Injection`]s), with the ℓ-reduction
+//!   of Def. 2.4 available as [`Pattern::reduce`].
+//! * **(ρ, σ)-boundedness** — exact rational rates ([`Rate`]), the excess
+//!   measure ξ of Def. 2.2 ([`ExcessTracker`]) and tight-σ measurement
+//!   ([`analyze`]).
+//! * **The synchronous engine** — [`Simulation`] executes
+//!   injection/forwarding rounds against any [`Protocol`], enforcing the
+//!   one-packet-per-link capacity constraint and recording the metric the
+//!   paper's theorems bound: peak buffer occupancy ([`RunMetrics`]).
+//!
+//! Forwarding algorithms themselves (PTS, PPTS, HPTS, …) live in
+//! `aqt-core`; adversary generators (including the paper's §5 lower-bound
+//! construction) live in `aqt-adversary`.
+//!
+//! ## Example
+//!
+//! ```
+//! use aqt_model::{analyze, Injection, Path, Pattern, Rate};
+//!
+//! // Three packets crossing buffer 1 in one round is a burst of σ = 2 at
+//! // rate 1.
+//! let pattern = Pattern::from_injections(vec![
+//!     Injection::new(0, 0, 4),
+//!     Injection::new(0, 1, 4),
+//!     Injection::new(0, 1, 3),
+//! ]);
+//! let report = analyze(&Path::new(5), &pattern, Rate::ONE);
+//! assert_eq!(report.tight_sigma, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boundedness;
+mod engine;
+mod ids;
+mod metrics;
+mod packet;
+mod pattern;
+mod rate;
+mod state;
+mod topology;
+pub mod util;
+
+pub use boundedness::{
+    analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, ExcessTracker,
+};
+pub use engine::{
+    ForwardingPlan, InjectionMode, ModelError, Protocol, RoundOutcome, Simulation,
+};
+pub use ids::{NodeId, PacketId, Round};
+pub use metrics::{LatencyStats, RunMetrics};
+pub use packet::{Packet, StoredPacket};
+pub use pattern::{Injection, Pattern, PatternError, Rounds};
+pub use rate::{Rate, RateError};
+pub use state::NetworkState;
+pub use topology::{DirectedTree, Path, Topology, TreeError};

@@ -1,0 +1,160 @@
+//! Run metrics: the quantities the paper's theorems are about (peak buffer
+//! occupancy) plus supporting measurements (latency, deliveries, staging).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, Round};
+use crate::packet::Packet;
+use crate::state::NetworkState;
+
+/// Latency accounting over delivered packets. Latency of a packet is the
+/// number of rounds from injection to delivery (a packet delivered by the
+/// forwarding step of its injection round has latency 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of delivered packets.
+    pub delivered: u64,
+    /// Sum of latencies of delivered packets.
+    pub total_rounds: u64,
+    /// Maximum latency seen.
+    pub max_rounds: u64,
+}
+
+impl LatencyStats {
+    /// Mean latency, or `None` if nothing was delivered.
+    pub fn mean(&self) -> Option<f64> {
+        if self.delivered == 0 {
+            None
+        } else {
+            Some(self.total_rounds as f64 / self.delivered as f64)
+        }
+    }
+
+    fn record(&mut self, latency: u64) {
+        self.delivered += 1;
+        self.total_rounds += latency;
+        self.max_rounds = self.max_rounds.max(latency);
+    }
+}
+
+/// Metrics collected over a simulation run.
+///
+/// The headline quantity is [`max_occupancy`](RunMetrics::max_occupancy):
+/// the maximum of `|L^t(v)|` over all nodes `v` and rounds `t`, observed at
+/// the paper's measurement point (after injection/acceptance, before
+/// forwarding). This is exactly the "buffer space requirement" the paper's
+/// bounds speak about.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Packets injected by the adversary so far.
+    pub injected: u64,
+    /// Packets delivered to their destinations so far.
+    pub delivered: u64,
+    /// Total packet-forwarding events.
+    pub forwarded: u64,
+    /// Peak buffer occupancy over all nodes and rounds.
+    pub max_occupancy: usize,
+    /// Where the peak was attained.
+    pub max_occupancy_at: Option<(NodeId, Round)>,
+    /// Per-node peak occupancy.
+    pub per_node_peak: Vec<usize>,
+    /// Peak size of the staging area (0 in immediate-injection mode).
+    pub max_staged: usize,
+    /// Latency statistics of delivered packets.
+    pub latency: LatencyStats,
+    /// Optional per-round series of the max occupancy (enabled with
+    /// [`Simulation::record_series`](crate::Simulation::record_series)).
+    pub series: Option<Vec<usize>>,
+}
+
+impl RunMetrics {
+    pub(crate) fn new(n: usize, record_series: bool) -> Self {
+        RunMetrics {
+            injected: 0,
+            delivered: 0,
+            forwarded: 0,
+            max_occupancy: 0,
+            max_occupancy_at: None,
+            per_node_peak: vec![0; n],
+            max_staged: 0,
+            latency: LatencyStats::default(),
+            series: record_series.then(Vec::new),
+        }
+    }
+
+    /// Observes `L^t` (post-injection, pre-forwarding).
+    pub(crate) fn observe(&mut self, round: Round, state: &NetworkState) {
+        let mut round_max = 0usize;
+        for v in 0..state.node_count() {
+            let occ = state.occupancy(NodeId::new(v));
+            round_max = round_max.max(occ);
+            if occ > self.per_node_peak[v] {
+                self.per_node_peak[v] = occ;
+            }
+            if occ > self.max_occupancy {
+                self.max_occupancy = occ;
+                self.max_occupancy_at = Some((NodeId::new(v), round));
+            }
+        }
+        self.max_staged = self.max_staged.max(state.staged_len());
+        if let Some(series) = &mut self.series {
+            series.push(round_max);
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, round: Round, packet: &Packet) {
+        let latency = round
+            .since(packet.injected_at())
+            .expect("delivery cannot precede injection")
+            + 1;
+        self.latency.record(latency);
+        self.delivered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PacketId;
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let mut stats = LatencyStats::default();
+        assert_eq!(stats.mean(), None);
+        stats.record(2);
+        stats.record(6);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.max_rounds, 6);
+        assert_eq!(stats.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn observe_tracks_peak_and_location() {
+        let mut m = RunMetrics::new(3, true);
+        let mut st = NetworkState::new(3);
+        let p = |id| Packet::new(PacketId::new(id), Round::ZERO, NodeId::new(0), NodeId::new(2));
+        st.place(NodeId::new(1), p(0), Round::ZERO);
+        st.place(NodeId::new(1), p(1), Round::ZERO);
+        st.place(NodeId::new(2), p(2), Round::ZERO);
+        m.observe(Round::new(0), &st);
+        assert_eq!(m.max_occupancy, 2);
+        assert_eq!(m.max_occupancy_at, Some((NodeId::new(1), Round::new(0))));
+        assert_eq!(m.per_node_peak, vec![0, 2, 1]);
+        assert_eq!(m.series.as_deref(), Some(&[2][..]));
+    }
+
+    #[test]
+    fn delivery_latency_is_inclusive_of_delivery_round() {
+        let mut m = RunMetrics::new(1, false);
+        let p = Packet::new(
+            PacketId::new(0),
+            Round::new(3),
+            NodeId::new(0),
+            NodeId::new(1),
+        );
+        // Injected in round 3, delivered by the forwarding step of round 3.
+        m.record_delivery(Round::new(3), &p);
+        assert_eq!(m.latency.max_rounds, 1);
+        assert_eq!(m.delivered, 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Injection patterns: the paper's "adversaries".
+//!
+//! An adversary (Def. 2.1 context) is simply a set of packets, each with an
+//! injection round, a source and a destination. [`Pattern`] stores such a
+//! set in round order and offers the ℓ-reduction of Def. 2.4, validation
+//! against a topology, and destination enumeration.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, PacketId, Round};
+use crate::packet::Packet;
+use crate::topology::Topology;
+
+/// A single injection request: round, source, destination.
+///
+/// This is the packet triple of §2 before it is assigned a [`PacketId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Injection {
+    /// Injection round `t`.
+    pub round: Round,
+    /// Injection site `i_P`.
+    pub source: NodeId,
+    /// Destination `w_P`.
+    pub dest: NodeId,
+}
+
+impl Injection {
+    /// Convenience constructor.
+    pub fn new(round: u64, source: usize, dest: usize) -> Self {
+        Injection {
+            round: Round::new(round),
+            source: NodeId::new(source),
+            dest: NodeId::new(dest),
+        }
+    }
+}
+
+impl fmt::Display for Injection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.round, self.source, self.dest)
+    }
+}
+
+/// Error produced by [`Pattern::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// An injection names a node that is not in the topology.
+    NodeOutOfRange {
+        /// The offending injection.
+        injection: Injection,
+        /// Topology size.
+        n: usize,
+    },
+    /// No route exists from the injection's source to its destination.
+    NoRoute {
+        /// The offending injection.
+        injection: Injection,
+    },
+    /// Source equals destination (the packet would occupy no buffer).
+    EmptyRoute {
+        /// The offending injection.
+        injection: Injection,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NodeOutOfRange { injection, n } => {
+                write!(f, "injection ({injection}) names a node outside 0..{n}")
+            }
+            PatternError::NoRoute { injection } => {
+                write!(f, "injection ({injection}) has no route in the topology")
+            }
+            PatternError::EmptyRoute { injection } => {
+                write!(f, "injection ({injection}) has source equal to destination")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A finite injection pattern (the adversary's full schedule), stored in
+/// non-decreasing round order.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::{Injection, Path, Pattern};
+///
+/// let pattern = Pattern::from_injections(vec![
+///     Injection::new(0, 0, 4),
+///     Injection::new(0, 2, 4),
+///     Injection::new(3, 1, 3),
+/// ]);
+/// assert_eq!(pattern.len(), 3);
+/// assert_eq!(pattern.destinations().len(), 2);
+/// pattern.validate(&Path::new(5))?;
+/// # Ok::<(), aqt_model::PatternError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    injections: Vec<Injection>,
+}
+
+impl Pattern {
+    /// The empty pattern.
+    pub fn new() -> Self {
+        Pattern::default()
+    }
+
+    /// Builds a pattern from arbitrary-order injections; they are sorted by
+    /// round (stably, so same-round order is preserved as given — the
+    /// within-round order determines buffer placement order, which matters
+    /// only for LIFO/FIFO tie-breaks, never for occupancy).
+    pub fn from_injections(mut injections: Vec<Injection>) -> Self {
+        injections.sort_by_key(|i| i.round);
+        Pattern { injections }
+    }
+
+    /// Appends an injection; must not precede the current last round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `injection.round` is smaller than the last stored round
+    /// (use [`Pattern::from_injections`] for unsorted input).
+    pub fn push(&mut self, injection: Injection) {
+        if let Some(last) = self.injections.last() {
+            assert!(
+                injection.round >= last.round,
+                "out-of-order push: {} after {}",
+                injection.round,
+                last.round
+            );
+        }
+        self.injections.push(injection);
+    }
+
+    /// Number of packets in the pattern.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Whether the pattern has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// All injections in round order.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Iterates over `(round, same-round injection slice)` groups in order.
+    pub fn rounds(&self) -> Rounds<'_> {
+        Rounds {
+            rest: &self.injections,
+        }
+    }
+
+    /// The last round containing an injection, or `None` when empty.
+    pub fn last_round(&self) -> Option<Round> {
+        self.injections.last().map(|i| i.round)
+    }
+
+    /// The set of distinct destinations; its size is the paper's `d`.
+    pub fn destinations(&self) -> BTreeSet<NodeId> {
+        self.injections.iter().map(|i| i.dest).collect()
+    }
+
+    /// Checks every injection against a topology: nodes in range, a route
+    /// exists, and the route is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending injection.
+    pub fn validate<T: Topology>(&self, topology: &T) -> Result<(), PatternError> {
+        let n = topology.node_count();
+        for &injection in &self.injections {
+            if injection.source.index() >= n || injection.dest.index() >= n {
+                return Err(PatternError::NodeOutOfRange { injection, n });
+            }
+            if injection.source == injection.dest {
+                return Err(PatternError::EmptyRoute { injection });
+            }
+            if !topology.reaches(injection.source, injection.dest) {
+                return Err(PatternError::NoRoute { injection });
+            }
+        }
+        Ok(())
+    }
+
+    /// The ℓ-reduction `A^ℓ` of Def. 2.4 (0-based): every injection at
+    /// round `t` is re-timed to round `⌊t/ℓ⌋`. By Lemma 2.5, if `self` is
+    /// (ρ, σ)-bounded then the reduction is (ℓ·ρ, σ)-bounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    pub fn reduce(&self, l: u64) -> Pattern {
+        assert!(l > 0, "reduction factor must be positive");
+        let injections = self
+            .injections
+            .iter()
+            .map(|i| Injection {
+                round: Round::new(i.round.value() / l),
+                ..*i
+            })
+            .collect();
+        // Round order is preserved by monotone re-timing.
+        Pattern { injections }
+    }
+
+    /// Materializes the pattern into [`Packet`]s with sequential ids, in
+    /// round order (used by the engine).
+    pub fn to_packets(&self) -> Vec<Packet> {
+        self.injections
+            .iter()
+            .enumerate()
+            .map(|(idx, i)| Packet::new(PacketId::new(idx as u64), i.round, i.source, i.dest))
+            .collect()
+    }
+}
+
+impl FromIterator<Injection> for Pattern {
+    fn from_iter<I: IntoIterator<Item = Injection>>(iter: I) -> Self {
+        Pattern::from_injections(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Injection> for Pattern {
+    fn extend<I: IntoIterator<Item = Injection>>(&mut self, iter: I) {
+        self.injections.extend(iter);
+        self.injections.sort_by_key(|i| i.round);
+    }
+}
+
+/// Iterator over `(round, injections-in-that-round)` groups of a pattern.
+///
+/// Produced by [`Pattern::rounds`].
+#[derive(Debug)]
+pub struct Rounds<'a> {
+    rest: &'a [Injection],
+}
+
+impl<'a> Iterator for Rounds<'a> {
+    type Item = (Round, &'a [Injection]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.rest.first()?;
+        let round = first.round;
+        let end = self
+            .rest
+            .iter()
+            .position(|i| i.round != round)
+            .unwrap_or(self.rest.len());
+        let (group, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some((round, group))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{DirectedTree, Path};
+
+    #[test]
+    fn from_injections_sorts_by_round() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(5, 0, 1),
+            Injection::new(1, 0, 2),
+            Injection::new(3, 0, 3),
+        ]);
+        let rounds: Vec<u64> = p.injections().iter().map(|i| i.round.value()).collect();
+        assert_eq!(rounds, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut p = Pattern::new();
+        p.push(Injection::new(0, 0, 1));
+        p.push(Injection::new(0, 1, 2));
+        p.push(Injection::new(2, 0, 1));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order push")]
+    fn out_of_order_push_panics() {
+        let mut p = Pattern::new();
+        p.push(Injection::new(2, 0, 1));
+        p.push(Injection::new(1, 0, 1));
+    }
+
+    #[test]
+    fn rounds_groups_by_round() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(1, 0, 2),
+            Injection::new(1, 1, 2),
+            Injection::new(4, 0, 2),
+        ]);
+        let groups: Vec<(u64, usize)> = p
+            .rounds()
+            .map(|(r, g)| (r.value(), g.len()))
+            .collect();
+        assert_eq!(groups, vec![(1, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn validate_against_path() {
+        let line = Path::new(4);
+        assert!(Pattern::from_injections(vec![Injection::new(0, 0, 3)])
+            .validate(&line)
+            .is_ok());
+        let backwards = Pattern::from_injections(vec![Injection::new(0, 3, 1)]);
+        assert!(matches!(
+            backwards.validate(&line),
+            Err(PatternError::NoRoute { .. })
+        ));
+        let out = Pattern::from_injections(vec![Injection::new(0, 0, 9)]);
+        assert!(matches!(
+            out.validate(&line),
+            Err(PatternError::NodeOutOfRange { .. })
+        ));
+        let loopy = Pattern::from_injections(vec![Injection::new(0, 2, 2)]);
+        assert!(matches!(
+            loopy.validate(&line),
+            Err(PatternError::EmptyRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_against_tree() {
+        let t = DirectedTree::from_parents(&[Some(2), Some(2), None]).unwrap();
+        assert!(Pattern::from_injections(vec![Injection::new(0, 0, 2)])
+            .validate(&t)
+            .is_ok());
+        // 0 and 1 are siblings: no directed route.
+        let sideways = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
+        assert!(matches!(
+            sideways.validate(&t),
+            Err(PatternError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_retimes_rounds() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 1),
+            Injection::new(1, 0, 1),
+            Injection::new(2, 0, 1),
+            Injection::new(3, 0, 1),
+            Injection::new(7, 0, 1),
+        ]);
+        let r = p.reduce(3);
+        let rounds: Vec<u64> = r.injections().iter().map(|i| i.round.value()).collect();
+        assert_eq!(rounds, vec![0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn destinations_dedup() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 3),
+            Injection::new(1, 1, 3),
+            Injection::new(2, 0, 2),
+        ]);
+        let d: Vec<usize> = p.destinations().iter().map(|v| v.index()).collect();
+        assert_eq!(d, vec![2, 3]);
+    }
+
+    #[test]
+    fn to_packets_assigns_sequential_ids() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1), Injection::new(0, 1, 2)]);
+        let packets = p.to_packets();
+        assert_eq!(packets[0].id(), PacketId::new(0));
+        assert_eq!(packets[1].id(), PacketId::new(1));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Pattern = (0..4).map(|t| Injection::new(t, 0, 1)).collect();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.last_round(), Some(Round::new(3)));
+    }
+}

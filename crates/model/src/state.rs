@@ -1,0 +1,224 @@
+//! The mutable network configuration: per-node buffers plus the staging
+//! area used by phase-batched protocols (HPTS's ℓ-reduction).
+
+use std::collections::BTreeMap;
+
+use crate::ids::{NodeId, PacketId, Round};
+use crate::packet::{Packet, StoredPacket};
+
+/// The configuration `L^t`: one buffer per node, each an ordered list of
+/// stored packets, plus a staging area for injected-but-not-yet-accepted
+/// packets (only used when the protocol runs in batched injection mode).
+///
+/// Within a buffer, packets are kept in placement order; [`StoredPacket::seq`]
+/// is globally increasing, so the LIFO top of any sub-buffer is the entry
+/// with the largest `seq` and the FIFO head the smallest.
+///
+/// Mutation is reserved to the engine (crate-private methods); protocols
+/// receive `&NetworkState` and express decisions through a
+/// [`ForwardingPlan`](crate::ForwardingPlan).
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    buffers: Vec<Vec<StoredPacket>>,
+    staged: Vec<Packet>,
+    next_seq: u64,
+}
+
+impl NetworkState {
+    pub(crate) fn new(n: usize) -> Self {
+        NetworkState {
+            buffers: vec![Vec::new(); n],
+            staged: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The contents of `v`'s buffer in placement (arrival) order.
+    pub fn buffer(&self, v: NodeId) -> &[StoredPacket] {
+        &self.buffers[v.index()]
+    }
+
+    /// `|L(v)|`: current occupancy of `v`'s buffer.
+    pub fn occupancy(&self, v: NodeId) -> usize {
+        self.buffers[v.index()].len()
+    }
+
+    /// Total packets currently buffered (excluding staged).
+    pub fn total_buffered(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// Packets injected but not yet accepted (batched injection mode).
+    pub fn staged(&self) -> &[Packet] {
+        &self.staged
+    }
+
+    /// Number of staged packets.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Looks up a packet in `v`'s buffer.
+    pub fn find(&self, v: NodeId, id: PacketId) -> Option<&StoredPacket> {
+        self.buffers[v.index()].iter().find(|sp| sp.id() == id)
+    }
+
+    /// Groups `v`'s buffer by destination; within each group packets appear
+    /// in ascending `seq` (arrival) order. This is the *virtual output
+    /// queuing* view used by PPTS (§3.2, footnote 2).
+    pub fn by_destination(&self, v: NodeId) -> BTreeMap<NodeId, Vec<&StoredPacket>> {
+        let mut map: BTreeMap<NodeId, Vec<&StoredPacket>> = BTreeMap::new();
+        for sp in &self.buffers[v.index()] {
+            map.entry(sp.dest()).or_default().push(sp);
+        }
+        map
+    }
+
+    /// Number of packets at `v` destined for `dest` (`|L_k(v)|` where
+    /// `w_k = dest`).
+    pub fn count_for_dest(&self, v: NodeId, dest: NodeId) -> usize {
+        self.buffers[v.index()]
+            .iter()
+            .filter(|sp| sp.dest() == dest)
+            .count()
+    }
+
+    /// The LIFO top (most recently placed packet) of the sub-buffer of `v`
+    /// selected by `pred`, if non-empty.
+    pub fn lifo_top_where<F>(&self, v: NodeId, pred: F) -> Option<&StoredPacket>
+    where
+        F: Fn(&StoredPacket) -> bool,
+    {
+        self.buffers[v.index()]
+            .iter()
+            .filter(|sp| pred(sp))
+            .max_by_key(|sp| sp.seq())
+    }
+
+    /// The FIFO head (earliest placed packet) of the sub-buffer of `v`
+    /// selected by `pred`, if non-empty.
+    pub fn fifo_head_where<F>(&self, v: NodeId, pred: F) -> Option<&StoredPacket>
+    where
+        F: Fn(&StoredPacket) -> bool,
+    {
+        self.buffers[v.index()]
+            .iter()
+            .filter(|sp| pred(sp))
+            .min_by_key(|sp| sp.seq())
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-only mutations.
+    // ------------------------------------------------------------------
+
+    /// Places `packet` into `v`'s buffer with a fresh sequence number.
+    pub(crate) fn place(&mut self, v: NodeId, packet: Packet, round: Round) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buffers[v.index()].push(StoredPacket::new(packet, round, seq));
+    }
+
+    /// Adds a packet to the staging area.
+    pub(crate) fn stage(&mut self, packet: Packet) {
+        self.staged.push(packet);
+    }
+
+    /// Drains the staging area (acceptance at a phase boundary).
+    pub(crate) fn take_staged(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.staged)
+    }
+
+    /// Removes a packet from `v`'s buffer, returning it.
+    pub(crate) fn remove(&mut self, v: NodeId, id: PacketId) -> Option<StoredPacket> {
+        let buf = &mut self.buffers[v.index()];
+        let pos = buf.iter().position(|sp| sp.id() == id)?;
+        Some(buf.remove(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(id: u64, dest: usize) -> Packet {
+        Packet::new(
+            PacketId::new(id),
+            Round::ZERO,
+            NodeId::new(0),
+            NodeId::new(dest),
+        )
+    }
+
+    #[test]
+    fn place_and_find() {
+        let mut st = NetworkState::new(3);
+        st.place(NodeId::new(1), packet(7, 2), Round::new(0));
+        assert_eq!(st.occupancy(NodeId::new(1)), 1);
+        assert!(st.find(NodeId::new(1), PacketId::new(7)).is_some());
+        assert!(st.find(NodeId::new(0), PacketId::new(7)).is_none());
+    }
+
+    #[test]
+    fn seq_increases_with_placement_order() {
+        let mut st = NetworkState::new(2);
+        st.place(NodeId::new(0), packet(1, 1), Round::new(0));
+        st.place(NodeId::new(0), packet(2, 1), Round::new(0));
+        let buf = st.buffer(NodeId::new(0));
+        assert!(buf[0].seq() < buf[1].seq());
+    }
+
+    #[test]
+    fn lifo_and_fifo_selection() {
+        let mut st = NetworkState::new(2);
+        st.place(NodeId::new(0), packet(1, 1), Round::new(0));
+        st.place(NodeId::new(0), packet(2, 1), Round::new(1));
+        st.place(NodeId::new(0), packet(3, 1), Round::new(2));
+        let top = st.lifo_top_where(NodeId::new(0), |_| true).unwrap();
+        assert_eq!(top.id(), PacketId::new(3));
+        let head = st.fifo_head_where(NodeId::new(0), |_| true).unwrap();
+        assert_eq!(head.id(), PacketId::new(1));
+        assert!(st.lifo_top_where(NodeId::new(1), |_| true).is_none());
+    }
+
+    #[test]
+    fn by_destination_groups_and_orders() {
+        let mut st = NetworkState::new(2);
+        st.place(NodeId::new(0), packet(1, 1), Round::new(0));
+        st.place(NodeId::new(0), packet(2, 5), Round::new(0));
+        st.place(NodeId::new(0), packet(3, 1), Round::new(1));
+        let groups = st.by_destination(NodeId::new(0));
+        assert_eq!(groups.len(), 2);
+        let to1 = &groups[&NodeId::new(1)];
+        assert_eq!(to1.len(), 2);
+        assert!(to1[0].seq() < to1[1].seq());
+        assert_eq!(st.count_for_dest(NodeId::new(0), NodeId::new(1)), 2);
+        assert_eq!(st.count_for_dest(NodeId::new(0), NodeId::new(9)), 0);
+    }
+
+    #[test]
+    fn remove_returns_packet() {
+        let mut st = NetworkState::new(2);
+        st.place(NodeId::new(0), packet(1, 1), Round::new(0));
+        let sp = st.remove(NodeId::new(0), PacketId::new(1)).unwrap();
+        assert_eq!(sp.id(), PacketId::new(1));
+        assert_eq!(st.occupancy(NodeId::new(0)), 0);
+        assert!(st.remove(NodeId::new(0), PacketId::new(1)).is_none());
+    }
+
+    #[test]
+    fn staging_roundtrip() {
+        let mut st = NetworkState::new(1);
+        st.stage(packet(1, 0));
+        st.stage(packet(2, 0));
+        assert_eq!(st.staged_len(), 2);
+        let drained = st.take_staged();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(st.staged_len(), 0);
+        assert_eq!(st.total_buffered(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Network topologies: directed paths and directed (in-)trees.
+//!
+//! The paper restricts attention to paths (§2–§5) and directed trees with
+//! all edges oriented toward the root (§3.3, App. B.2). Both are unified
+//! under the [`Topology`] trait so that the engine and the greedy baselines
+//! are topology-generic, while PTS/PPTS/HPTS constrain themselves to the
+//! concrete type they are proven for.
+
+mod path;
+mod tree;
+
+pub use path::Path;
+pub use tree::{DirectedTree, TreeError};
+
+use crate::ids::NodeId;
+
+/// A directed network in which every node has at most one outgoing link and
+/// routes are unique.
+///
+/// Both supported topologies — [`Path`] and [`DirectedTree`] — satisfy a
+/// strong property the engine relies on: **each node has at most one
+/// outgoing link**, so "at most one packet per link per round" is exactly
+/// "at most one packet forwarded out of each buffer per round".
+pub trait Topology {
+    /// Number of nodes; valid ids are `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// The unique next hop on the route from `from` toward `dest`, or
+    /// `None` if `from == dest` or `dest` is unreachable from `from`.
+    fn next_hop(&self, from: NodeId, dest: NodeId) -> Option<NodeId>;
+
+    /// Whether there is a (possibly empty) directed route `from → dest`.
+    fn reaches(&self, from: NodeId, dest: NodeId) -> bool;
+
+    /// Number of links on the route `from → dest`, or `None` if unreachable.
+    fn route_len(&self, from: NodeId, dest: NodeId) -> Option<usize>;
+
+    /// The buffers a packet `from → dest` occupies, i.e. the nodes whose
+    /// outgoing link the packet crosses: `from` inclusive, `dest` exclusive.
+    ///
+    /// This is the set `Path(i_P, w_P)` used in the load definition
+    /// `N_T(v)` (§2): a buffer `v` is *on the route* iff the packet, at some
+    /// point, is stored at `v` and must be forwarded out of it.
+    fn route_buffers(&self, from: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reaches(from, dest) {
+            return None;
+        }
+        let mut buffers = Vec::new();
+        let mut at = from;
+        while at != dest {
+            buffers.push(at);
+            at = self
+                .next_hop(at, dest)
+                .expect("reaches() implies next_hop chain terminates at dest");
+        }
+        Some(buffers)
+    }
+
+    /// Whether buffer `v` lies on the route `from → dest` (in the
+    /// [`route_buffers`](Topology::route_buffers) sense).
+    fn on_route(&self, from: NodeId, dest: NodeId, v: NodeId) -> bool;
+
+    /// True if `id` is a valid node of this topology.
+    fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.node_count()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// `route_buffers` default implementation is consistent with `on_route`
+    /// for both concrete topologies.
+    #[test]
+    fn route_buffers_matches_on_route_for_path() {
+        let p = Path::new(8);
+        let from = NodeId::new(2);
+        let dest = NodeId::new(6);
+        let buffers = p.route_buffers(from, dest).unwrap();
+        for v in 0..8 {
+            let v = NodeId::new(v);
+            assert_eq!(buffers.contains(&v), p.on_route(from, dest, v), "{v}");
+        }
+    }
+
+    #[test]
+    fn route_buffers_matches_on_route_for_tree() {
+        // 0 -> 2, 1 -> 2, 2 -> 3 (root 3).
+        let t = DirectedTree::from_parents(&[Some(2), Some(2), Some(3), None]).unwrap();
+        let from = NodeId::new(0);
+        let dest = NodeId::new(3);
+        let buffers = t.route_buffers(from, dest).unwrap();
+        assert_eq!(buffers, vec![NodeId::new(0), NodeId::new(2)]);
+        for v in 0..4 {
+            let v = NodeId::new(v);
+            assert_eq!(buffers.contains(&v), t.on_route(from, dest, v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests for the AQT substrate: rate arithmetic, excess algebra,
+//! pattern reductions and tree topology invariants.
+
+use proptest::prelude::*;
+
+use aqt_model::{
+    analyze, brute_force_tight_sigma, DirectedTree, Injection, NodeId, Path, Pattern, Rate,
+    Round, Topology,
+};
+
+/// Strategy: a valid rate 0 < num/den ≤ 1.
+fn rates() -> impl Strategy<Value = Rate> {
+    (1u32..=6, 1u32..=6)
+        .prop_filter("rate at most one", |(n, d)| n <= d)
+        .prop_map(|(n, d)| Rate::new(n, d).expect("validated"))
+}
+
+/// Strategy: arbitrary injections on an `n`-node path.
+fn injections(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Injection>> {
+    prop::collection::vec(
+        (0u64..20, 0usize..n - 1, 1usize..n).prop_map(move |(t, src, jump)| {
+            let dest = src + 1 + jump % (n - 1 - src);
+            Injection::new(t, src, dest)
+        }),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// mul_floor/mul_ceil bracket the exact product.
+    #[test]
+    fn rate_floor_ceil_bracket(rate in rates(), k in 0u64..10_000) {
+        let lo = rate.mul_floor(k);
+        let hi = rate.mul_ceil(k);
+        prop_assert!(lo <= hi);
+        prop_assert!(hi - lo <= 1);
+        // Exact check: lo ≤ k·num/den < lo + 1.
+        let num = u128::from(rate.num());
+        let den = u128::from(rate.den());
+        prop_assert!(u128::from(lo) * den <= u128::from(k) * num);
+        prop_assert!(u128::from(hi) * den >= u128::from(k) * num);
+    }
+
+    /// `times(l)` scales the rate exactly.
+    #[test]
+    fn rate_times_scales(rate in rates(), l in 1u32..5, k in 0u64..1_000) {
+        let scaled = rate.times(l);
+        prop_assert_eq!(scaled.mul_floor(k), rate.mul_floor(k * u64::from(l)));
+    }
+
+    /// `bound_holds` agrees with exact integer arithmetic.
+    #[test]
+    fn rate_bound_holds_is_exact(
+        rate in rates(),
+        packets in 0u64..100,
+        interval in 1u64..100,
+        sigma in 0u64..10,
+    ) {
+        let expected = u128::from(packets) * u128::from(rate.den())
+            <= u128::from(interval) * u128::from(rate.num())
+                + u128::from(sigma) * u128::from(rate.den());
+        prop_assert_eq!(rate.bound_holds(packets, interval, sigma), expected);
+    }
+
+    /// The incremental analyzer equals the quadratic brute force on every
+    /// pattern and rate (not just rate 1 — the root tests cover that).
+    #[test]
+    fn analyzer_equals_brute_force(injs in injections(10, 30), rate in rates()) {
+        let topo = Path::new(10);
+        let pattern = Pattern::from_injections(injs);
+        prop_assert_eq!(
+            analyze(&topo, &pattern, rate).tight_sigma,
+            brute_force_tight_sigma(&topo, &pattern, rate)
+        );
+    }
+
+    /// ℓ-reduction: round numbers map by ⌊(t−1)/ℓ⌋+1-style contraction —
+    /// here 0-based: t ↦ ⌊t/ℓ⌋ — and the multiset of routes is preserved.
+    #[test]
+    fn reduction_preserves_routes(injs in injections(10, 30), l in 1u64..5) {
+        let pattern = Pattern::from_injections(injs);
+        let reduced = pattern.reduce(l);
+        prop_assert_eq!(pattern.len(), reduced.len());
+        let mut original: Vec<(usize, usize)> = pattern
+            .injections()
+            .iter()
+            .map(|i| (i.source.index(), i.dest.index()))
+            .collect();
+        let mut contracted: Vec<(usize, usize)> = reduced
+            .injections()
+            .iter()
+            .map(|i| (i.source.index(), i.dest.index()))
+            .collect();
+        original.sort_unstable();
+        contracted.sort_unstable();
+        prop_assert_eq!(original, contracted);
+        // Rounds contract consistently: every reduced round ≤ original.
+        for (a, b) in pattern.injections().iter().zip(reduced.injections()) {
+            prop_assert!(b.round <= a.round);
+        }
+    }
+
+    /// Destinations reported by a pattern are exactly the distinct dests.
+    #[test]
+    fn pattern_destinations_are_distinct_dests(injs in injections(10, 30)) {
+        let pattern = Pattern::from_injections(injs.clone());
+        let dests = pattern.destinations();
+        for i in &injs {
+            prop_assert!(dests.contains(&i.dest));
+        }
+        prop_assert!(dests.len() <= injs.len().max(1));
+    }
+
+    /// Random trees are well-formed: unique root, parents point upward in
+    /// depth, every node reaches the root via next_hop.
+    #[test]
+    fn random_trees_are_well_formed(n in 2usize..60, seed in 0u64..500) {
+        let tree = DirectedTree::random(n, seed);
+        prop_assert_eq!(tree.node_count(), n);
+        let root = tree.root();
+        prop_assert!(tree.parent(root).is_none());
+        for v in 0..n {
+            let v = NodeId::new(v);
+            if v != root {
+                let p = tree.parent(v).expect("non-root has parent");
+                prop_assert_eq!(tree.depth(p) + 1, tree.depth(v));
+            }
+            // Walk to the root; must terminate within n hops.
+            let mut at = v;
+            let mut hops = 0;
+            while at != root {
+                at = tree.next_hop(at, root).expect("path to root exists");
+                hops += 1;
+                prop_assert!(hops <= n, "cycle detected");
+            }
+        }
+    }
+
+    /// `is_ancestor_or_self` agrees with the parent-walk definition, and
+    /// `subtree(v)` contains exactly the nodes that reach v.
+    #[test]
+    fn tree_order_consistency(n in 2usize..40, seed in 0u64..200) {
+        let tree = DirectedTree::random(n, seed);
+        for u in 0..n {
+            let u = NodeId::new(u);
+            let sub = tree.subtree(u);
+            for w in 0..n {
+                let w = NodeId::new(w);
+                let by_walk = {
+                    let mut at = w;
+                    loop {
+                        if at == u { break true; }
+                        match tree.parent(at) {
+                            Some(p) => at = p,
+                            None => break false,
+                        }
+                    }
+                };
+                prop_assert_eq!(tree.is_ancestor_or_self(u, w), by_walk);
+                prop_assert_eq!(sub.contains(&w), by_walk);
+            }
+        }
+    }
+
+    /// Destination depth is the longest chain of destinations on any
+    /// leaf-root path — bounded by both d and the tree height + 1.
+    #[test]
+    fn destination_depth_is_bounded(n in 2usize..40, seed in 0u64..100, picks in prop::collection::btree_set(0usize..40, 1..6)) {
+        let tree = DirectedTree::random(n, seed);
+        let dests: std::collections::BTreeSet<NodeId> = picks
+            .into_iter()
+            .filter(|&d| d < n)
+            .map(NodeId::new)
+            .collect();
+        prop_assume!(!dests.is_empty());
+        let d_prime = tree.destination_depth(&dests);
+        prop_assert!(d_prime <= dests.len());
+        prop_assert!(d_prime <= tree.height() as usize + 1);
+        prop_assert!(d_prime >= 1);
+    }
+
+    /// On a path, route_buffers(i → w) is exactly [i, w).
+    #[test]
+    fn path_routes_are_intervals(n in 2usize..50, src in 0usize..49, jump in 1usize..49) {
+        prop_assume!(src < n - 1);
+        let dest = (src + jump).min(n - 1);
+        let topo = Path::new(n);
+        let route = topo
+            .route_buffers(NodeId::new(src), NodeId::new(dest))
+            .expect("forward route exists");
+        let expected: Vec<NodeId> = (src..dest).map(NodeId::new).collect();
+        prop_assert_eq!(route, expected);
+        // No backward routes on a directed path.
+        prop_assert!(topo.route_buffers(NodeId::new(dest), NodeId::new(src)).is_none());
+    }
+
+    /// The reported worst (node, round) is a real witness: some interval
+    /// ending there carries load exceeding `ρ|I| + (σ* − 1)` — i.e. σ* is
+    /// genuinely tight, checked with the independent interval_load.
+    #[test]
+    fn tight_sigma_has_a_witness(injs in injections(8, 25), rate in rates()) {
+        let topo = Path::new(8);
+        let pattern = Pattern::from_injections(injs);
+        let report = analyze(&topo, &pattern, rate);
+        if let Some((v, t)) = report.worst {
+            prop_assert!(v.index() < 8);
+            prop_assert!(t <= pattern.last_round().unwrap_or(Round::ZERO));
+            if report.tight_sigma > 0 {
+                let witnessed = (0..=t.value()).any(|s| {
+                    let load = aqt_model::interval_load(
+                        &topo, &pattern, v, Round::new(s), t,
+                    );
+                    !rate.bound_holds(load, t.value() - s + 1, report.tight_sigma - 1)
+                });
+                prop_assert!(witnessed, "σ* = {} has no witnessing interval", report.tight_sigma);
+            }
+        } else {
+            prop_assert_eq!(report.tight_sigma, 0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # aqt-trace — execution tracing and invariant monitoring
+//!
+//! Debugging and verification companion to the small-buffers simulator:
+//!
+//! * [`Traced`] — a protocol decorator that records a serializable
+//!   [`Trace`] (per-round configurations `L^t` and forwarding plans) of
+//!   any run, without changing behavior.
+//! * [`Monitor`] / [`Monitored`] / [`run_monitored`] — online invariant
+//!   checking at the paper's measurement point. [`BadnessExcessMonitor`]
+//!   checks the proof invariant `B^t(i) ≤ ξ_t(i) + 1` that drives
+//!   Props. 3.1/3.2 — *while* the protocol runs.
+//! * [`sparkline`] / [`heatmap`] — ASCII renderings of occupancy over
+//!   space and time.
+//!
+//! ## Example: trace a run and render it
+//!
+//! ```
+//! use aqt_core::Ppts;
+//! use aqt_model::{Injection, Path, Pattern, Simulation};
+//! use aqt_trace::{heatmap, Traced};
+//!
+//! let pattern: Pattern = (0..16u64).map(|t| Injection::new(t, 0, 7)).collect();
+//! let mut sim = Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern)?;
+//! sim.run_past_horizon(20)?;
+//! let trace = sim.protocol().trace();
+//! assert_eq!(trace.peak() as usize, sim.metrics().max_occupancy);
+//! let art = heatmap(trace, 60, 8);
+//! assert!(art.contains("PPTS"));
+//! # Ok::<(), aqt_model::ModelError>(())
+//! ```
+//!
+//! ## Example: check a proof invariant online
+//!
+//! ```
+//! use aqt_core::Ppts;
+//! use aqt_model::{Injection, Path, Pattern, Rate};
+//! use aqt_trace::{run_monitored, BadnessExcessMonitor};
+//!
+//! let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 5); 3]);
+//! let monitor = BadnessExcessMonitor::new(6, &pattern, Rate::ONE);
+//! let metrics = run_monitored(
+//!     Path::new(6),
+//!     Ppts::new(),
+//!     &pattern,
+//!     30,
+//!     vec![Box::new(monitor)],
+//! )?;
+//! assert!(metrics.max_occupancy <= 1 + 1 + 2); // 1 + d + σ
+//! # Ok::<(), aqt_trace::Violation>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod monitor;
+mod render;
+mod traced;
+
+pub use event::{RoundRecord, SendRecord, Trace};
+pub use monitor::{
+    run_monitored, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor, Violation,
+};
+pub use render::{heatmap, sparkline};
+pub use traced::Traced;

@@ -1,0 +1,150 @@
+//! ASCII renderings of traces: sparklines for occupancy series and a
+//! space-time heatmap of the whole run.
+//!
+//! These are debugging aids: a glance at the heatmap shows where the
+//! adversary piled packets up, how a peak-to-sink wave travels right, and
+//! whether a protocol idles (columns freeze) or leaks (a row saturates).
+
+use crate::event::Trace;
+
+/// Unicode block characters from empty to full.
+const SPARKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Characters for heatmap intensities, lightest to heaviest.
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a numeric series as a one-line sparkline, scaled to the series
+/// maximum.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_trace::sparkline;
+///
+/// let line = sparkline(&[0, 1, 2, 4, 8, 4, 2, 1, 0]);
+/// assert_eq!(line.chars().count(), 9);
+/// assert!(line.contains('█'));
+/// ```
+pub fn sparkline(series: &[u32]) -> String {
+    let max = series.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return " ".repeat(series.len());
+    }
+    series
+        .iter()
+        .map(|&v| {
+            let idx = (v as usize * (SPARKS.len() - 1)).div_ceil(max as usize);
+            SPARKS[idx.min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a trace as a space-time heatmap: one row per node (top =
+/// node 0), one column per round, downsampled to fit `max_width` ×
+/// `max_height` cells. Cell intensity is the maximum occupancy within its
+/// bucket; the scale line at the bottom maps shades to values.
+///
+/// Returns an empty string for an empty trace.
+pub fn heatmap(trace: &Trace, max_width: usize, max_height: usize) -> String {
+    if trace.is_empty() || trace.node_count == 0 || max_width == 0 || max_height == 0 {
+        return String::new();
+    }
+    let rounds = trace.len();
+    let nodes = trace.node_count;
+    let width = rounds.min(max_width);
+    let height = nodes.min(max_height);
+    let peak = trace.peak().max(1);
+
+    // bucket_max[row][col] = max occupancy in that space-time bucket.
+    let mut buckets = vec![vec![0u32; width]; height];
+    for (t, record) in trace.rounds.iter().enumerate() {
+        let col = t * width / rounds;
+        for (v, &occ) in record.occupancy.iter().enumerate() {
+            let row = v * height / nodes;
+            let cell = &mut buckets[row][col];
+            *cell = (*cell).max(occ);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — occupancy heatmap ({} nodes × {} rounds, peak {})\n",
+        trace.protocol, nodes, rounds, peak
+    ));
+    for (row, cells) in buckets.iter().enumerate() {
+        let node_lo = row * nodes / height;
+        out.push_str(&format!("{node_lo:>5} |"));
+        for &v in cells {
+            let idx = (v as usize * (SHADES.len() - 1)).div_ceil(peak as usize);
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      +{}\n      shades: ' ' = 0 … '@' = {}\n",
+        "-".repeat(width),
+        peak
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RoundRecord, Trace};
+    use aqt_model::Round;
+
+    fn trace_with(rows: Vec<Vec<u32>>) -> Trace {
+        let n = rows.first().map_or(0, Vec::len);
+        let mut t = Trace::new("demo", n);
+        for (i, occupancy) in rows.into_iter().enumerate() {
+            t.rounds.push(RoundRecord {
+                round: Round::new(i as u64),
+                occupancy,
+                staged: 0,
+                sends: Vec::new(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "  ");
+        let line = sparkline(&[1, 8]);
+        assert_eq!(line.chars().last(), Some('█'));
+        assert_ne!(line.chars().next(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_zero_stays_blank() {
+        let line = sparkline(&[0, 5, 0]);
+        assert_eq!(line.chars().next(), Some(' '));
+        assert_eq!(line.chars().last(), Some(' '));
+    }
+
+    #[test]
+    fn heatmap_dimensions_respect_caps() {
+        let t = trace_with(vec![vec![0, 1, 2, 3]; 10]);
+        let map = heatmap(&t, 5, 3);
+        // Header + 3 rows + axis + legend.
+        assert_eq!(map.lines().count(), 6);
+        let first_row = map.lines().nth(1).unwrap();
+        let cells: String = first_row.split('|').nth(1).unwrap().to_string();
+        assert_eq!(cells.chars().count(), 5);
+    }
+
+    #[test]
+    fn heatmap_peak_cell_is_heaviest_shade() {
+        let t = trace_with(vec![vec![0, 0, 9, 0]]);
+        let map = heatmap(&t, 10, 10);
+        assert!(map.contains('@'), "{map}");
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let t = Trace::new("x", 0);
+        assert_eq!(heatmap(&t, 10, 10), "");
+    }
+}

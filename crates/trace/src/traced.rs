@@ -1,0 +1,168 @@
+//! The [`Traced`] protocol decorator: records what any protocol saw and
+//! did, without changing its behavior.
+
+use aqt_model::{ForwardingPlan, InjectionMode, NetworkState, Protocol, Round, Topology};
+
+use crate::event::{RoundRecord, SendRecord, Trace};
+
+/// Wraps a protocol and records a [`Trace`] of its execution.
+///
+/// `Traced<P>` forwards exactly what `P` forwards — it observes the
+/// configuration and the returned plan at the paper's `L^t` measurement
+/// point and appends one [`RoundRecord`] per round. Retrieve the trace
+/// after the run through [`Simulation::protocol`](aqt_model::Simulation::protocol):
+///
+/// ```
+/// use aqt_core::{Greedy, GreedyPolicy};
+/// use aqt_model::{Injection, Path, Pattern, Simulation};
+/// use aqt_trace::Traced;
+///
+/// let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 2)]);
+/// let mut sim = Simulation::new(
+///     Path::new(3),
+///     Traced::new(Greedy::new(GreedyPolicy::Fifo)),
+///     &pattern,
+/// )?;
+/// sim.run(4)?;
+/// let trace = sim.protocol().trace();
+/// assert_eq!(trace.total_delivered(), 1);
+/// assert_eq!(trace.idle_rounds(), 2); // drained after two hops
+/// # Ok::<(), aqt_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Traced<P> {
+    inner: P,
+    trace: Trace,
+}
+
+impl<P> Traced<P> {
+    /// Wraps `inner`; the trace starts empty and grows by one record per
+    /// planned round.
+    pub fn new(inner: P) -> Self {
+        Traced {
+            inner,
+            trace: Trace::new("", 0),
+        }
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps into the protocol and its trace.
+    pub fn into_parts(self) -> (P, Trace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn injection_mode(&self) -> InjectionMode {
+        self.inner.injection_mode()
+    }
+
+    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState) -> ForwardingPlan {
+        let plan = self.inner.plan(round, topology, state);
+        if self.trace.node_count == 0 {
+            self.trace = Trace::new(self.inner.name(), state.node_count());
+        }
+        let occupancy = (0..state.node_count())
+            .map(|v| state.occupancy(aqt_model::NodeId::new(v)) as u32)
+            .collect();
+        let sends = plan
+            .sends()
+            .map(|(from, packet)| {
+                let delivered = state
+                    .find(from, packet)
+                    .and_then(|sp| topology.next_hop(from, sp.dest()).map(|hop| hop == sp.dest()))
+                    .unwrap_or(false);
+                SendRecord {
+                    from,
+                    packet,
+                    delivered,
+                }
+            })
+            .collect();
+        self.trace.rounds.push(RoundRecord {
+            round,
+            occupancy,
+            staged: state.staged_len() as u32,
+            sends,
+        });
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_core::{Hpts, Ppts};
+    use aqt_model::{Injection, Path, Pattern, Simulation};
+
+    #[test]
+    fn trace_matches_metrics() {
+        let pattern: Pattern = (0..12u64)
+            .map(|t| Injection::new(t, 0, if t % 2 == 0 { 7 } else { 4 }))
+            .collect();
+        let mut sim =
+            Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern).unwrap();
+        sim.run_past_horizon(40).unwrap();
+        let trace = sim.protocol().trace();
+        let metrics = sim.metrics();
+        assert_eq!(trace.peak() as usize, metrics.max_occupancy);
+        assert_eq!(trace.total_forwards() as u64, metrics.forwarded);
+        assert_eq!(trace.total_delivered() as u64, metrics.delivered);
+    }
+
+    #[test]
+    fn trace_records_staging_for_batched_protocols() {
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 15)]);
+        let hpts = Hpts::for_line(16, 2).unwrap();
+        let mut sim = Simulation::new(Path::new(16), Traced::new(hpts), &pattern).unwrap();
+        sim.run(2).unwrap();
+        let trace = sim.protocol().trace();
+        // Round 0: the packet is staged (accepted only at round 2).
+        assert_eq!(trace.rounds[0].staged, 1);
+        assert_eq!(trace.rounds[0].occupancy.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn name_and_mode_are_transparent() {
+        let t = Traced::new(Ppts::new());
+        assert_eq!(
+            <Traced<Ppts> as Protocol<Path>>::name(&t),
+            <Ppts as Protocol<Path>>::name(&Ppts::new())
+        );
+        let hpts = Hpts::for_line(16, 4).unwrap();
+        let t = Traced::new(hpts.clone());
+        assert_eq!(
+            <Traced<Hpts> as Protocol<Path>>::injection_mode(&t),
+            <Hpts as Protocol<Path>>::injection_mode(&hpts)
+        );
+    }
+
+    #[test]
+    fn into_parts_returns_both() {
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
+        let mut sim = Simulation::new(
+            Path::new(2),
+            Traced::new(aqt_core::Greedy::new(aqt_core::GreedyPolicy::Fifo)),
+            &pattern,
+        )
+        .unwrap();
+        sim.run(2).unwrap();
+        // Clone the protocol out (Simulation owns it) and split.
+        let traced = sim.protocol().clone();
+        let (_, trace) = traced.into_parts();
+        assert_eq!(trace.total_delivered(), 1);
+    }
+}

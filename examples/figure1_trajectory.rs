@@ -1,0 +1,40 @@
+//! Reproduces the paper's Figure 1: the hierarchical partition of a line
+//! with n = 16, m = 2, ℓ = 4, and the virtual trajectory of a packet
+//! through the levels.
+//!
+//! A packet injected at node `i` with destination `w` is corrected digit by
+//! digit (most significant first): each segment runs at the level of the
+//! highest differing base-m digit and ends at an intermediate destination.
+//!
+//! ```text
+//! cargo run --example figure1_trajectory
+//! ```
+
+use small_buffers::{render_figure1, Hierarchy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's exact parameters: n = 16 = 2^4.
+    let h = Hierarchy::new(2, 4)?;
+
+    println!("{}", render_figure1(&h, None));
+
+    // Overlay the virtual trajectory of a packet 0b0000 -> 0b1011, the
+    // digit-by-digit correction the caption describes.
+    let (src, dst) = (0b0000usize, 0b1011usize);
+    println!(
+        "virtual trajectory of a packet {src:04b} -> {dst:04b}:\n{}",
+        render_figure1(&h, Some((src, dst)))
+    );
+
+    // The segment chain in coordinates: level of each segment strictly
+    // decreases (Def. 4.2).
+    println!("segments (start -> intermediate destination):");
+    let mut last = src;
+    for (from, to) in h.segment_chain(src, dst) {
+        let lv = h.level(from, dst);
+        println!("  [{from:2} ({from:04b}) -> {to:2} ({to:04b})]  level {lv}");
+        last = to;
+    }
+    assert_eq!(last, dst);
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Traffic shaping meets Prop. 3.1: an unshaped incast burst would need
+//! buffers proportional to the burst size, but shaping it to (ρ, σ) lets
+//! PTS route it with just `2 + σ` slots — the knob is the delay/space
+//! tradeoff at the network edge.
+//!
+//! The scenario: 20 sensors along a 32-node collection line each dump an
+//! 8-packet report at the same instant, all destined for the sink at the
+//! end of the line.
+//!
+//! ```text
+//! cargo run --release --example traffic_shaping
+//! ```
+
+use small_buffers::{
+    analyze, bounds, shape, Injection, NodeId, Path, Pattern, Pts, Rate, Simulation, Table,
+};
+
+/// One synchronized burst: `reports` packets from each of the first
+/// `sources` nodes, all at round 0, all to the sink.
+fn incast(sources: usize, reports: usize, sink: usize) -> Vec<Injection> {
+    (0..sources)
+        .flat_map(|s| (0..reports).map(move |_| Injection::new(0, s, sink)))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    let sink = n - 1;
+    let topo = Path::new(n);
+    let wishes = incast(20, 8, sink);
+    println!(
+        "incast: {} packets injected simultaneously, all to node {sink}\n",
+        wishes.len()
+    );
+
+    let mut table = Table::new(
+        "shaping the burst: delay bought, buffers saved (PTS, Prop. 3.1)",
+        ["shaper", "tight_sigma", "max_delay", "peak", "bound 2+s", "mean latency"],
+    );
+
+    // Unshaped: the raw burst is (1, σ*)-bounded only for a huge σ*.
+    let raw = Pattern::from_injections(wishes.clone());
+    let raw_sigma = analyze(&topo, &raw, Rate::ONE).tight_sigma;
+    let mut sim = Simulation::new(topo.clone(), Pts::new(NodeId::new(sink)), &raw)?;
+    sim.run_past_horizon(6 * n as u64)?;
+    table.push_row([
+        "none".into(),
+        raw_sigma.to_string(),
+        "0".into(),
+        sim.metrics().max_occupancy.to_string(),
+        bounds::pts_bound(raw_sigma).to_string(),
+        format!("{:.1}", sim.metrics().latency.mean().unwrap_or(0.0)),
+    ]);
+
+    // Shaped to decreasing burst budgets: smaller σ ⇒ smaller buffers,
+    // longer injection delays.
+    for sigma in [16u64, 4, 1, 0] {
+        let (shaped, max_delay) = shape(&topo, wishes.clone(), Rate::ONE, sigma);
+        let tight = analyze(&topo, &shaped, Rate::ONE).tight_sigma;
+        assert!(tight <= sigma, "shaper must honor its budget");
+
+        let mut sim = Simulation::new(topo.clone(), Pts::new(NodeId::new(sink)), &shaped)?;
+        sim.run_past_horizon(6 * n as u64)?;
+        let peak = sim.metrics().max_occupancy;
+        let bound = bounds::pts_bound(tight);
+        assert!(peak as u64 <= bound, "Prop. 3.1 violated at sigma = {sigma}");
+
+        table.push_row([
+            format!("rho=1, sigma={sigma}"),
+            tight.to_string(),
+            max_delay.to_string(),
+            peak.to_string(),
+            bound.to_string(),
+            format!("{:.1}", sim.metrics().latency.mean().unwrap_or(0.0)),
+        ]);
+    }
+
+    table.note(
+        "Every row delivers all packets; the shaped rows trade edge delay\n\
+         for in-network buffer space exactly as Prop. 3.1 predicts.",
+    );
+    println!("{}", table.render());
+    Ok(())
+}
