@@ -383,7 +383,12 @@ mod tests {
 
     #[test]
     fn pattern_is_bounded_with_tiny_sigma() {
-        for (l, m, num, den) in [(1u32, 4u64, 1u32, 1u32), (2, 4, 1, 2), (2, 6, 1, 2), (3, 3, 1, 3)] {
+        for (l, m, num, den) in [
+            (1u32, 4u64, 1u32, 1u32),
+            (2, 4, 1, 2),
+            (2, 6, 1, 2),
+            (3, 3, 1, 3),
+        ] {
             let a = adv(l, m, num, den);
             let report = analyze(&a.topology(), &a.pattern(), a.rate());
             assert!(

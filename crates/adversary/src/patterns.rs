@@ -17,13 +17,7 @@ pub fn burst(round: u64, source: usize, dest: usize, size: usize) -> Pattern {
 
 /// A train of bursts: `count` bursts of `size` packets every `period`
 /// rounds, all on the same route.
-pub fn burst_train(
-    source: usize,
-    dest: usize,
-    size: usize,
-    period: u64,
-    count: usize,
-) -> Pattern {
+pub fn burst_train(source: usize, dest: usize, size: usize, period: u64, count: usize) -> Pattern {
     assert!(period > 0, "period must be positive");
     let mut injections = Vec::with_capacity(size * count);
     for b in 0..count {
@@ -52,7 +46,10 @@ pub fn paced_stream(source: usize, dest: usize, rate: Rate, rounds: u64) -> Patt
 /// packets cross the low buffers, and `d` pseudo-buffers fill in parallel.
 pub fn round_robin(dests: &[usize], rate: Rate, rounds: u64) -> Pattern {
     assert!(!dests.is_empty(), "need at least one destination");
-    assert!(dests.iter().all(|&w| w > 0), "destinations must be right of node 0");
+    assert!(
+        dests.iter().all(|&w| w > 0),
+        "destinations must be right of node 0"
+    );
     let mut injections = Vec::new();
     let mut j = 0usize;
     for t in 0..rounds {
@@ -128,7 +125,7 @@ pub fn peak_chase(n: usize, rate: Rate, sigma: u64, rounds: u64) -> Pattern {
         // One full burst at the start and one mid-stream, at middle sites.
         let burst_site = match t {
             0 => Some((n - 1) / 2),
-            _ if t == mid => Some((n + 2) / 3),
+            _ if t == mid => Some(n.div_ceil(3)),
             _ => None,
         };
         if let Some(site) = burst_site {

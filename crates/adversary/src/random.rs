@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 
 use aqt_model::{DirectedTree, Injection, NodeId, Path, Pattern, Rate, Topology};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::admission::Admitter;
 
@@ -267,7 +267,10 @@ impl RandomAdversary {
 /// `count` destinations spread evenly over `1..n` (always includes `n−1`).
 fn spread_path_dests(n: usize, count: usize) -> Vec<NodeId> {
     assert!(count >= 1, "need at least one destination");
-    assert!(count < n, "cannot have {count} distinct destinations among {n} nodes");
+    assert!(
+        count < n,
+        "cannot have {count} distinct destinations among {n} nodes"
+    );
     let mut dests = BTreeSet::new();
     for k in 0..count {
         // Evenly spaced in (0, n−1], biased right so w = n−1 is included.

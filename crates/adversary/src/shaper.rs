@@ -46,7 +46,10 @@ pub fn shape<T: Topology>(
     rate: aqt_model::Rate,
     sigma: u64,
 ) -> (Pattern, u64) {
-    assert!(rate.num() > 0, "rate must be positive for shaping to terminate");
+    assert!(
+        rate.num() > 0,
+        "rate must be positive for shaping to terminate"
+    );
     assert!(
         u128::from(rate.num()) + u128::from(sigma) * u128::from(rate.den())
             >= u128::from(rate.den()),
@@ -62,10 +65,7 @@ pub fn shape<T: Topology>(
     let mut t = 0u64;
     while !queue.is_empty() || !remaining.is_empty() {
         // Wishes whose time has come join the back of the queue.
-        while remaining
-            .front()
-            .is_some_and(|w| w.round.value() <= t)
-        {
+        while remaining.front().is_some_and(|w| w.round.value() <= t) {
             queue.push_back(remaining.pop_front().expect("front checked above"));
         }
         // Admit from the front while budget allows; head-of-line blocking
@@ -124,7 +124,12 @@ mod tests {
         // ρ = 1/2, σ = 0: Def. 2.1 forbids even a single packet, so
         // shaping can never make progress.
         let topo = Path::new(2);
-        shape(&topo, vec![Injection::new(0, 0, 1)], Rate::new(1, 2).unwrap(), 0);
+        shape(
+            &topo,
+            vec![Injection::new(0, 0, 1)],
+            Rate::new(1, 2).unwrap(),
+            0,
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use aqt_adversary::{patterns, shape, Cadence, DestSpec, LowerBoundAdversary, RandomAdversary};
-use aqt_model::{analyze, DirectedTree, Injection, Path, Rate, Topology};
+use aqt_model::{analyze, DirectedTree, Injection, Path, Rate};
 
 fn rates() -> impl Strategy<Value = Rate> {
     (1u32..=4, 1u32..=4)

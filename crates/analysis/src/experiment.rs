@@ -132,7 +132,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));

@@ -35,6 +35,4 @@ mod sweep;
 
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
-pub use sweep::{
-    measured_sigma, measured_sigma_on, parallel_map, run_path, run_tree, RunSummary,
-};
+pub use sweep::{measured_sigma, measured_sigma_on, parallel_map, run_path, run_tree, RunSummary};

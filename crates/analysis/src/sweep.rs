@@ -57,7 +57,10 @@ pub fn run_path<P: Protocol<Path>>(
 ) -> Result<RunSummary, ModelError> {
     let mut sim = Simulation::new(Path::new(n), protocol, pattern)?;
     sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(sim.protocol().name(), sim.metrics()))
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
 }
 
 /// Runs `protocol` on a directed tree against `pattern`.
@@ -73,7 +76,10 @@ pub fn run_tree<P: Protocol<DirectedTree>>(
 ) -> Result<RunSummary, ModelError> {
     let mut sim = Simulation::new(tree, protocol, pattern)?;
     sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(sim.protocol().name(), sim.metrics()))
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
 }
 
 /// Measures the tight σ of `pattern` on a path of `n` nodes at rate ρ —

@@ -13,7 +13,11 @@ fn bench_lower_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_lower_bound");
     group.sample_size(20);
     for (l, m) in [(1u32, 32u64), (2, 8), (2, 16), (3, 6)] {
-        let rho = if l == 1 { Rate::ONE } else { Rate::new(1, 2).expect("valid") };
+        let rho = if l == 1 {
+            Rate::ONE
+        } else {
+            Rate::new(1, 2).expect("valid")
+        };
         let adv = LowerBoundAdversary::new(l, m, rho).expect("valid parameters");
         group.bench_with_input(
             BenchmarkId::new("generate", format!("l{l}_m{m}")),
@@ -27,13 +31,8 @@ fn bench_lower_bound(c: &mut Criterion) {
             &pattern,
             |b, pattern| {
                 b.iter(|| {
-                    run_path(
-                        n,
-                        Greedy::new(GreedyPolicy::LongestInSystem),
-                        pattern,
-                        8,
-                    )
-                    .expect("valid run")
+                    run_path(n, Greedy::new(GreedyPolicy::LongestInSystem), pattern, 8)
+                        .expect("valid run")
                 })
             },
         );

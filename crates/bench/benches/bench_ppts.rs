@@ -29,13 +29,8 @@ fn bench_ppts(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("greedy-lis", d), &d, |b, _| {
             b.iter(|| {
-                run_path(
-                    n,
-                    Greedy::new(GreedyPolicy::LongestInSystem),
-                    &pattern,
-                    50,
-                )
-                .expect("valid run")
+                run_path(n, Greedy::new(GreedyPolicy::LongestInSystem), &pattern, 50)
+                    .expect("valid run")
             })
         });
     }

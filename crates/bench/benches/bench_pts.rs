@@ -26,9 +26,7 @@ fn bench_pts(c: &mut Criterion) {
         let pattern = pattern_for(n, rounds);
         group.throughput(Throughput::Elements(rounds));
         group.bench_with_input(BenchmarkId::new("run", n), &n, |b, &n| {
-            b.iter(|| {
-                run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, 50).expect("valid run")
-            })
+            b.iter(|| run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, 50).expect("valid run"))
         });
     }
     group.finish();

@@ -25,9 +25,7 @@ fn bench_tree(c: &mut Criterion) {
             .seed(4)
             .build_tree(&tree);
         group.bench_with_input(BenchmarkId::new("tree_pts", label), &tree, |b, tree| {
-            b.iter(|| {
-                run_tree(tree.clone(), TreePts::new(root), &single, 50).expect("valid run")
-            })
+            b.iter(|| run_tree(tree.clone(), TreePts::new(root), &single, 50).expect("valid run"))
         });
         group.bench_with_input(BenchmarkId::new("tree_ppts", label), &tree, |b, tree| {
             b.iter(|| run_tree(tree.clone(), TreePpts::new(), &multi, 50).expect("valid run"))

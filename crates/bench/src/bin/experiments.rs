@@ -11,8 +11,31 @@ use aqt_bench::{run_experiment, EXPERIMENT_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("Usage: experiments [--quick] [--csv] [ID ...]");
+        println!();
+        println!("Regenerates the paper's claims as measured tables.");
+        println!();
+        println!("Options:");
+        println!("  --quick    run smaller instances (CI-sized)");
+        println!("  --csv      emit CSV instead of rendered tables");
+        println!("  -h, --help print this message");
+        println!();
+        println!(
+            "Experiment ids (default: all): {}",
+            EXPERIMENT_IDS.join(" ")
+        );
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.starts_with('-') && a != &"--quick" && a != &"--csv")
+    {
+        eprintln!("error: unknown option `{unknown}` (try --help)");
+        std::process::exit(2);
+    }
     let ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

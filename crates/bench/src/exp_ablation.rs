@@ -57,8 +57,7 @@ pub fn a1_prebad(quick: bool) -> Vec<Table> {
             let m = hpts.hierarchy().base();
             let hierarchy = *hpts.hierarchy();
             let bound = bounds::hpts_bound(l, m, sigma_star);
-            let mut sim =
-                Simulation::new(Path::new(n), hpts, &pattern).expect("valid pattern");
+            let mut sim = Simulation::new(Path::new(n), hpts, &pattern).expect("valid pattern");
             let horizon = rounds + 300;
             let mut max_phase_end_badness = 0usize;
             for t in 0..horizon {
@@ -66,8 +65,8 @@ pub fn a1_prebad(quick: bool) -> Vec<Table> {
                 // Lemma 4.8 speaks about the end of each phase: sample
                 // B^{(ϕℓ)+} right after the last forwarding of the phase.
                 if (t + 1) % u64::from(l) == 0 {
-                    max_phase_end_badness = max_phase_end_badness
-                        .max(max_badness_hpts(sim.state(), &hierarchy));
+                    max_phase_end_badness =
+                        max_phase_end_badness.max(max_badness_hpts(sim.state(), &hierarchy));
                 }
             }
             let measured = sim.metrics().max_occupancy;
@@ -82,7 +81,9 @@ pub fn a1_prebad(quick: bool) -> Vec<Table> {
             ]);
         }
     }
-    table.note("the potential stays bounded near the idealized sigma*+1 cap; see DESIGN.md sec 5 on the");
+    table.note(
+        "the potential stays bounded near the idealized sigma*+1 cap; see DESIGN.md sec 5 on the",
+    );
     table.note("implementation-vs-proof slack (a small additive constant; the occupancy bound is unaffected)");
     vec![table]
 }
@@ -110,8 +111,7 @@ pub fn a2_eager(quick: bool) -> Vec<Table> {
         .destinations(DestSpec::Spread { count: 8 })
         .seed(9)
         .build_path(&Path::new(n));
-    let fmt_latency =
-        |l: Option<f64>| l.map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
+    let fmt_latency = |l: Option<f64>| l.map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
     for (protocol, pattern) in [
         (
             Box::new(Pts::new(NodeId::new(n - 1))) as Box<dyn aqt_model::Protocol<Path>>,

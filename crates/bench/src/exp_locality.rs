@@ -30,8 +30,8 @@ pub fn e9_locality(quick: bool) -> Vec<Table> {
         .expect("valid run")
         .max_occupancy;
     for r in [1usize, 2, 4, 8, 16, 64, n] {
-        let summary = run_path(n, LocalPts::new(NodeId::new(n - 1), r), &pattern, 400)
-            .expect("valid run");
+        let summary =
+            run_path(n, LocalPts::new(NodeId::new(n - 1), r), &pattern, 400).expect("valid run");
         table.push_row([
             r.to_string(),
             summary.max_occupancy.to_string(),
@@ -52,10 +52,20 @@ pub fn e9_locality(quick: bool) -> Vec<Table> {
     for n in [32usize, 64, 128, 256, 512] {
         let pattern = patterns::peak_chase(n, rho, sigma, rounds);
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let local = run_path(n, LocalPts::new(NodeId::new(n - 1), r), &pattern, 2 * n as u64)
-            .expect("valid run");
-        let full = run_path(n, LocalPts::new(NodeId::new(n - 1), n), &pattern, 2 * n as u64)
-            .expect("valid run");
+        let local = run_path(
+            n,
+            LocalPts::new(NodeId::new(n - 1), r),
+            &pattern,
+            2 * n as u64,
+        )
+        .expect("valid run");
+        let full = run_path(
+            n,
+            LocalPts::new(NodeId::new(n - 1), n),
+            &pattern,
+            2 * n as u64,
+        )
+        .expect("valid run");
         ntable.push_row([
             n.to_string(),
             sigma_star.to_string(),

@@ -17,9 +17,18 @@ use aqt_model::{analyze, Path, Protocol, Rate, Topology};
 fn zoo(nodes: usize, l: u32) -> Vec<(&'static str, Box<dyn Protocol<Path>>)> {
     let mut v: Vec<(&'static str, Box<dyn Protocol<Path>>)> = vec![
         ("Greedy-FIFO", Box::new(Greedy::new(GreedyPolicy::Fifo))),
-        ("Greedy-LIS", Box::new(Greedy::new(GreedyPolicy::LongestInSystem))),
-        ("Greedy-NTG", Box::new(Greedy::new(GreedyPolicy::NearestToGo))),
-        ("Greedy-FTG", Box::new(Greedy::new(GreedyPolicy::FurthestToGo))),
+        (
+            "Greedy-LIS",
+            Box::new(Greedy::new(GreedyPolicy::LongestInSystem)),
+        ),
+        (
+            "Greedy-NTG",
+            Box::new(Greedy::new(GreedyPolicy::NearestToGo)),
+        ),
+        (
+            "Greedy-FTG",
+            Box::new(Greedy::new(GreedyPolicy::FurthestToGo)),
+        ),
         ("PPTS", Box::new(Ppts::new())),
     ];
     if let Ok(hpts) = Hpts::for_line(nodes, l) {
@@ -32,10 +41,7 @@ fn zoo(nodes: usize, l: u32) -> Vec<(&'static str, Box<dyn Protocol<Path>>)> {
 pub fn e5_duel(quick: bool) -> Vec<Table> {
     // (ℓ, m, ρ): ρ > 1/(ℓ+1), ρ·m integral.
     let configs: Vec<(u32, u64, Rate)> = if quick {
-        vec![
-            (1, 16, Rate::ONE),
-            (2, 6, Rate::new(1, 2).expect("valid")),
-        ]
+        vec![(1, 16, Rate::ONE), (2, 6, Rate::new(1, 2).expect("valid"))]
     } else {
         vec![
             (1, 64, Rate::ONE),
@@ -46,7 +52,15 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E5a (Thm 5.1) - lower-bound adversary vs the protocol zoo",
         [
-            "l", "m", "n", "rho", "sigma*", "reference", "protocol", "measured", "ratio",
+            "l",
+            "m",
+            "n",
+            "rho",
+            "sigma*",
+            "reference",
+            "protocol",
+            "measured",
+            "ratio",
         ],
     );
     let mut min_ratio = f64::INFINITY;
@@ -57,9 +71,8 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
         let sigma_star = analyze(&topo, &pattern, rho).tight_sigma;
         let reference = adv.theorem_bound();
         for (label, protocol) in zoo(topo.node_count(), l) {
-            let summary =
-                run_path(topo.node_count(), protocol, &pattern, 4 * u64::from(l))
-                    .expect("valid run");
+            let summary = run_path(topo.node_count(), protocol, &pattern, 4 * u64::from(l))
+                .expect("valid run");
             let ratio = summary.max_occupancy as f64 / reference;
             min_ratio = min_ratio.min(ratio);
             table.push_row([
@@ -81,7 +94,14 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
     // Shape: fix ℓ = 2, grow m; the best protocol's peak grows ~linearly in m.
     let mut shape = Table::new(
         "E5b - growth shape at l = 2: min-over-zoo peak vs m (expect ~linear)",
-        ["m", "n", "reference", "best protocol", "best peak", "peak/m"],
+        [
+            "m",
+            "n",
+            "reference",
+            "best protocol",
+            "best peak",
+            "peak/m",
+        ],
     );
     let ms: &[u64] = if quick { &[4, 8] } else { &[4, 8, 16] };
     for &m in ms {
@@ -91,9 +111,11 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
         let topo = adv.topology();
         let mut best: Option<(String, usize)> = None;
         for (label, protocol) in zoo(topo.node_count(), 2) {
-            let summary = run_path(topo.node_count(), protocol, &pattern, 8)
-                .expect("valid run");
-            if best.as_ref().is_none_or(|(_, b)| summary.max_occupancy < *b) {
+            let summary = run_path(topo.node_count(), protocol, &pattern, 8).expect("valid run");
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| summary.max_occupancy < *b)
+            {
                 best = Some((label.to_string(), summary.max_occupancy));
             }
         }
@@ -140,7 +162,12 @@ mod tests {
         let tables = e5_duel(true);
         let csv = tables[0].to_csv();
         for line in csv.lines().skip(1) {
-            let sigma: u64 = line.split(',').nth(4).expect("sigma column").parse().expect("int");
+            let sigma: u64 = line
+                .split(',')
+                .nth(4)
+                .expect("sigma column")
+                .parse()
+                .expect("int");
             assert!(sigma <= 2, "construction burstiness {sigma} > 2");
         }
     }

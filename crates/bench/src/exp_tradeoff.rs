@@ -144,9 +144,7 @@ mod tests {
             .map(|l| l.split(',').map(String::from).collect())
             .collect();
         let bound_at = |k: &str| -> u64 {
-            rows.iter()
-                .find(|r| r[0] == k)
-                .expect("row present")[2]
+            rows.iter().find(|r| r[0] == k).expect("row present")[2]
                 .parse()
                 .expect("int")
         };
@@ -164,7 +162,13 @@ mod tests {
         let max_bound: u64 = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(3).expect("bound column").parse::<u64>().expect("int"))
+            .map(|l| {
+                l.split(',')
+                    .nth(3)
+                    .expect("bound column")
+                    .parse::<u64>()
+                    .expect("int")
+            })
             .max()
             .expect("rows");
         assert!(max_bound < 64, "bound {max_bound} should track d, not n");

@@ -37,8 +37,8 @@ pub fn e1_pts(quick: bool) -> Vec<Table> {
                 // Report the *measured* σ — the bound is about the actual
                 // pattern, which may be less bursty than the budget.
                 let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-                let summary = run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, EXTRA)
-                    .expect("valid run");
+                let summary =
+                    run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, EXTRA).expect("valid run");
                 let bound = bounds::pts_bound(sigma_star);
                 table.push_row([
                     rho.to_string(),
@@ -99,8 +99,8 @@ pub fn e2_ppts(quick: bool) -> Vec<Table> {
         let d_actual = pattern.destinations().len();
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
         let ppts = run_path(n, Ppts::new(), &pattern, EXTRA).expect("valid run");
-        let fifo = run_path(n, Greedy::new(GreedyPolicy::Fifo), &pattern, EXTRA)
-            .expect("valid run");
+        let fifo =
+            run_path(n, Greedy::new(GreedyPolicy::Fifo), &pattern, EXTRA).expect("valid run");
         let lis = run_path(
             n,
             Greedy::new(GreedyPolicy::LongestInSystem),
@@ -249,8 +249,8 @@ pub fn e4_hpts(quick: bool) -> Vec<Table> {
             .seed(42 + u64::from(l))
             .build_path(&Path::new(n));
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let summary = run_path(n, hpts.clone(), &pattern, EXTRA + 4 * u64::from(l))
-            .expect("valid run");
+        let summary =
+            run_path(n, hpts.clone(), &pattern, EXTRA + 4 * u64::from(l)).expect("valid run");
         let bound = bounds::hpts_bound(l, m, sigma_star);
         table.push_row([
             l.to_string(),
@@ -281,7 +281,9 @@ pub fn e4_hpts(quick: bool) -> Vec<Table> {
             ("descending", LevelSchedule::Descending),
             ("ascending", LevelSchedule::Ascending),
         ] {
-            let hpts = Hpts::for_line(n, l).expect("geometry fits").schedule(schedule);
+            let hpts = Hpts::for_line(n, l)
+                .expect("geometry fits")
+                .schedule(schedule);
             let m = hpts.hierarchy().base();
             let summary = run_path(n, hpts, &pattern, EXTRA).expect("valid run");
             let bound = bounds::hpts_bound(l, m, sigma_star);

@@ -40,8 +40,9 @@ use aqt_analysis::Table;
 
 /// All experiment ids in canonical order (`e9` is the exploratory
 /// locality extension, not a paper artifact).
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2"];
+pub const EXPERIMENT_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2",
+];
 
 /// Runs one experiment by id, returning its tables (E8 returns a pseudo
 /// table wrapping the figure).

@@ -110,20 +110,22 @@ pub fn max_badness_hpts(state: &NetworkState, h: &Hierarchy) -> usize {
         return 0;
     }
     // β_j(i) = Σ_k max(|L_{j,k}(i)| − 1, 0), per node and level.
-    let mut beta: Vec<Vec<usize>> = vec![vec![0; n_real]; h.levels() as usize];
+    let mut beta: Vec<Vec<usize>> = vec![vec![0; h.levels() as usize]; n_real];
     let mut local: BTreeMap<(u32, usize), usize> = BTreeMap::new();
-    for i in 0..n_real {
+    for (i, row) in beta.iter_mut().enumerate() {
         local.clear();
         for sp in state.buffer(NodeId::new(i)) {
             let w = sp.dest().index();
             if w <= i {
                 continue;
             }
-            *local.entry((h.level(i, w), h.dest_index(i, w))).or_insert(0) += 1;
+            *local
+                .entry((h.level(i, w), h.dest_index(i, w)))
+                .or_insert(0) += 1;
         }
         for (&(j, _), &c) in &local {
             if c >= 2 {
-                beta[j as usize][i] += c - 1;
+                row[j as usize] += c - 1;
             }
         }
     }
@@ -132,12 +134,12 @@ pub fn max_badness_hpts(state: &NetworkState, h: &Hierarchy) -> usize {
     for j in 0..h.levels() {
         let size = h.interval_size(j);
         let mut acc = 0usize;
-        for i in 0..n_real {
+        for (i, (row, total)) in beta.iter().zip(b.iter_mut()).enumerate() {
             if i % size == 0 {
                 acc = 0;
             }
-            acc += beta[j as usize][i];
-            b[i] += acc;
+            acc += row[j as usize];
+            *total += acc;
         }
     }
     b.into_iter().max().unwrap_or(0)

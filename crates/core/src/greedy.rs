@@ -9,9 +9,7 @@
 //! needs Ω(d) buffers ([17]) — greedy ones included — but greedy policies
 //! generally have no matching `O(d + σ)` guarantee.
 
-use aqt_model::{
-    ForwardingPlan, NetworkState, NodeId, Protocol, Round, StoredPacket, Topology,
-};
+use aqt_model::{ForwardingPlan, NetworkState, NodeId, Protocol, Round, StoredPacket, Topology};
 
 /// The packet-selection rule of a greedy protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,12 +105,9 @@ impl Greedy {
             GreedyPolicy::ShortestInSystem => buffer
                 .iter()
                 .max_by_key(|p| (p.packet().injected_at(), p.seq())),
-            GreedyPolicy::NearestToGo => buffer.iter().min_by_key(|p| {
-                (
-                    topo.route_len(v, p.dest()).unwrap_or(usize::MAX),
-                    p.seq(),
-                )
-            }),
+            GreedyPolicy::NearestToGo => buffer
+                .iter()
+                .min_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(usize::MAX), p.seq())),
             GreedyPolicy::FurthestToGo => buffer
                 .iter()
                 .max_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(0), p.seq())),
@@ -179,8 +174,7 @@ mod tests {
             Injection::new(0, 0, 5), // 5 hops to go
         ]);
         let run = |policy| {
-            let mut sim =
-                Simulation::new(Path::new(6), Greedy::new(policy), &p.clone()).unwrap();
+            let mut sim = Simulation::new(Path::new(6), Greedy::new(policy), &p.clone()).unwrap();
             sim.step().unwrap();
             // Which packet is still at node 0?
             sim.state().buffer(NodeId::new(0))[0].id()

@@ -57,7 +57,10 @@ impl std::fmt::Display for DestSpaceError {
         match self {
             DestSpaceError::NoDestinations => write!(f, "destination set is empty"),
             DestSpaceError::Unsorted { index } => {
-                write!(f, "destinations must be strictly increasing (index {index})")
+                write!(
+                    f,
+                    "destinations must be strictly increasing (index {index})"
+                )
             }
             DestSpaceError::ZeroDestination => write!(f, "node 0 cannot be a destination"),
             DestSpaceError::Geometry(e) => write!(f, "zone hierarchy: {e}"),
@@ -220,7 +223,7 @@ impl HptsD {
     fn classes(&self, state: &NetworkState) -> Vec<BTreeMap<(u32, usize), Info>> {
         let n = state.node_count();
         let mut infos: Vec<BTreeMap<(u32, usize), Info>> = vec![BTreeMap::new(); n];
-        for i in 0..n {
+        for (i, info_map) in infos.iter_mut().enumerate() {
             let p = self.zone_of(i);
             for sp in state.buffer(NodeId::new(i)) {
                 let w = sp.dest().index();
@@ -233,7 +236,7 @@ impl HptsD {
                 let k = self.h.dest_index(p, q);
                 let x = self.h.intermediate(p, q);
                 let real_target = self.zone_left_endpoint(x);
-                let e = infos[i].entry((j, k)).or_insert(Info {
+                let e = info_map.entry((j, k)).or_insert(Info {
                     count: 0,
                     top: sp.id(),
                     top_seq: sp.seq(),
@@ -282,14 +285,17 @@ impl HptsD {
         let d = self.dests.len();
         for r in 0..self.h.interval_count(lambda) {
             let (za, zb) = self.h.interval(lambda, r);
-            let Some((lo, hi)) = self.real_span(za, zb, n) else { continue };
+            let Some((lo, hi)) = self.real_span(za, zb, n) else {
+                continue;
+            };
             // Left-most bad real node per column, in one pass over the
             // interval's real span (a column's global left-most bad node is
             // also the left-most in any prefix, so the i′ cutoff semantics
             // below are unchanged).
             let mut leftmost_bad: BTreeMap<usize, usize> = BTreeMap::new();
-            for i in lo..=hi.min(n - 1) {
-                for (&(j, k), e) in &infos[i] {
+            let span_end = hi.min(n - 1);
+            for (i, info_map) in infos.iter().enumerate().take(span_end + 1).skip(lo) {
+                for (&(j, k), e) in info_map {
                     if j == lambda && e.count >= 2 {
                         leftmost_bad.entry(k).or_insert(i);
                     }
@@ -310,12 +316,19 @@ impl HptsD {
                     continue;
                 }
                 let cap = (iprime - 1).min(wk_real - 1).min(n - 1);
-                for i in ik..=cap {
-                    let packet = infos[i]
+                for (i, info_map) in infos.iter().enumerate().take(cap + 1).skip(ik) {
+                    let packet = info_map
                         .get(&(lambda, k))
                         .filter(|e| e.count >= 1)
                         .map(|e| (e.top, e.top_dest));
-                    set_active(active, i, Active { real_target: wk_real, packet });
+                    set_active(
+                        active,
+                        i,
+                        Active {
+                            real_target: wk_real,
+                            packet,
+                        },
+                    );
                 }
                 iprime = ik;
             }
@@ -342,8 +355,12 @@ impl HptsD {
             if a == 0 || a >= n || active[a].is_some() {
                 continue;
             }
-            let Some(sender) = active[a - 1] else { continue };
-            let Some((_, final_dest)) = sender.packet else { continue };
+            let Some(sender) = active[a - 1] else {
+                continue;
+            };
+            let Some((_, final_dest)) = sender.packet else {
+                continue;
+            };
             if sender.real_target != a || final_dest == a {
                 continue; // not the last hop of a segment / delivered on arrival
             }
@@ -369,7 +386,14 @@ impl HptsD {
                     .get(&(j, k))
                     .filter(|e| e.count >= 1)
                     .map(|e| (e.top, e.top_dest));
-                set_active(active, i, Active { real_target: target_real, packet });
+                set_active(
+                    active,
+                    i,
+                    Active {
+                        real_target: target_real,
+                        packet,
+                    },
+                );
                 i += 1;
             }
         }
@@ -491,7 +515,11 @@ mod tests {
         let mut sim = Simulation::new(Path::new(16), h, &p).unwrap();
         sim.run_past_horizon(30).unwrap();
         let m = sim.metrics();
-        assert!(m.delivered >= 20, "sustained stream must deliver, got {}", m.delivered);
+        assert!(
+            m.delivered >= 20,
+            "sustained stream must deliver, got {}",
+            m.delivered
+        );
         // σ* of this stream at ρ = 1 is 0; empirical bound 1·2 + 0 + 1.
         assert!(m.max_occupancy <= 3, "occupancy {}", m.max_occupancy);
     }

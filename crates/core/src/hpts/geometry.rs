@@ -152,7 +152,11 @@ impl Hierarchy {
     /// Panics if `i ≥ w` or `w ≥ n` (such a packet has no segment).
     pub fn level(&self, i: usize, w: usize) -> u32 {
         assert!(i < w, "segment level requires i < w (got {i}, {w})");
-        assert!(w < self.n, "destination {w} outside virtual line of {}", self.n);
+        assert!(
+            w < self.n,
+            "destination {w} outside virtual line of {}",
+            self.n
+        );
         for j in (0..self.l).rev() {
             if self.digit(i, j) != self.digit(w, j) {
                 return j;
@@ -292,9 +296,9 @@ mod tests {
             let mut seen = vec![false; h.n()];
             for r in 0..h.interval_count(j) {
                 let (a, b) = h.interval(j, r);
-                for i in a..=b {
-                    assert!(!seen[i], "node {i} covered twice at level {j}");
-                    seen[i] = true;
+                for (i, covered) in seen.iter_mut().enumerate().take(b + 1).skip(a) {
+                    assert!(!*covered, "node {i} covered twice at level {j}");
+                    *covered = true;
                 }
             }
             assert!(seen.iter().all(|&s| s), "level {j} must cover all nodes");
@@ -332,7 +336,10 @@ mod tests {
                 let chain = h.segment_chain(i, w);
                 let levels: Vec<u32> = chain.iter().map(|&(a, _)| h.level(a, w)).collect();
                 for pair in levels.windows(2) {
-                    assert!(pair[0] > pair[1], "levels must strictly decrease: {levels:?}");
+                    assert!(
+                        pair[0] > pair[1],
+                        "levels must strictly decrease: {levels:?}"
+                    );
                 }
                 // Trajectory is contiguous and ends at w.
                 assert_eq!(chain.first().unwrap().0, i);

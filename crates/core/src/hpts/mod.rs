@@ -150,13 +150,13 @@ impl Hpts {
     fn pseudo_buffers(&self, state: &NetworkState) -> Vec<BTreeMap<(u32, usize), Info>> {
         let n_real = state.node_count();
         let mut infos: Vec<BTreeMap<(u32, usize), Info>> = vec![BTreeMap::new(); n_real];
-        for i in 0..n_real {
+        for (i, info_map) in infos.iter_mut().enumerate() {
             for sp in state.buffer(NodeId::new(i)) {
                 let w = sp.dest().index();
                 debug_assert!(w > i, "packet past its destination");
                 let j = self.h.level(i, w);
                 let k = self.h.dest_index(i, w);
-                let e = infos[i].entry((j, k)).or_insert(Info {
+                let e = info_map.entry((j, k)).or_insert(Info {
                     count: 0,
                     top: sp.id(),
                     top_seq: sp.seq(),
@@ -197,8 +197,9 @@ impl Hpts {
             }
             // Left-most bad (λ, k) node per column k, in one pass.
             let mut leftmost_bad: BTreeMap<usize, usize> = BTreeMap::new();
-            for i in base..=end.min(n_real - 1) {
-                for (&(j, k), e) in &infos[i] {
+            let span_end = end.min(n_real - 1);
+            for (i, info_map) in infos.iter().enumerate().take(span_end + 1).skip(base) {
+                for (&(j, k), e) in info_map {
                     if j == lambda && e.count >= 2 {
                         leftmost_bad.entry(k).or_insert(i);
                     }
@@ -216,12 +217,19 @@ impl Hpts {
                 }
                 // Activate [i_k, min(i′−1, w_k−1)] (Alg. 4 line 6).
                 let hi = (iprime - 1).min(wk - 1).min(n_real - 1);
-                for i in ik..=hi {
-                    let packet = infos[i]
+                for (i, info_map) in infos.iter().enumerate().take(hi + 1).skip(ik) {
+                    let packet = info_map
                         .get(&(lambda, k))
                         .filter(|e| e.count >= 1)
                         .map(|e| (e.top, e.top_dest));
-                    set_active(active, i, Active { seg_dest: wk, packet });
+                    set_active(
+                        active,
+                        i,
+                        Active {
+                            seg_dest: wk,
+                            packet,
+                        },
+                    );
                 }
                 iprime = ik;
             }
@@ -250,8 +258,12 @@ impl Hpts {
                 continue; // Alg. 5 line 3: a must be inactive
             }
             // Is a packet about to arrive at `a` and join level j there?
-            let Some(sender) = active[a - 1] else { continue };
-            let Some((_, final_dest)) = sender.packet else { continue };
+            let Some(sender) = active[a - 1] else {
+                continue;
+            };
+            let Some((_, final_dest)) = sender.packet else {
+                continue;
+            };
             if sender.seg_dest != a || final_dest == a {
                 continue; // not the segment's last hop / delivered on arrival
             }
@@ -274,7 +286,14 @@ impl Hpts {
                     .get(&(j, k))
                     .filter(|e| e.count >= 1)
                     .map(|e| (e.top, e.top_dest));
-                set_active(active, i, Active { seg_dest: wk, packet });
+                set_active(
+                    active,
+                    i,
+                    Active {
+                        seg_dest: wk,
+                        packet,
+                    },
+                );
                 i += 1;
             }
         }
@@ -293,11 +312,7 @@ fn set_active(active: &mut [Option<Active>], i: usize, entry: Active) {
 
 impl Protocol<Path> for Hpts {
     fn name(&self) -> String {
-        let mut name = format!(
-            "HPTS(m={},l={})",
-            self.h.base(),
-            self.h.levels()
-        );
+        let mut name = format!("HPTS(m={},l={})", self.h.base(), self.h.levels());
         if self.schedule == LevelSchedule::Ascending {
             name.push_str("-asc");
         }
@@ -398,10 +413,7 @@ mod tests {
     #[test]
     fn injection_mode_batches_by_level_count() {
         let hpts = Hpts::for_line(27, 3).unwrap();
-        assert_eq!(
-            hpts.injection_mode(),
-            InjectionMode::Batched { len: 3 }
-        );
+        assert_eq!(hpts.injection_mode(), InjectionMode::Batched { len: 3 });
     }
 
     #[test]

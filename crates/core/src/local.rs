@@ -98,7 +98,7 @@ impl Protocol<Path> for LocalPts {
                 continue;
             }
             // Forward iff a bad buffer is visible ≤ r hops upstream.
-            if last_bad.is_some_and(|u| v - u <= self.radius - 1) {
+            if last_bad.is_some_and(|u| v - u < self.radius) {
                 let top = state
                     .lifo_top_where(node, |_| true)
                     .expect("non-empty buffer has a top");
@@ -187,9 +187,8 @@ mod tests {
         // bad) still keeps space bounded under a paced rate-1 stream with
         // small bursts — blocks compact but never blow up.
         let n = 40;
-        let mut injections: Vec<Injection> = (0..200u64)
-            .map(|t| Injection::new(t, 0, n - 1))
-            .collect();
+        let mut injections: Vec<Injection> =
+            (0..200u64).map(|t| Injection::new(t, 0, n - 1)).collect();
         injections.extend(vec![Injection::new(50, 10, n - 1); 3]);
         let pattern = Pattern::from_injections(injections);
         let peak = run(LocalPts::new(NodeId::new(n - 1), 1), &pattern, n, 300);
@@ -202,8 +201,7 @@ mod tests {
         let pattern = stream(n, 64, 1);
         let total = pattern.len() as u64;
         let mut sim =
-            Simulation::new(Path::new(n), LocalPts::new(NodeId::new(n - 1), 3), &pattern)
-                .unwrap();
+            Simulation::new(Path::new(n), LocalPts::new(NodeId::new(n - 1), 3), &pattern).unwrap();
         sim.run_past_horizon(100).unwrap();
         let m = sim.metrics();
         assert_eq!(
@@ -217,10 +215,7 @@ mod tests {
     #[test]
     fn name_encodes_parameters() {
         let p = LocalPts::new(NodeId::new(9), 4);
-        assert_eq!(
-            <LocalPts as Protocol<Path>>::name(&p),
-            "LocalPTS(w=v9,r=4)"
-        );
+        assert_eq!(<LocalPts as Protocol<Path>>::name(&p), "LocalPTS(w=v9,r=4)");
         assert_eq!(p.radius(), 4);
         assert_eq!(p.dest(), NodeId::new(9));
     }

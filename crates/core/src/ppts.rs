@@ -108,10 +108,10 @@ impl Ppts {
     fn pseudo_buffers(state: &NetworkState) -> Vec<BTreeMap<NodeId, PseudoInfo>> {
         let n = state.node_count();
         let mut out: Vec<BTreeMap<NodeId, PseudoInfo>> = vec![BTreeMap::new(); n];
-        for v in 0..n {
+        for (v, pseudo) in out.iter_mut().enumerate() {
             let node = NodeId::new(v);
             for sp in state.buffer(node) {
-                let entry = out[v].entry(sp.dest());
+                let entry = pseudo.entry(sp.dest());
                 match entry {
                     std::collections::btree_map::Entry::Vacant(slot) => {
                         slot.insert(PseudoInfo {
@@ -173,16 +173,13 @@ impl Protocol<Path> for Ppts {
             // Left-most bad k-pseudo-buffer strictly left of `right`
             // (packets destined w can only sit at nodes < w anyway).
             let scan_end = right.min(w.index());
-            let bad = (0..scan_end).find(|&i| {
-                pseudo[i]
-                    .get(&w)
-                    .is_some_and(|info| info.count >= 2)
-            });
+            let bad =
+                (0..scan_end).find(|&i| pseudo[i].get(&w).is_some_and(|info| info.count >= 2));
             let Some(ik) = bad else { continue };
             // Activate k-pseudo-buffers on [i_k, min(right−1, w−1)].
             let hi = (right - 1).min(w.index() - 1);
-            for i in ik..=hi {
-                if let Some(info) = pseudo[i].get(&w) {
+            for (i, pb) in pseudo.iter().enumerate().take(hi + 1).skip(ik) {
+                if let Some(info) = pb.get(&w) {
                     if info.count >= 1 {
                         plan.send(NodeId::new(i), info.pick(self.priority));
                     }
@@ -297,16 +294,9 @@ mod tests {
 
     #[test]
     fn fifo_priority_forwards_oldest() {
-        let p = Pattern::from_injections(vec![
-            Injection::new(0, 0, 3),
-            Injection::new(0, 0, 3),
-        ]);
-        let mut sim = Simulation::new(
-            Path::new(4),
-            Ppts::new().priority(PseudoPriority::Fifo),
-            &p,
-        )
-        .unwrap();
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3), Injection::new(0, 0, 3)]);
+        let mut sim =
+            Simulation::new(Path::new(4), Ppts::new().priority(PseudoPriority::Fifo), &p).unwrap();
         sim.step().unwrap();
         // The survivor at node 0 must be the *younger* packet (id 1).
         let left = sim.state().buffer(NodeId::new(0));

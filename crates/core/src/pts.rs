@@ -88,8 +88,10 @@ impl Protocol<Path> for Pts {
         let mut plan = ForwardingPlan::new(state.node_count());
         let w = self.dest.index();
         debug_assert!(
-            (0..state.node_count())
-                .all(|v| state.buffer(NodeId::new(v)).iter().all(|p| p.dest() == self.dest)),
+            (0..state.node_count()).all(|v| state
+                .buffer(NodeId::new(v))
+                .iter()
+                .all(|p| p.dest() == self.dest)),
             "PTS requires single-destination traffic"
         );
         // Left-most bad buffer among 0..w.
@@ -125,7 +127,11 @@ mod tests {
 
     fn run_pts(n: usize, pattern: Pattern, rounds: u64, eager: bool) -> aqt_model::RunMetrics {
         let dest = NodeId::new(n - 1);
-        let protocol = if eager { Pts::eager(dest) } else { Pts::new(dest) };
+        let protocol = if eager {
+            Pts::eager(dest)
+        } else {
+            Pts::new(dest)
+        };
         let mut sim = Simulation::new(Path::new(n), protocol, &pattern).unwrap();
         sim.run(rounds).unwrap();
         sim.metrics().clone()

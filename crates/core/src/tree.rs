@@ -13,9 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use aqt_model::{
-    DirectedTree, ForwardingPlan, NetworkState, NodeId, PacketId, Protocol, Round,
-};
+use aqt_model::{DirectedTree, ForwardingPlan, NetworkState, NodeId, PacketId, Protocol, Round};
 
 /// Computes the low-antichain `min(B)` of Def. B.2: the ≺-minimal elements
 /// of `bad` (no other bad node strictly below them).
@@ -25,10 +23,7 @@ use aqt_model::{
 pub fn low_antichain(tree: &DirectedTree, bad: &[NodeId]) -> Vec<NodeId> {
     bad.iter()
         .copied()
-        .filter(|&u| {
-            !bad.iter()
-                .any(|&v| v != u && tree.strictly_precedes(v, u))
-        })
+        .filter(|&u| !bad.iter().any(|&v| v != u && tree.strictly_precedes(v, u)))
         .collect()
 }
 
@@ -83,7 +78,10 @@ impl Protocol<DirectedTree> for TreePts {
         let n = state.node_count();
         let mut plan = ForwardingPlan::new(n);
         debug_assert!(
-            (0..n).all(|v| state.buffer(NodeId::new(v)).iter().all(|p| p.dest() == self.dest)),
+            (0..n).all(|v| state
+                .buffer(NodeId::new(v))
+                .iter()
+                .all(|p| p.dest() == self.dest)),
             "TreePTS requires single-destination traffic"
         );
         // Union of paths from bad nodes to the destination.
@@ -101,8 +99,8 @@ impl Protocol<DirectedTree> for TreePts {
                 }
             }
         }
-        for v in 0..n {
-            if active[v] {
+        for (v, &is_active) in active.iter().enumerate() {
+            if is_active {
                 let v = NodeId::new(v);
                 if let Some(top) = state.lifo_top_where(v, |p| p.dest() == self.dest) {
                     plan.send(v, top.id());
@@ -164,10 +162,10 @@ impl Protocol<DirectedTree> for TreePpts {
         // Per-node per-destination (count, lifo top) summaries.
         let mut counts: Vec<BTreeMap<NodeId, (usize, PacketId, u64)>> = vec![BTreeMap::new(); n];
         let mut dest_set = std::collections::BTreeSet::new();
-        for v in 0..n {
+        for (v, count_map) in counts.iter_mut().enumerate() {
             for sp in state.buffer(NodeId::new(v)) {
                 dest_set.insert(sp.dest());
-                let e = counts[v].entry(sp.dest()).or_insert((0, sp.id(), sp.seq()));
+                let e = count_map.entry(sp.dest()).or_insert((0, sp.id(), sp.seq()));
                 e.0 += 1;
                 if sp.seq() >= e.2 {
                     e.1 = sp.id();

@@ -105,8 +105,7 @@ impl ExcessTracker {
             None => 0,
             Some(prev) => {
                 let gap = round.since(prev).expect("query round precedes last update");
-                self.scaled[i]
-                    .saturating_sub(u128::from(self.rate.num()) * u128::from(gap))
+                self.scaled[i].saturating_sub(u128::from(self.rate.num()) * u128::from(gap))
             }
         };
         (s, u64::from(self.rate.den()))
@@ -182,12 +181,7 @@ pub fn analyze<T: Topology>(topology: &T, pattern: &Pattern, rate: Rate) -> Boun
 }
 
 /// Whether `pattern` is (ρ, σ)-bounded on `topology` (Def. 2.1), exactly.
-pub fn is_bounded<T: Topology>(
-    topology: &T,
-    pattern: &Pattern,
-    rate: Rate,
-    sigma: u64,
-) -> bool {
+pub fn is_bounded<T: Topology>(topology: &T, pattern: &Pattern, rate: Rate, sigma: u64) -> bool {
     analyze(topology, pattern, rate).is_bounded_by(sigma)
 }
 
@@ -213,11 +207,7 @@ pub fn interval_load<T: Topology>(
 
 /// Brute-force tight σ by enumerating all intervals ending at injection
 /// rounds (O(T²·n)); used to cross-validate [`analyze`] in tests.
-pub fn brute_force_tight_sigma<T: Topology>(
-    topology: &T,
-    pattern: &Pattern,
-    rate: Rate,
-) -> u64 {
+pub fn brute_force_tight_sigma<T: Topology>(topology: &T, pattern: &Pattern, rate: Rate) -> u64 {
     let Some(last) = pattern.last_round() else {
         return 0;
     };
@@ -283,9 +273,7 @@ mod tests {
     #[test]
     fn paced_injections_at_exact_rate_have_bounded_excess() {
         // One packet every 2 rounds at ρ = 1/2: ξ peaks at 1/2 ⇒ σ = 1.
-        let p: Pattern = (0..20)
-            .map(|k| Injection::new(2 * k, 0, 1))
-            .collect();
+        let p: Pattern = (0..20).map(|k| Injection::new(2 * k, 0, 1)).collect();
         let report = analyze(&line(2), &p, Rate::new(1, 2).unwrap());
         assert_eq!(report.tight_sigma, 1);
         // And it is NOT (1/2, 0)-bounded.
@@ -329,7 +317,11 @@ mod tests {
             ]),
             Pattern::from_injections(vec![Injection::new(3, 1, 2); 7]),
         ];
-        for rate in [Rate::ONE, Rate::new(1, 2).unwrap(), Rate::new(2, 3).unwrap()] {
+        for rate in [
+            Rate::ONE,
+            Rate::new(1, 2).unwrap(),
+            Rate::new(2, 3).unwrap(),
+        ] {
             for p in &patterns {
                 assert_eq!(
                     analyze(&topo, p, rate).tight_sigma,
@@ -349,8 +341,14 @@ mod tests {
             Injection::new(5, 3, 4),
         ]);
         let v2 = NodeId::new(2);
-        assert_eq!(interval_load(&topo, &p, v2, Round::new(0), Round::new(5)), 2);
-        assert_eq!(interval_load(&topo, &p, v2, Round::new(1), Round::new(2)), 1);
+        assert_eq!(
+            interval_load(&topo, &p, v2, Round::new(0), Round::new(5)),
+            2
+        );
+        assert_eq!(
+            interval_load(&topo, &p, v2, Round::new(1), Round::new(2)),
+            1
+        );
         assert_eq!(
             interval_load(&topo, &p, NodeId::new(3), Round::new(5), Round::new(5)),
             1

@@ -184,7 +184,10 @@ impl fmt::Display for ModelError {
                 node,
                 packet,
                 round,
-            } => write!(f, "plan at {round} forwards {packet} from {node} with no next hop"),
+            } => write!(
+                f,
+                "plan at {round} forwards {packet} from {node} with no next hop"
+            ),
         }
     }
 }
@@ -352,9 +355,7 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
             }
         }
         let mut injected = 0usize;
-        while self.cursor < self.packets.len()
-            && self.packets[self.cursor].injected_at() == t
-        {
+        while self.cursor < self.packets.len() && self.packets[self.cursor].injected_at() == t {
             let packet = self.packets[self.cursor];
             self.cursor += 1;
             injected += 1;
@@ -372,14 +373,11 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         let plan = self.protocol.plan(t, &self.topology, &self.state);
         let mut moves: Vec<(NodeId, PacketId, NodeId, bool)> = Vec::with_capacity(plan.len());
         for (v, pid) in plan.sends() {
-            let stored = self
-                .state
-                .find(v, pid)
-                .ok_or(ModelError::UnknownPacket {
-                    node: v,
-                    packet: pid,
-                    round: t,
-                })?;
+            let stored = self.state.find(v, pid).ok_or(ModelError::UnknownPacket {
+                node: v,
+                packet: pid,
+                round: t,
+            })?;
             let dest = stored.dest();
             let hop = self
                 .topology
@@ -572,10 +570,7 @@ mod tests {
         }
         let p = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
         let mut sim = Simulation::new(Path::new(2), Liar, &p).unwrap();
-        assert!(matches!(
-            sim.step(),
-            Err(ModelError::UnknownPacket { .. })
-        ));
+        assert!(matches!(sim.step(), Err(ModelError::UnknownPacket { .. })));
     }
 
     #[test]
@@ -612,9 +607,7 @@ mod tests {
             let m = sim.metrics();
             assert_eq!(
                 m.injected,
-                m.delivered
-                    + sim.state().total_buffered() as u64
-                    + sim.state().staged_len() as u64
+                m.delivered + sim.state().total_buffered() as u64 + sim.state().staged_len() as u64
             );
         }
     }

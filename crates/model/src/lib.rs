@@ -57,9 +57,7 @@ pub mod util;
 pub use boundedness::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, ExcessTracker,
 };
-pub use engine::{
-    ForwardingPlan, InjectionMode, ModelError, Protocol, RoundOutcome, Simulation,
-};
+pub use engine::{ForwardingPlan, InjectionMode, ModelError, Protocol, RoundOutcome, Simulation};
 pub use ids::{NodeId, PacketId, Round};
 pub use metrics::{LatencyStats, RunMetrics};
 pub use packet::{Packet, StoredPacket};

@@ -132,7 +132,14 @@ mod tests {
     fn observe_tracks_peak_and_location() {
         let mut m = RunMetrics::new(3, true);
         let mut st = NetworkState::new(3);
-        let p = |id| Packet::new(PacketId::new(id), Round::ZERO, NodeId::new(0), NodeId::new(2));
+        let p = |id| {
+            Packet::new(
+                PacketId::new(id),
+                Round::ZERO,
+                NodeId::new(0),
+                NodeId::new(2),
+            )
+        };
         st.place(NodeId::new(1), p(0), Round::ZERO);
         st.place(NodeId::new(1), p(1), Round::ZERO);
         st.place(NodeId::new(2), p(2), Round::ZERO);

@@ -304,10 +304,7 @@ mod tests {
             Injection::new(1, 1, 2),
             Injection::new(4, 0, 2),
         ]);
-        let groups: Vec<(u64, usize)> = p
-            .rounds()
-            .map(|(r, g)| (r.value(), g.len()))
-            .collect();
+        let groups: Vec<(u64, usize)> = p.rounds().map(|(r, g)| (r.value(), g.len())).collect();
         assert_eq!(groups, vec![(1, 2), (4, 1)]);
     }
 

@@ -150,8 +150,8 @@ impl Rate {
     pub fn bound_holds(self, packets: u64, interval: u64, sigma: u64) -> bool {
         // packets·den ≤ num·interval + sigma·den, in u128 to avoid overflow.
         let lhs = u128::from(packets) * u128::from(self.den);
-        let rhs = u128::from(self.num) * u128::from(interval)
-            + u128::from(sigma) * u128::from(self.den);
+        let rhs =
+            u128::from(self.num) * u128::from(interval) + u128::from(sigma) * u128::from(self.den);
         lhs <= rhs
     }
 

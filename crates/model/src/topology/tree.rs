@@ -112,7 +112,10 @@ impl DirectedTree {
                 },
                 Some(pi) => {
                     if *pi >= n {
-                        return Err(TreeError::ParentOutOfRange { node: v, parent: *pi });
+                        return Err(TreeError::ParentOutOfRange {
+                            node: v,
+                            parent: *pi,
+                        });
                     }
                     if *pi == i {
                         return Err(TreeError::SelfLoop(v));
@@ -272,7 +275,9 @@ impl DirectedTree {
         }
         let mut at = desc;
         for _ in 0..(dd - da) {
-            at = self.parent(at).expect("depth accounting guarantees a parent");
+            at = self
+                .parent(at)
+                .expect("depth accounting guarantees a parent");
         }
         at == anc
     }
@@ -310,8 +315,8 @@ impl DirectedTree {
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(self.root);
         while let Some(v) = queue.pop_front() {
-            let here = usize::from(dests.contains(&v))
-                + self.parent(v).map_or(0, |p| count[p.index()]);
+            let here =
+                usize::from(dests.contains(&v)) + self.parent(v).map_or(0, |p| count[p.index()]);
             count[v.index()] = here;
             best = best.max(here);
             queue.extend(self.children(v).iter().copied());
@@ -393,8 +398,7 @@ mod tests {
     fn from_parents_rejects_no_root() {
         assert_eq!(
             DirectedTree::from_parents(&[Some(1), Some(0)]),
-            Err(TreeError::NotConnected)
-                .or(Err(TreeError::NoRoot)) // either diagnosis is acceptable…
+            Err(TreeError::NotConnected).or(Err(TreeError::NoRoot)) // either diagnosis is acceptable…
         );
         // …but the actual error for a 2-cycle with no None is NoRoot-like:
         match DirectedTree::from_parents(&[Some(1), Some(0)]) {

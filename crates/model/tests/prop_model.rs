@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use aqt_model::{
-    analyze, brute_force_tight_sigma, DirectedTree, Injection, NodeId, Path, Pattern, Rate,
-    Round, Topology,
+    analyze, brute_force_tight_sigma, DirectedTree, Injection, NodeId, Path, Pattern, Rate, Round,
+    Topology,
 };
 
 /// Strategy: a valid rate 0 < num/den ≤ 1.

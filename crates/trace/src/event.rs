@@ -117,10 +117,7 @@ impl Trace {
     ///
     /// Panics if `v` is out of range.
     pub fn node_series(&self, v: NodeId) -> Vec<u32> {
-        self.rounds
-            .iter()
-            .map(|r| r.occupancy[v.index()])
-            .collect()
+        self.rounds.iter().map(|r| r.occupancy[v.index()]).collect()
     }
 
     /// The per-round maximum-occupancy series.

@@ -128,8 +128,8 @@ impl BadnessExcessMonitor {
             counts.iter_mut().for_each(|c| *c = 0);
             for injection in group {
                 // On a path a packet (i → w) crosses buffers i, …, w−1.
-                for v in injection.source.index()..injection.dest.index() {
-                    counts[v] += 1;
+                for c in &mut counts[injection.source.index()..injection.dest.index()] {
+                    *c += 1;
                 }
             }
             rounds[round.value() as usize] = counts
@@ -179,10 +179,7 @@ impl Monitor<aqt_model::Path> for BadnessExcessMonitor {
                 return Err(Violation {
                     monitor: Monitor::<aqt_model::Path>::name(self),
                     round,
-                    message: format!(
-                        "B({i}) = {b} exceeds xi + 1 = {}/{} + 1",
-                        xi_num, xi_den
-                    ),
+                    message: format!("B({i}) = {b} exceeds xi + 1 = {}/{} + 1", xi_num, xi_den),
                 });
             }
         }

@@ -83,7 +83,11 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
             .map(|(from, packet)| {
                 let delivered = state
                     .find(from, packet)
-                    .and_then(|sp| topology.next_hop(from, sp.dest()).map(|hop| hop == sp.dest()))
+                    .and_then(|sp| {
+                        topology
+                            .next_hop(from, sp.dest())
+                            .map(|hop| hop == sp.dest())
+                    })
                     .unwrap_or(false);
                 SendRecord {
                     from,
@@ -113,8 +117,7 @@ mod tests {
         let pattern: Pattern = (0..12u64)
             .map(|t| Injection::new(t, 0, if t % 2 == 0 { 7 } else { 4 }))
             .collect();
-        let mut sim =
-            Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern).unwrap();
+        let mut sim = Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern).unwrap();
         sim.run_past_horizon(40).unwrap();
         let trace = sim.protocol().trace();
         let metrics = sim.metrics();

@@ -14,8 +14,7 @@
 
 use small_buffers::{
     heatmap, run_monitored, sparkline, BadnessExcessMonitor, DestSpec, ForwardingPlan,
-    NetworkState, Path, Ppts, Protocol, RandomAdversary, Rate, Round, Simulation, Topology,
-    Traced,
+    NetworkState, Path, Ppts, Protocol, RandomAdversary, Rate, Round, Simulation, Topology, Traced,
 };
 
 /// PPTS that skips odd rounds: a realistic bug (under-provisioned service
@@ -56,8 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Run 1b: same run under the proof-invariant monitor ----------
     let monitor = BadnessExcessMonitor::new(n, &pattern, rho);
-    let metrics = run_monitored(topo, Ppts::new(), &pattern, 2 * n as u64, vec![Box::new(monitor)])
-        .expect("Prop. 3.2's potential invariant holds for PPTS");
+    let metrics = run_monitored(
+        topo,
+        Ppts::new(),
+        &pattern,
+        2 * n as u64,
+        vec![Box::new(monitor)],
+    )
+    .expect("Prop. 3.2's potential invariant holds for PPTS");
     println!(
         "PPTS: B(i) <= xi(i) + 1 held in every round; peak occupancy {}\n",
         metrics.max_occupancy

@@ -36,7 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         format!("buffer space vs d (n = {n}, rho = 1/2, sigma = {sigma})"),
-        ["d", "tight_sigma", "PPTS", "bound 1+d+s", "FIFO", "LIFO", "NTG", "FTG"],
+        [
+            "d",
+            "tight_sigma",
+            "PPTS",
+            "bound 1+d+s",
+            "FIFO",
+            "LIFO",
+            "NTG",
+            "FTG",
+        ],
     );
 
     for d in [1usize, 2, 4, 8, 16, 32] {

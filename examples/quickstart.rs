@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use small_buffers::{
-    analyze, bounds, DestSpec, Path, Ppts, RandomAdversary, Rate, Simulation,
-};
+use small_buffers::{analyze, bounds, DestSpec, Path, Ppts, RandomAdversary, Rate, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A directed path 0 → 1 → … → 63: every packet moves rightward, at most

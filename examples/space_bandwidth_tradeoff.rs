@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         format!("HPTS space-bandwidth tradeoff (n = {n}, sigma = {sigma})"),
-        ["levels l", "rate rho", "m = n^(1/l)", "peak", "bound l*n^(1/l)+s+1"],
+        [
+            "levels l",
+            "rate rho",
+            "m = n^(1/l)",
+            "peak",
+            "bound l*n^(1/l)+s+1",
+        ],
     );
 
     for l in [1u32, 2, 3, 4, 6] {

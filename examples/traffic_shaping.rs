@@ -35,13 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "shaping the burst: delay bought, buffers saved (PTS, Prop. 3.1)",
-        ["shaper", "tight_sigma", "max_delay", "peak", "bound 2+s", "mean latency"],
+        [
+            "shaper",
+            "tight_sigma",
+            "max_delay",
+            "peak",
+            "bound 2+s",
+            "mean latency",
+        ],
     );
 
     // Unshaped: the raw burst is (1, σ*)-bounded only for a huge σ*.
     let raw = Pattern::from_injections(wishes.clone());
     let raw_sigma = analyze(&topo, &raw, Rate::ONE).tight_sigma;
-    let mut sim = Simulation::new(topo.clone(), Pts::new(NodeId::new(sink)), &raw)?;
+    let mut sim = Simulation::new(topo, Pts::new(NodeId::new(sink)), &raw)?;
     sim.run_past_horizon(6 * n as u64)?;
     table.push_row([
         "none".into(),
@@ -59,11 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tight = analyze(&topo, &shaped, Rate::ONE).tight_sigma;
         assert!(tight <= sigma, "shaper must honor its budget");
 
-        let mut sim = Simulation::new(topo.clone(), Pts::new(NodeId::new(sink)), &shaped)?;
+        let mut sim = Simulation::new(topo, Pts::new(NodeId::new(sink)), &shaped)?;
         sim.run_past_horizon(6 * n as u64)?;
         let peak = sim.metrics().max_occupancy;
         let bound = bounds::pts_bound(tight);
-        assert!(peak as u64 <= bound, "Prop. 3.1 violated at sigma = {sigma}");
+        assert!(
+            peak as u64 <= bound,
+            "Prop. 3.1 violated at sigma = {sigma}"
+        );
 
         table.push_row([
             format!("rho=1, sigma={sigma}"),

@@ -47,7 +47,12 @@ fn run_tree_case(
         tight.to_string(),
         peak.to_string(),
         bound.to_string(),
-        if (peak as u64) <= bound { "holds" } else { "VIOLATED" }.to_string(),
+        if (peak as u64) <= bound {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     assert!((peak as u64) <= bound, "Prop. 3.5 violated on {label}");
     Ok(())

@@ -121,12 +121,12 @@ pub use aqt_core::{
 pub use aqt_model::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, DirectedTree,
     ExcessTracker, ForwardingPlan, Injection, InjectionMode, LatencyStats, ModelError,
-    NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError, Protocol, Rate,
-    RateError, Round, RoundOutcome, RunMetrics, Simulation, StoredPacket, Topology, TreeError,
+    NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError, Protocol, Rate, RateError,
+    Round, RoundOutcome, RunMetrics, Simulation, StoredPacket, Topology, TreeError,
 };
 pub use aqt_trace::{
-    heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor, Monitored,
-    OccupancyMonitor, RoundRecord, SendRecord, Trace, Traced, Violation,
+    heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor,
+    RoundRecord, SendRecord, Trace, Traced, Violation,
 };
 
 #[cfg(test)]
@@ -137,8 +137,7 @@ mod tests {
     fn facade_reexports_are_usable() {
         // Eager PTS drains even a lone (never-bad) packet.
         let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
-        let mut sim =
-            Simulation::new(Path::new(4), Pts::eager(NodeId::new(3)), &pattern).unwrap();
+        let mut sim = Simulation::new(Path::new(4), Pts::eager(NodeId::new(3)), &pattern).unwrap();
         sim.run_past_horizon(10).unwrap();
         assert_eq!(sim.metrics().delivered, 1);
     }

@@ -6,8 +6,8 @@
 //! destination.
 
 use small_buffers::{
-    patterns, DestSpec, DirectedTree, Greedy, GreedyPolicy, Hpts, Injection, NodeId, Path,
-    Pattern, Ppts, Protocol, Pts, RandomAdversary, Rate, Simulation, Topology, TreePpts,
+    patterns, DestSpec, DirectedTree, Greedy, GreedyPolicy, Hpts, Injection, NodeId, Path, Pattern,
+    Ppts, Protocol, Pts, RandomAdversary, Rate, Simulation, Topology, TreePpts,
 };
 
 /// Steps the simulation and checks conservation and capacity after every
@@ -51,7 +51,12 @@ fn conservation_holds_for_every_path_protocol() {
     run_checked(topo, Ppts::new(), &pattern, 500);
     run_checked(topo, Ppts::new().eager(), &pattern, 500);
     run_checked(topo, Greedy::new(GreedyPolicy::Fifo), &pattern, 500);
-    run_checked(topo, Greedy::new(GreedyPolicy::LongestInSystem), &pattern, 500);
+    run_checked(
+        topo,
+        Greedy::new(GreedyPolicy::LongestInSystem),
+        &pattern,
+        500,
+    );
     run_checked(topo, Hpts::for_line(n, 2).unwrap(), &pattern, 500);
 }
 
@@ -77,7 +82,10 @@ fn greedy_fifo_drains_after_horizon() {
     let total = pattern.len() as u64;
     let mut sim = Simulation::new(topo, Greedy::new(GreedyPolicy::Fifo), &pattern).unwrap();
     sim.run_past_horizon(200).unwrap();
-    assert!(sim.is_drained(), "greedy must eventually deliver everything");
+    assert!(
+        sim.is_drained(),
+        "greedy must eventually deliver everything"
+    );
     assert_eq!(sim.metrics().delivered, total);
 }
 
@@ -90,7 +98,11 @@ fn eager_pts_drains_while_plain_pts_may_idle() {
 
     let mut plain = Simulation::new(topo, Pts::new(NodeId::new(7)), &pattern).unwrap();
     plain.run(30).unwrap();
-    assert_eq!(plain.metrics().delivered, 0, "plain PTS leaves the lone packet");
+    assert_eq!(
+        plain.metrics().delivered,
+        0,
+        "plain PTS leaves the lone packet"
+    );
     assert_eq!(plain.state().occupancy(NodeId::new(0)), 1);
 
     let mut eager = Simulation::new(topo, Pts::eager(NodeId::new(7)), &pattern).unwrap();
@@ -110,7 +122,10 @@ fn packets_advance_at_most_one_hop_per_round() {
         let pos = (0..10)
             .find(|&v| sim.state().occupancy(NodeId::new(v)) > 0)
             .unwrap_or(9);
-        assert!(pos <= last_pos + 1, "packet teleported from {last_pos} to {pos}");
+        assert!(
+            pos <= last_pos + 1,
+            "packet teleported from {last_pos} to {pos}"
+        );
         last_pos = pos;
     }
     assert!(sim.is_drained());

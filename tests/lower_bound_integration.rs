@@ -3,13 +3,12 @@
 //! implemented protocol to pay the theorem's floor.
 
 use small_buffers::{
-    analyze, measured_sigma, Greedy, GreedyPolicy, Hpts, LowerBoundAdversary, Path, Ppts,
-    Protocol, Rate, Simulation, Topology,
+    analyze, measured_sigma, Greedy, GreedyPolicy, Hpts, LowerBoundAdversary, Path, Ppts, Protocol,
+    Rate, Simulation, Topology,
 };
 
 fn peak_against<P: Protocol<Path>>(adv: &LowerBoundAdversary, protocol: P) -> f64 {
-    let mut sim =
-        Simulation::new(adv.topology(), protocol, &adv.pattern()).expect("valid pattern");
+    let mut sim = Simulation::new(adv.topology(), protocol, &adv.pattern()).expect("valid pattern");
     sim.run(adv.total_rounds()).expect("valid plan");
     sim.metrics().max_occupancy as f64
 }
@@ -55,7 +54,10 @@ fn every_protocol_pays_the_floor() {
     let rho = Rate::new(1, 2).unwrap();
     let adv = LowerBoundAdversary::new(l, m, rho).unwrap();
     let floor = adv.theorem_bound();
-    assert!(floor > 0.0, "theorem bound must be positive for rho > 1/(l+1)");
+    assert!(
+        floor > 0.0,
+        "theorem bound must be positive for rho > 1/(l+1)"
+    );
     let n = adv.topology().node_count();
 
     // (PTS is absent: it is a single-destination protocol and rejects the
@@ -64,10 +66,22 @@ fn every_protocol_pays_the_floor() {
         ("ppts", peak_against(&adv, Ppts::new())),
         ("fifo", peak_against(&adv, Greedy::new(GreedyPolicy::Fifo))),
         ("lifo", peak_against(&adv, Greedy::new(GreedyPolicy::Lifo))),
-        ("lis", peak_against(&adv, Greedy::new(GreedyPolicy::LongestInSystem))),
-        ("sis", peak_against(&adv, Greedy::new(GreedyPolicy::ShortestInSystem))),
-        ("ntg", peak_against(&adv, Greedy::new(GreedyPolicy::NearestToGo))),
-        ("ftg", peak_against(&adv, Greedy::new(GreedyPolicy::FurthestToGo))),
+        (
+            "lis",
+            peak_against(&adv, Greedy::new(GreedyPolicy::LongestInSystem)),
+        ),
+        (
+            "sis",
+            peak_against(&adv, Greedy::new(GreedyPolicy::ShortestInSystem)),
+        ),
+        (
+            "ntg",
+            peak_against(&adv, Greedy::new(GreedyPolicy::NearestToGo)),
+        ),
+        (
+            "ftg",
+            peak_against(&adv, Greedy::new(GreedyPolicy::FurthestToGo)),
+        ),
         ("hpts", peak_against(&adv, Hpts::for_line(n, l).unwrap())),
     ];
     for (name, peak) in peaks {

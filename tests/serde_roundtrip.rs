@@ -28,8 +28,7 @@ fn replayed_pattern_reproduces_the_run_exactly() {
         .destinations(DestSpec::fixed(vec![11, 23]))
         .seed(99)
         .build_path(&topo);
-    let replay: Pattern =
-        serde_json::from_str(&serde_json::to_string(&pattern).unwrap()).unwrap();
+    let replay: Pattern = serde_json::from_str(&serde_json::to_string(&pattern).unwrap()).unwrap();
 
     let run = |p: &Pattern| -> RunMetrics {
         let mut sim = Simulation::new(topo, Ppts::new(), p).unwrap();
@@ -72,8 +71,7 @@ fn boundedness_report_roundtrips() {
 #[test]
 fn tree_topology_roundtrips() {
     let tree = DirectedTree::caterpillar(10, 3);
-    let back: DirectedTree =
-        serde_json::from_str(&serde_json::to_string(&tree).unwrap()).unwrap();
+    let back: DirectedTree = serde_json::from_str(&serde_json::to_string(&tree).unwrap()).unwrap();
     assert_eq!(tree, back);
 }
 

@@ -3,8 +3,8 @@
 //! execution for PTS and PPTS under randomized bounded adversaries.
 
 use small_buffers::{
-    heatmap, patterns, run_monitored, BadnessExcessMonitor, DestSpec, Greedy, GreedyPolicy,
-    NodeId, OccupancyMonitor, Path, Ppts, Pts, RandomAdversary, Rate, Simulation, Trace, Traced,
+    heatmap, patterns, run_monitored, BadnessExcessMonitor, DestSpec, Greedy, GreedyPolicy, NodeId,
+    OccupancyMonitor, Path, Ppts, Pts, RandomAdversary, Rate, Simulation, Trace, Traced,
 };
 
 #[test]
@@ -72,9 +72,8 @@ fn traced_run_agrees_with_engine_metrics_for_every_protocol() {
         .seed(11)
         .build_path(&topo);
 
-    for policy in small_buffers::GreedyPolicy::ALL {
-        let mut sim =
-            Simulation::new(topo, Traced::new(Greedy::new(policy)), &pattern).unwrap();
+    for policy in GreedyPolicy::ALL {
+        let mut sim = Simulation::new(topo, Traced::new(Greedy::new(policy)), &pattern).unwrap();
         sim.run_past_horizon(150).unwrap();
         let trace = sim.protocol().trace();
         let metrics = sim.metrics();
@@ -99,7 +98,10 @@ fn trace_serializes_and_replays_identically() {
     };
     let first = run();
     let second = run();
-    assert_eq!(first, second, "deterministic protocols give identical traces");
+    assert_eq!(
+        first, second,
+        "deterministic protocols give identical traces"
+    );
     let json = serde_json::to_string(&first).unwrap();
     let back: Trace = serde_json::from_str(&json).unwrap();
     assert_eq!(first, back);
@@ -110,8 +112,9 @@ fn heatmap_of_a_real_run_shows_the_wave() {
     // A sustained stream under PTS: the heatmap must show activity both at
     // the injection site (node 0) and near the sink.
     let n = 16;
-    let pattern: small_buffers::Pattern =
-        (0..60u64).map(|t| small_buffers::Injection::new(t, 0, n - 1)).collect();
+    let pattern: small_buffers::Pattern = (0..60u64)
+        .map(|t| small_buffers::Injection::new(t, 0, n - 1))
+        .collect();
     let mut sim = Simulation::new(
         Path::new(n),
         Traced::new(Pts::new(NodeId::new(n - 1))),

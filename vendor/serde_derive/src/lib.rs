@@ -1,0 +1,365 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! stub's `Value` data model, with support for the container attributes the
+//! workspace actually uses: `#[serde(transparent)]` and
+//! `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` (no `syn`/`quote`
+//! — they are not available offline), which is fine because the supported
+//! input grammar is small: non-generic structs with named fields, tuple
+//! structs, unit structs, and enums with unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` for a struct or unit-variant enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct or unit-variant enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_deserialize)
+}
+
+fn expand(input: TokenStream, emit: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => emit(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! emission failed"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    while is_punct(toks.get(i), '#') {
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                parse_attr(&g.stream(), &mut attrs)?;
+                i += 1;
+            }
+            _ => return Err("malformed attribute".to_string()),
+        }
+    }
+
+    i = skip_visibility(&toks, i);
+
+    let kw = ident_str(toks.get(i)).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_str(toks.get(i)).ok_or("expected type name")?;
+    i += 1;
+
+    if is_punct(toks.get(i), '<') {
+        return Err(format!("serde stub derive: generics on `{name}` are not supported"));
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(parse_tuple_arity(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_unit_variants(&g.stream(), &name)?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Input { name, attrs, kind })
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_str(tok: Option<&TokenTree>) -> Option<String> {
+    match tok {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if ident_str(toks.get(i)).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Parses one `#[...]` attribute body, recording `serde(...)` options.
+fn parse_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if ident_str(toks.first()).as_deref() != Some("serde") {
+        return Ok(()); // doc comments, derives, etc.
+    }
+    let Some(TokenTree::Group(g)) = toks.get(1) else {
+        return Err("malformed #[serde] attribute".to_string());
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let key = ident_str(inner.get(j)).ok_or("expected serde option name")?;
+        j += 1;
+        let mut value = None;
+        if is_punct(inner.get(j), '=') {
+            j += 1;
+            match inner.get(j) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(lit.to_string().trim_matches('"').to_string());
+                    j += 1;
+                }
+                _ => return Err(format!("expected literal value for serde option `{key}`")),
+            }
+        }
+        match (key.as_str(), value) {
+            ("transparent", None) => attrs.transparent = true,
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            (other, _) => return Err(format!("unsupported serde option `{other}` in stub")),
+        }
+        if is_punct(inner.get(j), ',') {
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2; // `#` + bracket group
+        }
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_visibility(&toks, i);
+        let name = ident_str(toks.get(i)).ok_or("expected field name")?;
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type up to a comma at angle-bracket depth 0. Commas inside
+        // parenthesised types are invisible here (groups are atomic tokens).
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_arity(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut arity = if toks.is_empty() { 0 } else { 1 };
+    let mut depth: i32 = 0;
+    for (idx, tok) in toks.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 < toks.len() {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_unit_variants(stream: &TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let variant = ident_str(toks.get(i)).ok_or("expected variant name")?;
+        i += 1;
+        if let Some(TokenTree::Group(_)) = toks.get(i) {
+            return Err(format!(
+                "serde stub derive: enum `{name}` variant `{variant}` carries data; only unit variants are supported"
+            ));
+        }
+        if is_punct(toks.get(i), '=') {
+            i += 2; // discriminant literal
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn emit_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    let raw: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));
+                    ::serde::Serialize::to_value(&raw)
+                }}
+            }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|n| format!("::serde::Serialize::to_value(&self.{n})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{ {body} }}
+        }}"
+    )
+}
+
+fn emit_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(try_from) = &input.attrs.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    let raw: {try_from} = ::serde::Deserialize::from_value(v)?;
+                    ::std::convert::TryFrom::try_from(raw)
+                        .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))
+                }}
+            }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::__field(obj, {f:?}))?")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|n| format!("::serde::Deserialize::from_value(&items[{n}])?"))
+                .collect();
+            format!(
+                "let items = match v {{
+                     ::serde::Value::Array(items) if items.len() == {arity} => items,
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected {arity}-element array for {name}\")),
+                 }};
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v.as_str() {{
+                     {}
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {name}\")),
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}
+        }}"
+    )
+}
