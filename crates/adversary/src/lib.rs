@@ -7,14 +7,19 @@
 //!   built through it are (ρ, σ)-bounded **by construction**.
 //! * [`RandomAdversary`] — randomized bounded adversaries on paths and
 //!   trees, with smooth or bursty cadence and configurable destination
-//!   sets.
+//!   sets; [`RandomAdversary::stream_path`] / `stream_tree` produce
+//!   streaming [`InjectionSource`](aqt_model::InjectionSource)s for
+//!   unbounded horizons, `build_path` / `build_tree` materialize the same
+//!   stream into a `Pattern`.
 //! * deterministic [`patterns`] — bursts, paced streams, round-robin and
-//!   staircase workloads with exactly known parameters.
+//!   staircase workloads with exactly known parameters, each with a
+//!   `*_source` streaming variant.
 //! * [`LowerBoundAdversary`] — the paper's Section 5 construction, which
 //!   forces Ω(((ℓ+1)ρ−1)/2ℓ · n^{1/ℓ}) buffer usage against *every*
 //!   forwarding protocol.
-//! * [`shape`] — a leaky-bucket shaper that turns arbitrary wish streams
-//!   into bounded patterns.
+//! * [`shape`] / [`ShapingSource`] — a leaky-bucket shaper that turns
+//!   arbitrary wish streams into bounded patterns, materialized or
+//!   streaming.
 //!
 //! ## Example
 //!
@@ -45,5 +50,5 @@ mod shaper;
 
 pub use admission::Admitter;
 pub use lower_bound::{LowerBoundAdversary, LowerBoundError};
-pub use random::{Cadence, DestSpec, RandomAdversary};
-pub use shaper::shape;
+pub use random::{Cadence, DestSpec, RandomAdversary, RandomPathSource, RandomTreeSource};
+pub use shaper::{shape, ShapingSource};

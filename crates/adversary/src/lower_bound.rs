@@ -439,9 +439,9 @@ mod tests {
                 &mut self,
                 _: aqt_model::Round,
                 _: &Path,
-                st: &NetworkState,
-            ) -> aqt_model::ForwardingPlan {
-                aqt_model::ForwardingPlan::new(st.node_count())
+                _: &NetworkState,
+                _: &mut aqt_model::ForwardingPlan,
+            ) {
             }
         }
         let p = a.pattern();

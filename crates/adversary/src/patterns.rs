@@ -4,8 +4,14 @@
 //! used in unit tests and as stress inputs in the experiments: bursts,
 //! paced streams at an exact rate, round-robin multi-destination traffic,
 //! and a head-of-line "staircase" that makes naive protocols hoard packets.
+//!
+//! Every generator comes in two forms: a `*_source` streaming variant
+//! returning an [`InjectionSource`] (O(1) memory regardless of horizon),
+//! and the materializing function of the same stem that drains the stream
+//! into a [`Pattern`] — so a streamed run and a pattern run see the exact
+//! same schedule.
 
-use aqt_model::{Injection, NodeId, Pattern, Rate, Round};
+use aqt_model::{FnSource, Injection, InjectionSource, NodeId, Pattern, Rate, Round};
 
 /// A single burst: `size` packets injected at `round`, all `source → dest`.
 ///
@@ -15,28 +21,72 @@ pub fn burst(round: u64, source: usize, dest: usize, size: usize) -> Pattern {
     Pattern::from_injections(vec![Injection::new(round, source, dest); size])
 }
 
+/// Streaming [`burst_train`]: `count` bursts of `size` packets every
+/// `period` rounds, all on the same route, generated one round at a time.
+pub fn burst_train_source(
+    source: usize,
+    dest: usize,
+    size: usize,
+    period: u64,
+    count: usize,
+) -> impl InjectionSource {
+    assert!(period > 0, "period must be positive");
+    let horizon = (count as u64).saturating_sub(1) * period + u64::from(count > 0);
+    FnSource::new(horizon, move |t, out| {
+        if t % period == 0 && (t / period) < count as u64 {
+            out.extend(std::iter::repeat_n(Injection::new(t, source, dest), size));
+        }
+    })
+}
+
 /// A train of bursts: `count` bursts of `size` packets every `period`
 /// rounds, all on the same route.
 pub fn burst_train(source: usize, dest: usize, size: usize, period: u64, count: usize) -> Pattern {
-    assert!(period > 0, "period must be positive");
-    let mut injections = Vec::with_capacity(size * count);
-    for b in 0..count {
-        injections.extend(vec![Injection::new(b as u64 * period, source, dest); size]);
-    }
-    Pattern::from_injections(injections)
+    burst_train_source(source, dest, size, period, count).into_pattern()
+}
+
+/// Streaming [`paced_stream`]: round `t` carries `⌊ρ(t+1)⌋ − ⌊ρt⌋`
+/// packets on one route, generated on demand.
+pub fn paced_stream_source(
+    source: usize,
+    dest: usize,
+    rate: Rate,
+    rounds: u64,
+) -> impl InjectionSource {
+    assert!(source != dest, "route must be non-empty");
+    FnSource::new(rounds, move |t, out| {
+        let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
+        out.extend(std::iter::repeat_n(
+            Injection::new(t, source, dest),
+            k as usize,
+        ));
+    })
 }
 
 /// A maximally-smooth stream on one route: over `rounds` rounds, round `t`
 /// carries `⌊ρ(t+1)⌋ − ⌊ρt⌋` packets, so every prefix carries at most
 /// `⌈ρ·len⌉` packets and the pattern is (ρ, 1)-bounded.
 pub fn paced_stream(source: usize, dest: usize, rate: Rate, rounds: u64) -> Pattern {
-    assert!(source != dest, "route must be non-empty");
-    let mut injections = Vec::new();
-    for t in 0..rounds {
+    paced_stream_source(source, dest, rate, rounds).into_pattern()
+}
+
+/// Streaming [`round_robin`]: the `j`-th injected packet goes to
+/// `dests[j mod d]`, paced at total rate ρ, generated on demand.
+pub fn round_robin_source(dests: &[usize], rate: Rate, rounds: u64) -> impl InjectionSource {
+    assert!(!dests.is_empty(), "need at least one destination");
+    assert!(
+        dests.iter().all(|&w| w > 0),
+        "destinations must be right of node 0"
+    );
+    let dests = dests.to_vec();
+    let mut j = 0usize;
+    FnSource::new(rounds, move |t, out| {
         let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
-        injections.extend(vec![Injection::new(t, source, dest); k as usize]);
-    }
-    Pattern::from_injections(injections)
+        for _ in 0..k {
+            out.push(Injection::new(t, 0, dests[j % dests.len()]));
+            j += 1;
+        }
+    })
 }
 
 /// Round-robin traffic from node 0 to `dests`, paced at total rate ρ: the
@@ -45,21 +95,31 @@ pub fn paced_stream(source: usize, dest: usize, rate: Rate, rounds: u64) -> Patt
 /// This is the canonical multi-destination workload for PPTS (E2): all
 /// packets cross the low buffers, and `d` pseudo-buffers fill in parallel.
 pub fn round_robin(dests: &[usize], rate: Rate, rounds: u64) -> Pattern {
+    round_robin_source(dests, rate, rounds).into_pattern()
+}
+
+/// Streaming [`staircase`]: far destinations first, one step every `gap`
+/// rounds (all steps in round 0 when `gap` = 0).
+pub fn staircase_source(dests: &[usize], per_step: usize, gap: u64) -> impl InjectionSource {
     assert!(!dests.is_empty(), "need at least one destination");
-    assert!(
-        dests.iter().all(|&w| w > 0),
-        "destinations must be right of node 0"
-    );
-    let mut injections = Vec::new();
-    let mut j = 0usize;
-    for t in 0..rounds {
-        let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
-        for _ in 0..k {
-            injections.push(Injection::new(t, 0, dests[j % dests.len()]));
-            j += 1;
+    let mut sorted: Vec<usize> = dests.to_vec();
+    sorted.sort_unstable();
+    sorted.reverse(); // far destinations first
+    let horizon = (sorted.len() as u64 - 1) * gap + 1;
+    FnSource::new(horizon, move |t, out| {
+        let emit = |w: usize, out: &mut Vec<Injection>| {
+            out.extend(std::iter::repeat_n(Injection::new(t, 0, w), per_step));
+        };
+        if gap == 0 {
+            if t == 0 {
+                sorted.iter().for_each(|&w| emit(w, out));
+            }
+        } else if t % gap == 0 {
+            if let Some(&w) = sorted.get((t / gap) as usize) {
+                emit(w, out);
+            }
         }
-    }
-    Pattern::from_injections(injections)
+    })
 }
 
 /// The "staircase" stress pattern: a burst toward the farthest destination,
@@ -67,16 +127,7 @@ pub fn round_robin(dests: &[usize], rate: Rate, rounds: u64) -> Pattern {
 /// one node to be non-empty simultaneously. With `per_step` = 1 + σ it
 /// exercises PPTS's `1 + d + σ` bound tightly at the injection site.
 pub fn staircase(dests: &[usize], per_step: usize, gap: u64) -> Pattern {
-    assert!(!dests.is_empty(), "need at least one destination");
-    let mut sorted: Vec<usize> = dests.to_vec();
-    sorted.sort_unstable();
-    let mut injections = Vec::new();
-    // Far destinations first.
-    for (step, &w) in sorted.iter().rev().enumerate() {
-        let round = step as u64 * gap;
-        injections.extend(vec![Injection::new(round, 0, w); per_step]);
-    }
-    Pattern::from_injections(injections)
+    staircase_source(dests, per_step, gap).into_pattern()
 }
 
 /// Evenly-spaced destination set `{n−1, n−1−(n−1)/d, …}` used by the E2/E6
@@ -110,6 +161,17 @@ pub fn even_destinations(n: usize, d: usize) -> Vec<usize> {
 ///
 /// Panics if `n < 3` or ρ = 0.
 pub fn peak_chase(n: usize, rate: Rate, sigma: u64, rounds: u64) -> Pattern {
+    peak_chase_source(n, rate, sigma, rounds).into_pattern()
+}
+
+/// Streaming [`peak_chase`]: the paced stream plus its chasing σ-bursts,
+/// generated one round at a time (the quiet-window state lives in the
+/// source).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or ρ = 0.
+pub fn peak_chase_source(n: usize, rate: Rate, sigma: u64, rounds: u64) -> impl InjectionSource {
     assert!(n >= 3, "need at least 3 nodes");
     assert!(rate.num() > 0, "rate must be positive");
     let dest = n - 1;
@@ -119,9 +181,8 @@ pub fn peak_chase(n: usize, rate: Rate, sigma: u64, rounds: u64) -> Pattern {
         .expect("recovery fits u64")
         .div_ceil(u64::from(rate.num()));
     let mid = rounds / 2;
-    let mut injections = Vec::new();
     let mut quiet_until = 0u64;
-    for t in 0..rounds {
+    FnSource::new(rounds, move |t, out| {
         // One full burst at the start and one mid-stream, at middle sites.
         let burst_site = match t {
             0 => Some((n - 1) / 2),
@@ -129,17 +190,19 @@ pub fn peak_chase(n: usize, rate: Rate, sigma: u64, rounds: u64) -> Pattern {
             _ => None,
         };
         if let Some(site) = burst_site {
-            injections.extend(vec![Injection::new(t, site, dest); sigma as usize]);
+            out.extend(std::iter::repeat_n(
+                Injection::new(t, site, dest),
+                sigma as usize,
+            ));
             quiet_until = t + 1 + recovery;
-            continue;
+            return;
         }
         if t < quiet_until {
-            continue;
+            return;
         }
         let k = rate.mul_floor(t + 1) - rate.mul_floor(t);
-        injections.extend(vec![Injection::new(t, 0, dest); k as usize]);
-    }
-    Pattern::from_injections(injections)
+        out.extend(std::iter::repeat_n(Injection::new(t, 0, dest), k as usize));
+    })
 }
 
 /// Converts destination indices to [`NodeId`]s (convenience for tests).
@@ -223,6 +286,43 @@ mod tests {
         let report = analyze(&topo, &p, rate);
         // The two σ-bursts plus pacing slack: σ_measured ∈ [3, 4].
         assert!(report.tight_sigma >= 3 && report.tight_sigma <= 4);
+    }
+
+    #[test]
+    fn streaming_sources_match_materialized_patterns() {
+        let rate = Rate::new(2, 3).unwrap();
+        assert_eq!(
+            paced_stream_source(0, 4, rate, 50).into_pattern(),
+            paced_stream(0, 4, rate, 50)
+        );
+        assert_eq!(
+            round_robin_source(&[2, 4, 6], rate, 30).into_pattern(),
+            round_robin(&[2, 4, 6], rate, 30)
+        );
+        assert_eq!(
+            burst_train_source(0, 3, 4, 5, 3).into_pattern(),
+            burst_train(0, 3, 4, 5, 3)
+        );
+        assert_eq!(
+            staircase_source(&[2, 4, 6], 2, 3).into_pattern(),
+            staircase(&[2, 4, 6], 2, 3)
+        );
+        assert_eq!(
+            staircase_source(&[2, 4], 1, 0).into_pattern(),
+            staircase(&[2, 4], 1, 0)
+        );
+        assert_eq!(
+            peak_chase_source(9, rate, 3, 40).into_pattern(),
+            peak_chase(9, rate, 3, 40)
+        );
+    }
+
+    #[test]
+    fn streaming_sources_report_horizons() {
+        let src = paced_stream_source(0, 1, Rate::ONE, 25);
+        assert_eq!(src.horizon(), Some(25));
+        assert_eq!(burst_train_source(0, 1, 2, 10, 4).horizon(), Some(31));
+        assert_eq!(burst_train_source(0, 1, 2, 10, 0).horizon(), Some(0));
     }
 
     #[test]

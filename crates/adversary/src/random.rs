@@ -5,10 +5,19 @@
 //! construction. They are the workhorses of the upper-bound experiments
 //! (E1–E4): the theorems hold for *all* bounded adversaries, so we verify
 //! them against aggressive randomized ones.
+//!
+//! Generation is **streaming-first**: [`RandomAdversary::stream_path`] /
+//! [`RandomAdversary::stream_tree`] return [`InjectionSource`]s that draw
+//! each round's packets on demand, so unbounded-horizon traffic needs no
+//! materialized schedule. [`RandomAdversary::build_path`] /
+//! [`RandomAdversary::build_tree`] are the materializing adapters (they
+//! drain the same stream, so stream and pattern are identical per seed).
 
 use std::collections::BTreeSet;
 
-use aqt_model::{DirectedTree, Injection, NodeId, Path, Pattern, Rate, Topology};
+use aqt_model::{
+    DirectedTree, Injection, InjectionSource, NodeId, Path, Pattern, Rate, Round, Topology,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,43 +161,41 @@ impl RandomAdversary {
         }
     }
 
-    /// Generates a pattern on a path.
+    /// Streaming source on a path: draws each round's candidates on demand,
+    /// admission-controlled to (ρ, σ) by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Fixed`/`Spread` destination spec is invalid for the
+    /// topology (e.g. more destinations than nodes).
+    pub fn stream_path(&self, topo: &Path) -> RandomPathSource {
+        let n = topo.node_count();
+        assert!(n >= 2, "need at least two nodes to route");
+        RandomPathSource {
+            topo: *topo,
+            dests: self.resolve_path_dests(topo),
+            cadence: self.cadence,
+            attempts_per_round: self.attempts_per_round,
+            rounds: self.rounds,
+            rng: StdRng::seed_from_u64(self.seed),
+            admitter: Admitter::new(self.rate, self.sigma, n),
+            route_buf: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Generates a pattern on a path (materializes
+    /// [`stream_path`](RandomAdversary::stream_path)).
     ///
     /// # Panics
     ///
     /// Panics if a `Fixed`/`Spread` destination spec is invalid for the
     /// topology (e.g. more destinations than nodes).
     pub fn build_path(&self, topo: &Path) -> Pattern {
-        let n = topo.node_count();
-        assert!(n >= 2, "need at least two nodes to route");
-        let dests = self.resolve_path_dests(topo);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut admitter = Admitter::new(self.rate, self.sigma, n);
-        let mut injections = Vec::new();
-        for t in 0..self.rounds {
-            let (active, attempts) = self.round_budget(t);
-            if !active {
-                continue;
-            }
-            for _ in 0..attempts {
-                let dest = dests[rng.random_range(0..dests.len())];
-                let source = NodeId::new(rng.random_range(0..dest.index()));
-                let route = topo
-                    .route_buffers(source, dest)
-                    .expect("source is left of dest on a path");
-                if admitter.try_admit(t, &route) {
-                    injections.push(Injection {
-                        round: aqt_model::Round::new(t),
-                        source,
-                        dest,
-                    });
-                }
-            }
-        }
-        Pattern::from_injections(injections)
+        self.stream_path(topo).into_pattern()
     }
 
-    /// Generates a pattern on a directed tree: sources are uniform non-root
+    /// Streaming source on a directed tree: sources are uniform non-root
     /// nodes, destinations uniform proper ancestors (restricted by the
     /// destination spec where applicable).
     ///
@@ -196,7 +203,7 @@ impl RandomAdversary {
     ///
     /// Panics if `Fixed` destinations contain the tree's leaves' own ids in
     /// invalid positions (a destination must have at least one descendant).
-    pub fn build_tree(&self, topo: &DirectedTree) -> Pattern {
+    pub fn stream_tree(&self, topo: &DirectedTree) -> RandomTreeSource {
         let n = topo.node_count();
         assert!(n >= 2, "need at least two nodes to route");
         let allowed: Option<BTreeSet<NodeId>> = match &self.dests {
@@ -204,63 +211,166 @@ impl RandomAdversary {
             DestSpec::Fixed(ws) => Some(ws.iter().copied().collect()),
             DestSpec::Spread { count } => Some(spread_tree_dests(topo, *count)),
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut admitter = Admitter::new(self.rate, self.sigma, n);
-        let mut injections = Vec::new();
-        for t in 0..self.rounds {
-            let (active, attempts) = self.round_budget(t);
-            if !active {
-                continue;
-            }
-            for _ in 0..attempts {
-                let source = NodeId::new(rng.random_range(0..n));
-                if source == topo.root() {
-                    continue;
-                }
-                // Climb a random number of steps toward the root.
-                let depth = topo.depth(source);
-                let hops = rng.random_range(1..=depth);
-                let mut dest = source;
-                for _ in 0..hops {
-                    dest = topo.parent(dest).expect("depth bounds the climb");
-                }
-                if let Some(allowed) = &allowed {
-                    if !allowed.contains(&dest) {
-                        continue;
-                    }
-                }
-                let route = topo
-                    .route_buffers(source, dest)
-                    .expect("dest is an ancestor of source");
-                if admitter.try_admit(t, &route) {
-                    injections.push(Injection {
-                        round: aqt_model::Round::new(t),
-                        source,
-                        dest,
-                    });
-                }
-            }
+        RandomTreeSource {
+            topo: topo.clone(),
+            allowed,
+            cadence: self.cadence,
+            attempts_per_round: self.attempts_per_round,
+            rounds: self.rounds,
+            rng: StdRng::seed_from_u64(self.seed),
+            admitter: Admitter::new(self.rate, self.sigma, n),
+            route_buf: Vec::new(),
+            next: 0,
         }
-        Pattern::from_injections(injections)
     }
 
-    /// Whether round `t` is active and with how many candidate draws.
-    fn round_budget(&self, t: u64) -> (bool, usize) {
-        match self.cadence {
-            Cadence::Smooth => (true, self.attempts_per_round),
-            Cadence::Bursty { period } => {
-                let period = period.max(1);
-                if t % period == 0 {
-                    // A burst round gets the whole quiet window's attempts.
-                    (
-                        true,
-                        self.attempts_per_round * usize::try_from(period).unwrap_or(usize::MAX),
-                    )
-                } else {
-                    (false, 0)
+    /// Generates a pattern on a directed tree (materializes
+    /// [`stream_tree`](RandomAdversary::stream_tree)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Fixed` destinations contain the tree's leaves' own ids in
+    /// invalid positions (a destination must have at least one descendant).
+    pub fn build_tree(&self, topo: &DirectedTree) -> Pattern {
+        self.stream_tree(topo).into_pattern()
+    }
+}
+
+/// Whether round `t` is active and with how many candidate draws.
+fn round_budget(cadence: Cadence, attempts_per_round: usize, t: u64) -> (bool, usize) {
+    match cadence {
+        Cadence::Smooth => (true, attempts_per_round),
+        Cadence::Bursty { period } => {
+            let period = period.max(1);
+            if t % period == 0 {
+                // A burst round gets the whole quiet window's attempts.
+                (
+                    true,
+                    attempts_per_round * usize::try_from(period).unwrap_or(usize::MAX),
+                )
+            } else {
+                (false, 0)
+            }
+        }
+    }
+}
+
+/// Streaming state of a [`RandomAdversary`] on a [`Path`]; produced by
+/// [`RandomAdversary::stream_path`]. Memory use is O(1) in the horizon.
+#[derive(Debug, Clone)]
+pub struct RandomPathSource {
+    topo: Path,
+    dests: Vec<NodeId>,
+    cadence: Cadence,
+    attempts_per_round: usize,
+    rounds: u64,
+    rng: StdRng,
+    admitter: Admitter,
+    route_buf: Vec<NodeId>,
+    next: u64,
+}
+
+impl InjectionSource for RandomPathSource {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        let t = round.value();
+        debug_assert_eq!(t, self.next, "rounds must be consumed in order");
+        if t < self.rounds {
+            let (active, attempts) = round_budget(self.cadence, self.attempts_per_round, t);
+            if active {
+                for _ in 0..attempts {
+                    let dest = self.dests[self.rng.random_range(0..self.dests.len())];
+                    let source = NodeId::new(self.rng.random_range(0..dest.index()));
+                    self.route_buf.clear();
+                    let routed = self
+                        .topo
+                        .route_buffers_into(source, dest, &mut self.route_buf);
+                    debug_assert!(routed, "source is left of dest on a path");
+                    if self.admitter.try_admit(t, &self.route_buf) {
+                        out.push(Injection {
+                            round,
+                            source,
+                            dest,
+                        });
+                    }
                 }
             }
         }
+        self.next = self.next.max(t + 1);
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        Some(self.rounds)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next >= self.rounds
+    }
+}
+
+/// Streaming state of a [`RandomAdversary`] on a [`DirectedTree`]; produced
+/// by [`RandomAdversary::stream_tree`].
+#[derive(Debug, Clone)]
+pub struct RandomTreeSource {
+    topo: DirectedTree,
+    allowed: Option<BTreeSet<NodeId>>,
+    cadence: Cadence,
+    attempts_per_round: usize,
+    rounds: u64,
+    rng: StdRng,
+    admitter: Admitter,
+    route_buf: Vec<NodeId>,
+    next: u64,
+}
+
+impl InjectionSource for RandomTreeSource {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        let t = round.value();
+        debug_assert_eq!(t, self.next, "rounds must be consumed in order");
+        if t < self.rounds {
+            let n = self.topo.node_count();
+            let (active, attempts) = round_budget(self.cadence, self.attempts_per_round, t);
+            if active {
+                for _ in 0..attempts {
+                    let source = NodeId::new(self.rng.random_range(0..n));
+                    if source == self.topo.root() {
+                        continue;
+                    }
+                    // Climb a random number of steps toward the root.
+                    let depth = self.topo.depth(source);
+                    let hops = self.rng.random_range(1..=depth);
+                    let mut dest = source;
+                    for _ in 0..hops {
+                        dest = self.topo.parent(dest).expect("depth bounds the climb");
+                    }
+                    if let Some(allowed) = &self.allowed {
+                        if !allowed.contains(&dest) {
+                            continue;
+                        }
+                    }
+                    self.route_buf.clear();
+                    let routed = self
+                        .topo
+                        .route_buffers_into(source, dest, &mut self.route_buf);
+                    debug_assert!(routed, "dest is an ancestor of source");
+                    if self.admitter.try_admit(t, &self.route_buf) {
+                        out.push(Injection {
+                            round,
+                            source,
+                            dest,
+                        });
+                    }
+                }
+            }
+        }
+        self.next = self.next.max(t + 1);
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        Some(self.rounds)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next >= self.rounds
     }
 }
 
@@ -388,6 +498,39 @@ mod tests {
         for w in dests {
             assert!(!topo.is_leaf(w));
         }
+    }
+
+    #[test]
+    fn stream_and_build_agree_per_seed() {
+        let topo = Path::new(16);
+        let adv = RandomAdversary::new(Rate::new(2, 3).unwrap(), 2, 70)
+            .destinations(DestSpec::Spread { count: 3 })
+            .cadence(Cadence::Bursty { period: 7 })
+            .seed(5);
+        assert_eq!(adv.stream_path(&topo).into_pattern(), adv.build_path(&topo));
+
+        let tree = DirectedTree::random(20, 4);
+        let tadv = RandomAdversary::new(Rate::new(1, 2).unwrap(), 1, 50).seed(8);
+        assert_eq!(
+            tadv.stream_tree(&tree).into_pattern(),
+            tadv.build_tree(&tree)
+        );
+    }
+
+    #[test]
+    fn stream_reports_horizon_and_exhaustion() {
+        let topo = Path::new(8);
+        let mut src = RandomAdversary::new(Rate::ONE, 1, 5)
+            .seed(1)
+            .stream_path(&topo);
+        assert_eq!(src.horizon(), Some(5));
+        assert!(!src.is_exhausted());
+        let mut buf = Vec::new();
+        for t in 0..5 {
+            src.next_round(Round::new(t), &mut buf);
+        }
+        assert!(src.is_exhausted());
+        assert!(!buf.is_empty());
     }
 
     #[test]

@@ -4,12 +4,136 @@
 //! Useful for building experiments from traces or ad-hoc workloads: the
 //! shaper guarantees the output satisfies Def. 2.1, so every theorem's
 //! premise holds, while preserving per-route FIFO order of the wishes.
+//!
+//! Two forms: [`ShapingSource`] shapes any [`InjectionSource`] of wishes
+//! on the fly (memory proportional to the current backlog, not the
+//! horizon), and [`shape`] is the materializing adapter over a wish list.
 
 use std::collections::VecDeque;
 
-use aqt_model::{Injection, Pattern, Round, Topology};
+use aqt_model::{Injection, InjectionSource, NodeId, Pattern, PatternSource, Round, Topology};
 
 use crate::admission::Admitter;
+
+/// Streams a wish source through per-buffer token buckets: each wish is
+/// delayed to the first round — at or after both its wished round and its
+/// emission from the inner source — where the buckets of all buffers on
+/// its route have capacity. Head-of-line blocking preserves the inner
+/// source's emission order.
+///
+/// The horizon is unknown ([`horizon`](InjectionSource::horizon) returns
+/// `None`): how long draining takes depends on admission. The source is
+/// exhausted once the inner source is exhausted and the backlog is empty;
+/// with ρ > 0 and ρ + σ ≥ 1 (enforced at construction) that is guaranteed
+/// to happen.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_adversary::ShapingSource;
+/// use aqt_model::{
+///     analyze, Injection, InjectionSource, Path, Pattern, PatternSource, Rate,
+/// };
+///
+/// // Ten simultaneous packets on one route, shaped to ρ = 1, σ = 1.
+/// let topo = Path::new(4);
+/// let wishes = PatternSource::from(Pattern::from_injections(vec![
+///     Injection::new(0, 0, 3); 10
+/// ]));
+/// let shaped = ShapingSource::new(&topo, wishes, Rate::ONE, 1).into_pattern();
+/// assert_eq!(shaped.len(), 10);
+/// assert!(analyze(&topo, &shaped, Rate::ONE).tight_sigma <= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShapingSource<'a, T: Topology, S: InjectionSource> {
+    topology: &'a T,
+    inner: S,
+    queue: VecDeque<Injection>,
+    admitter: Admitter,
+    wish_buf: Vec<Injection>,
+    route_buf: Vec<NodeId>,
+    max_delay: u64,
+}
+
+impl<'a, T: Topology, S: InjectionSource> ShapingSource<'a, T, S> {
+    /// Shapes `inner`'s wishes onto `topology` at (ρ, σ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ρ = 0 or `ρ + σ < 1`: by Def. 2.1 a single packet already
+    /// needs `1 ≤ ρ·1 + σ`, so for `ρ + σ < 1` **no** non-empty
+    /// (ρ, σ)-bounded pattern exists and shaping could never terminate.
+    pub fn new(topology: &'a T, inner: S, rate: aqt_model::Rate, sigma: u64) -> Self {
+        assert!(
+            rate.num() > 0,
+            "rate must be positive for shaping to terminate"
+        );
+        assert!(
+            u128::from(rate.num()) + u128::from(sigma) * u128::from(rate.den())
+                >= u128::from(rate.den()),
+            "need rho + sigma >= 1: a single packet is inadmissible at rho = {rate}, sigma = {sigma}"
+        );
+        let admitter = Admitter::new(rate, sigma, topology.node_count());
+        ShapingSource {
+            topology,
+            inner,
+            queue: VecDeque::new(),
+            admitter,
+            wish_buf: Vec::new(),
+            route_buf: Vec::new(),
+            max_delay: 0,
+        }
+    }
+
+    /// The maximum delay applied so far (in rounds).
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// Wishes currently backlogged behind the token buckets.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<T: Topology, S: InjectionSource> InjectionSource for ShapingSource<'_, T, S> {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        let t = round.value();
+        // Wishes whose time has come join the back of the queue.
+        if !self.inner.is_exhausted() {
+            self.wish_buf.clear();
+            self.inner.next_round(round, &mut self.wish_buf);
+            self.queue.extend(self.wish_buf.drain(..));
+        }
+        // Admit from the front while budget allows; head-of-line blocking
+        // preserves order.
+        while let Some(w) = self.queue.front() {
+            self.route_buf.clear();
+            let routed = self
+                .topology
+                .route_buffers_into(w.source, w.dest, &mut self.route_buf);
+            assert!(routed, "wish must have a route");
+            if self.admitter.try_admit(t, &self.route_buf) {
+                let w = self.queue.pop_front().expect("front checked above");
+                self.max_delay = self.max_delay.max(t - w.round.value());
+                out.push(Injection {
+                    round: Round::new(t),
+                    ..w
+                });
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        None
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted() && self.queue.is_empty()
+    }
+}
 
 /// Shapes `wishes` (any order, any burstiness) into a (ρ, σ)-bounded
 /// pattern on `topology` by delaying each injection to the first round —
@@ -36,58 +160,23 @@ use crate::admission::Admitter;
 ///
 /// # Panics
 ///
-/// Panics if a wish has no route in the topology, or if `ρ + σ < 1`: by
-/// Def. 2.1 a single packet already needs `1 ≤ ρ·1 + σ`, so for
-/// `ρ + σ < 1` **no** non-empty (ρ, σ)-bounded pattern exists and shaping
-/// could never terminate.
+/// Panics if a wish has no route in the topology, or if `ρ + σ < 1` (see
+/// [`ShapingSource::new`]).
 pub fn shape<T: Topology>(
     topology: &T,
     wishes: Vec<Injection>,
     rate: aqt_model::Rate,
     sigma: u64,
 ) -> (Pattern, u64) {
-    assert!(
-        rate.num() > 0,
-        "rate must be positive for shaping to terminate"
-    );
-    assert!(
-        u128::from(rate.num()) + u128::from(sigma) * u128::from(rate.den())
-            >= u128::from(rate.den()),
-        "need rho + sigma >= 1: a single packet is inadmissible at rho = {rate}, sigma = {sigma}"
-    );
-    let mut sorted = wishes;
-    sorted.sort_by_key(|w| w.round);
-    let mut queue: VecDeque<Injection> = VecDeque::new();
-    let mut remaining: VecDeque<Injection> = sorted.into();
-    let mut admitter = Admitter::new(rate, sigma, topology.node_count());
+    let inner = PatternSource::from(Pattern::from_injections(wishes));
+    let mut source = ShapingSource::new(topology, inner, rate, sigma);
     let mut out = Vec::new();
-    let mut max_delay = 0u64;
     let mut t = 0u64;
-    while !queue.is_empty() || !remaining.is_empty() {
-        // Wishes whose time has come join the back of the queue.
-        while remaining.front().is_some_and(|w| w.round.value() <= t) {
-            queue.push_back(remaining.pop_front().expect("front checked above"));
-        }
-        // Admit from the front while budget allows; head-of-line blocking
-        // preserves order.
-        while let Some(w) = queue.front() {
-            let route = topology
-                .route_buffers(w.source, w.dest)
-                .expect("wish must have a route");
-            if admitter.try_admit(t, &route) {
-                let w = queue.pop_front().expect("front checked above");
-                max_delay = max_delay.max(t - w.round.value());
-                out.push(Injection {
-                    round: Round::new(t),
-                    ..w
-                });
-            } else {
-                break;
-            }
-        }
+    while !source.is_exhausted() {
+        source.next_round(Round::new(t), &mut out);
         t += 1;
     }
-    (Pattern::from_injections(out), max_delay)
+    (Pattern::from_injections(out), source.max_delay())
 }
 
 #[cfg(test)]
@@ -167,5 +256,71 @@ mod tests {
         let (p, delay) = shape(&topo, Vec::new(), Rate::ONE, 0);
         assert!(p.is_empty());
         assert_eq!(delay, 0);
+    }
+
+    #[test]
+    fn streaming_shaper_matches_materialized_shape() {
+        let topo = Path::new(6);
+        let rho = Rate::new(1, 2).unwrap();
+        let wishes: Vec<Injection> = (0..30u64)
+            .flat_map(|t| {
+                std::iter::repeat_n(Injection::new(t, (t % 4) as usize, 5), (t % 3) as usize)
+            })
+            .collect();
+        let (expected, expected_delay) = shape(&topo, wishes.clone(), rho, 2);
+        let inner = PatternSource::from(Pattern::from_injections(wishes));
+        let mut src = ShapingSource::new(&topo, inner, rho, 2);
+        let mut out = Vec::new();
+        let mut t = 0;
+        while !src.is_exhausted() {
+            src.next_round(Round::new(t), &mut out);
+            t += 1;
+        }
+        assert_eq!(Pattern::from_injections(out), expected);
+        assert_eq!(src.max_delay(), expected_delay);
+        assert_eq!(src.backlog(), 0);
+    }
+
+    #[test]
+    fn shaping_source_drives_the_engine_without_truncation() {
+        use aqt_model::{ForwardingPlan, NetworkState, NodeId, Protocol, Simulation, Topology};
+        /// Forwards every buffer's FIFO head.
+        struct Drain;
+        impl<T: Topology> Protocol<T> for Drain {
+            fn name(&self) -> String {
+                "drain".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, st: &NetworkState, plan: &mut ForwardingPlan) {
+                for v in 0..st.node_count() {
+                    let v = NodeId::new(v);
+                    if let Some(head) = st.fifo_head_where(v, |_| true) {
+                        plan.send(v, head.id());
+                    }
+                }
+            }
+        }
+        // 12 simultaneous wishes, shaped to one per round: the unknown
+        // horizon must not truncate the run.
+        let topo = Path::new(3);
+        let wishes = Pattern::from_injections(vec![Injection::new(0, 0, 2); 12]);
+        let source = ShapingSource::new(&topo, PatternSource::from(wishes), Rate::ONE, 0);
+        let mut sim = Simulation::from_source(topo, Drain, source);
+        sim.run_past_horizon(4).unwrap();
+        assert!(sim.is_drained());
+        assert_eq!(sim.metrics().injected, 12);
+        assert_eq!(sim.metrics().delivered, 12);
+    }
+
+    #[test]
+    fn shaper_composes_with_streaming_generators() {
+        use crate::patterns;
+        // An over-driven paced stream shaped down to half rate stays
+        // bounded by construction.
+        let topo = Path::new(4);
+        let rho = Rate::new(1, 2).unwrap();
+        let wishes = patterns::paced_stream_source(0, 3, Rate::ONE, 40);
+        let shaped = ShapingSource::new(&topo, wishes, rho, 1).into_pattern();
+        assert_eq!(shaped.len() as u64, Rate::ONE.mul_floor(40));
+        assert!(analyze(&topo, &shaped, rho).tight_sigma <= 1);
     }
 }

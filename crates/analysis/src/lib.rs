@@ -4,9 +4,13 @@
 //! (`aqt-adversary`) and the experiment harness (`aqt-bench`):
 //!
 //! * [`bounds`] — the paper's bound formulas as executable functions;
-//! * [`RunSummary`] / [`run_path`] / [`run_tree`] — one-shot protocol runs
-//!   distilled to the quantities the theorems speak about;
-//! * [`parallel_map`] — scoped-thread parameter sweeps;
+//! * [`RunSummary`] / [`run_path`] / [`run_tree`] (and their `_stream`
+//!   variants for [`InjectionSource`](aqt_model::InjectionSource)s) —
+//!   one-shot protocol runs distilled to the quantities the theorems speak
+//!   about;
+//! * [`sweep`] — scoped-thread parameter sweeps: [`sweep::parallel`]
+//!   scatters a grid across cores and merges deterministically (equal to
+//!   [`sweep::serial`] for pure functions);
 //! * [`Table`] / [`Verdict`] — bound-vs-measured table rendering (ASCII +
 //!   CSV);
 //! * [`render_figure1`] — the paper's Figure 1 as ASCII art.
@@ -31,8 +35,11 @@
 pub mod bounds;
 mod experiment;
 mod figure1;
-mod sweep;
+pub mod sweep;
 
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
-pub use sweep::{measured_sigma, measured_sigma_on, parallel_map, run_path, run_tree, RunSummary};
+pub use sweep::{
+    measured_sigma, measured_sigma_on, parallel_map, run_path, run_path_stream, run_tree,
+    run_tree_stream, RunSummary, SweepAggregate,
+};

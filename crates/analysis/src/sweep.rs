@@ -1,12 +1,22 @@
 //! Run helpers and parallel parameter sweeps.
 //!
-//! Thin wrappers that run a protocol against a pattern and distill the
-//! metrics into a [`RunSummary`], plus a scoped-thread `parallel_map` for
-//! embarrassingly-parallel sweeps (no external dependency needed).
+//! Thin wrappers that run a protocol against a pattern (or a streaming
+//! [`InjectionSource`]) and distill the metrics into a [`RunSummary`],
+//! plus scoped-thread sweep runners for embarrassingly-parallel parameter
+//! grids (no external dependency needed):
+//!
+//! * [`serial`] — the reference runner: applies `f` to each grid point in
+//!   order on the calling thread.
+//! * [`parallel`] — scatters the grid across all available cores and
+//!   merges results **deterministically**: outputs are returned in input
+//!   order, so `parallel(grid, f) == serial(grid, f)` for any pure `f`.
+//! * [`parallel_with_threads`] — same, with an explicit thread count.
+//! * [`SweepAggregate`] — an order-insensitive reduction of many
+//!   [`RunSummary`]s (sums and maxima only).
 
 use aqt_model::{
-    analyze, DirectedTree, ModelError, Path, Pattern, Protocol, Rate, RunMetrics, Simulation,
-    Topology,
+    analyze, DirectedTree, InjectionSource, ModelError, Path, Pattern, Protocol, Rate, RunMetrics,
+    Simulation, Topology,
 };
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +73,27 @@ pub fn run_path<P: Protocol<Path>>(
     ))
 }
 
+/// Runs `protocol` on a path of `n` nodes against a streaming source, for
+/// the source horizon plus `extra` settle rounds — the long-horizon
+/// counterpart of [`run_path`], with O(live packets) memory.
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_path_stream<P: Protocol<Path>, S: InjectionSource>(
+    n: usize,
+    protocol: P,
+    source: S,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(Path::new(n), protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
 /// Runs `protocol` on a directed tree against `pattern`.
 ///
 /// # Errors
@@ -82,6 +113,25 @@ pub fn run_tree<P: Protocol<DirectedTree>>(
     ))
 }
 
+/// Runs `protocol` on a directed tree against a streaming source.
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_tree_stream<P: Protocol<DirectedTree>, S: InjectionSource>(
+    tree: DirectedTree,
+    protocol: P,
+    source: S,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(tree, protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
 /// Measures the tight σ of `pattern` on a path of `n` nodes at rate ρ —
 /// shorthand used by every experiment to report the *actual* burstiness of
 /// generated workloads.
@@ -94,8 +144,89 @@ pub fn measured_sigma_on<T: Topology>(topo: &T, pattern: &Pattern, rate: Rate) -
     analyze(topo, pattern, rate).tight_sigma
 }
 
+/// Applies `f` to every grid point in order on the calling thread — the
+/// reference sweep [`parallel`] is checked against.
+pub fn serial<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    F: Fn(&I) -> O,
+{
+    inputs.iter().map(f).collect()
+}
+
+/// Scatters a parameter grid across all available cores
+/// (`std::thread::available_parallelism`) and merges the results
+/// deterministically: outputs come back in input order regardless of
+/// completion order, so the result equals [`serial`]'s for any pure `f`.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    parallel_with_threads(inputs, threads, f)
+}
+
+/// [`parallel`] with an explicit worker count.
+///
+/// Work is claimed from a shared atomic cursor (dynamic load balancing —
+/// heavy grid points do not stall light ones); each worker accumulates
+/// `(index, output)` pairs locally and the merge sorts by index, so no
+/// lock is held while `f` runs.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`; propagates panics from `f`.
+pub fn parallel_with_threads<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n);
+    if workers == 1 {
+        return serial(inputs, f);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, O)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(indexed.len(), n, "every grid point computed exactly once");
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
 /// Applies `f` to every input on scoped threads (at most `threads` at a
 /// time), preserving input order.
+///
+/// Compatibility alias for [`parallel_with_threads`] taking owned inputs.
 ///
 /// # Panics
 ///
@@ -106,35 +237,52 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    assert!(threads > 0, "need at least one thread");
-    let n = inputs.len();
-    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let out = f(&inputs[idx]);
-                let mut guard = results_mutex.lock().expect("no poisoned sweeps");
-                guard[idx] = Some(out);
-            });
+    parallel_with_threads(&inputs, threads, f)
+}
+
+/// Order-insensitive reduction of many [`RunSummary`]s: totals and worst
+/// cases only, so serial and parallel sweeps aggregate identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepAggregate {
+    /// Number of runs folded in.
+    pub runs: usize,
+    /// Total packets injected across runs.
+    pub injected: u64,
+    /// Total packets delivered across runs.
+    pub delivered: u64,
+    /// Worst peak occupancy over all runs.
+    pub worst_occupancy: usize,
+    /// Worst staging peak over all runs.
+    pub worst_staged: usize,
+    /// Worst delivery latency over all runs.
+    pub max_latency: u64,
+}
+
+impl SweepAggregate {
+    /// Folds summaries into an aggregate (commutative + associative, so
+    /// any execution order yields the same value).
+    pub fn from_summaries<'a, I>(summaries: I) -> Self
+    where
+        I: IntoIterator<Item = &'a RunSummary>,
+    {
+        let mut agg = SweepAggregate::default();
+        for s in summaries {
+            agg.runs += 1;
+            agg.injected += s.injected;
+            agg.delivered += s.delivered;
+            agg.worst_occupancy = agg.worst_occupancy.max(s.max_occupancy);
+            agg.worst_staged = agg.worst_staged.max(s.max_staged);
+            agg.max_latency = agg.max_latency.max(s.max_latency);
         }
-    });
-    results
-        .into_iter()
-        .map(|o| o.expect("all indices computed"))
-        .collect()
+        agg
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use aqt_core::{Greedy, GreedyPolicy};
-    use aqt_model::Injection;
+    use aqt_model::{FnSource, Injection};
 
     #[test]
     fn run_path_summarizes() {
@@ -153,6 +301,23 @@ mod tests {
         let pattern = Pattern::from_injections(vec![Injection::new(0, 1, 0)]);
         let s = run_tree(tree, Greedy::new(GreedyPolicy::Lifo), &pattern, 3).unwrap();
         assert_eq!(s.delivered, 1);
+    }
+
+    #[test]
+    fn run_path_stream_matches_pattern_run() {
+        let pattern: Pattern = (0..12u64).map(|t| Injection::new(t, 0, 3)).collect();
+        let from_pattern = run_path(4, Greedy::new(GreedyPolicy::Fifo), &pattern, 8).unwrap();
+        let source = FnSource::new(12, |t, out| out.push(Injection::new(t, 0, 3)));
+        let from_stream = run_path_stream(4, Greedy::new(GreedyPolicy::Fifo), source, 8).unwrap();
+        assert_eq!(from_pattern, from_stream);
+    }
+
+    #[test]
+    fn run_tree_stream_runs() {
+        let tree = DirectedTree::star(3);
+        let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 1, 0)));
+        let s = run_tree_stream(tree, Greedy::new(GreedyPolicy::Fifo), source, 4).unwrap();
+        assert_eq!(s.delivered, 4);
     }
 
     #[test]
@@ -178,5 +343,42 @@ mod tests {
     fn parallel_map_empty_input() {
         let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_uneven_work() {
+        // Uneven per-item cost exercises the dynamic work claiming.
+        let inputs: Vec<u64> = (0..64).collect();
+        let f = |x: &u64| -> u64 {
+            let mut acc = *x;
+            for _ in 0..(*x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        assert_eq!(parallel(&inputs, f), serial(&inputs, f));
+        assert_eq!(parallel_with_threads(&inputs, 3, f), serial(&inputs, f));
+    }
+
+    #[test]
+    fn aggregate_is_order_insensitive() {
+        let mk = |occ: usize, inj: u64| RunSummary {
+            protocol: "x".into(),
+            max_occupancy: occ,
+            max_staged: 0,
+            injected: inj,
+            delivered: inj,
+            mean_latency: None,
+            max_latency: occ as u64,
+        };
+        let a = vec![mk(3, 10), mk(7, 2), mk(5, 4)];
+        let mut b = a.clone();
+        b.reverse();
+        let agg_a = SweepAggregate::from_summaries(&a);
+        let agg_b = SweepAggregate::from_summaries(&b);
+        assert_eq!(agg_a, agg_b);
+        assert_eq!(agg_a.runs, 3);
+        assert_eq!(agg_a.injected, 16);
+        assert_eq!(agg_a.worst_occupancy, 7);
     }
 }

@@ -1,0 +1,66 @@
+//! Timing bench for the engine core: streaming injection + allocation-lean
+//! stepping.
+//!
+//! Measures full simulation runs of the greedy baseline over the E10
+//! disjoint-pairs stream at growing path sizes (per-round work is Θ(n), so
+//! ns/round should scale linearly), plus a streaming-vs-materialized
+//! head-to-head on the same schedule: the two runs execute identical
+//! rounds, so any gap is pattern materialization and injection-cursor
+//! overhead. Regressions here are regressions in `Simulation::step`
+//! itself — the hot path under every experiment.
+
+use aqt_bench::pairs_source;
+use aqt_core::{Greedy, GreedyPolicy};
+use aqt_model::{InjectionSource, Path, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_streaming_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_stream");
+    let rounds = 256u64;
+    for n in [64usize, 256, 1024] {
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("pairs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::from_source(
+                    Path::new(n),
+                    Greedy::new(GreedyPolicy::Fifo),
+                    pairs_source(n, rounds),
+                );
+                sim.run_past_horizon(2).expect("valid run");
+                sim.metrics().delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_vs_pattern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_source");
+    let n = 256usize;
+    let rounds = 256u64;
+    group.throughput(Throughput::Elements(rounds));
+    group.bench_with_input(BenchmarkId::new("stream", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut sim = Simulation::from_source(
+                Path::new(n),
+                Greedy::new(GreedyPolicy::Fifo),
+                pairs_source(n, rounds),
+            );
+            sim.run_past_horizon(2).expect("valid run");
+            sim.metrics().delivered
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("pattern", n), &n, |b, &n| {
+        let pattern = pairs_source(n, rounds).into_pattern();
+        b.iter(|| {
+            let mut sim = Simulation::new(Path::new(n), Greedy::new(GreedyPolicy::Fifo), &pattern)
+                .expect("valid pattern");
+            sim.run_past_horizon(2).expect("valid run");
+            sim.metrics().delivered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_step, bench_stream_vs_pattern);
+criterion_main!(benches);

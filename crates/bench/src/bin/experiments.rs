@@ -5,21 +5,24 @@
 //! cargo run -p aqt-bench --release --bin experiments -- e4 e5   # a subset
 //! cargo run -p aqt-bench --release --bin experiments -- --quick # smaller instances
 //! cargo run -p aqt-bench --release --bin experiments -- --csv e2
+//! cargo run -p aqt-bench --release --bin experiments -- e10 --bench-json BENCH_engine.json
 //! ```
 
-use aqt_bench::{run_experiment, EXPERIMENT_IDS};
+use aqt_bench::{engine_bench_json, measure_engine, render_e10, run_experiment, EXPERIMENT_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("Usage: experiments [--quick] [--csv] [ID ...]");
+        println!("Usage: experiments [--quick] [--csv] [--bench-json PATH] [ID ...]");
         println!();
         println!("Regenerates the paper's claims as measured tables.");
         println!();
         println!("Options:");
-        println!("  --quick    run smaller instances (CI-sized)");
-        println!("  --csv      emit CSV instead of rendered tables");
-        println!("  -h, --help print this message");
+        println!("  --quick            run smaller instances (CI-sized)");
+        println!("  --csv              emit CSV instead of rendered tables");
+        println!("  --bench-json PATH  write E10's engine measurements as JSON");
+        println!("                     (the perf-trajectory artifact; implies e10 runs)");
+        println!("  -h, --help         print this message");
         println!();
         println!(
             "Experiment ids (default: all): {}",
@@ -27,29 +30,53 @@ fn main() {
         );
         return;
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| a.starts_with('-') && a != &"--quick" && a != &"--csv")
-    {
-        eprintln!("error: unknown option `{unknown}` (try --help)");
-        std::process::exit(2);
+    let mut quick = false;
+    let mut csv = false;
+    let mut bench_json: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--bench-json" => match iter.next() {
+                Some(path) if !path.starts_with('-') => bench_json = Some(path.clone()),
+                _ => {
+                    eprintln!("error: --bench-json needs a path (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
     }
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-    let ids: Vec<&str> = if ids.is_empty() {
+    let mut ids: Vec<&str> = if ids.is_empty() {
         EXPERIMENT_IDS.to_vec()
     } else {
         ids.iter().map(String::as_str).collect()
     };
+    if bench_json.is_some() && !ids.contains(&"e10") {
+        ids.push("e10");
+    }
     let started = std::time::Instant::now();
     for id in &ids {
         let t0 = std::time::Instant::now();
-        let tables = run_experiment(id, quick);
+        // E10 is special-cased so its measurement can also feed the JSON
+        // artifact without running twice.
+        let tables = if *id == "e10" {
+            let report = measure_engine(quick);
+            if let Some(path) = &bench_json {
+                std::fs::write(path, engine_bench_json(&report))
+                    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                eprintln!("[e10] wrote {path}");
+            }
+            render_e10(&report)
+        } else {
+            run_experiment(id, quick)
+        };
         for table in &tables {
             if csv {
                 println!("# {}", table.title());

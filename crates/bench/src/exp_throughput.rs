@@ -1,0 +1,281 @@
+//! E10 — engine throughput under streaming injection, and serial-vs-parallel
+//! sweep wall-clock.
+//!
+//! The paper's theorems are asymptotic in `n` and in run length; this
+//! experiment measures whether the engine can actually *reach* those
+//! regimes. Part one drives a (ρ, σ)-bounded stream of ≥ 10⁶ packets over
+//! a 1,024-node path through [`Simulation::from_source`] — nothing is
+//! materialized, so resident memory tracks the peak number of *live*
+//! packets, not the total injected. Part two times the E6 tradeoff grid
+//! under [`sweep::serial`] vs [`sweep::parallel`] (identical results by
+//! construction; see the determinism test).
+//!
+//! The numbers also feed `BENCH_engine.json` (via
+//! `experiments --bench-json`), giving future PRs a perf trajectory.
+
+use std::time::Instant;
+
+use aqt_adversary::RandomAdversary;
+use aqt_analysis::{sweep, RunSummary, Table};
+use aqt_core::{Greedy, GreedyPolicy, Hpts};
+use aqt_model::{
+    FnSource, Injection, InjectionSource, Packet, Path, Rate, Simulation, StoredPacket,
+};
+use serde::Serialize;
+
+/// Disjoint-pairs stream on an `n`-node path (`n` even): every round, one
+/// packet `2i → 2i+1` for each of the `n/2` pairs. Each buffer `2i` sees
+/// exactly one crossing per round, so the stream is (1, 0)-bounded, and
+/// any greedy protocol delivers every packet in its injection round —
+/// peak live packets stay at `n/2` forever.
+pub fn pairs_source(n: usize, rounds: u64) -> impl InjectionSource {
+    assert!(n >= 2 && n % 2 == 0, "need an even number of nodes");
+    FnSource::new(rounds, move |t, out| {
+        out.extend((0..n / 2).map(|i| Injection::new(t, 2 * i, 2 * i + 1)));
+    })
+}
+
+/// Everything E10 measures, serialized into `BENCH_engine.json` so future
+/// PRs can compare against a recorded trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineBenchReport {
+    /// Whether the quick (CI-sized) instance was used.
+    pub quick: bool,
+    /// Path length of the throughput run.
+    pub nodes: usize,
+    /// Rounds executed in the throughput run.
+    pub rounds: u64,
+    /// Packets injected by the streaming source.
+    pub injected_packets: u64,
+    /// Wall-clock of the throughput run in milliseconds.
+    pub wall_ms: f64,
+    /// Engine rounds per second.
+    pub rounds_per_sec: f64,
+    /// Injected packets per second.
+    pub packets_per_sec: f64,
+    /// Peak packets simultaneously live in the network.
+    pub peak_live_packets: usize,
+    /// RSS proxy of the streaming run: peak live packets × stored-packet
+    /// size.
+    pub streaming_bytes: u64,
+    /// RSS proxy a materialized `Pattern` run would have added on top:
+    /// total injections × packet size.
+    pub materialized_bytes: u64,
+    /// Grid points in the serial-vs-parallel sweep comparison.
+    pub sweep_grid_points: usize,
+    /// Worker threads used by the parallel sweep.
+    pub sweep_threads: usize,
+    /// Wall-clock of the serial E6-grid sweep in milliseconds.
+    pub sweep_serial_ms: f64,
+    /// Wall-clock of the parallel E6-grid sweep in milliseconds.
+    pub sweep_parallel_ms: f64,
+    /// `sweep_serial_ms / sweep_parallel_ms` (> 1 on a multi-core host).
+    pub sweep_speedup: f64,
+}
+
+/// One point of the E6-style sweep grid: level count k and adversary seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E6Point {
+    /// Level count k = ⌊1/ρ⌋.
+    pub k: u32,
+    /// Adversary seed.
+    pub seed: u64,
+}
+
+/// The E6 tradeoff grid E10 times (k sweep × a few seeds).
+pub fn e6_grid(quick: bool) -> Vec<E6Point> {
+    let (ks, seeds): (&[u32], u64) = if quick {
+        (&[1, 2, 4], 2)
+    } else {
+        (&[1, 2, 3, 4, 8], 4)
+    };
+    let mut grid = Vec::new();
+    for &k in ks {
+        for seed in 0..seeds {
+            grid.push(E6Point { k, seed });
+        }
+    }
+    grid
+}
+
+/// Runs one E6 grid point: HPTS at rate 1/k on a 256-node path against a
+/// seeded random bounded adversary (pure function of the point).
+pub fn run_e6_point(point: &E6Point, quick: bool) -> RunSummary {
+    let n = 256usize;
+    let rounds = if quick { 300 } else { 1000 };
+    let rho = Rate::one_over(point.k).expect("valid rate");
+    let hpts = Hpts::for_line(n, point.k).expect("geometry fits");
+    let source = RandomAdversary::new(rho, 1, rounds)
+        .seed(1000 + point.seed * 131 + u64::from(point.k))
+        .stream_path(&Path::new(n));
+    sweep::run_path_stream(n, hpts, source, 300).expect("valid run")
+}
+
+/// Measures throughput and sweep wall-clock; the data behind E10's tables
+/// and `BENCH_engine.json`.
+pub fn measure_engine(quick: bool) -> EngineBenchReport {
+    // --- Part 1: streaming throughput ---------------------------------
+    let n = if quick { 256 } else { 1024 };
+    let rounds = if quick { 256 } else { 2048 };
+    // n/2 packets per round: ≥ 1,048,576 injections in full mode.
+    let mut sim = Simulation::from_source(
+        Path::new(n),
+        Greedy::new(GreedyPolicy::Fifo),
+        pairs_source(n, rounds),
+    );
+    let started = Instant::now();
+    sim.run_past_horizon(2).expect("valid streaming run");
+    let wall = started.elapsed();
+    assert!(sim.is_drained(), "pairs stream must drain");
+    let metrics = sim.metrics();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let executed_rounds = sim.round().value();
+    let secs = wall.as_secs_f64().max(1e-9);
+
+    // --- Part 2: serial vs parallel sweep over the E6 grid ------------
+    let grid = e6_grid(quick);
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let t0 = Instant::now();
+    let serial = sweep::serial(&grid, |p| run_e6_point(p, quick));
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let parallel = sweep::parallel(&grid, |p| run_e6_point(p, quick));
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, parallel, "parallel sweep must be deterministic");
+
+    EngineBenchReport {
+        quick,
+        nodes: n,
+        rounds: executed_rounds,
+        injected_packets: metrics.injected,
+        wall_ms,
+        rounds_per_sec: executed_rounds as f64 / secs,
+        packets_per_sec: metrics.injected as f64 / secs,
+        peak_live_packets: metrics.max_in_network,
+        streaming_bytes: (metrics.max_in_network * std::mem::size_of::<StoredPacket>()) as u64,
+        materialized_bytes: metrics.injected * std::mem::size_of::<Packet>() as u64,
+        sweep_grid_points: grid.len(),
+        sweep_threads: threads,
+        sweep_serial_ms: serial_ms,
+        sweep_parallel_ms: parallel_ms,
+        sweep_speedup: serial_ms / parallel_ms.max(1e-9),
+    }
+}
+
+/// Renders a report into E10's two tables.
+pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
+    let mut throughput = Table::new(
+        "E10a - streaming engine throughput (no materialized pattern)",
+        [
+            "nodes",
+            "rounds",
+            "packets",
+            "wall ms",
+            "rounds/s",
+            "packets/s",
+            "peak live",
+            "stream KiB",
+            "pattern KiB",
+        ],
+    );
+    throughput.push_row([
+        report.nodes.to_string(),
+        report.rounds.to_string(),
+        report.injected_packets.to_string(),
+        format!("{:.1}", report.wall_ms),
+        format!("{:.0}", report.rounds_per_sec),
+        format!("{:.0}", report.packets_per_sec),
+        report.peak_live_packets.to_string(),
+        (report.streaming_bytes / 1024).to_string(),
+        (report.materialized_bytes / 1024).to_string(),
+    ]);
+    throughput.note(
+        "stream KiB = peak live packets x sizeof(StoredPacket): the streaming engine's working set",
+    );
+    throughput.note("pattern KiB = what materializing the schedule up front would have added");
+
+    let mut sweeps = Table::new(
+        "E10b - E6 tradeoff grid: serial vs parallel sweep",
+        [
+            "grid",
+            "threads",
+            "serial ms",
+            "parallel ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    sweeps.push_row([
+        report.sweep_grid_points.to_string(),
+        report.sweep_threads.to_string(),
+        format!("{:.1}", report.sweep_serial_ms),
+        format!("{:.1}", report.sweep_parallel_ms),
+        format!("{:.2}x", report.sweep_speedup),
+        "ok".to_string(), // measure_engine asserts result equality
+    ]);
+    sweeps.note(
+        "sweep::parallel merges in input order: results are bit-identical to the serial sweep",
+    );
+    vec![throughput, sweeps]
+}
+
+/// E10 — throughput + sweep scaling (runs the measurement and renders it).
+pub fn e10_throughput(quick: bool) -> Vec<Table> {
+    render_e10(&measure_engine(quick))
+}
+
+/// The `BENCH_engine.json` payload for a measured report.
+pub fn engine_bench_json(report: &EngineBenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_source_is_dense_and_drains_instantly() {
+        let mut sim = Simulation::from_source(
+            Path::new(8),
+            Greedy::new(GreedyPolicy::Fifo),
+            pairs_source(8, 10),
+        );
+        sim.run_past_horizon(1).unwrap();
+        assert!(sim.is_drained());
+        assert_eq!(sim.metrics().injected, 40);
+        assert_eq!(sim.metrics().delivered, 40);
+        // Every packet is delivered in its injection round: live ≤ n/2.
+        assert_eq!(sim.metrics().max_in_network, 4);
+        assert_eq!(sim.metrics().max_occupancy, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_on_e6_grid() {
+        // The determinism satellite: identical results point-for-point.
+        let grid = e6_grid(true);
+        let serial = sweep::serial(&grid, |p| run_e6_point(p, true));
+        let parallel = sweep::parallel(&grid, |p| run_e6_point(p, true));
+        assert_eq!(serial, parallel);
+        // And the aggregate folds identically.
+        assert_eq!(
+            aqt_analysis::SweepAggregate::from_summaries(&serial),
+            aqt_analysis::SweepAggregate::from_summaries(&parallel),
+        );
+    }
+
+    #[test]
+    fn e10_report_is_sane_and_serializes() {
+        let report = measure_engine(true);
+        assert_eq!(report.nodes, 256);
+        assert_eq!(report.injected_packets, 256 * 128);
+        assert_eq!(report.peak_live_packets, 128);
+        assert!(report.rounds_per_sec > 0.0);
+        assert!(report.streaming_bytes < report.materialized_bytes);
+        let json = engine_bench_json(&report);
+        assert!(json.contains("rounds_per_sec"));
+        assert!(json.contains("sweep_parallel_ms"));
+        let tables = render_e10(&report);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].to_csv().contains("NaN"));
+    }
+}

@@ -15,11 +15,14 @@
 //! | E7  | §1 α-factor implication | [`e7_alpha`] |
 //! | E8  | Figure 1 | [`e8_figure1`] |
 //! | E9  | locality axis (open problem, exploratory) | [`e9_locality`] |
+//! | E10 | engine throughput + parallel sweep scaling | [`e10_throughput`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
 //! Run all of them with `cargo run -p aqt-bench --release --bin
 //! experiments`; timing benches live under `benches/` (`cargo bench`).
+//! E10's numbers can be exported for trend tracking with
+//! `experiments -- e10 --bench-json BENCH_engine.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,21 +30,27 @@
 mod exp_ablation;
 mod exp_locality;
 mod exp_lower;
+mod exp_throughput;
 mod exp_tradeoff;
 mod exp_upper;
 
 pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
+pub use exp_throughput::{
+    e10_throughput, e6_grid, engine_bench_json, measure_engine, pairs_source, render_e10,
+    run_e6_point, E6Point, EngineBenchReport,
+};
 pub use exp_tradeoff::{e6_tradeoff, e7_alpha};
 pub use exp_upper::{e1_pts, e2_ppts, e3_trees, e4_hpts};
 
 use aqt_analysis::Table;
 
 /// All experiment ids in canonical order (`e9` is the exploratory
-/// locality extension, not a paper artifact).
-pub const EXPERIMENT_IDS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2",
+/// locality extension, not a paper artifact; `e10` measures the engine
+/// itself).
+pub const EXPERIMENT_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2",
 ];
 
 /// Runs one experiment by id, returning its tables (E8 returns a pseudo
@@ -65,6 +74,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
             vec![t]
         }
         "e9" => e9_locality(quick),
+        "e10" => e10_throughput(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

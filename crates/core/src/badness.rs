@@ -159,9 +159,7 @@ mod tests {
             fn name(&self) -> String {
                 "idle".into()
             }
-            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
-                ForwardingPlan::new(st.node_count())
-            }
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, _: &mut ForwardingPlan) {}
         }
         let mut sim = Simulation::new(Path::new(n), Idle, &pattern).unwrap();
         sim.run(rounds).unwrap();
@@ -211,9 +209,7 @@ mod tests {
             fn name(&self) -> String {
                 "idle".into()
             }
-            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
-                ForwardingPlan::new(st.node_count())
-            }
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, _: &mut ForwardingPlan) {}
         }
         let p = Pattern::from_injections(vec![
             Injection::new(0, 1, 0),

@@ -120,8 +120,7 @@ impl<T: Topology> Protocol<T> for Greedy {
         format!("Greedy-{}", self.policy.label())
     }
 
-    fn plan(&mut self, _round: Round, topo: &T, state: &NetworkState) -> ForwardingPlan {
-        let mut plan = ForwardingPlan::new(state.node_count());
+    fn plan(&mut self, _round: Round, topo: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
         for v in 0..state.node_count() {
             let v = NodeId::new(v);
             let buffer = state.buffer(v);
@@ -129,7 +128,6 @@ impl<T: Topology> Protocol<T> for Greedy {
                 plan.send(v, sp.id());
             }
         }
-        plan
     }
 }
 

@@ -433,7 +433,13 @@ impl Protocol<Path> for HptsD {
         }
     }
 
-    fn plan(&mut self, round: Round, _topo: &Path, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        round: Round,
+        _topo: &Path,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let n = state.node_count();
         let lambda = self.primary_level(round);
         let infos = self.classes(state);
@@ -444,7 +450,6 @@ impl Protocol<Path> for HptsD {
                 self.activate_prebad(j, &infos, &mut active);
             }
         }
-        let mut plan = ForwardingPlan::new(n);
         for (i, entry) in active.iter().enumerate() {
             if let Some(Active {
                 packet: Some((pid, _)),
@@ -454,7 +459,6 @@ impl Protocol<Path> for HptsD {
                 plan.send(NodeId::new(i), *pid);
             }
         }
-        plan
     }
 }
 

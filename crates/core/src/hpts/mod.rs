@@ -328,7 +328,7 @@ impl Protocol<Path> for Hpts {
         }
     }
 
-    fn plan(&mut self, round: Round, topo: &Path, state: &NetworkState) -> ForwardingPlan {
+    fn plan(&mut self, round: Round, topo: &Path, state: &NetworkState, plan: &mut ForwardingPlan) {
         let n_real = state.node_count();
         assert!(
             n_real <= self.h.n(),
@@ -345,7 +345,6 @@ impl Protocol<Path> for Hpts {
                 self.activate_prebad(j, &infos, &mut active);
             }
         }
-        let mut plan = ForwardingPlan::new(n_real);
         for (i, entry) in active.iter().enumerate() {
             if let Some(Active {
                 packet: Some((pid, _)),
@@ -355,7 +354,6 @@ impl Protocol<Path> for Hpts {
                 plan.send(NodeId::new(i), *pid);
             }
         }
-        plan
     }
 }
 

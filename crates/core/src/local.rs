@@ -78,10 +78,15 @@ impl Protocol<Path> for LocalPts {
         format!("LocalPTS(w={},r={})", self.dest, self.radius)
     }
 
-    fn plan(&mut self, _round: Round, topo: &Path, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        _round: Round,
+        topo: &Path,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let n = topo.node_count();
         let w = self.dest.index();
-        let mut plan = ForwardingPlan::new(n);
         // last_bad[v]: the most recent bad buffer at or before v.
         let mut last_bad: Option<usize> = None;
         for v in 0..w.min(n) {
@@ -105,7 +110,6 @@ impl Protocol<Path> for LocalPts {
                 plan.send(node, top.id());
             }
         }
-        plan
     }
 }
 

@@ -153,9 +153,14 @@ impl Protocol<Path> for Ppts {
         name
     }
 
-    fn plan(&mut self, _round: Round, _topo: &Path, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        _round: Round,
+        _topo: &Path,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let n = state.node_count();
-        let mut plan = ForwardingPlan::new(n);
         let pseudo = Self::pseudo_buffers(state);
 
         // Observed destination set W = {w_0 < w_1 < … < w_{d−1}}.
@@ -202,7 +207,6 @@ impl Protocol<Path> for Ppts {
                 }
             }
         }
-        plan
     }
 }
 

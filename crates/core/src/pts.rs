@@ -84,8 +84,13 @@ impl Protocol<Path> for Pts {
         }
     }
 
-    fn plan(&mut self, _round: Round, _topo: &Path, state: &NetworkState) -> ForwardingPlan {
-        let mut plan = ForwardingPlan::new(state.node_count());
+    fn plan(
+        &mut self,
+        _round: Round,
+        _topo: &Path,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let w = self.dest.index();
         debug_assert!(
             (0..state.node_count()).all(|v| state
@@ -116,7 +121,6 @@ impl Protocol<Path> for Pts {
             }
             None => {}
         }
-        plan
     }
 }
 

@@ -74,9 +74,14 @@ impl Protocol<DirectedTree> for TreePts {
         format!("TreePTS(w={})", self.dest)
     }
 
-    fn plan(&mut self, _round: Round, tree: &DirectedTree, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        _round: Round,
+        tree: &DirectedTree,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let n = state.node_count();
-        let mut plan = ForwardingPlan::new(n);
         debug_assert!(
             (0..n).all(|v| state
                 .buffer(NodeId::new(v))
@@ -107,7 +112,6 @@ impl Protocol<DirectedTree> for TreePts {
                 }
             }
         }
-        plan
     }
 }
 
@@ -155,9 +159,14 @@ impl Protocol<DirectedTree> for TreePpts {
         "TreePPTS".into()
     }
 
-    fn plan(&mut self, _round: Round, tree: &DirectedTree, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        _round: Round,
+        tree: &DirectedTree,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         let n = state.node_count();
-        let mut plan = ForwardingPlan::new(n);
 
         // Per-node per-destination (count, lifo top) summaries.
         let mut counts: Vec<BTreeMap<NodeId, (usize, PacketId, u64)>> = vec![BTreeMap::new(); n];
@@ -206,7 +215,6 @@ impl Protocol<DirectedTree> for TreePpts {
                 }
             }
         }
-        plan
     }
 }
 

@@ -8,19 +8,25 @@
 //!    ℓ-reduction of Def. 2.4).
 //! 2. The configuration `L^t` is observed for metrics (this is the paper's
 //!    measurement point).
-//! 3. **Forwarding step** — the protocol returns a [`ForwardingPlan`]; the
+//! 3. **Forwarding step** — the protocol fills a [`ForwardingPlan`]; the
 //!    engine validates it (packet present, next hop exists, at most one
 //!    packet out of each buffer — which on paths/trees is exactly the
 //!    one-packet-per-link capacity constraint) and applies all moves
 //!    simultaneously. Packets forwarded into their destination are
 //!    delivered and leave the network.
+//!
+//! The hot path is allocation-lean: the per-round scratch (the plan, the
+//! move list, the in-flight list, the injection buffer) lives in the
+//! [`Simulation`] and is reused round over round, so steady-state stepping
+//! performs no heap allocation beyond buffer growth.
 
 use std::fmt;
 
 use crate::ids::{NodeId, PacketId, Round};
 use crate::metrics::RunMetrics;
-use crate::packet::Packet;
-use crate::pattern::{Pattern, PatternError};
+use crate::packet::{Packet, StoredPacket};
+use crate::pattern::{Injection, Pattern, PatternError};
+use crate::source::{InjectionSource, PatternSource};
 use crate::state::NetworkState;
 use crate::topology::Topology;
 
@@ -42,6 +48,11 @@ pub enum InjectionMode {
 /// A forwarding decision: for each node, at most one packet to send over
 /// its unique outgoing link.
 ///
+/// The engine owns one plan and hands it to the protocol each round after
+/// [`reset`](ForwardingPlan::reset)ting it, so steady-state planning incurs
+/// no allocation; the send count is tracked incrementally, making
+/// [`len`](ForwardingPlan::len) O(1).
+///
 /// # Examples
 ///
 /// ```
@@ -51,11 +62,14 @@ pub enum InjectionMode {
 /// plan.send(NodeId::new(2), PacketId::new(9));
 /// assert_eq!(plan.get(NodeId::new(2)), Some(PacketId::new(9)));
 /// assert_eq!(plan.get(NodeId::new(0)), None);
-/// assert_eq!(plan.sends().count(), 1);
+/// assert_eq!(plan.len(), 1);
+/// plan.reset(4);
+/// assert!(plan.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForwardingPlan {
     sends: Vec<Option<PacketId>>,
+    count: usize,
 }
 
 impl ForwardingPlan {
@@ -63,7 +77,15 @@ impl ForwardingPlan {
     pub fn new(n: usize) -> Self {
         ForwardingPlan {
             sends: vec![None; n],
+            count: 0,
         }
+    }
+
+    /// Clears all sends and resizes to `n` nodes, reusing the allocation.
+    pub fn reset(&mut self, n: usize) {
+        self.sends.clear();
+        self.sends.resize(n, None);
+        self.count = 0;
     }
 
     /// Schedules `packet` to be forwarded out of `v`.
@@ -80,6 +102,7 @@ impl ForwardingPlan {
             slot.unwrap()
         );
         *slot = Some(packet);
+        self.count += 1;
     }
 
     /// Whether `v` already has a scheduled send.
@@ -100,14 +123,14 @@ impl ForwardingPlan {
             .filter_map(|(v, p)| p.map(|p| (NodeId::new(v), p)))
     }
 
-    /// Number of scheduled sends.
+    /// Number of scheduled sends (O(1): tracked incrementally).
     pub fn len(&self) -> usize {
-        self.sends.iter().filter(|s| s.is_some()).count()
+        self.count
     }
 
     /// Whether no sends are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.sends.iter().all(Option::is_none)
+        self.count == 0
     }
 }
 
@@ -127,8 +150,9 @@ pub trait Protocol<T: Topology> {
         InjectionMode::Immediate
     }
 
-    /// Computes this round's forwarding decision for configuration `L^t`.
-    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState) -> ForwardingPlan;
+    /// Computes this round's forwarding decision for configuration `L^t`,
+    /// filling `plan` (handed over empty, sized to the topology).
+    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState, plan: &mut ForwardingPlan);
 }
 
 impl<T: Topology, P: Protocol<T> + ?Sized> Protocol<T> for Box<P> {
@@ -140,15 +164,22 @@ impl<T: Topology, P: Protocol<T> + ?Sized> Protocol<T> for Box<P> {
         (**self).injection_mode()
     }
 
-    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState) -> ForwardingPlan {
-        (**self).plan(round, topology, state)
+    fn plan(
+        &mut self,
+        round: Round,
+        topology: &T,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
+        (**self).plan(round, topology, state, plan);
     }
 }
 
 /// Errors surfaced by [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
-    /// The pattern failed validation against the topology.
+    /// An injection failed validation against the topology (upfront for
+    /// patterns, at its injection round for streaming sources).
     Pattern(PatternError),
     /// The plan forwarded a packet that is not in the named buffer.
     UnknownPacket {
@@ -222,7 +253,13 @@ pub struct RoundOutcome {
     pub delivered: usize,
 }
 
-/// A complete run: topology + protocol + injection pattern + state.
+/// A complete run: topology + protocol + injection source + state.
+///
+/// The third type parameter is the injection source; it defaults to
+/// [`PatternSource`], so pattern-backed simulations keep the short
+/// `Simulation<T, P>` spelling. Streaming runs are built with
+/// [`Simulation::from_source`] and need memory proportional to the packets
+/// currently in the network, not to the total number of injections.
 ///
 /// # Examples
 ///
@@ -239,15 +276,13 @@ pub struct RoundOutcome {
 ///     fn name(&self) -> String {
 ///         "drain".into()
 ///     }
-///     fn plan(&mut self, _: Round, _: &T, state: &NetworkState) -> ForwardingPlan {
-///         let mut plan = ForwardingPlan::new(state.node_count());
+///     fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
 ///         for v in 0..state.node_count() {
 ///             let v = aqt_model::NodeId::new(v);
 ///             if let Some(top) = state.lifo_top_where(v, |_| true) {
 ///                 plan.send(v, top.id());
 ///             }
 ///         }
-///         plan
 ///     }
 /// }
 ///
@@ -259,34 +294,66 @@ pub struct RoundOutcome {
 /// # Ok::<(), aqt_model::ModelError>(())
 /// ```
 #[derive(Debug)]
-pub struct Simulation<T: Topology, P: Protocol<T>> {
+pub struct Simulation<T: Topology, P: Protocol<T>, S: InjectionSource = PatternSource> {
     topology: T,
     protocol: P,
     state: NetworkState,
-    packets: Vec<Packet>,
-    cursor: usize,
+    source: S,
+    next_packet_id: u64,
     round: Round,
     metrics: RunMetrics,
+    /// Whether injections still need per-round validation (false when the
+    /// whole schedule was validated upfront by [`Simulation::new`]).
+    validate_injections: bool,
+    // Reusable per-round scratch (hot path performs no allocation once
+    // these reach their steady-state capacity).
+    injection_buf: Vec<Injection>,
+    accept_buf: Vec<Packet>,
+    plan_buf: ForwardingPlan,
+    moves_buf: Vec<(NodeId, PacketId, NodeId, bool)>,
+    lift_buf: Vec<(StoredPacket, NodeId, bool)>,
 }
 
 impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
-    /// Creates a simulation; validates the pattern against the topology.
+    /// Creates a pattern-backed simulation; validates the pattern against
+    /// the topology up front.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::Pattern`] if any injection is invalid.
     pub fn new(topology: T, protocol: P, pattern: &Pattern) -> Result<Self, ModelError> {
         pattern.validate(&topology)?;
+        let mut sim = Simulation::from_source(topology, protocol, PatternSource::new(pattern));
+        // Already validated in full; skip the per-round check on the hot
+        // path.
+        sim.validate_injections = false;
+        Ok(sim)
+    }
+}
+
+impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
+    /// Creates a simulation fed by a streaming [`InjectionSource`].
+    ///
+    /// No upfront validation is possible for a stream; each injection is
+    /// validated in its injection round and an invalid one surfaces as
+    /// [`ModelError::Pattern`] from [`step`](Simulation::step).
+    pub fn from_source(topology: T, protocol: P, source: S) -> Self {
         let n = topology.node_count();
-        Ok(Simulation {
+        Simulation {
             topology,
             protocol,
             state: NetworkState::new(n),
-            packets: pattern.to_packets(),
-            cursor: 0,
+            source,
+            next_packet_id: 0,
             round: Round::ZERO,
             metrics: RunMetrics::new(n, false),
-        })
+            validate_injections: true,
+            injection_buf: Vec::new(),
+            accept_buf: Vec::new(),
+            plan_buf: ForwardingPlan::new(n),
+            moves_buf: Vec::new(),
+            lift_buf: Vec::new(),
+        }
     }
 
     /// Enables per-round occupancy series recording (costs memory
@@ -307,6 +374,11 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         &self.protocol
     }
 
+    /// The injection source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
     /// Current (next-to-execute) round.
     pub fn round(&self) -> Round {
         self.round
@@ -322,10 +394,10 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         &self.metrics
     }
 
-    /// Whether every injected packet has been delivered (and none remain
-    /// staged or buffered).
+    /// Whether every injected packet has been delivered (and the source can
+    /// produce no more, and none remain staged or buffered).
     pub fn is_drained(&self) -> bool {
-        self.cursor == self.packets.len()
+        self.source.is_exhausted()
             && self.state.total_buffered() == 0
             && self.state.staged_len() == 0
     }
@@ -334,11 +406,13 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
     ///
     /// # Errors
     ///
-    /// Returns a [`ModelError`] if the protocol produced an invalid plan;
-    /// the simulation must not be used further after an error.
+    /// Returns a [`ModelError`] if the source produced an invalid injection
+    /// or the protocol produced an invalid plan; the simulation must not be
+    /// used further after an error.
     pub fn step(&mut self) -> Result<RoundOutcome, ModelError> {
         let t = self.round;
         let mode = self.protocol.injection_mode();
+        let n = self.state.node_count();
 
         // --- Injection step -------------------------------------------
         // Acceptance of previously staged packets happens before this
@@ -348,19 +422,30 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         if let InjectionMode::Batched { len } = mode {
             debug_assert!(len > 0, "phase length must be positive");
             if t.value() % len == 0 {
-                for packet in self.state.take_staged() {
+                self.state.take_staged_into(&mut self.accept_buf);
+                for packet in self.accept_buf.drain(..) {
                     self.state.place(packet.source(), packet, t);
                     accepted += 1;
                 }
             }
         }
-        let mut injected = 0usize;
-        while self.cursor < self.packets.len() && self.packets[self.cursor].injected_at() == t {
-            let packet = self.packets[self.cursor];
-            self.cursor += 1;
-            injected += 1;
+        self.injection_buf.clear();
+        self.source.next_round(t, &mut self.injection_buf);
+        let injected = self.injection_buf.len();
+        for &injection in &self.injection_buf {
+            if self.validate_injections {
+                crate::pattern::validate_injection(&self.topology, injection)?;
+            }
+            debug_assert_eq!(injection.round, t, "source emitted a mistimed injection");
+            let packet = Packet::new(
+                PacketId::new(self.next_packet_id),
+                t,
+                injection.source,
+                injection.dest,
+            );
+            self.next_packet_id += 1;
             match mode {
-                InjectionMode::Immediate => self.state.place(packet.source(), packet, t),
+                InjectionMode::Immediate => self.state.place(injection.source, packet, t),
                 InjectionMode::Batched { .. } => self.state.stage(packet),
             }
         }
@@ -370,9 +455,11 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         self.metrics.observe(t, &self.state);
 
         // --- Forwarding step ------------------------------------------
-        let plan = self.protocol.plan(t, &self.topology, &self.state);
-        let mut moves: Vec<(NodeId, PacketId, NodeId, bool)> = Vec::with_capacity(plan.len());
-        for (v, pid) in plan.sends() {
+        self.plan_buf.reset(n);
+        self.protocol
+            .plan(t, &self.topology, &self.state, &mut self.plan_buf);
+        self.moves_buf.clear();
+        for (v, pid) in self.plan_buf.sends() {
             let stored = self.state.find(v, pid).ok_or(ModelError::UnknownPacket {
                 node: v,
                 packet: pid,
@@ -387,21 +474,21 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
                     packet: pid,
                     round: t,
                 })?;
-            moves.push((v, pid, hop, hop == dest));
+            self.moves_buf.push((v, pid, hop, hop == dest));
         }
         // Apply simultaneously: all removals strictly before all placements,
         // so a packet received this round can never be re-forwarded within
         // the same round.
-        let mut in_flight = Vec::with_capacity(moves.len());
-        for &(v, pid, hop, delivers) in &moves {
+        self.lift_buf.clear();
+        for &(v, pid, hop, delivers) in &self.moves_buf {
             let stored = self
                 .state
                 .remove(v, pid)
                 .expect("packet verified present above");
-            in_flight.push((stored, hop, delivers));
+            self.lift_buf.push((stored, hop, delivers));
         }
         let mut delivered = 0usize;
-        for (stored, hop, delivers) in in_flight {
+        for (stored, hop, delivers) in self.lift_buf.drain(..) {
             if delivers {
                 self.metrics.record_delivery(t, stored.packet());
                 delivered += 1;
@@ -409,13 +496,14 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
                 self.state.place(hop, *stored.packet(), t);
             }
         }
-        self.metrics.forwarded += moves.len() as u64;
+        let forwarded = self.moves_buf.len();
+        self.metrics.forwarded += forwarded as u64;
         self.round = t.next();
         Ok(RoundOutcome {
             round: t,
             injected,
             accepted,
-            forwarded: moves.len(),
+            forwarded,
             delivered,
         })
     }
@@ -432,21 +520,31 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
         Ok(&self.metrics)
     }
 
-    /// Runs until `extra` rounds past the pattern's last injection round
-    /// (useful to let the network settle after the adversary stops).
+    /// Runs until `extra` rounds past the source's horizon (useful to let
+    /// the network settle after the adversary stops). A source with an
+    /// unknown horizon (e.g. a shaper, whose delays depend on admission)
+    /// is stepped until it reports exhaustion, then `extra` settle rounds
+    /// run; this diverges for a source that never exhausts.
     ///
     /// # Errors
     ///
     /// Propagates the first plan validation error.
     pub fn run_past_horizon(&mut self, extra: u64) -> Result<&RunMetrics, ModelError> {
-        let horizon = self
-            .packets
-            .last()
-            .map(|p| p.injected_at().value() + 1)
-            .unwrap_or(0);
-        let total = horizon + extra;
-        while self.round.value() < total {
-            self.step()?;
+        match self.source.horizon() {
+            Some(horizon) => {
+                let total = horizon + extra;
+                while self.round.value() < total {
+                    self.step()?;
+                }
+            }
+            None => {
+                while !self.source.is_exhausted() {
+                    self.step()?;
+                }
+                for _ in 0..extra {
+                    self.step()?;
+                }
+            }
         }
         Ok(&self.metrics)
     }
@@ -456,6 +554,7 @@ impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
 mod tests {
     use super::*;
     use crate::pattern::Injection;
+    use crate::source::FnSource;
     use crate::topology::Path;
 
     /// Forwards nothing, ever.
@@ -465,9 +564,7 @@ mod tests {
         fn name(&self) -> String {
             "idle".into()
         }
-        fn plan(&mut self, _: Round, _: &T, state: &NetworkState) -> ForwardingPlan {
-            ForwardingPlan::new(state.node_count())
-        }
+        fn plan(&mut self, _: Round, _: &T, _: &NetworkState, _: &mut ForwardingPlan) {}
     }
 
     /// Forwards every buffer's LIFO top.
@@ -477,15 +574,13 @@ mod tests {
         fn name(&self) -> String {
             "drain".into()
         }
-        fn plan(&mut self, _: Round, _: &T, state: &NetworkState) -> ForwardingPlan {
-            let mut plan = ForwardingPlan::new(state.node_count());
+        fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
             for v in 0..state.node_count() {
                 let v = NodeId::new(v);
                 if let Some(top) = state.lifo_top_where(v, |_| true) {
                     plan.send(v, top.id());
                 }
             }
-            plan
         }
     }
 
@@ -499,8 +594,8 @@ mod tests {
         fn injection_mode(&self) -> InjectionMode {
             InjectionMode::Batched { len: self.0 }
         }
-        fn plan(&mut self, r: Round, t: &T, state: &NetworkState) -> ForwardingPlan {
-            Drain.plan(r, t, state)
+        fn plan(&mut self, r: Round, t: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+            Drain.plan(r, t, state, plan)
         }
     }
 
@@ -562,10 +657,8 @@ mod tests {
             fn name(&self) -> String {
                 "liar".into()
             }
-            fn plan(&mut self, _: Round, _: &T, state: &NetworkState) -> ForwardingPlan {
-                let mut plan = ForwardingPlan::new(state.node_count());
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, plan: &mut ForwardingPlan) {
                 plan.send(NodeId::new(0), PacketId::new(999));
-                plan
             }
         }
         let p = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
@@ -629,5 +722,77 @@ mod tests {
         let mut sim = Simulation::new(Path::new(2), boxed, &p).unwrap();
         sim.run(2).unwrap();
         assert_eq!(sim.metrics().delivered, 1);
+    }
+
+    #[test]
+    fn streaming_source_matches_pattern_run() {
+        let p: Pattern = (0..20u64)
+            .map(|t| Injection::new(t, t as usize % 3, 3))
+            .collect();
+        let mut from_pattern = Simulation::new(Path::new(4), Drain, &p).unwrap();
+        from_pattern.run(30).unwrap();
+        let mut from_stream = Simulation::from_source(Path::new(4), Drain, PatternSource::new(&p));
+        from_stream.run(30).unwrap();
+        assert_eq!(from_pattern.metrics(), from_stream.metrics());
+        assert!(from_stream.is_drained());
+    }
+
+    #[test]
+    fn streaming_source_never_materializes() {
+        // A long rate-1 stream on a short path: peak live packets stay O(1)
+        // while total injections are large.
+        let rounds = 5_000u64;
+        let source = FnSource::new(rounds, |t, out| out.push(Injection::new(t, 0, 1)));
+        let mut sim = Simulation::from_source(Path::new(2), Drain, source);
+        sim.run_past_horizon(4).unwrap();
+        assert!(sim.is_drained());
+        assert_eq!(sim.metrics().injected, rounds);
+        assert_eq!(sim.metrics().delivered, rounds);
+        assert_eq!(sim.metrics().max_in_network, 1);
+    }
+
+    #[test]
+    fn streaming_invalid_injection_errors_at_its_round() {
+        let source = FnSource::new(4, |t, out| {
+            if t == 2 {
+                out.push(Injection::new(2, 0, 9)); // out of range for n = 4
+            } else {
+                out.push(Injection::new(t, 0, 3));
+            }
+        });
+        let mut sim = Simulation::from_source(Path::new(4), Drain, source);
+        assert!(sim.step().is_ok());
+        assert!(sim.step().is_ok());
+        assert!(matches!(sim.step(), Err(ModelError::Pattern(_))));
+    }
+
+    #[test]
+    fn run_past_horizon_with_unknown_horizon_drains_the_source() {
+        /// A shaper-like source: won't bound its horizon upfront, trickles
+        /// one packet per round until its backlog of 5 is gone.
+        struct Trickle {
+            left: u64,
+        }
+        impl InjectionSource for Trickle {
+            fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    out.push(Injection::new(round.value(), 0, 1));
+                }
+            }
+            fn horizon(&self) -> Option<u64> {
+                None
+            }
+            fn is_exhausted(&self) -> bool {
+                self.left == 0
+            }
+        }
+        let mut sim = Simulation::from_source(Path::new(2), Drain, Trickle { left: 5 });
+        sim.run_past_horizon(3).unwrap();
+        // All 5 wishes injected (no silent truncation), plus 3 settle rounds.
+        assert_eq!(sim.metrics().injected, 5);
+        assert_eq!(sim.metrics().delivered, 5);
+        assert_eq!(sim.round().value(), 5 + 3);
+        assert!(sim.is_drained());
     }
 }

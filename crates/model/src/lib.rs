@@ -19,6 +19,11 @@
 //!   injection/forwarding rounds against any [`Protocol`], enforcing the
 //!   one-packet-per-link capacity constraint and recording the metric the
 //!   paper's theorems bound: peak buffer occupancy ([`RunMetrics`]).
+//! * **Streaming injection** — [`InjectionSource`] feeds the engine one
+//!   round of injections at a time ([`Simulation::from_source`]), so
+//!   long-horizon runs need O(live packets) memory instead of
+//!   materializing the whole schedule; [`PatternSource`] adapts a
+//!   [`Pattern`], [`FnSource`] wraps a closure.
 //!
 //! Forwarding algorithms themselves (PTS, PPTS, HPTS, …) live in
 //! `aqt-core`; adversary generators (including the paper's §5 lower-bound
@@ -50,6 +55,7 @@ mod metrics;
 mod packet;
 mod pattern;
 mod rate;
+mod source;
 mod state;
 mod topology;
 pub mod util;
@@ -63,5 +69,6 @@ pub use metrics::{LatencyStats, RunMetrics};
 pub use packet::{Packet, StoredPacket};
 pub use pattern::{Injection, Pattern, PatternError, Rounds};
 pub use rate::{Rate, RateError};
+pub use source::{FnSource, InjectionSource, PatternSource};
 pub use state::NetworkState;
 pub use topology::{DirectedTree, Path, Topology, TreeError};

@@ -56,6 +56,9 @@ pub struct RunMetrics {
     pub max_occupancy: usize,
     /// Where the peak was attained.
     pub max_occupancy_at: Option<(NodeId, Round)>,
+    /// Peak packets simultaneously live in the network (buffered + staged)
+    /// — the streaming engine's resident-memory proxy.
+    pub max_in_network: usize,
     /// Per-node peak occupancy.
     pub per_node_peak: Vec<usize>,
     /// Peak size of the staging area (0 in immediate-injection mode).
@@ -75,6 +78,7 @@ impl RunMetrics {
             forwarded: 0,
             max_occupancy: 0,
             max_occupancy_at: None,
+            max_in_network: 0,
             per_node_peak: vec![0; n],
             max_staged: 0,
             latency: LatencyStats::default(),
@@ -85,9 +89,11 @@ impl RunMetrics {
     /// Observes `L^t` (post-injection, pre-forwarding).
     pub(crate) fn observe(&mut self, round: Round, state: &NetworkState) {
         let mut round_max = 0usize;
+        let mut round_total = 0usize;
         for v in 0..state.node_count() {
             let occ = state.occupancy(NodeId::new(v));
             round_max = round_max.max(occ);
+            round_total += occ;
             if occ > self.per_node_peak[v] {
                 self.per_node_peak[v] = occ;
             }
@@ -97,6 +103,7 @@ impl RunMetrics {
             }
         }
         self.max_staged = self.max_staged.max(state.staged_len());
+        self.max_in_network = self.max_in_network.max(round_total + state.staged_len());
         if let Some(series) = &mut self.series {
             series.push(round_max);
         }
@@ -146,6 +153,7 @@ mod tests {
         m.observe(Round::new(0), &st);
         assert_eq!(m.max_occupancy, 2);
         assert_eq!(m.max_occupancy_at, Some((NodeId::new(1), Round::new(0))));
+        assert_eq!(m.max_in_network, 3);
         assert_eq!(m.per_node_peak, vec![0, 2, 1]);
         assert_eq!(m.series.as_deref(), Some(&[2][..]));
     }

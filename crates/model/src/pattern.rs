@@ -155,6 +155,12 @@ impl Pattern {
         &self.injections
     }
 
+    /// Consumes the pattern, returning its injections in round order
+    /// (used by [`PatternSource`](crate::PatternSource) to avoid a copy).
+    pub fn into_injections(self) -> Vec<Injection> {
+        self.injections
+    }
+
     /// Iterates over `(round, same-round injection slice)` groups in order.
     pub fn rounds(&self) -> Rounds<'_> {
         Rounds {
@@ -179,19 +185,9 @@ impl Pattern {
     ///
     /// Returns the first offending injection.
     pub fn validate<T: Topology>(&self, topology: &T) -> Result<(), PatternError> {
-        let n = topology.node_count();
-        for &injection in &self.injections {
-            if injection.source.index() >= n || injection.dest.index() >= n {
-                return Err(PatternError::NodeOutOfRange { injection, n });
-            }
-            if injection.source == injection.dest {
-                return Err(PatternError::EmptyRoute { injection });
-            }
-            if !topology.reaches(injection.source, injection.dest) {
-                return Err(PatternError::NoRoute { injection });
-            }
-        }
-        Ok(())
+        self.injections
+            .iter()
+            .try_for_each(|&injection| validate_injection(topology, injection))
     }
 
     /// The ℓ-reduction `A^ℓ` of Def. 2.4 (0-based): every injection at
@@ -224,6 +220,26 @@ impl Pattern {
             .map(|(idx, i)| Packet::new(PacketId::new(idx as u64), i.round, i.source, i.dest))
             .collect()
     }
+}
+
+/// Checks one injection against a topology — the unit of
+/// [`Pattern::validate`], also applied per-round by the engine to
+/// streaming sources so both paths accept exactly the same schedules.
+pub(crate) fn validate_injection<T: Topology>(
+    topology: &T,
+    injection: Injection,
+) -> Result<(), PatternError> {
+    let n = topology.node_count();
+    if injection.source.index() >= n || injection.dest.index() >= n {
+        return Err(PatternError::NodeOutOfRange { injection, n });
+    }
+    if injection.source == injection.dest {
+        return Err(PatternError::EmptyRoute { injection });
+    }
+    if !topology.reaches(injection.source, injection.dest) {
+        return Err(PatternError::NoRoute { injection });
+    }
+    Ok(())
 }
 
 impl FromIterator<Injection> for Pattern {

@@ -1,0 +1,312 @@
+//! Streaming injection sources.
+//!
+//! A [`Pattern`] materializes the adversary's entire schedule up front —
+//! fine for the unit-scale instances of the paper's propositions, but a
+//! dead end for the long-horizon regimes the theorems are *about*: the
+//! bounds of Thm. 4.1 / Thm. 5.1 are asymptotic in `n` and in run length,
+//! and exercising them means driving millions of injections through the
+//! engine. [`InjectionSource`] is the pull-based alternative: the engine
+//! asks for one round's injections at a time, so a run needs memory
+//! proportional to the packets *currently in the network*, not to the
+//! total number ever injected.
+//!
+//! Three implementors live here:
+//!
+//! * [`PatternSource`] — adapts a materialized [`Pattern`]; replaying a
+//!   pattern through the source yields exactly the packet ids, placement
+//!   order and metrics of the pattern-based constructor.
+//! * [`FnSource`] — wraps a closure `(round, &mut Vec<Injection>)`; the
+//!   building block for generator-backed sources (see `aqt-adversary`).
+//! * Any `&mut S` or `Box<S>` of a source, for dynamic dispatch.
+
+use crate::ids::Round;
+use crate::pattern::{Injection, Pattern};
+
+/// A pull-based stream of per-round injections with an optional known
+/// horizon.
+///
+/// The engine calls [`next_round`](InjectionSource::next_round) exactly
+/// once per round, with strictly increasing rounds starting at 0. Every
+/// injection appended for round `t` must carry `round == t`; sources that
+/// re-time packets (shapers, reducers) do the re-timing internally.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::{Injection, InjectionSource, Pattern, PatternSource, Round};
+///
+/// let pattern = Pattern::from_injections(vec![
+///     Injection::new(0, 0, 3),
+///     Injection::new(2, 1, 3),
+/// ]);
+/// let mut source = PatternSource::new(&pattern);
+/// assert_eq!(source.horizon(), Some(3));
+/// let mut buf = Vec::new();
+/// source.next_round(Round::new(0), &mut buf);
+/// assert_eq!(buf.len(), 1);
+/// assert!(!source.is_exhausted());
+/// ```
+pub trait InjectionSource {
+    /// Appends the injections for `round` to `out` (which the engine has
+    /// already cleared). Rounds are presented in strictly increasing order.
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>);
+
+    /// The first round at and after which no injection will ever be
+    /// produced, if known. `Some(h)` promises every injection has round
+    /// `< h`; `None` means the source cannot bound its own future (e.g. a
+    /// shaper whose delays depend on admission).
+    fn horizon(&self) -> Option<u64>;
+
+    /// Whether the source can produce no further injections, given the
+    /// rounds consumed so far.
+    fn is_exhausted(&self) -> bool;
+
+    /// Drains the source into a materialized [`Pattern`] — the adapter the
+    /// pattern-based tests and serialization paths use.
+    ///
+    /// Runs rounds `0, 1, 2, …` until the source is exhausted (or its
+    /// horizon is reached). Diverges on a source that never exhausts.
+    fn into_pattern(mut self) -> Pattern
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        while !self.is_exhausted() {
+            if self.horizon().is_some_and(|h| t >= h) {
+                break;
+            }
+            self.next_round(Round::new(t), &mut out);
+            t += 1;
+        }
+        Pattern::from_injections(out)
+    }
+}
+
+impl<S: InjectionSource + ?Sized> InjectionSource for &mut S {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        (**self).next_round(round, out);
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        (**self).horizon()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        (**self).is_exhausted()
+    }
+}
+
+impl<S: InjectionSource + ?Sized> InjectionSource for Box<S> {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        (**self).next_round(round, out);
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        (**self).horizon()
+    }
+
+    fn is_exhausted(&self) -> bool {
+        (**self).is_exhausted()
+    }
+}
+
+/// A [`Pattern`] viewed as an [`InjectionSource`]: replays the stored
+/// injections in round order behind a cursor.
+///
+/// Draining a `PatternSource` through the engine is byte-for-byte
+/// equivalent to constructing the simulation from the pattern directly —
+/// same packet ids, same placement order, same metrics.
+#[derive(Debug, Clone)]
+pub struct PatternSource {
+    injections: Vec<Injection>,
+    cursor: usize,
+}
+
+impl PatternSource {
+    /// A source replaying `pattern` (clones its injections).
+    pub fn new(pattern: &Pattern) -> Self {
+        PatternSource {
+            injections: pattern.injections().to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// Injections not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.injections.len() - self.cursor
+    }
+}
+
+impl From<Pattern> for PatternSource {
+    fn from(pattern: Pattern) -> Self {
+        PatternSource {
+            injections: pattern.into_injections(),
+            cursor: 0,
+        }
+    }
+}
+
+impl From<&Pattern> for PatternSource {
+    fn from(pattern: &Pattern) -> Self {
+        PatternSource::new(pattern)
+    }
+}
+
+impl InjectionSource for PatternSource {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        while let Some(&injection) = self.injections.get(self.cursor) {
+            if injection.round > round {
+                break;
+            }
+            debug_assert_eq!(
+                injection.round, round,
+                "source polled past an injection round"
+            );
+            out.push(injection);
+            self.cursor += 1;
+        }
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        Some(self.injections.last().map_or(0, |i| i.round.value() + 1))
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.cursor == self.injections.len()
+    }
+}
+
+/// An [`InjectionSource`] backed by a closure: `f(t, out)` appends round
+/// `t`'s injections for every `t < rounds`.
+///
+/// This is the one-liner for deterministic generator sources — the closure
+/// owns whatever state the generator needs (counters, token buckets, RNGs).
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::{FnSource, Injection, InjectionSource};
+///
+/// // One packet 0 → 3 every other round, for 10 rounds, streamed.
+/// let source = FnSource::new(10, |t, out| {
+///     if t % 2 == 0 {
+///         out.push(Injection::new(t, 0, 3));
+///     }
+/// });
+/// let pattern = source.into_pattern();
+/// assert_eq!(pattern.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnSource<F> {
+    f: F,
+    rounds: u64,
+    consumed: u64,
+}
+
+impl<F: FnMut(u64, &mut Vec<Injection>)> FnSource<F> {
+    /// A source active for rounds `0..rounds`, generating with `f`.
+    pub fn new(rounds: u64, f: F) -> Self {
+        FnSource {
+            f,
+            rounds,
+            consumed: 0,
+        }
+    }
+}
+
+impl<F: FnMut(u64, &mut Vec<Injection>)> InjectionSource for FnSource<F> {
+    fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
+        let t = round.value();
+        if t < self.rounds {
+            let before = out.len();
+            (self.f)(t, out);
+            debug_assert!(
+                out[before..].iter().all(|i| i.round == round),
+                "FnSource closure emitted an injection for a different round"
+            );
+        }
+        self.consumed = self.consumed.max(t + 1);
+    }
+
+    fn horizon(&self) -> Option<u64> {
+        Some(self.rounds)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.consumed >= self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_source_replays_in_round_order() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(1, 0, 2),
+            Injection::new(1, 1, 2),
+            Injection::new(3, 0, 2),
+        ]);
+        let mut src = PatternSource::new(&p);
+        assert_eq!(src.horizon(), Some(4));
+        assert_eq!(src.remaining(), 3);
+        let mut buf = Vec::new();
+        src.next_round(Round::new(0), &mut buf);
+        assert!(buf.is_empty());
+        src.next_round(Round::new(1), &mut buf);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        src.next_round(Round::new(2), &mut buf);
+        assert!(buf.is_empty());
+        assert!(!src.is_exhausted());
+        src.next_round(Round::new(3), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(src.is_exhausted());
+    }
+
+    #[test]
+    fn empty_pattern_source_is_born_exhausted() {
+        let src = PatternSource::new(&Pattern::new());
+        assert_eq!(src.horizon(), Some(0));
+        assert!(src.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_through_into_pattern_is_identity() {
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 3),
+            Injection::new(0, 1, 3),
+            Injection::new(5, 2, 3),
+        ]);
+        assert_eq!(PatternSource::new(&p).into_pattern(), p);
+    }
+
+    #[test]
+    fn fn_source_respects_round_budget() {
+        let mut src = FnSource::new(3, |t, out| out.push(Injection::new(t, 0, 1)));
+        let mut buf = Vec::new();
+        for t in 0..5 {
+            src.next_round(Round::new(t), &mut buf);
+        }
+        assert_eq!(buf.len(), 3);
+        assert!(src.is_exhausted());
+        assert_eq!(src.horizon(), Some(3));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_sources_delegate() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
+        let mut boxed: Box<dyn InjectionSource> = Box::new(PatternSource::new(&p));
+        assert_eq!(boxed.horizon(), Some(1));
+        let mut buf = Vec::new();
+        boxed.next_round(Round::new(0), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(boxed.is_exhausted());
+
+        let mut src = PatternSource::new(&p);
+        let by_ref = &mut src;
+        assert!(!by_ref.is_exhausted());
+    }
+}

@@ -90,26 +90,26 @@ impl NetworkState {
 
     /// The LIFO top (most recently placed packet) of the sub-buffer of `v`
     /// selected by `pred`, if non-empty.
+    ///
+    /// Buffers are kept in ascending `seq` (placement) order, so the first
+    /// match scanning from the back is the top — no full-buffer scan.
     pub fn lifo_top_where<F>(&self, v: NodeId, pred: F) -> Option<&StoredPacket>
     where
         F: Fn(&StoredPacket) -> bool,
     {
-        self.buffers[v.index()]
-            .iter()
-            .filter(|sp| pred(sp))
-            .max_by_key(|sp| sp.seq())
+        self.buffers[v.index()].iter().rev().find(|sp| pred(sp))
     }
 
     /// The FIFO head (earliest placed packet) of the sub-buffer of `v`
     /// selected by `pred`, if non-empty.
+    ///
+    /// The first match scanning from the front (placement order ascends in
+    /// `seq`).
     pub fn fifo_head_where<F>(&self, v: NodeId, pred: F) -> Option<&StoredPacket>
     where
         F: Fn(&StoredPacket) -> bool,
     {
-        self.buffers[v.index()]
-            .iter()
-            .filter(|sp| pred(sp))
-            .min_by_key(|sp| sp.seq())
+        self.buffers[v.index()].iter().find(|sp| pred(sp))
     }
 
     // ------------------------------------------------------------------
@@ -128,9 +128,11 @@ impl NetworkState {
         self.staged.push(packet);
     }
 
-    /// Drains the staging area (acceptance at a phase boundary).
-    pub(crate) fn take_staged(&mut self) -> Vec<Packet> {
-        std::mem::take(&mut self.staged)
+    /// Drains the staging area into `out` (acceptance at a phase
+    /// boundary), reusing `out`'s allocation.
+    pub(crate) fn take_staged_into(&mut self, out: &mut Vec<Packet>) {
+        out.clear();
+        out.append(&mut self.staged);
     }
 
     /// Removes a packet from `v`'s buffer, returning it.
@@ -216,9 +218,14 @@ mod tests {
         st.stage(packet(1, 0));
         st.stage(packet(2, 0));
         assert_eq!(st.staged_len(), 2);
-        let drained = st.take_staged();
+        let mut drained = Vec::new();
+        st.take_staged_into(&mut drained);
         assert_eq!(drained.len(), 2);
         assert_eq!(st.staged_len(), 0);
         assert_eq!(st.total_buffered(), 0);
+        // The drain buffer is reusable: a second drain clears stale content.
+        st.stage(packet(3, 0));
+        st.take_staged_into(&mut drained);
+        assert_eq!(drained.len(), 1);
     }
 }

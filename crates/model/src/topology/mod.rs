@@ -42,18 +42,29 @@ pub trait Topology {
     /// `N_T(v)` (§2): a buffer `v` is *on the route* iff the packet, at some
     /// point, is stored at `v` and must be forwarded out of it.
     fn route_buffers(&self, from: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
-        if !self.reaches(from, dest) {
-            return None;
-        }
         let mut buffers = Vec::new();
+        self.route_buffers_into(from, dest, &mut buffers)
+            .then_some(buffers)
+    }
+
+    /// Allocation-free variant of [`route_buffers`](Topology::route_buffers):
+    /// appends the route's buffers to `out` and returns `true`, or leaves
+    /// `out` untouched and returns `false` when `dest` is unreachable.
+    ///
+    /// Streaming generators call this once per candidate packet, so reusing
+    /// the caller's buffer keeps the admission hot path allocation-lean.
+    fn route_buffers_into(&self, from: NodeId, dest: NodeId, out: &mut Vec<NodeId>) -> bool {
+        if !self.reaches(from, dest) {
+            return false;
+        }
         let mut at = from;
         while at != dest {
-            buffers.push(at);
+            out.push(at);
             at = self
                 .next_hop(at, dest)
                 .expect("reaches() implies next_hop chain terminates at dest");
         }
-        Some(buffers)
+        true
     }
 
     /// Whether buffer `v` lies on the route `from → dest` (in the

@@ -72,11 +72,13 @@ impl Topology for Path {
         }
     }
 
-    fn route_buffers(&self, from: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
+    // `route_buffers` comes from the trait default, which delegates here.
+    fn route_buffers_into(&self, from: NodeId, dest: NodeId, out: &mut Vec<NodeId>) -> bool {
         if !self.reaches(from, dest) {
-            return None;
+            return false;
         }
-        Some((from.index()..dest.index()).map(NodeId::new).collect())
+        out.extend((from.index()..dest.index()).map(NodeId::new));
+        true
     }
 
     fn on_route(&self, from: NodeId, dest: NodeId, v: NodeId) -> bool {

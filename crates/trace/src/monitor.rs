@@ -249,13 +249,19 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Monitored<T, P> {
         self.inner.injection_mode()
     }
 
-    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState) -> ForwardingPlan {
+    fn plan(
+        &mut self,
+        round: Round,
+        topology: &T,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
         for m in &mut self.monitors {
             if let Err(v) = m.observe(round, topology, state) {
                 self.violation.get_or_insert(v);
             }
         }
-        let plan = self.inner.plan(round, topology, state);
+        self.inner.plan(round, topology, state, plan);
         if self.enforce_quiescence && self.violation.is_none() {
             let quiet = (0..state.node_count()).all(|v| {
                 state
@@ -271,7 +277,6 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Monitored<T, P> {
                 });
             }
         }
-        plan
     }
 }
 
@@ -401,9 +406,7 @@ mod tests {
             fn name(&self) -> String {
                 "idle".into()
             }
-            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
-                ForwardingPlan::new(st.node_count())
-            }
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, _: &mut ForwardingPlan) {}
         }
         let pattern = burst_pattern();
         let monitor = BadnessExcessMonitor::new(8, &pattern, Rate::ONE);
@@ -442,10 +445,8 @@ mod tests {
             fn name(&self) -> String {
                 "liar".into()
             }
-            fn plan(&mut self, _: Round, _: &T, st: &NetworkState) -> ForwardingPlan {
-                let mut plan = ForwardingPlan::new(st.node_count());
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, plan: &mut ForwardingPlan) {
                 plan.send(NodeId::new(0), aqt_model::PacketId::new(424242));
-                plan
             }
         }
         let err = run_monitored(

@@ -70,8 +70,14 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
         self.inner.injection_mode()
     }
 
-    fn plan(&mut self, round: Round, topology: &T, state: &NetworkState) -> ForwardingPlan {
-        let plan = self.inner.plan(round, topology, state);
+    fn plan(
+        &mut self,
+        round: Round,
+        topology: &T,
+        state: &NetworkState,
+        plan: &mut ForwardingPlan,
+    ) {
+        self.inner.plan(round, topology, state, plan);
         if self.trace.node_count == 0 {
             self.trace = Trace::new(self.inner.name(), state.node_count());
         }
@@ -102,7 +108,6 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
             staged: state.staged_len() as u32,
             sends,
         });
-        plan
     }
 }
 

@@ -14,7 +14,7 @@
 
 use small_buffers::{
     heatmap, run_monitored, sparkline, BadnessExcessMonitor, DestSpec, ForwardingPlan,
-    NetworkState, Path, Ppts, Protocol, RandomAdversary, Rate, Round, Simulation, Topology, Traced,
+    NetworkState, Path, Ppts, Protocol, RandomAdversary, Rate, Round, Simulation, Traced,
 };
 
 /// PPTS that skips odd rounds: a realistic bug (under-provisioned service
@@ -25,11 +25,9 @@ impl Protocol<Path> for HalfSpeed {
     fn name(&self) -> String {
         "PPTS@half-speed".into()
     }
-    fn plan(&mut self, round: Round, topo: &Path, state: &NetworkState) -> ForwardingPlan {
+    fn plan(&mut self, round: Round, topo: &Path, state: &NetworkState, plan: &mut ForwardingPlan) {
         if round.value() % 2 == 0 {
-            self.0.plan(round, topo, state)
-        } else {
-            ForwardingPlan::new(topo.node_count())
+            self.0.plan(round, topo, state, plan);
         }
     }
 }

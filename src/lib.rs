@@ -108,11 +108,11 @@ pub mod trace {
 
 pub use aqt_adversary::{
     patterns, shape, Admitter, Cadence, DestSpec, LowerBoundAdversary, LowerBoundError,
-    RandomAdversary,
+    RandomAdversary, RandomPathSource, RandomTreeSource, ShapingSource,
 };
 pub use aqt_analysis::{
-    bounds, measured_sigma, measured_sigma_on, parallel_map, render_figure1, run_path, run_tree,
-    RunSummary, Table, Verdict,
+    bounds, measured_sigma, measured_sigma_on, parallel_map, render_figure1, run_path,
+    run_path_stream, run_tree, run_tree_stream, sweep, RunSummary, SweepAggregate, Table, Verdict,
 };
 pub use aqt_core::{
     badness, low_antichain, DestSpaceError, Greedy, GreedyPolicy, Hierarchy, Hpts, HptsD,
@@ -120,9 +120,10 @@ pub use aqt_core::{
 };
 pub use aqt_model::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, DirectedTree,
-    ExcessTracker, ForwardingPlan, Injection, InjectionMode, LatencyStats, ModelError,
-    NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError, Protocol, Rate, RateError,
-    Round, RoundOutcome, RunMetrics, Simulation, StoredPacket, Topology, TreeError,
+    ExcessTracker, FnSource, ForwardingPlan, Injection, InjectionMode, InjectionSource,
+    LatencyStats, ModelError, NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError,
+    PatternSource, Protocol, Rate, RateError, Round, RoundOutcome, RunMetrics, Simulation,
+    StoredPacket, Topology, TreeError,
 };
 pub use aqt_trace::{
     heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor,

@@ -139,18 +139,22 @@ fn half_speed_pts_violates_the_badness_invariant() {
     // keep up with a rate-1 stream — badness at node 0 grows while the
     // excess stays bounded by σ, so `B ≤ ξ + 1` must eventually fail and
     // the monitor must catch it.
-    use small_buffers::{ForwardingPlan, NetworkState, Protocol, Round, Topology};
+    use small_buffers::{ForwardingPlan, NetworkState, Protocol, Round};
 
     struct HalfSpeed(Pts);
     impl Protocol<Path> for HalfSpeed {
         fn name(&self) -> String {
             "half-speed-pts".into()
         }
-        fn plan(&mut self, round: Round, topo: &Path, state: &NetworkState) -> ForwardingPlan {
+        fn plan(
+            &mut self,
+            round: Round,
+            topo: &Path,
+            state: &NetworkState,
+            plan: &mut ForwardingPlan,
+        ) {
             if round.value() % 2 == 0 {
-                self.0.plan(round, topo, state)
-            } else {
-                ForwardingPlan::new(topo.node_count())
+                self.0.plan(round, topo, state, plan);
             }
         }
     }
