@@ -11,6 +11,9 @@
 //! * [`sweep`] — scoped-thread parameter sweeps: [`sweep::parallel`]
 //!   scatters a grid across cores and merges deterministically (equal to
 //!   [`sweep::serial`] for pure functions);
+//! * [`capacity_threshold`] / [`sweep_capacity_grid`] — finite-buffer
+//!   experiments: binary-search the smallest zero-drop capacity and run
+//!   capacity × rate grids through the parallel runners;
 //! * [`Table`] / [`Verdict`] — bound-vs-measured table rendering (ASCII +
 //!   CSV);
 //! * [`render_figure1`] — the paper's Figure 1 as ASCII art.
@@ -36,10 +39,15 @@ pub mod bounds;
 mod experiment;
 mod figure1;
 pub mod sweep;
+mod threshold;
 
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
 pub use sweep::{
-    measured_sigma, measured_sigma_on, parallel_map, run_path, run_path_stream, run_tree,
-    run_tree_stream, RunSummary, SweepAggregate,
+    measured_sigma, measured_sigma_on, parallel_map, run_path, run_path_capacity, run_path_stream,
+    run_tree, run_tree_capacity, run_tree_stream, RunSummary, SweepAggregate,
+};
+pub use threshold::{
+    capacity_rate_grid, capacity_threshold, sweep_capacity_grid, CapacityGridPoint, CapacityProbe,
+    CapacityThreshold,
 };

@@ -15,8 +15,8 @@
 //!   [`RunSummary`]s (sums and maxima only).
 
 use aqt_model::{
-    analyze, DirectedTree, InjectionSource, ModelError, Path, Pattern, Protocol, Rate, RunMetrics,
-    Simulation, Topology,
+    analyze, CapacityConfig, DirectedTree, DropPolicy, InjectionSource, ModelError, Path, Pattern,
+    Protocol, Rate, RunMetrics, Simulation, Topology,
 };
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,10 @@ pub struct RunSummary {
     pub mean_latency: Option<f64>,
     /// Max delivery latency in rounds.
     pub max_latency: u64,
+    /// Packets dropped by capacity enforcement (0 on unbounded runs).
+    pub dropped: u64,
+    /// Exact goodput delivered/injected, `None` when nothing was injected.
+    pub goodput: Option<Rate>,
 }
 
 impl RunSummary {
@@ -49,6 +53,8 @@ impl RunSummary {
             delivered: metrics.delivered,
             mean_latency: metrics.latency.mean(),
             max_latency: metrics.latency.max_rounds,
+            dropped: metrics.dropped,
+            goodput: metrics.goodput(),
         }
     }
 }
@@ -87,6 +93,51 @@ pub fn run_path_stream<P: Protocol<Path>, S: InjectionSource>(
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
     let mut sim = Simulation::from_source(Path::new(n), protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Capacity-bounded counterpart of [`run_path_stream`]: buffers are
+/// capped per `config` and overflow is resolved by `policy`; losses show
+/// up in [`RunSummary::dropped`] and [`RunSummary::goodput`].
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_path_capacity<P: Protocol<Path>, S: InjectionSource>(
+    n: usize,
+    protocol: P,
+    source: S,
+    extra: u64,
+    config: CapacityConfig,
+    policy: impl DropPolicy + 'static,
+) -> Result<RunSummary, ModelError> {
+    let mut sim =
+        Simulation::from_source(Path::new(n), protocol, source).with_capacity(config, policy);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Capacity-bounded counterpart of [`run_tree_stream`].
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_tree_capacity<P: Protocol<DirectedTree>, S: InjectionSource>(
+    tree: DirectedTree,
+    protocol: P,
+    source: S,
+    extra: u64,
+    config: CapacityConfig,
+    policy: impl DropPolicy + 'static,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(tree, protocol, source).with_capacity(config, policy);
     sim.run_past_horizon(extra)?;
     Ok(RunSummary::from_metrics(
         sim.protocol().name(),
@@ -256,6 +307,8 @@ pub struct SweepAggregate {
     pub worst_staged: usize,
     /// Worst delivery latency over all runs.
     pub max_latency: u64,
+    /// Total packets dropped across runs (capacity-bounded sweeps).
+    pub dropped: u64,
 }
 
 impl SweepAggregate {
@@ -273,6 +326,7 @@ impl SweepAggregate {
             agg.worst_occupancy = agg.worst_occupancy.max(s.max_occupancy);
             agg.worst_staged = agg.worst_staged.max(s.max_staged);
             agg.max_latency = agg.max_latency.max(s.max_latency);
+            agg.dropped += s.dropped;
         }
         agg
     }
@@ -318,6 +372,48 @@ mod tests {
         let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 1, 0)));
         let s = run_tree_stream(tree, Greedy::new(GreedyPolicy::Fifo), source, 4).unwrap();
         assert_eq!(s.delivered, 4);
+    }
+
+    #[test]
+    fn run_path_capacity_reports_losses() {
+        use aqt_model::DropTail;
+        let source = FnSource::new(1, |t, out| {
+            out.extend(std::iter::repeat_n(Injection::new(t, 0, 3), 4));
+        });
+        let s = run_path_capacity(
+            4,
+            Greedy::new(GreedyPolicy::Fifo),
+            source,
+            10,
+            CapacityConfig::uniform(2),
+            DropTail,
+        )
+        .unwrap();
+        assert_eq!(s.injected, 4);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.goodput, Some(Rate::new(1, 2).unwrap()));
+        assert_eq!(s.max_occupancy, 2);
+    }
+
+    #[test]
+    fn run_tree_capacity_runs() {
+        use aqt_model::DropHead;
+        let tree = DirectedTree::star(3);
+        let source = FnSource::new(1, |t, out| {
+            out.extend(std::iter::repeat_n(Injection::new(t, 1, 0), 3));
+        });
+        let s = run_tree_capacity(
+            tree,
+            Greedy::new(GreedyPolicy::Fifo),
+            source,
+            6,
+            CapacityConfig::uniform(1),
+            DropHead,
+        )
+        .unwrap();
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.delivered, 1);
     }
 
     #[test]
@@ -370,6 +466,8 @@ mod tests {
             delivered: inj,
             mean_latency: None,
             max_latency: occ as u64,
+            dropped: 1,
+            goodput: Some(Rate::ONE),
         };
         let a = vec![mk(3, 10), mk(7, 2), mk(5, 4)];
         let mut b = a.clone();

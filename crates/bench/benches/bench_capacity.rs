@@ -1,0 +1,89 @@
+//! Timing bench for the capacity enforcement hot path.
+//!
+//! Two questions: (1) what does turning capacity checks *on* cost when no
+//! drop ever fires (the common case — a well-provisioned buffer), and
+//! (2) how expensive is the drop path itself under each policy when the
+//! network is overloaded and the policy fires on most placements.
+//! Regressions here are regressions in `Simulation::step`'s admission
+//! path — the code E11 and every finite-buffer experiment sit on.
+
+use aqt_bench::pairs_source;
+use aqt_core::{Greedy, GreedyPolicy};
+use aqt_model::{
+    CapacityConfig, DropFarthest, DropHead, DropNewest, DropPolicy, DropTail, FnSource, Injection,
+    Path, Simulation,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Unbounded vs capacity-1 on the loss-free pairs stream: the delta is
+/// pure enforcement overhead (occupancy never exceeds 1, no drop fires).
+fn bench_enforcement_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_enforce");
+    let n = 256usize;
+    let rounds = 256u64;
+    group.throughput(Throughput::Elements(rounds));
+    group.bench_with_input(BenchmarkId::new("unbounded", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut sim = Simulation::from_source(
+                Path::new(n),
+                Greedy::new(GreedyPolicy::Fifo),
+                pairs_source(n, rounds),
+            );
+            sim.run_past_horizon(2).expect("valid run");
+            sim.metrics().delivered
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("cap1_droptail", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut sim = Simulation::from_source(
+                Path::new(n),
+                Greedy::new(GreedyPolicy::Fifo),
+                pairs_source(n, rounds),
+            )
+            .with_capacity(CapacityConfig::uniform(1), DropTail);
+            sim.run_past_horizon(2).expect("valid run");
+            assert_eq!(sim.metrics().dropped, 0);
+            sim.metrics().delivered
+        })
+    });
+    group.finish();
+}
+
+/// The drop path under load: an overloaded single route into a small
+/// buffer, once per policy (victim selection cost differs).
+/// A fresh boxed policy per run (policies may be stateful).
+type PolicyFactory = fn() -> Box<dyn DropPolicy>;
+
+fn bench_drop_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_policy");
+    let n = 64usize;
+    let rounds = 256u64;
+    group.throughput(Throughput::Elements(rounds));
+    let policies: [(&str, PolicyFactory); 4] = [
+        ("drop_tail", || Box::new(DropTail)),
+        ("drop_head", || Box::new(DropHead)),
+        ("drop_farthest", || Box::new(DropFarthest)),
+        ("drop_newest", || Box::new(DropNewest)),
+    ];
+    for (name, mk_policy) in policies {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::from_source(
+                    Path::new(n),
+                    Greedy::new(GreedyPolicy::Fifo),
+                    FnSource::new(rounds, move |t, out| {
+                        out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 4));
+                    }),
+                )
+                .with_capacity(CapacityConfig::uniform(4), mk_policy());
+                sim.run_past_horizon(4 * n as u64).expect("valid run");
+                assert!(sim.metrics().dropped > 0);
+                sim.metrics().delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement_overhead, bench_drop_policies);
+criterion_main!(benches);

@@ -5,21 +5,25 @@
 //! cargo run -p aqt-bench --release --bin experiments -- e4 e5   # a subset
 //! cargo run -p aqt-bench --release --bin experiments -- --quick # smaller instances
 //! cargo run -p aqt-bench --release --bin experiments -- --csv e2
+//! cargo run -p aqt-bench --release --bin experiments -- --list
 //! cargo run -p aqt-bench --release --bin experiments -- e10 --bench-json BENCH_engine.json
 //! ```
 
-use aqt_bench::{engine_bench_json, measure_engine, render_e10, run_experiment, EXPERIMENT_IDS};
+use aqt_bench::{
+    engine_bench_json, measure_engine, render_e10, run_experiment, EXPERIMENT_IDS, EXPERIMENT_INDEX,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("Usage: experiments [--quick] [--csv] [--bench-json PATH] [ID ...]");
+        println!("Usage: experiments [--quick] [--csv] [--list] [--bench-json PATH] [ID ...]");
         println!();
         println!("Regenerates the paper's claims as measured tables.");
         println!();
         println!("Options:");
         println!("  --quick            run smaller instances (CI-sized)");
         println!("  --csv              emit CSV instead of rendered tables");
+        println!("  --list             print the experiment-id -> claim -> function index");
         println!("  --bench-json PATH  write E10's engine measurements as JSON");
         println!("                     (the perf-trajectory artifact; implies e10 runs)");
         println!("  -h, --help         print this message");
@@ -28,6 +32,29 @@ fn main() {
             "Experiment ids (default: all): {}",
             EXPERIMENT_IDS.join(" ")
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        let id_w = EXPERIMENT_INDEX
+            .iter()
+            .map(|e| e.0.len())
+            .max()
+            .unwrap_or(3);
+        let claim_w = EXPERIMENT_INDEX
+            .iter()
+            .map(|e| e.1.len())
+            .max()
+            .unwrap_or(5);
+        println!("{:<id_w$}  {:<claim_w$}  function", "id", "claim");
+        println!(
+            "{}  {}  {}",
+            "-".repeat(id_w),
+            "-".repeat(claim_w),
+            "-".repeat(8)
+        );
+        for (id, claim, function) in EXPERIMENT_INDEX {
+            println!("{id:<id_w$}  {claim:<claim_w$}  {function}");
+        }
         return;
     }
     let mut quick = false;

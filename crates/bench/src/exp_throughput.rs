@@ -19,7 +19,8 @@ use aqt_adversary::RandomAdversary;
 use aqt_analysis::{sweep, RunSummary, Table};
 use aqt_core::{Greedy, GreedyPolicy, Hpts};
 use aqt_model::{
-    FnSource, Injection, InjectionSource, Packet, Path, Rate, Simulation, StoredPacket,
+    CapacityConfig, DropTail, FnSource, Injection, InjectionSource, Packet, Path, Rate, Simulation,
+    StoredPacket,
 };
 use serde::Serialize;
 
@@ -71,6 +72,29 @@ pub struct EngineBenchReport {
     pub sweep_parallel_ms: f64,
     /// `sweep_serial_ms / sweep_parallel_ms` (> 1 on a multi-core host).
     pub sweep_speedup: f64,
+    /// Wall-clock of the capacity-enforced rerun of the throughput
+    /// workload (capacity 1, drop-tail, zero drops by construction) —
+    /// the E11 enforcement hot path, same schedule as the unbounded run.
+    pub capacity_wall_ms: f64,
+    /// Rounds per second of the capacity-enforced rerun.
+    pub capacity_rounds_per_sec: f64,
+    /// Packets per second of the capacity-enforced rerun.
+    pub capacity_packets_per_sec: f64,
+    /// Enforcement overhead vs the unbounded run, in percent (can be
+    /// slightly negative from timing noise).
+    pub capacity_overhead_pct: f64,
+    /// Drops in the capacity-enforced rerun (must be 0: the pairs stream
+    /// never exceeds occupancy 1).
+    pub capacity_dropped: u64,
+    /// Wall-clock of the lossy-regime run (overloaded stream into a
+    /// small capacity; the drop policy fires constantly).
+    pub lossy_wall_ms: f64,
+    /// Packets injected in the lossy run.
+    pub lossy_injected: u64,
+    /// Packets dropped in the lossy run (> 0 by construction).
+    pub lossy_dropped: u64,
+    /// Goodput of the lossy run in percent.
+    pub lossy_goodput_pct: f64,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -143,6 +167,48 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
     assert_eq!(serial, parallel, "parallel sweep must be deterministic");
 
+    // --- Part 3: capacity enforcement overhead (E11 hot path) ---------
+    // The exact part-1 schedule rerun at capacity 1 with drop-tail: the
+    // pairs stream never buffers more than one packet anywhere, so zero
+    // drops occur and any wall-clock delta is pure enforcement cost.
+    let mut capped = Simulation::from_source(
+        Path::new(n),
+        Greedy::new(GreedyPolicy::Fifo),
+        pairs_source(n, rounds),
+    )
+    .with_capacity(CapacityConfig::uniform(1), DropTail);
+    let cap_started = Instant::now();
+    capped.run_past_horizon(2).expect("valid capacity run");
+    let cap_wall = cap_started.elapsed();
+    assert!(capped.is_drained(), "capacity-1 pairs stream must drain");
+    assert_eq!(capped.metrics().dropped, 0, "pairs never overflow cap 1");
+    let cap_wall_ms = cap_wall.as_secs_f64() * 1e3;
+    let cap_secs = cap_wall.as_secs_f64().max(1e-9);
+    let cap_rounds = capped.round().value();
+
+    // --- Part 4: the lossy regime -------------------------------------
+    // An overloaded single-route stream (4 pkts/round at node 0) into
+    // capacity 8: the policy fires on most injections, measuring the
+    // drop path itself.
+    let lossy_cap = 8usize;
+    let mut lossy = Simulation::from_source(
+        Path::new(n),
+        Greedy::new(GreedyPolicy::Fifo),
+        FnSource::new(rounds, move |t, out| {
+            out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 4));
+        }),
+    )
+    .with_capacity(CapacityConfig::uniform(lossy_cap), DropTail);
+    let lossy_started = Instant::now();
+    lossy
+        .run_past_horizon((n * lossy_cap) as u64 + (n as u64))
+        .expect("valid lossy run");
+    let lossy_wall_ms = lossy_started.elapsed().as_secs_f64() * 1e3;
+    let lossy_metrics = lossy.metrics();
+    assert!(lossy_metrics.dropped > 0, "the lossy run must lose packets");
+    let lossy_goodput_pct = lossy_metrics.goodput().map_or(0.0, |g| g.as_f64() * 100.0);
+    let (lossy_injected, lossy_dropped) = (lossy_metrics.injected, lossy_metrics.dropped);
+
     EngineBenchReport {
         quick,
         nodes: n,
@@ -159,6 +225,15 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         sweep_serial_ms: serial_ms,
         sweep_parallel_ms: parallel_ms,
         sweep_speedup: serial_ms / parallel_ms.max(1e-9),
+        capacity_wall_ms: cap_wall_ms,
+        capacity_rounds_per_sec: cap_rounds as f64 / cap_secs,
+        capacity_packets_per_sec: capped.metrics().injected as f64 / cap_secs,
+        capacity_overhead_pct: (cap_wall_ms - wall_ms) / wall_ms.max(1e-9) * 100.0,
+        capacity_dropped: capped.metrics().dropped,
+        lossy_wall_ms,
+        lossy_injected,
+        lossy_dropped,
+        lossy_goodput_pct,
     }
 }
 
@@ -216,7 +291,43 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
     sweeps.note(
         "sweep::parallel merges in input order: results are bit-identical to the serial sweep",
     );
-    vec![throughput, sweeps]
+
+    let mut capacity = Table::new(
+        "E10c - capacity-bounded engine (the E11 enforcement hot path)",
+        [
+            "mode",
+            "wall ms",
+            "rounds/s",
+            "packets/s",
+            "injected",
+            "dropped",
+            "goodput %",
+        ],
+    );
+    capacity.push_row([
+        "cap 1, loss-free".to_string(),
+        format!("{:.1}", report.capacity_wall_ms),
+        format!("{:.0}", report.capacity_rounds_per_sec),
+        format!("{:.0}", report.capacity_packets_per_sec),
+        report.injected_packets.to_string(),
+        report.capacity_dropped.to_string(),
+        "100.0".to_string(),
+    ]);
+    capacity.push_row([
+        "cap 8, lossy".to_string(),
+        format!("{:.1}", report.lossy_wall_ms),
+        "-".to_string(),
+        "-".to_string(),
+        report.lossy_injected.to_string(),
+        report.lossy_dropped.to_string(),
+        format!("{:.1}", report.lossy_goodput_pct),
+    ]);
+    capacity.note(format!(
+        "loss-free row reruns E10a's exact schedule with capacity checks on: overhead {:+.1}%",
+        report.capacity_overhead_pct
+    ));
+    capacity.note("lossy row overloads one route 4x so the drop policy fires on most placements");
+    vec![throughput, sweeps, capacity]
 }
 
 /// E10 — throughput + sweep scaling (runs the measurement and renders it).
@@ -271,11 +382,21 @@ mod tests {
         assert_eq!(report.peak_live_packets, 128);
         assert!(report.rounds_per_sec > 0.0);
         assert!(report.streaming_bytes < report.materialized_bytes);
+        // The capacity rerun executes the identical schedule without loss;
+        // the lossy run must actually lose.
+        assert_eq!(report.capacity_dropped, 0);
+        assert!(report.capacity_rounds_per_sec > 0.0);
+        assert!(report.lossy_dropped > 0);
+        assert!(report.lossy_goodput_pct < 100.0);
+        assert!(report.lossy_goodput_pct > 0.0);
         let json = engine_bench_json(&report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
+        assert!(json.contains("capacity_overhead_pct"));
+        assert!(json.contains("lossy_dropped"));
         let tables = render_e10(&report);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert!(!tables[0].to_csv().contains("NaN"));
+        assert!(tables[2].render().contains("cap 1"));
     }
 }

@@ -1,0 +1,517 @@
+//! Finite buffer capacities and drop policies.
+//!
+//! The paper's theorems bound how much buffer space a protocol *needs*;
+//! this module supplies the other half of the experiment: what happens
+//! when a buffer has **less**. A [`CapacityConfig`] caps every buffer
+//! (uniformly or per node). Whenever the engine would place a packet into
+//! a full buffer it consults a [`DropPolicy`], which picks a [`Victim`]:
+//! either the incoming packet is rejected, or a stored packet is evicted
+//! to make room. Either way exactly one packet is lost and the loss is
+//! recorded in [`RunMetrics`](crate::RunMetrics) (totals, per-node counts,
+//! first-drop round) and in the cumulative per-node counters of
+//! [`NetworkState`](crate::NetworkState).
+//!
+//! This turns every occupancy theorem into a falsifiable *threshold*
+//! statement: running with capacity ≥ the bound must record zero drops,
+//! and the smallest zero-drop capacity (searchable with
+//! `aqt_analysis::capacity_threshold`) is exactly the unbounded run's peak
+//! occupancy — comparable against the closed-form bound.
+//!
+//! Capacity is enforced at every placement into a buffer: immediate
+//! injection, acceptance of staged packets at phase boundaries, and
+//! forwarding arrivals. Packets forwarded *into their destination* leave
+//! the network instantly and are never subject to capacity. Staged
+//! packets (batched injection mode) are governed by [`StagingMode`]:
+//! exempt (default; overflow resolves at acceptance) or counted against
+//! the source buffer (overflowing wishes are tail-dropped at stage time).
+//!
+//! # Examples
+//!
+//! ```
+//! use aqt_model::{
+//!     CapacityConfig, DropTail, Injection, NodeId, Path, Pattern, Simulation,
+//! };
+//! # use aqt_model::{ForwardingPlan, NetworkState, Protocol, Round, Topology};
+//! # struct Drain;
+//! # impl<T: Topology> Protocol<T> for Drain {
+//! #     fn name(&self) -> String { "drain".into() }
+//! #     fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+//! #         for v in 0..state.node_count() {
+//! #             let v = NodeId::new(v);
+//! #             if let Some(top) = state.lifo_top_where(v, |_| true) {
+//! #                 plan.send(v, top.id());
+//! #             }
+//! #         }
+//! #     }
+//! # }
+//!
+//! // Three packets burst into a buffer that holds two: one is dropped.
+//! let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3); 3]);
+//! let mut sim = Simulation::new(Path::new(4), Drain, &pattern)?
+//!     .with_capacity(CapacityConfig::uniform(2), DropTail);
+//! sim.run(6)?;
+//! assert_eq!(sim.metrics().dropped, 1);
+//! assert_eq!(sim.metrics().delivered, 2);
+//! # Ok::<(), aqt_model::ModelError>(())
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, PacketId, Round};
+use crate::packet::{Packet, StoredPacket};
+
+/// Buffer limits: one shared cap or one per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Limits {
+    /// Every buffer holds at most this many packets.
+    Uniform(usize),
+    /// `limits[v]` caps node `v`'s buffer.
+    PerNode(Vec<usize>),
+}
+
+/// Whether staged packets (batched injection mode, the ℓ-reduction) count
+/// against their source buffer's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StagingMode {
+    /// The staging area is spillover space: only accepted packets occupy
+    /// buffer capacity, and overflow is resolved (through the policy) at
+    /// acceptance. This measures the Thm. 4.1 quantity — accepted
+    /// occupancy — under pressure.
+    #[default]
+    Exempt,
+    /// Staged packets already occupy their source buffer: a wish that
+    /// would push `occupancy + staged` past the limit is tail-dropped at
+    /// stage time (staged packets are not part of the observable
+    /// configuration, so the policy gets no say), and acceptance then
+    /// never overflows.
+    Counted,
+}
+
+/// Buffer capacity limits for a capacity-bounded run.
+///
+/// Construct with [`uniform`](CapacityConfig::uniform) or
+/// [`per_node`](CapacityConfig::per_node), optionally selecting a
+/// [`StagingMode`] with [`staging`](CapacityConfig::staging), and hand the
+/// config to [`Simulation::with_capacity`](crate::Simulation::with_capacity).
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::{CapacityConfig, NodeId, StagingMode};
+///
+/// let uniform = CapacityConfig::uniform(4);
+/// assert_eq!(uniform.limit(NodeId::new(17)), 4);
+///
+/// let skewed = CapacityConfig::per_node(vec![1, 8]).staging(StagingMode::Counted);
+/// assert_eq!(skewed.limit(NodeId::new(1)), 8);
+/// assert_eq!(skewed.staging_mode(), StagingMode::Counted);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityConfig {
+    limits: Limits,
+    staging: StagingMode,
+}
+
+impl CapacityConfig {
+    /// Every buffer holds at most `limit` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`: a zero-capacity buffer could never even
+    /// hold a packet in transit, so every route would be dead.
+    pub fn uniform(limit: usize) -> Self {
+        assert!(limit >= 1, "buffer capacity must be at least 1");
+        CapacityConfig {
+            limits: Limits::Uniform(limit),
+            staging: StagingMode::default(),
+        }
+    }
+
+    /// Node `v` holds at most `limits[v]` packets; the vector length must
+    /// equal the topology's node count (checked when the simulation is
+    /// built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limits` is empty or any entry is 0.
+    pub fn per_node(limits: Vec<usize>) -> Self {
+        assert!(!limits.is_empty(), "need at least one buffer limit");
+        assert!(
+            limits.iter().all(|&l| l >= 1),
+            "every buffer capacity must be at least 1"
+        );
+        CapacityConfig {
+            limits: Limits::PerNode(limits),
+            staging: StagingMode::default(),
+        }
+    }
+
+    /// Selects how staged packets interact with capacity (builder-style).
+    pub fn staging(mut self, mode: StagingMode) -> Self {
+        self.staging = mode;
+        self
+    }
+
+    /// The staging mode.
+    pub fn staging_mode(&self) -> StagingMode {
+        self.staging
+    }
+
+    /// The capacity of node `v`'s buffer.
+    pub fn limit(&self, v: NodeId) -> usize {
+        match &self.limits {
+            Limits::Uniform(l) => *l,
+            Limits::PerNode(ls) => ls[v.index()],
+        }
+    }
+
+    /// Checks the config against a topology size (per-node vectors must
+    /// cover every node exactly).
+    pub(crate) fn assert_valid(&self, node_count: usize) {
+        if let Limits::PerNode(ls) = &self.limits {
+            assert_eq!(
+                ls.len(),
+                node_count,
+                "per-node capacity vector must have one entry per node"
+            );
+        }
+    }
+}
+
+/// The outcome of a [`DropPolicy`] consultation: who loses their place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Victim {
+    /// Reject the incoming packet; the buffer is untouched.
+    Incoming,
+    /// Evict this stored packet and admit the incoming one in its stead.
+    /// The id must name a packet currently in the full buffer, or the
+    /// engine reports
+    /// [`ModelError::InvalidVictim`](crate::ModelError::InvalidVictim).
+    Stored(PacketId),
+}
+
+/// Context handed to a [`DropPolicy`] alongside the full buffer: where the
+/// overflow happens and how far packets still have to travel.
+pub struct DropContext<'a> {
+    node: NodeId,
+    round: Round,
+    distance: &'a dyn Fn(NodeId) -> usize,
+}
+
+impl fmt::Debug for DropContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DropContext")
+            .field("node", &self.node)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> DropContext<'a> {
+    /// A context for an overflow at `node` in `round`; `distance` maps a
+    /// destination to the route length from `node`.
+    pub fn new(node: NodeId, round: Round, distance: &'a dyn Fn(NodeId) -> usize) -> Self {
+        DropContext {
+            node,
+            round,
+            distance,
+        }
+    }
+
+    /// The node whose buffer is full.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The round of the overflow.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Remaining route length (in links) from the full buffer to `dest`.
+    /// Buffered packets always have a route, so this is ≥ 1 for every
+    /// destination a policy will ever ask about.
+    pub fn distance_to(&self, dest: NodeId) -> usize {
+        (self.distance)(dest)
+    }
+}
+
+/// Chooses which packet to sacrifice when a buffer is full.
+///
+/// The engine calls [`select`](DropPolicy::select) with the full buffer
+/// (in placement order: ascending `seq`, so index 0 is the FIFO head and
+/// the last element the LIFO top), the incoming packet, and a
+/// [`DropContext`]. The policy must be deterministic for reproducible
+/// runs; it may keep internal state (hence `&mut self`).
+///
+/// Implementations here: [`DropTail`], [`DropHead`], [`DropFarthest`],
+/// [`DropNewest`].
+pub trait DropPolicy: fmt::Debug + Send {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+
+    /// Picks the victim for an overflow. `buffer` is non-empty (capacity
+    /// limits are ≥ 1 and the buffer is at its limit).
+    fn select(
+        &mut self,
+        buffer: &[StoredPacket],
+        incoming: &Packet,
+        ctx: &DropContext<'_>,
+    ) -> Victim;
+}
+
+impl<P: DropPolicy + ?Sized> DropPolicy for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn select(
+        &mut self,
+        buffer: &[StoredPacket],
+        incoming: &Packet,
+        ctx: &DropContext<'_>,
+    ) -> Victim {
+        (**self).select(buffer, incoming, ctx)
+    }
+}
+
+/// Classic drop-tail: the incoming packet is rejected, the buffer keeps
+/// what it has. The baseline policy of router queues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropTail;
+
+impl DropPolicy for DropTail {
+    fn name(&self) -> String {
+        "drop-tail".into()
+    }
+
+    fn select(&mut self, _: &[StoredPacket], _: &Packet, _: &DropContext<'_>) -> Victim {
+        Victim::Incoming
+    }
+}
+
+/// Drop-head (drop-front): evict the FIFO head — the packet that has
+/// waited in this buffer longest — and admit the incoming one. Favors
+/// fresh traffic; the classic latency-bounding policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropHead;
+
+impl DropPolicy for DropHead {
+    fn name(&self) -> String {
+        "drop-head".into()
+    }
+
+    fn select(&mut self, buffer: &[StoredPacket], _: &Packet, _: &DropContext<'_>) -> Victim {
+        // Buffers are kept in placement order: the first entry is the
+        // FIFO head.
+        Victim::Stored(buffer.first().expect("full buffer is non-empty").id())
+    }
+}
+
+/// Drop the packet (stored or incoming) farthest from its destination —
+/// the work-conserving heuristic of the competitive-throughput literature:
+/// packets close to delivery embody the most sunk forwarding work.
+///
+/// Ties between a stored packet and the incoming one favor dropping the
+/// incoming packet (less buffer churn); ties among stored packets evict
+/// the most recently placed (largest `seq`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropFarthest;
+
+impl DropPolicy for DropFarthest {
+    fn name(&self) -> String {
+        "drop-farthest".into()
+    }
+
+    fn select(
+        &mut self,
+        buffer: &[StoredPacket],
+        incoming: &Packet,
+        ctx: &DropContext<'_>,
+    ) -> Victim {
+        let farthest = buffer
+            .iter()
+            .max_by_key(|sp| (ctx.distance_to(sp.dest()), sp.seq()))
+            .expect("full buffer is non-empty");
+        if ctx.distance_to(farthest.dest()) > ctx.distance_to(incoming.dest()) {
+            Victim::Stored(farthest.id())
+        } else {
+            Victim::Incoming
+        }
+    }
+}
+
+/// Drop the packet (stored or incoming) injected most recently — protects
+/// the oldest traffic, approximating longest-in-system priority under
+/// loss. Ties favor dropping the incoming packet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropNewest;
+
+impl DropPolicy for DropNewest {
+    fn name(&self) -> String {
+        "drop-newest".into()
+    }
+
+    fn select(
+        &mut self,
+        buffer: &[StoredPacket],
+        incoming: &Packet,
+        _: &DropContext<'_>,
+    ) -> Victim {
+        let newest = buffer
+            .iter()
+            .max_by_key(|sp| (sp.packet().injected_at(), sp.seq()))
+            .expect("full buffer is non-empty");
+        if newest.packet().injected_at() > incoming.injected_at() {
+            Victim::Stored(newest.id())
+        } else {
+            Victim::Incoming
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stored(id: u64, injected: u64, dest: usize, seq: u64) -> StoredPacket {
+        StoredPacket::new(
+            Packet::new(
+                PacketId::new(id),
+                Round::new(injected),
+                NodeId::new(0),
+                NodeId::new(dest),
+            ),
+            Round::new(injected),
+            seq,
+        )
+    }
+
+    fn incoming(id: u64, injected: u64, dest: usize) -> Packet {
+        Packet::new(
+            PacketId::new(id),
+            Round::new(injected),
+            NodeId::new(0),
+            NodeId::new(dest),
+        )
+    }
+
+    /// Distance on a path from node 0: the destination index itself.
+    fn ctx(distance: &dyn Fn(NodeId) -> usize) -> DropContext<'_> {
+        DropContext::new(NodeId::new(0), Round::new(5), distance)
+    }
+
+    #[test]
+    fn uniform_config_applies_everywhere() {
+        let c = CapacityConfig::uniform(3);
+        assert_eq!(c.limit(NodeId::new(0)), 3);
+        assert_eq!(c.limit(NodeId::new(99)), 3);
+        assert_eq!(c.staging_mode(), StagingMode::Exempt);
+    }
+
+    #[test]
+    fn per_node_config_indexes() {
+        let c = CapacityConfig::per_node(vec![1, 2, 3]);
+        assert_eq!(c.limit(NodeId::new(2)), 3);
+        c.assert_valid(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = CapacityConfig::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn per_node_length_mismatch_rejected() {
+        CapacityConfig::per_node(vec![1, 2]).assert_valid(3);
+    }
+
+    #[test]
+    fn drop_tail_always_rejects_incoming() {
+        let buf = vec![stored(1, 0, 3, 0)];
+        let d = |_: NodeId| 1;
+        assert_eq!(
+            DropTail.select(&buf, &incoming(9, 9, 1), &ctx(&d)),
+            Victim::Incoming
+        );
+    }
+
+    #[test]
+    fn drop_head_evicts_fifo_head() {
+        let buf = vec![stored(1, 0, 3, 0), stored(2, 1, 3, 1)];
+        let d = |_: NodeId| 1;
+        assert_eq!(
+            DropHead.select(&buf, &incoming(9, 9, 3), &ctx(&d)),
+            Victim::Stored(PacketId::new(1))
+        );
+    }
+
+    #[test]
+    fn drop_farthest_prefers_distant_stored_packet() {
+        // Stored packet to node 7 is farther than incoming to node 2.
+        let buf = vec![stored(1, 0, 7, 0), stored(2, 0, 3, 1)];
+        let d = |dest: NodeId| dest.index();
+        assert_eq!(
+            DropFarthest.select(&buf, &incoming(9, 1, 2), &ctx(&d)),
+            Victim::Stored(PacketId::new(1))
+        );
+        // Incoming to node 9 is farthest: incoming loses.
+        assert_eq!(
+            DropFarthest.select(&buf, &incoming(9, 1, 9), &ctx(&d)),
+            Victim::Incoming
+        );
+    }
+
+    #[test]
+    fn drop_farthest_tie_rejects_incoming() {
+        let buf = vec![stored(1, 0, 5, 0)];
+        let d = |dest: NodeId| dest.index();
+        assert_eq!(
+            DropFarthest.select(&buf, &incoming(9, 1, 5), &ctx(&d)),
+            Victim::Incoming
+        );
+    }
+
+    #[test]
+    fn drop_newest_protects_old_traffic() {
+        // A late-injected stored packet loses to an earlier incoming one
+        // (a forwarded old packet arriving at a congested buffer).
+        let buf = vec![stored(1, 0, 3, 0), stored(2, 8, 3, 1)];
+        let d = |_: NodeId| 1;
+        assert_eq!(
+            DropNewest.select(&buf, &incoming(9, 4, 3), &ctx(&d)),
+            Victim::Stored(PacketId::new(2))
+        );
+        // Incoming is the newest: it is the victim (ties included).
+        assert_eq!(
+            DropNewest.select(&buf, &incoming(9, 8, 3), &ctx(&d)),
+            Victim::Incoming
+        );
+    }
+
+    #[test]
+    fn boxed_policies_delegate() {
+        let mut boxed: Box<dyn DropPolicy> = Box::new(DropHead);
+        assert_eq!(boxed.name(), "drop-head");
+        let buf = vec![stored(1, 0, 3, 0)];
+        let d = |_: NodeId| 1;
+        assert_eq!(
+            boxed.select(&buf, &incoming(9, 9, 3), &ctx(&d)),
+            Victim::Stored(PacketId::new(1))
+        );
+    }
+
+    #[test]
+    fn context_reports_site() {
+        let d = |dest: NodeId| dest.index() * 2;
+        let c = DropContext::new(NodeId::new(3), Round::new(7), &d);
+        assert_eq!(c.node(), NodeId::new(3));
+        assert_eq!(c.round(), Round::new(7));
+        assert_eq!(c.distance_to(NodeId::new(4)), 8);
+        assert!(format!("{c:?}").contains("DropContext"));
+    }
+}

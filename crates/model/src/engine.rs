@@ -19,9 +19,16 @@
 //! move list, the in-flight list, the injection buffer) lives in the
 //! [`Simulation`] and is reused round over round, so steady-state stepping
 //! performs no heap allocation beyond buffer growth.
+//!
+//! Buffers are unbounded by default (the theorems ask how much space is
+//! *needed*); [`Simulation::with_capacity`] caps them and routes every
+//! overflowing placement through a [`DropPolicy`](crate::DropPolicy) —
+//! same hot path, no extra allocation, losses recorded in
+//! [`RunMetrics`].
 
 use std::fmt;
 
+use crate::capacity::{CapacityConfig, DropContext, DropPolicy, StagingMode, Victim};
 use crate::ids::{NodeId, PacketId, Round};
 use crate::metrics::RunMetrics;
 use crate::packet::{Packet, StoredPacket};
@@ -200,6 +207,15 @@ pub enum ModelError {
         /// Round of the offense.
         round: Round,
     },
+    /// A [`DropPolicy`] named a victim that is not in the full buffer.
+    InvalidVictim {
+        /// The node whose buffer overflowed.
+        node: NodeId,
+        /// The claimed (absent) victim.
+        packet: PacketId,
+        /// Round of the offense.
+        round: Round,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -218,6 +234,14 @@ impl fmt::Display for ModelError {
             } => write!(
                 f,
                 "plan at {round} forwards {packet} from {node} with no next hop"
+            ),
+            ModelError::InvalidVictim {
+                node,
+                packet,
+                round,
+            } => write!(
+                f,
+                "drop policy at {round} evicts {packet} absent from full buffer {node}"
             ),
         }
     }
@@ -251,6 +275,9 @@ pub struct RoundOutcome {
     pub forwarded: usize,
     /// Packets delivered.
     pub delivered: usize,
+    /// Packets dropped by capacity enforcement this round (0 on
+    /// unbounded runs).
+    pub dropped: usize,
 }
 
 /// A complete run: topology + protocol + injection source + state.
@@ -312,6 +339,65 @@ pub struct Simulation<T: Topology, P: Protocol<T>, S: InjectionSource = PatternS
     plan_buf: ForwardingPlan,
     moves_buf: Vec<(NodeId, PacketId, NodeId, bool)>,
     lift_buf: Vec<(StoredPacket, NodeId, bool)>,
+    /// Capacity enforcement, if enabled via
+    /// [`with_capacity`](Simulation::with_capacity). `None` keeps the
+    /// unbounded hot path entirely check-free.
+    capacity: Option<CapacityState>,
+}
+
+/// Enforcement state of a capacity-bounded run: the limits plus the
+/// policy consulted on overflow.
+#[derive(Debug)]
+struct CapacityState {
+    config: CapacityConfig,
+    policy: Box<dyn DropPolicy>,
+}
+
+/// Places `packet` into `v` unless capacity forbids it; on overflow the
+/// drop policy names the victim. Returns whether `packet` ended up
+/// buffered. A free function over disjoint `Simulation` fields so the
+/// borrow checker accepts calls from inside the scratch-buffer loops.
+fn admit<T: Topology>(
+    topology: &T,
+    capacity: &mut Option<CapacityState>,
+    state: &mut NetworkState,
+    metrics: &mut RunMetrics,
+    v: NodeId,
+    packet: Packet,
+    t: Round,
+) -> Result<bool, ModelError> {
+    let Some(cap) = capacity.as_mut() else {
+        state.place(v, packet, t);
+        return Ok(true);
+    };
+    let mut occupied = state.occupancy(v);
+    if cap.config.staging_mode() == StagingMode::Counted {
+        occupied += state.staged_count(v);
+    }
+    if occupied < cap.config.limit(v) {
+        state.place(v, packet, t);
+        return Ok(true);
+    }
+    let distance = |dest: NodeId| topology.route_len(v, dest).unwrap_or(0);
+    let ctx = DropContext::new(v, t, &distance);
+    match cap.policy.select(state.buffer(v), &packet, &ctx) {
+        Victim::Incoming => {
+            metrics.record_drop(t, v);
+            state.note_drop(v);
+            Ok(false)
+        }
+        Victim::Stored(id) => {
+            state.remove(v, id).ok_or(ModelError::InvalidVictim {
+                node: v,
+                packet: id,
+                round: t,
+            })?;
+            metrics.record_drop(t, v);
+            state.note_drop(v);
+            state.place(v, packet, t);
+            Ok(true)
+        }
+    }
 }
 
 impl<T: Topology, P: Protocol<T>> Simulation<T, P> {
@@ -353,7 +439,40 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             plan_buf: ForwardingPlan::new(n),
             moves_buf: Vec::new(),
             lift_buf: Vec::new(),
+            capacity: None,
         }
+    }
+
+    /// Enables capacity-bounded execution: every buffer is capped per
+    /// `config` and overflowing placements are resolved by `policy` (see
+    /// the [`capacity`](crate::CapacityConfig) module docs for the exact
+    /// enforcement points). With a capacity no placement can ever exceed
+    /// the limit; losses appear in [`RunMetrics::dropped`] and friends.
+    ///
+    /// A run whose capacity is never exceeded is *identical* to the
+    /// unbounded run — capacity only changes behavior through drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after stepping, or if a per-node config does not
+    /// match the topology's node count.
+    pub fn with_capacity(
+        mut self,
+        config: CapacityConfig,
+        policy: impl DropPolicy + 'static,
+    ) -> Self {
+        assert_eq!(self.round, Round::ZERO, "enable capacity before stepping");
+        config.assert_valid(self.topology.node_count());
+        self.capacity = Some(CapacityState {
+            config,
+            policy: Box::new(policy),
+        });
+        self
+    }
+
+    /// The capacity configuration, if this run is capacity-bounded.
+    pub fn capacity(&self) -> Option<&CapacityConfig> {
+        self.capacity.as_ref().map(|c| &c.config)
     }
 
     /// Enables per-round occupancy series recording (costs memory
@@ -413,19 +532,32 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         let t = self.round;
         let mode = self.protocol.injection_mode();
         let n = self.state.node_count();
+        let drops_before = self.metrics.dropped;
 
         // --- Injection step -------------------------------------------
         // Acceptance of previously staged packets happens before this
         // round's injections are staged (Alg. 3 lines 3–5 accept rounds
-        // t−ℓ … t−1 at λ = 0).
+        // t−ℓ … t−1 at λ = 0). Under exempt-staging capacity this is
+        // where staged packets face the drop policy; under counted
+        // staging their space was reserved at stage time and no drop can
+        // occur here.
         let mut accepted = 0usize;
         if let InjectionMode::Batched { len } = mode {
             debug_assert!(len > 0, "phase length must be positive");
             if t.value() % len == 0 {
                 self.state.take_staged_into(&mut self.accept_buf);
                 for packet in self.accept_buf.drain(..) {
-                    self.state.place(packet.source(), packet, t);
-                    accepted += 1;
+                    if admit(
+                        &self.topology,
+                        &mut self.capacity,
+                        &mut self.state,
+                        &mut self.metrics,
+                        packet.source(),
+                        packet,
+                        t,
+                    )? {
+                        accepted += 1;
+                    }
                 }
             }
         }
@@ -445,8 +577,34 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             );
             self.next_packet_id += 1;
             match mode {
-                InjectionMode::Immediate => self.state.place(injection.source, packet, t),
-                InjectionMode::Batched { .. } => self.state.stage(packet),
+                InjectionMode::Immediate => {
+                    admit(
+                        &self.topology,
+                        &mut self.capacity,
+                        &mut self.state,
+                        &mut self.metrics,
+                        injection.source,
+                        packet,
+                        t,
+                    )?;
+                }
+                InjectionMode::Batched { .. } => {
+                    // Counted staging: the wish needs a reserved slot at
+                    // its source buffer right now, or it is tail-dropped
+                    // (staged packets are invisible to the policy).
+                    if let Some(cap) = &self.capacity {
+                        if cap.config.staging_mode() == StagingMode::Counted {
+                            let v = injection.source;
+                            let used = self.state.occupancy(v) + self.state.staged_count(v);
+                            if used >= cap.config.limit(v) {
+                                self.metrics.record_drop(t, v);
+                                self.state.note_drop(v);
+                                continue;
+                            }
+                        }
+                    }
+                    self.state.stage(packet);
+                }
             }
         }
         self.metrics.injected += injected as u64;
@@ -493,7 +651,17 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
                 self.metrics.record_delivery(t, stored.packet());
                 delivered += 1;
             } else {
-                self.state.place(hop, *stored.packet(), t);
+                // A forwarded packet crossed its link either way; if the
+                // receiving buffer is full it (or a victim) is lost here.
+                admit(
+                    &self.topology,
+                    &mut self.capacity,
+                    &mut self.state,
+                    &mut self.metrics,
+                    hop,
+                    *stored.packet(),
+                    t,
+                )?;
             }
         }
         let forwarded = self.moves_buf.len();
@@ -505,6 +673,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             accepted,
             forwarded,
             delivered,
+            dropped: (self.metrics.dropped - drops_before) as usize,
         })
     }
 
@@ -764,6 +933,161 @@ mod tests {
         assert!(sim.step().is_ok());
         assert!(sim.step().is_ok());
         assert!(matches!(sim.step(), Err(ModelError::Pattern(_))));
+    }
+
+    #[test]
+    fn capacity_drop_tail_rejects_overflow_and_records_it() {
+        use crate::capacity::{CapacityConfig, DropTail};
+        // Three packets burst into node 0 (cap 2): the third is dropped.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3); 3]);
+        let mut sim = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(2), DropTail);
+        let o = sim.step().unwrap();
+        assert_eq!(o.injected, 3);
+        assert_eq!(o.dropped, 1);
+        sim.run(6).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.per_node_drops, vec![1, 0, 0, 0]);
+        assert_eq!(m.first_drop_round, Some(Round::ZERO));
+        assert_eq!(m.delivered, 2);
+        assert_eq!(m.max_occupancy, 2);
+        assert_eq!(m.goodput(), Some(crate::Rate::new(2, 3).unwrap()));
+        assert_eq!(sim.state().total_dropped(), 1);
+        assert_eq!(sim.state().drops_at(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn capacity_drop_head_evicts_oldest() {
+        use crate::capacity::{CapacityConfig, DropHead};
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3), Injection::new(0, 0, 2)]);
+        let mut sim = Simulation::new(Path::new(4), Idle, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(1), DropHead);
+        sim.step().unwrap();
+        // The first-injected packet (id 0, dest 3) was evicted; the
+        // second survives.
+        assert_eq!(sim.metrics().dropped, 1);
+        let buf = sim.state().buffer(NodeId::new(0));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].id(), PacketId::new(1));
+    }
+
+    #[test]
+    fn capacity_enforced_on_forwarding_arrivals() {
+        use crate::capacity::{CapacityConfig, DropTail};
+        // Node 1 starts full (one parked packet, cap 1); a packet
+        // forwarded from node 0 into node 1 is dropped on arrival.
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 1, 3), // parks at node 1
+            Injection::new(1, 0, 3), // forwarded into node 1 at round 1
+        ]);
+        /// Forward only node 0's buffer.
+        struct PushFromZero;
+        impl<T: Topology> Protocol<T> for PushFromZero {
+            fn name(&self) -> String {
+                "push0".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                if let Some(top) = state.lifo_top_where(NodeId::new(0), |_| true) {
+                    plan.send(NodeId::new(0), top.id());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Path::new(4), PushFromZero, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(1), DropTail);
+        sim.run(2).unwrap();
+        assert_eq!(sim.metrics().dropped, 1);
+        assert_eq!(sim.metrics().per_node_drops[1], 1);
+        // The link was still used: the move counts as forwarded.
+        assert_eq!(sim.metrics().forwarded, 1);
+    }
+
+    #[test]
+    fn counted_staging_tail_drops_wishes_and_acceptance_never_overflows() {
+        use crate::capacity::{CapacityConfig, DropTail, StagingMode};
+        // Phase length 2, cap 2 at node 0, three wishes staged in round 0:
+        // the third wish is dropped at stage time; acceptance at round 2
+        // fits exactly.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3); 3]);
+        let mut sim = Simulation::new(Path::new(4), BatchedDrain(2), &p)
+            .unwrap()
+            .with_capacity(
+                CapacityConfig::uniform(2).staging(StagingMode::Counted),
+                DropTail,
+            );
+        let o = sim.step().unwrap();
+        assert_eq!(o.dropped, 1);
+        assert_eq!(sim.state().staged_len(), 2);
+        sim.step().unwrap();
+        let o = sim.step().unwrap(); // round 2: acceptance
+        assert_eq!(o.accepted, 2);
+        assert_eq!(o.dropped, 0);
+        assert_eq!(sim.metrics().max_occupancy, 2);
+        assert_eq!(sim.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn exempt_staging_drops_at_acceptance() {
+        use crate::capacity::{CapacityConfig, DropTail, StagingMode};
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3); 3]);
+        let mut sim = Simulation::new(Path::new(4), BatchedDrain(2), &p)
+            .unwrap()
+            .with_capacity(
+                CapacityConfig::uniform(2).staging(StagingMode::Exempt),
+                DropTail,
+            );
+        // All three wishes stage freely.
+        let o = sim.step().unwrap();
+        assert_eq!(o.dropped, 0);
+        assert_eq!(sim.state().staged_len(), 3);
+        sim.step().unwrap();
+        // Acceptance at round 2: only two fit.
+        let o = sim.step().unwrap();
+        assert_eq!(o.accepted, 2);
+        assert_eq!(o.dropped, 1);
+        assert_eq!(sim.metrics().first_drop_round, Some(Round::new(2)));
+    }
+
+    #[test]
+    fn invalid_victim_is_reported() {
+        use crate::capacity::{CapacityConfig, DropPolicy, Victim};
+        /// Always names a victim that does not exist.
+        #[derive(Debug)]
+        struct Phantom;
+        impl DropPolicy for Phantom {
+            fn name(&self) -> String {
+                "phantom".into()
+            }
+            fn select(
+                &mut self,
+                _: &[StoredPacket],
+                _: &Packet,
+                _: &crate::capacity::DropContext<'_>,
+            ) -> Victim {
+                Victim::Stored(PacketId::new(4096))
+            }
+        }
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1); 2]);
+        let mut sim = Simulation::new(Path::new(2), Idle, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(1), Phantom);
+        assert!(matches!(sim.step(), Err(ModelError::InvalidVictim { .. })));
+    }
+
+    #[test]
+    fn generous_capacity_matches_unbounded_run() {
+        use crate::capacity::{CapacityConfig, DropFarthest};
+        let p: Pattern = (0..20u64).map(|t| Injection::new(t, 0, 3)).collect();
+        let mut unbounded = Simulation::new(Path::new(4), Drain, &p).unwrap();
+        unbounded.run(30).unwrap();
+        let mut capped = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(usize::MAX), DropFarthest);
+        capped.run(30).unwrap();
+        assert_eq!(unbounded.metrics(), capped.metrics());
     }
 
     #[test]

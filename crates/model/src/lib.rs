@@ -24,6 +24,12 @@
 //!   long-horizon runs need O(live packets) memory instead of
 //!   materializing the whole schedule; [`PatternSource`] adapts a
 //!   [`Pattern`], [`FnSource`] wraps a closure.
+//! * **Finite buffers** — [`Simulation::with_capacity`] caps buffers
+//!   ([`CapacityConfig`]) and resolves overflow through a [`DropPolicy`]
+//!   ([`DropTail`], [`DropHead`], [`DropFarthest`], [`DropNewest`]),
+//!   turning every occupancy bound into a falsifiable zero-drop
+//!   threshold; losses land in [`RunMetrics::dropped`] and goodput is
+//!   exact ([`RunMetrics::goodput`]).
 //!
 //! Forwarding algorithms themselves (PTS, PPTS, HPTS, …) live in
 //! `aqt-core`; adversary generators (including the paper's §5 lower-bound
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod boundedness;
+mod capacity;
 mod engine;
 mod ids;
 mod metrics;
@@ -62,6 +69,10 @@ pub mod util;
 
 pub use boundedness::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, ExcessTracker,
+};
+pub use capacity::{
+    CapacityConfig, DropContext, DropFarthest, DropHead, DropNewest, DropPolicy, DropTail,
+    StagingMode, Victim,
 };
 pub use engine::{ForwardingPlan, InjectionMode, ModelError, Protocol, RoundOutcome, Simulation};
 pub use ids::{NodeId, PacketId, Round};

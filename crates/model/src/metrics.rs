@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::{NodeId, Round};
 use crate::packet::Packet;
+use crate::rate::Rate;
 use crate::state::NetworkState;
 
 /// Latency accounting over delivered packets. Latency of a packet is the
@@ -65,6 +66,13 @@ pub struct RunMetrics {
     pub max_staged: usize,
     /// Latency statistics of delivered packets.
     pub latency: LatencyStats,
+    /// Packets dropped by capacity enforcement (0 on unbounded runs).
+    pub dropped: u64,
+    /// Per-node drop counts (all zero on unbounded runs).
+    pub per_node_drops: Vec<u64>,
+    /// The first round in which a drop occurred, if any — the empirical
+    /// onset of the lossy regime.
+    pub first_drop_round: Option<Round>,
     /// Optional per-round series of the max occupancy (enabled with
     /// [`Simulation::record_series`](crate::Simulation::record_series)).
     pub series: Option<Vec<usize>>,
@@ -82,8 +90,29 @@ impl RunMetrics {
             per_node_peak: vec![0; n],
             max_staged: 0,
             latency: LatencyStats::default(),
+            dropped: 0,
+            per_node_drops: vec![0; n],
+            first_drop_round: None,
             series: record_series.then(Vec::new),
         }
+    }
+
+    /// Goodput — delivered / injected — as an exact [`Rate`], or `None`
+    /// before anything was injected. 1 on loss-free completed runs; the
+    /// capacity experiments (E11) plot this against the buffer limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduced fraction does not fit `u32` (requires more
+    /// than ~4·10⁹ injections with a coprime delivery count).
+    pub fn goodput(&self) -> Option<Rate> {
+        if self.injected == 0 {
+            return None;
+        }
+        let g = gcd64(self.delivered, self.injected);
+        let num = u32::try_from(self.delivered / g).expect("goodput numerator exceeds u32");
+        let den = u32::try_from(self.injected / g).expect("goodput denominator exceeds u32");
+        Some(Rate::new(num, den).expect("injected is non-zero"))
     }
 
     /// Observes `L^t` (post-injection, pre-forwarding).
@@ -109,6 +138,15 @@ impl RunMetrics {
         }
     }
 
+    /// Records a capacity drop at `node` in round `round`.
+    pub(crate) fn record_drop(&mut self, round: Round, node: NodeId) {
+        self.dropped += 1;
+        self.per_node_drops[node.index()] += 1;
+        if self.first_drop_round.is_none() {
+            self.first_drop_round = Some(round);
+        }
+    }
+
     pub(crate) fn record_delivery(&mut self, round: Round, packet: &Packet) {
         let latency = round
             .since(packet.injected_at())
@@ -117,6 +155,15 @@ impl RunMetrics {
         self.latency.record(latency);
         self.delivered += 1;
     }
+}
+
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 #[cfg(test)]
@@ -171,5 +218,30 @@ mod tests {
         m.record_delivery(Round::new(3), &p);
         assert_eq!(m.latency.max_rounds, 1);
         assert_eq!(m.delivered, 1);
+    }
+
+    #[test]
+    fn drops_accumulate_and_pin_first_round() {
+        let mut m = RunMetrics::new(3, false);
+        assert_eq!(m.first_drop_round, None);
+        m.record_drop(Round::new(4), NodeId::new(2));
+        m.record_drop(Round::new(9), NodeId::new(2));
+        m.record_drop(Round::new(9), NodeId::new(0));
+        assert_eq!(m.dropped, 3);
+        assert_eq!(m.per_node_drops, vec![1, 0, 2]);
+        assert_eq!(m.first_drop_round, Some(Round::new(4)));
+    }
+
+    #[test]
+    fn goodput_is_exact_and_reduced() {
+        let mut m = RunMetrics::new(1, false);
+        assert_eq!(m.goodput(), None);
+        m.injected = 12;
+        m.delivered = 8;
+        assert_eq!(m.goodput(), Some(Rate::new(2, 3).unwrap()));
+        m.delivered = 12;
+        assert_eq!(m.goodput(), Some(Rate::ONE));
+        m.delivered = 0;
+        assert_eq!(m.goodput(), Some(Rate::ZERO));
     }
 }

@@ -21,6 +21,14 @@ use crate::packet::{Packet, StoredPacket};
 pub struct NetworkState {
     buffers: Vec<Vec<StoredPacket>>,
     staged: Vec<Packet>,
+    /// Staged packets per source node (capacity enforcement in
+    /// [`StagingMode::Counted`](crate::StagingMode::Counted) and
+    /// observability both want this without scanning `staged`).
+    staged_counts: Vec<usize>,
+    /// Cumulative drops per node (capacity-bounded runs; all zero
+    /// otherwise). Observable by protocols and tracers.
+    drops: Vec<u64>,
+    dropped_total: u64,
     next_seq: u64,
 }
 
@@ -29,6 +37,9 @@ impl NetworkState {
         NetworkState {
             buffers: vec![Vec::new(); n],
             staged: Vec::new(),
+            staged_counts: vec![0; n],
+            drops: vec![0; n],
+            dropped_total: 0,
             next_seq: 0,
         }
     }
@@ -61,6 +72,22 @@ impl NetworkState {
     /// Number of staged packets.
     pub fn staged_len(&self) -> usize {
         self.staged.len()
+    }
+
+    /// Staged packets whose source buffer is `v` (they will enter `v` at
+    /// the next phase boundary).
+    pub fn staged_count(&self, v: NodeId) -> usize {
+        self.staged_counts[v.index()]
+    }
+
+    /// Cumulative packets dropped at `v` so far (capacity-bounded runs).
+    pub fn drops_at(&self, v: NodeId) -> u64 {
+        self.drops[v.index()]
+    }
+
+    /// Cumulative packets dropped anywhere so far.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_total
     }
 
     /// Looks up a packet in `v`'s buffer.
@@ -125,6 +152,7 @@ impl NetworkState {
 
     /// Adds a packet to the staging area.
     pub(crate) fn stage(&mut self, packet: Packet) {
+        self.staged_counts[packet.source().index()] += 1;
         self.staged.push(packet);
     }
 
@@ -133,6 +161,13 @@ impl NetworkState {
     pub(crate) fn take_staged_into(&mut self, out: &mut Vec<Packet>) {
         out.clear();
         out.append(&mut self.staged);
+        self.staged_counts.fill(0);
+    }
+
+    /// Records a capacity drop at `v` in the cumulative counters.
+    pub(crate) fn note_drop(&mut self, v: NodeId) {
+        self.drops[v.index()] += 1;
+        self.dropped_total += 1;
     }
 
     /// Removes a packet from `v`'s buffer, returning it.
@@ -227,5 +262,29 @@ mod tests {
         st.stage(packet(3, 0));
         st.take_staged_into(&mut drained);
         assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn staged_counts_track_sources() {
+        let mut st = NetworkState::new(2);
+        st.stage(packet(1, 1));
+        st.stage(packet(2, 1));
+        assert_eq!(st.staged_count(NodeId::new(0)), 2);
+        assert_eq!(st.staged_count(NodeId::new(1)), 0);
+        let mut drained = Vec::new();
+        st.take_staged_into(&mut drained);
+        assert_eq!(st.staged_count(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn drop_counters_accumulate() {
+        let mut st = NetworkState::new(3);
+        assert_eq!(st.total_dropped(), 0);
+        st.note_drop(NodeId::new(1));
+        st.note_drop(NodeId::new(1));
+        st.note_drop(NodeId::new(2));
+        assert_eq!(st.drops_at(NodeId::new(1)), 2);
+        assert_eq!(st.drops_at(NodeId::new(0)), 0);
+        assert_eq!(st.total_dropped(), 3);
     }
 }

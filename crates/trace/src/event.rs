@@ -31,6 +31,13 @@ pub struct RoundRecord {
     pub occupancy: Vec<u32>,
     /// Packets sitting in the staging area (batched protocols).
     pub staged: u32,
+    /// Capacity drops per node since the previous record (all zero on
+    /// unbounded runs). Drops are attributed to the measurement point at
+    /// which they became visible: a drop during round `t`'s forwarding
+    /// step appears in round `t + 1`'s record — and is absent from the
+    /// trace entirely if the run stops after round `t` (run a settle
+    /// round to capture it; `RunMetrics::dropped` is authoritative).
+    pub drops: Vec<u32>,
     /// The sends of this round's forwarding plan.
     pub sends: Vec<SendRecord>,
 }
@@ -144,6 +151,26 @@ impl Trace {
         self.rounds.iter().filter(|r| r.sends.is_empty()).count()
     }
 
+    /// Total capacity drops recorded over the trace.
+    ///
+    /// Drops become visible to the tracer at the *next* measurement
+    /// point, so forwarding-step drops of the final executed round are
+    /// not in the trace (run at least one settle round to capture
+    /// them). [`RunMetrics::dropped`](aqt_model::RunMetrics) is the
+    /// authoritative total.
+    pub fn total_drops(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.drops)
+            .map(|&d| u64::from(d))
+            .sum()
+    }
+
+    /// The per-round total-drop series (sum over nodes per record).
+    pub fn drop_series(&self) -> Vec<u32> {
+        self.rounds.iter().map(|r| r.drops.iter().sum()).collect()
+    }
+
     /// CSV export of the occupancy matrix: one row per round, one column
     /// per node, plus a `staged` column.
     pub fn occupancy_csv(&self) -> String {
@@ -173,6 +200,7 @@ mod tests {
             round: Round::new(0),
             occupancy: vec![2, 0, 1],
             staged: 0,
+            drops: vec![0, 0, 0],
             sends: vec![SendRecord {
                 from: NodeId::new(0),
                 packet: PacketId::new(7),
@@ -183,6 +211,7 @@ mod tests {
             round: Round::new(1),
             occupancy: vec![1, 3, 1],
             staged: 2,
+            drops: vec![0, 2, 1],
             sends: vec![
                 SendRecord {
                     from: NodeId::new(1),
@@ -219,6 +248,14 @@ mod tests {
         assert_eq!(t.total_forwards(), 3);
         assert_eq!(t.total_delivered(), 1);
         assert_eq!(t.idle_rounds(), 0);
+    }
+
+    #[test]
+    fn drop_accounting() {
+        let t = sample();
+        assert_eq!(t.total_drops(), 3);
+        assert_eq!(t.drop_series(), vec![0, 3]);
+        assert_eq!(Trace::new("x", 2).total_drops(), 0);
     }
 
     #[test]

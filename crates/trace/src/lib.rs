@@ -9,8 +9,9 @@
 //!   checking at the paper's measurement point. [`BadnessExcessMonitor`]
 //!   checks the proof invariant `B^t(i) ≤ ξ_t(i) + 1` that drives
 //!   Props. 3.1/3.2 — *while* the protocol runs.
-//! * [`sparkline`] / [`heatmap`] — ASCII renderings of occupancy over
-//!   space and time.
+//! * [`sparkline`] / [`heatmap`] / [`loss_heatmap`] — ASCII renderings of
+//!   occupancy (and, for capacity-bounded runs, packet loss) over space
+//!   and time.
 //!
 //! ## Example: trace a run and render it
 //!
@@ -61,5 +62,5 @@ pub use event::{RoundRecord, SendRecord, Trace};
 pub use monitor::{
     run_monitored, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor, Violation,
 };
-pub use render::{heatmap, sparkline};
+pub use render::{heatmap, loss_heatmap, sparkline};
 pub use traced::Traced;

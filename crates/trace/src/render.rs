@@ -88,6 +88,67 @@ pub fn heatmap(trace: &Trace, max_width: usize, max_height: usize) -> String {
     out
 }
 
+/// Renders a trace's capacity drops as a space-time **loss heatmap** —
+/// the lossy-regime companion of [`heatmap`]: one row per node, one
+/// column per round, downsampled to `max_width` × `max_height`. Cell
+/// intensity is the *sum* of drops in the bucket (losses accumulate;
+/// occupancy peaks don't), so a saturated row is a buffer that sheds
+/// traffic continuously.
+///
+/// Returns an empty string for an empty trace; a loss-free trace renders
+/// with an all-blank body (the scale line says `max 0`).
+pub fn loss_heatmap(trace: &Trace, max_width: usize, max_height: usize) -> String {
+    if trace.is_empty() || trace.node_count == 0 || max_width == 0 || max_height == 0 {
+        return String::new();
+    }
+    let rounds = trace.len();
+    let nodes = trace.node_count;
+    let width = rounds.min(max_width);
+    let height = nodes.min(max_height);
+
+    // bucket_sum[row][col] = total drops in that space-time bucket.
+    let mut buckets = vec![vec![0u64; width]; height];
+    for (t, record) in trace.rounds.iter().enumerate() {
+        let col = t * width / rounds;
+        for (v, &d) in record.drops.iter().enumerate() {
+            let row = v * height / nodes;
+            buckets[row][col] += u64::from(d);
+        }
+    }
+    let peak = buckets
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — loss heatmap ({} nodes × {} rounds, {} dropped)\n",
+        trace.protocol,
+        nodes,
+        rounds,
+        trace.total_drops()
+    ));
+    let scale = peak.max(1);
+    for (row, cells) in buckets.iter().enumerate() {
+        let node_lo = row * nodes / height;
+        out.push_str(&format!("{node_lo:>5} |"));
+        for &v in cells {
+            let idx = (v as usize * (SHADES.len() - 1)).div_ceil(scale as usize);
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      +{}\n      shades: ' ' = 0 … '@' = {} drops/bucket (max {})\n",
+        "-".repeat(width),
+        scale,
+        peak
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,8 +161,24 @@ mod tests {
         for (i, occupancy) in rows.into_iter().enumerate() {
             t.rounds.push(RoundRecord {
                 round: Round::new(i as u64),
+                drops: vec![0; occupancy.len()],
                 occupancy,
                 staged: 0,
+                sends: Vec::new(),
+            });
+        }
+        t
+    }
+
+    fn trace_with_drops(rows: Vec<Vec<u32>>) -> Trace {
+        let n = rows.first().map_or(0, Vec::len);
+        let mut t = Trace::new("lossy", n);
+        for (i, drops) in rows.into_iter().enumerate() {
+            t.rounds.push(RoundRecord {
+                round: Round::new(i as u64),
+                occupancy: vec![0; drops.len()],
+                staged: 0,
+                drops,
                 sends: Vec::new(),
             });
         }
@@ -146,5 +223,34 @@ mod tests {
     fn empty_trace_renders_empty() {
         let t = Trace::new("x", 0);
         assert_eq!(heatmap(&t, 10, 10), "");
+        assert_eq!(loss_heatmap(&t, 10, 10), "");
+    }
+
+    #[test]
+    fn loss_heatmap_marks_drop_hotspot() {
+        let t = trace_with_drops(vec![vec![0, 0, 5, 0], vec![0, 0, 5, 0]]);
+        let map = loss_heatmap(&t, 10, 10);
+        assert!(map.contains("10 dropped"), "{map}");
+        assert!(map.contains('@'), "{map}");
+    }
+
+    #[test]
+    fn loss_free_trace_renders_blank_body() {
+        let t = trace_with_drops(vec![vec![0, 0]]);
+        let map = loss_heatmap(&t, 10, 10);
+        assert!(map.contains("0 dropped"), "{map}");
+        assert!(map.contains("(max 0)"), "{map}");
+        // Body rows (between header and axis) are all blank.
+        let body: Vec<&str> = map.lines().skip(1).take(2).collect();
+        assert!(body.iter().all(|row| !row.contains('@')), "{map}");
+    }
+
+    #[test]
+    fn loss_heatmap_sums_within_buckets() {
+        // 4 rounds squeezed into 2 columns: each bucket sums 2 rounds.
+        let t = trace_with_drops(vec![vec![1]; 4]);
+        let map = loss_heatmap(&t, 2, 1);
+        assert!(map.contains("4 dropped"), "{map}");
+        assert!(map.contains("'@' = 2"), "{map}");
     }
 }

@@ -33,6 +33,11 @@ use crate::event::{RoundRecord, SendRecord, Trace};
 pub struct Traced<P> {
     inner: P,
     trace: Trace,
+    /// Cumulative per-node drop counters as of the previous record, so
+    /// each record carries the delta (capacity-bounded runs; see
+    /// [`RoundRecord::drops`](crate::RoundRecord::drops) for the
+    /// attribution rule).
+    seen_drops: Vec<u64>,
 }
 
 impl<P> Traced<P> {
@@ -42,6 +47,7 @@ impl<P> Traced<P> {
         Traced {
             inner,
             trace: Trace::new("", 0),
+            seen_drops: Vec::new(),
         }
     }
 
@@ -81,8 +87,19 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
         if self.trace.node_count == 0 {
             self.trace = Trace::new(self.inner.name(), state.node_count());
         }
+        if self.seen_drops.len() != state.node_count() {
+            self.seen_drops = vec![0; state.node_count()];
+        }
         let occupancy = (0..state.node_count())
             .map(|v| state.occupancy(aqt_model::NodeId::new(v)) as u32)
+            .collect();
+        let drops = (0..state.node_count())
+            .map(|v| {
+                let cum = state.drops_at(aqt_model::NodeId::new(v));
+                let delta = cum - self.seen_drops[v];
+                self.seen_drops[v] = cum;
+                delta as u32
+            })
             .collect();
         let sends = plan
             .sends()
@@ -106,6 +123,7 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
             round,
             occupancy,
             staged: state.staged_len() as u32,
+            drops,
             sends,
         });
     }
@@ -141,6 +159,22 @@ mod tests {
         // Round 0: the packet is staged (accepted only at round 2).
         assert_eq!(trace.rounds[0].staged, 1);
         assert_eq!(trace.rounds[0].occupancy.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn trace_records_capacity_drops() {
+        use aqt_model::{CapacityConfig, DropTail, NodeId};
+        // Burst of 4 into a cap-2 buffer: two injection-time drops land in
+        // round 0's record at node 0.
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 7); 4]);
+        let mut sim = Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(2), DropTail);
+        sim.run(5).unwrap();
+        let trace = sim.protocol().trace();
+        assert_eq!(trace.total_drops(), sim.metrics().dropped);
+        assert_eq!(trace.rounds[0].drops[NodeId::new(0).index()], 2);
+        assert_eq!(trace.drop_series()[0], 2);
     }
 
     #[test]

@@ -111,23 +111,26 @@ pub use aqt_adversary::{
     RandomAdversary, RandomPathSource, RandomTreeSource, ShapingSource,
 };
 pub use aqt_analysis::{
-    bounds, measured_sigma, measured_sigma_on, parallel_map, render_figure1, run_path,
-    run_path_stream, run_tree, run_tree_stream, sweep, RunSummary, SweepAggregate, Table, Verdict,
+    bounds, capacity_rate_grid, capacity_threshold, measured_sigma, measured_sigma_on,
+    parallel_map, render_figure1, run_path, run_path_capacity, run_path_stream, run_tree,
+    run_tree_capacity, run_tree_stream, sweep, sweep_capacity_grid, CapacityGridPoint,
+    CapacityProbe, CapacityThreshold, RunSummary, SweepAggregate, Table, Verdict,
 };
 pub use aqt_core::{
     badness, low_antichain, DestSpaceError, Greedy, GreedyPolicy, Hierarchy, Hpts, HptsD,
     LevelSchedule, LocalPts, Ppts, PseudoPriority, Pts, TreePpts, TreePts,
 };
 pub use aqt_model::{
-    analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, DirectedTree,
+    analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, CapacityConfig,
+    DirectedTree, DropContext, DropFarthest, DropHead, DropNewest, DropPolicy, DropTail,
     ExcessTracker, FnSource, ForwardingPlan, Injection, InjectionMode, InjectionSource,
     LatencyStats, ModelError, NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError,
     PatternSource, Protocol, Rate, RateError, Round, RoundOutcome, RunMetrics, Simulation,
-    StoredPacket, Topology, TreeError,
+    StagingMode, StoredPacket, Topology, TreeError, Victim,
 };
 pub use aqt_trace::{
-    heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor,
-    RoundRecord, SendRecord, Trace, Traced, Violation,
+    heatmap, loss_heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor, Monitored,
+    OccupancyMonitor, RoundRecord, SendRecord, Trace, Traced, Violation,
 };
 
 #[cfg(test)]
