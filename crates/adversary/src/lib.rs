@@ -14,6 +14,9 @@
 //! * deterministic [`patterns`] — bursts, paced streams, round-robin and
 //!   staircase workloads with exactly known parameters, each with a
 //!   `*_source` streaming variant.
+//! * [`grid`] — mesh workloads on [`Dag::grid`](aqt_model::Dag::grid):
+//!   row/column floods, diagonal waves toward the far corner, and
+//!   leaky-bucket-shaped cross traffic.
 //! * [`LowerBoundAdversary`] — the paper's Section 5 construction, which
 //!   forces Ω(((ℓ+1)ρ−1)/2ℓ · n^{1/ℓ}) buffer usage against *every*
 //!   forwarding protocol.
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+pub mod grid;
 mod lower_bound;
 pub mod patterns;
 mod random;

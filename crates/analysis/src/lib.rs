@@ -44,8 +44,9 @@ mod threshold;
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
 pub use sweep::{
-    measured_sigma, measured_sigma_on, parallel_map, run_path, run_path_capacity, run_path_stream,
-    run_tree, run_tree_capacity, run_tree_stream, RunSummary, SweepAggregate,
+    measured_sigma, measured_sigma_on, parallel_map, run_dag, run_dag_capacity, run_dag_stream,
+    run_path, run_path_capacity, run_path_stream, run_tree, run_tree_capacity, run_tree_stream,
+    RunSummary, SweepAggregate,
 };
 pub use threshold::{
     capacity_rate_grid, capacity_threshold, sweep_capacity_grid, CapacityGridPoint, CapacityProbe,

@@ -15,8 +15,8 @@
 //!   [`RunSummary`]s (sums and maxima only).
 
 use aqt_model::{
-    analyze, CapacityConfig, DirectedTree, DropPolicy, InjectionSource, ModelError, Path, Pattern,
-    Protocol, Rate, RunMetrics, Simulation, Topology,
+    analyze, CapacityConfig, Dag, DirectedTree, DropPolicy, InjectionSource, ModelError, Path,
+    Pattern, Protocol, Rate, RunMetrics, Simulation, Topology,
 };
 use serde::{Deserialize, Serialize};
 
@@ -176,6 +176,66 @@ pub fn run_tree_stream<P: Protocol<DirectedTree>, S: InjectionSource>(
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
     let mut sim = Simulation::from_source(tree, protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Runs `protocol` on a [`Dag`] against `pattern` — the DAG/grid
+/// counterpart of [`run_path`] / [`run_tree`].
+///
+/// # Errors
+///
+/// Propagates pattern validation or plan errors from the engine.
+pub fn run_dag<P: Protocol<Dag>>(
+    dag: Dag,
+    protocol: P,
+    pattern: &Pattern,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::new(dag, protocol, pattern)?;
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Runs `protocol` on a [`Dag`] against a streaming source.
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_dag_stream<P: Protocol<Dag>, S: InjectionSource>(
+    dag: Dag,
+    protocol: P,
+    source: S,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(dag, protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Capacity-bounded counterpart of [`run_dag_stream`].
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_dag_capacity<P: Protocol<Dag>, S: InjectionSource>(
+    dag: Dag,
+    protocol: P,
+    source: S,
+    extra: u64,
+    config: CapacityConfig,
+    policy: impl DropPolicy + 'static,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(dag, protocol, source).with_capacity(config, policy);
     sim.run_past_horizon(extra)?;
     Ok(RunSummary::from_metrics(
         sim.protocol().name(),
@@ -372,6 +432,41 @@ mod tests {
         let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 1, 0)));
         let s = run_tree_stream(tree, Greedy::new(GreedyPolicy::Fifo), source, 4).unwrap();
         assert_eq!(s.delivered, 4);
+    }
+
+    #[test]
+    fn run_dag_summarizes_grid_runs() {
+        use aqt_core::DagGreedy;
+        // One packet across a 2×3 mesh corner to corner: 3 hops.
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 5)]);
+        let s = run_dag(Dag::grid(2, 3), DagGreedy::fifo(), &pattern, 6).unwrap();
+        assert_eq!(s.protocol, "DagGreedy-FIFO");
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.mean_latency, Some(3.0));
+        let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 0, 5)));
+        let st = run_dag_stream(Dag::grid(2, 3), DagGreedy::fifo(), source, 8).unwrap();
+        assert_eq!(st.delivered, 4);
+    }
+
+    #[test]
+    fn run_dag_capacity_reports_losses() {
+        use aqt_core::DagGreedy;
+        use aqt_model::DropTail;
+        let source = FnSource::new(1, |t, out| {
+            out.extend(std::iter::repeat_n(Injection::new(t, 0, 3), 4));
+        });
+        let s = run_dag_capacity(
+            Dag::grid(2, 2),
+            DagGreedy::fifo(),
+            source,
+            10,
+            CapacityConfig::uniform(2),
+            DropTail,
+        )
+        .unwrap();
+        assert_eq!(s.injected, 4);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.delivered, 2);
     }
 
     #[test]

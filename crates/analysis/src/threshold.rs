@@ -337,6 +337,29 @@ mod tests {
     }
 
     #[test]
+    fn threshold_searches_work_on_dags() {
+        use aqt_core::DagGreedy;
+        use aqt_model::{Dag, Pattern};
+        // Diagonal-wave-like burst: 4 packets at the 2×2 corner cell all
+        // bound for the far corner — they pile up at the source, so the
+        // zero-drop threshold is the burst size.
+        let mesh = Dag::grid(2, 2);
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3); 4]);
+        let th = capacity_threshold(
+            &mesh,
+            DagGreedy::fifo,
+            || PatternSource::new(&pattern),
+            boxed_tail,
+            StagingMode::Exempt,
+            10,
+        )
+        .unwrap();
+        assert_eq!(th.threshold, 4);
+        assert_eq!(th.unbounded_peak, 4);
+        assert!(th.drops_below.unwrap() > 0);
+    }
+
+    #[test]
     fn grid_is_cartesian_and_ordered() {
         let rates = [Rate::ONE, Rate::new(1, 2).unwrap()];
         let grid = capacity_rate_grid(&[1, 2], &rates);

@@ -190,14 +190,22 @@ fn e11a_goodput(quick: bool) -> Table {
     table
 }
 
-/// One E11b row: search the zero-drop threshold and compare to a bound.
-struct ThresholdRow {
-    protocol: String,
-    workload: &'static str,
-    rho: Rate,
-    sigma_star: u64,
-    bound: Option<u64>,
-    search: CapacityThreshold,
+/// One E11b row: a zero-drop threshold search and the closed-form bound it
+/// is compared against. Public so the golden regression suite
+/// (`tests/e11_golden.rs`) can pin the measured table.
+pub struct ThresholdRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Short workload label.
+    pub workload: &'static str,
+    /// Injection rate of the workload.
+    pub rho: Rate,
+    /// Measured tight σ of the workload.
+    pub sigma_star: u64,
+    /// Closed-form space bound, if the paper states one.
+    pub bound: Option<u64>,
+    /// The binary search's result.
+    pub search: CapacityThreshold,
 }
 
 impl ThresholdRow {
@@ -222,8 +230,9 @@ fn boxed_tail() -> Box<dyn DropPolicy> {
     Box::new(DropTail)
 }
 
-/// The E11b threshold searches (shared by the table and the tests).
-fn e11b_rows(quick: bool) -> Vec<ThresholdRow> {
+/// The E11b threshold searches — shared by the table, the module tests
+/// and the golden regression suite that pins the measured values.
+pub fn e11b_rows(quick: bool) -> Vec<ThresholdRow> {
     let n = 16usize;
     let mut rows = Vec::new();
 

@@ -1,0 +1,198 @@
+//! E12 — grid routing: peak buffer occupancy vs mesh dimensions.
+//!
+//! The paper's space bounds are proven on paths and trees; the grid is the
+//! natural next topology (Even & Medina, "Online Packet-Routing in Grids
+//! with Bounded Buffers"). E12 measures, for row-column-routed meshes of
+//! growing dimensions, the peak buffer occupancy of the per-link greedy
+//! protocols under three canonical grid loads plus a leaky-bucket-shaped
+//! cross-traffic mix:
+//!
+//! * **floods** — every row flooded left → right *and* every column
+//!   flooded top → bottom at rate 1 (disjoint routes except where rows
+//!   and columns cross);
+//! * **diag wave** — successive anti-diagonals fire toward the far corner
+//!   (the XY-routing hotspot: everything converges on the last column);
+//! * **shaped** — overloaded row + column wishes shaped down to a
+//!   (ρ = 1, σ = 2)-bounded stream by the leaky-bucket shaper.
+//!
+//! **E12b** closes the loop with the threshold machinery: for each mesh,
+//! the smallest zero-drop capacity under the diagonal wave equals the
+//! unbounded run's peak — the same falsifiable-threshold contract E11
+//! established on paths, now on DAGs.
+
+use aqt_adversary::grid as gridpat;
+use aqt_analysis::{capacity_threshold, sweep, Table};
+use aqt_core::DagGreedy;
+use aqt_model::{
+    Dag, DropPolicy, DropTail, InjectionSource, PatternSource, Rate, Simulation, StagingMode,
+};
+
+/// Settle time after the adversary stops.
+const EXTRA: u64 = 100;
+
+/// The mesh shapes E12 sweeps.
+pub fn e12_shapes(quick: bool) -> Vec<(usize, usize)> {
+    if quick {
+        vec![(4, 4), (4, 8), (8, 8)]
+    } else {
+        // A superset of the quick shapes, so full-run tables extend the
+        // quick-run tables row-for-row.
+        vec![(4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32)]
+    }
+}
+
+/// All rows flooded right + all columns flooded down at rate 1 — the E12
+/// "floods" load, shared with the shaper's wish stream.
+pub use aqt_adversary::grid::all_floods_source;
+
+/// One E12a measurement: peak occupancy of `protocol` on the mesh under
+/// one of the three loads.
+fn peak_for(mesh: &Dag, load: &str, rounds: u64) -> usize {
+    let (rows, cols) = mesh.grid_dims().expect("e12 meshes are grids");
+    let run = |source: Box<dyn InjectionSource>| -> usize {
+        let mut sim = Simulation::from_source(mesh.clone(), DagGreedy::fifo(), source);
+        sim.run_past_horizon(EXTRA).expect("valid grid run");
+        sim.metrics().max_occupancy
+    };
+    match load {
+        "floods" => run(Box::new(all_floods_source(rows, cols, rounds))),
+        "diag" => run(Box::new(gridpat::diagonal_wave_source(rows, cols, 1, 1))),
+        "shaped" => {
+            // The shaper borrows the mesh; materialize so the run owns it.
+            let pattern = gridpat::shaped_cross_traffic(mesh, Rate::ONE, 2, rounds).into_pattern();
+            run(Box::new(PatternSource::from(pattern)))
+        }
+        other => unreachable!("unknown load {other}"),
+    }
+}
+
+/// E12a — peak buffer occupancy vs mesh dimensions for the three loads.
+fn e12a_peaks(quick: bool) -> Table {
+    let rounds = if quick { 60 } else { 200 };
+    let shapes = e12_shapes(quick);
+    let grid: Vec<((usize, usize), &str)> = shapes
+        .iter()
+        .flat_map(|&s| {
+            ["floods", "diag", "shaped"]
+                .into_iter()
+                .map(move |l| (s, l))
+        })
+        .collect();
+    let peaks = sweep::parallel(&grid, |&((rows, cols), load)| {
+        peak_for(&Dag::grid(rows, cols), load, rounds)
+    });
+
+    let mut table = Table::new(
+        "E12a - grid peak buffer occupancy vs mesh dimensions (DagGreedy-FIFO)",
+        ["grid", "nodes", "floods", "diag wave", "shaped"],
+    );
+    for (si, &(rows, cols)) in shapes.iter().enumerate() {
+        let row = &peaks[si * 3..(si + 1) * 3];
+        table.push_row([
+            format!("{rows}x{cols}"),
+            (rows * cols).to_string(),
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+        ]);
+    }
+    table.note(format!(
+        "floods: every row and column streamed at rho = 1 for {rounds} rounds; diag: anti-diagonal waves (1 pkt/cell) toward the far corner; shaped: row+column wishes leaky-bucketed to (1, 2)"
+    ));
+    table.note("routing is row-column (XY): flood routes only share the row/column crossing cells");
+    table.note(
+        "diag peaks grow with the mesh: all corner-bound traffic converges on the last column",
+    );
+    table
+}
+
+/// E12b — zero-drop capacity threshold on meshes (diag wave, drop-tail):
+/// the threshold must equal the unbounded run's peak, as on paths.
+fn e12b_thresholds(quick: bool) -> Table {
+    let shapes = e12_shapes(quick);
+    let rows_out = sweep::parallel(&shapes, |&(rows, cols)| {
+        let mesh = Dag::grid(rows, cols);
+        let pattern = gridpat::diagonal_wave(rows, cols, 1, 1);
+        capacity_threshold(
+            &mesh,
+            DagGreedy::fifo,
+            || PatternSource::new(&pattern),
+            || Box::new(DropTail) as Box<dyn DropPolicy>,
+            StagingMode::Exempt,
+            EXTRA,
+        )
+        .expect("valid threshold search")
+    });
+    let mut table = Table::new(
+        "E12b - zero-drop capacity threshold on meshes (diag wave, drop-tail)",
+        ["grid", "threshold", "unbounded peak", "drops@c-1", "probes"],
+    );
+    for (&(rows, cols), th) in shapes.iter().zip(&rows_out) {
+        assert_eq!(
+            th.threshold, th.unbounded_peak,
+            "exempt-staging threshold must equal the unbounded peak"
+        );
+        table.push_row([
+            format!("{rows}x{cols}"),
+            th.threshold.to_string(),
+            th.unbounded_peak.to_string(),
+            th.drops_below.map_or_else(|| "-".into(), |d| d.to_string()),
+            th.probes.len().to_string(),
+        ]);
+    }
+    table.note("same falsifiable-threshold contract as E11, now on DAG topologies");
+    table
+}
+
+/// E12 — grid routing: peak buffer vs mesh dimensions + mesh thresholds.
+pub fn e12_grid(quick: bool) -> Vec<Table> {
+    vec![e12a_peaks(quick), e12b_thresholds(quick)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_tables_cover_every_shape() {
+        let tables = e12_grid(true);
+        assert_eq!(tables.len(), 2);
+        let rendered = tables[0].render();
+        for (rows, cols) in e12_shapes(true) {
+            assert!(
+                rendered.contains(&format!("{rows}x{cols}")),
+                "missing shape in\n{rendered}"
+            );
+        }
+        assert!(e12_shapes(true).len() >= 3, "need at least 3 grid shapes");
+    }
+
+    #[test]
+    fn diag_wave_peak_grows_with_the_mesh() {
+        // The corner hotspot scales with the diagonal count.
+        let small = peak_for(&Dag::grid(4, 4), "diag", 0);
+        let large = peak_for(&Dag::grid(8, 8), "diag", 0);
+        assert!(
+            large > small,
+            "8x8 diag peak {large} must exceed 4x4 peak {small}"
+        );
+    }
+
+    #[test]
+    fn floods_drain_on_disjoint_routes() {
+        let (rows, cols) = (4usize, 4usize);
+        let mut sim = Simulation::from_source(
+            Dag::grid(rows, cols),
+            DagGreedy::fifo(),
+            all_floods_source(rows, cols, 20),
+        );
+        sim.run_past_horizon(EXTRA).unwrap();
+        assert!(sim.is_drained());
+        assert_eq!(sim.metrics().injected, 20 * (rows + cols) as u64);
+        assert_eq!(
+            sim.metrics().delivered,
+            sim.metrics().injected,
+            "floods must be delivered in full"
+        );
+    }
+}

@@ -95,6 +95,22 @@ pub struct EngineBenchReport {
     pub lossy_dropped: u64,
     /// Goodput of the lossy run in percent.
     pub lossy_goodput_pct: f64,
+    /// Mesh shape of the DAG-engine run, e.g. `"16x16"`.
+    pub dag_grid: String,
+    /// Nodes in the mesh.
+    pub dag_nodes: usize,
+    /// Rounds executed by the DAG run.
+    pub dag_rounds: u64,
+    /// Packets injected by the all-floods grid stream.
+    pub dag_injected: u64,
+    /// Wall-clock of the DAG run in milliseconds.
+    pub dag_wall_ms: f64,
+    /// Engine rounds per second on the multi-out (per-edge plan) hot path.
+    pub dag_rounds_per_sec: f64,
+    /// Injected packets per second on the DAG hot path.
+    pub dag_packets_per_sec: f64,
+    /// Peak buffer occupancy of the DAG run.
+    pub dag_peak_occupancy: usize,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -209,6 +225,33 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let lossy_goodput_pct = lossy_metrics.goodput().map_or(0.0, |g| g.as_f64() * 100.0);
     let (lossy_injected, lossy_dropped) = (lossy_metrics.injected, lossy_metrics.dropped);
 
+    // --- Part 5: the DAG engine (per-edge forwarding plans) -----------
+    // All rows flooded right + all columns flooded down on a mesh: every
+    // round exercises the multi-slot plan layout, per-link validation and
+    // multi-out forwarding — the E12 hot path.
+    let (rows, cols) = if quick {
+        (8usize, 8usize)
+    } else {
+        (32usize, 32usize)
+    };
+    let dag_rounds_budget = if quick { 256u64 } else { 1024 };
+    let mut dag_sim = Simulation::from_source(
+        aqt_model::Dag::grid(rows, cols),
+        aqt_core::DagGreedy::fifo(),
+        crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
+    );
+    let dag_started = Instant::now();
+    dag_sim
+        .run_past_horizon(2 * (rows + cols) as u64)
+        .expect("valid grid run");
+    let dag_wall = dag_started.elapsed();
+    assert!(dag_sim.is_drained(), "grid floods must drain");
+    let dag_metrics = dag_sim.metrics();
+    let dag_wall_ms = dag_wall.as_secs_f64() * 1e3;
+    let dag_secs = dag_wall.as_secs_f64().max(1e-9);
+    let dag_rounds = dag_sim.round().value();
+    let (dag_injected, dag_peak_occupancy) = (dag_metrics.injected, dag_metrics.max_occupancy);
+
     EngineBenchReport {
         quick,
         nodes: n,
@@ -234,6 +277,14 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         lossy_injected,
         lossy_dropped,
         lossy_goodput_pct,
+        dag_grid: format!("{rows}x{cols}"),
+        dag_nodes: rows * cols,
+        dag_rounds,
+        dag_injected,
+        dag_wall_ms,
+        dag_rounds_per_sec: dag_rounds as f64 / dag_secs,
+        dag_packets_per_sec: dag_injected as f64 / dag_secs,
+        dag_peak_occupancy,
     }
 }
 
@@ -327,7 +378,30 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
         report.capacity_overhead_pct
     ));
     capacity.note("lossy row overloads one route 4x so the drop policy fires on most placements");
-    vec![throughput, sweeps, capacity]
+
+    let mut dag = Table::new(
+        "E10d - DAG engine (per-edge plans, multi-out forwarding)",
+        [
+            "grid",
+            "rounds",
+            "packets",
+            "wall ms",
+            "rounds/s",
+            "packets/s",
+            "peak occupancy",
+        ],
+    );
+    dag.push_row([
+        report.dag_grid.clone(),
+        report.dag_rounds.to_string(),
+        report.dag_injected.to_string(),
+        format!("{:.1}", report.dag_wall_ms),
+        format!("{:.0}", report.dag_rounds_per_sec),
+        format!("{:.0}", report.dag_packets_per_sec),
+        report.dag_peak_occupancy.to_string(),
+    ]);
+    dag.note("all rows flooded right + all columns flooded down on a row-column-routed mesh (DagGreedy-FIFO)");
+    vec![throughput, sweeps, capacity, dag]
 }
 
 /// E10 — throughput + sweep scaling (runs the measurement and renders it).
@@ -389,14 +463,22 @@ mod tests {
         assert!(report.lossy_dropped > 0);
         assert!(report.lossy_goodput_pct < 100.0);
         assert!(report.lossy_goodput_pct > 0.0);
+        // The DAG run drained and actually exercised multi-out nodes.
+        assert_eq!(report.dag_grid, "8x8");
+        assert_eq!(report.dag_nodes, 64);
+        assert!(report.dag_rounds_per_sec > 0.0);
+        assert!(report.dag_peak_occupancy >= 1);
         let json = engine_bench_json(&report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
         assert!(json.contains("capacity_overhead_pct"));
         assert!(json.contains("lossy_dropped"));
+        assert!(json.contains("dag_rounds_per_sec"));
+        assert!(json.contains("dag_peak_occupancy"));
         let tables = render_e10(&report);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         assert!(!tables[0].to_csv().contains("NaN"));
         assert!(tables[2].render().contains("cap 1"));
+        assert!(tables[3].render().contains("8x8"));
     }
 }

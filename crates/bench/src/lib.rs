@@ -17,6 +17,7 @@
 //! | E9  | locality axis (open problem, exploratory) | [`e9_locality`] |
 //! | E10 | engine throughput + parallel sweep scaling | [`e10_throughput`] |
 //! | E11 | finite buffers: goodput vs capacity, space thresholds | [`e11_capacity`] |
+//! | E12 | grid routing: peak buffer vs mesh dimensions | [`e12_grid`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
@@ -30,6 +31,7 @@
 
 mod exp_ablation;
 mod exp_capacity;
+mod exp_grid;
 mod exp_locality;
 mod exp_lower;
 mod exp_throughput;
@@ -37,7 +39,8 @@ mod exp_tradeoff;
 mod exp_upper;
 
 pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
-pub use exp_capacity::{e11_capacity, pts_two_wave};
+pub use exp_capacity::{e11_capacity, e11b_rows, pts_two_wave, ThresholdRow};
+pub use exp_grid::{all_floods_source, e12_grid, e12_shapes};
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
 pub use exp_throughput::{
@@ -65,7 +68,7 @@ pub const EXPERIMENT_IDS: [&str; EXPERIMENT_INDEX.len()] = {
 
 /// The experiment index: `(id, claim, function)` — what `experiments
 /// --list` prints; the single source of truth for experiment ids.
-pub const EXPERIMENT_INDEX: [(&str, &str, &str); 13] = [
+pub const EXPERIMENT_INDEX: [(&str, &str, &str); 14] = [
     (
         "e1",
         "Prop. 3.1 - PTS single destination <= 2 + sigma",
@@ -105,6 +108,11 @@ pub const EXPERIMENT_INDEX: [(&str, &str, &str); 13] = [
         "finite buffers - goodput vs capacity, zero-drop space thresholds",
         "e11_capacity",
     ),
+    (
+        "e12",
+        "grid routing - peak buffer vs mesh dimensions (DAG engine)",
+        "e12_grid",
+    ),
     ("a1", "ablation - HPTS without ActivatePreBad", "a1_prebad"),
     ("a2", "ablation - eager delivery variants", "a2_eager"),
 ];
@@ -132,6 +140,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e9" => e9_locality(quick),
         "e10" => e10_throughput(quick),
         "e11" => e11_capacity(quick),
+        "e12" => e12_grid(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

@@ -1,0 +1,74 @@
+//! Golden regression pins for the E11b capacity-threshold table.
+//!
+//! The E11 experiment's headline claims — PTS exactly tight at `2 + σ`,
+//! HPTS loss-free within `ℓ·n^{1/ℓ} + σ + 1` — are asserted here against
+//! the *measured* quick-mode values, so a future engine refactor that
+//! silently shifts a threshold (off-by-one in capacity enforcement,
+//! changed placement order, a drop attributed to the wrong step) fails
+//! this suite instead of quietly rewriting EXPERIMENTS.md. Every workload
+//! in `e11b_rows` is deterministic (fixed seeds), so these are exact
+//! equalities, not tolerances.
+
+use aqt_bench::e11b_rows;
+
+/// One pinned row: protocol prefix, σ*, bound, threshold, drops one below
+/// the threshold.
+type GoldenRow = (&'static str, u64, Option<u64>, usize, Option<u64>);
+
+/// The pinned quick-mode table.
+const GOLDEN: [GoldenRow; 4] = [
+    ("PTS", 4, Some(6), 6, Some(1)),
+    ("PPTS", 4, Some(8), 5, Some(1)),
+    ("HPTS", 4, Some(13), 10, Some(16)),
+    ("Greedy-FIFO", 0, None, 1, None),
+];
+
+#[test]
+fn e11b_thresholds_match_the_golden_table() {
+    let rows = e11b_rows(true);
+    assert_eq!(rows.len(), GOLDEN.len(), "row set changed");
+    for (row, &(prefix, sigma, bound, threshold, drops_below)) in rows.iter().zip(&GOLDEN) {
+        assert!(
+            row.protocol.starts_with(prefix),
+            "expected a {prefix} row, got {}",
+            row.protocol
+        );
+        assert_eq!(row.sigma_star, sigma, "{prefix}: measured sigma* shifted");
+        assert_eq!(row.bound, bound, "{prefix}: closed-form bound changed");
+        assert_eq!(
+            row.search.threshold, threshold,
+            "{prefix}: measured zero-drop threshold shifted"
+        );
+        assert_eq!(
+            row.search.drops_below, drops_below,
+            "{prefix}: losses just below the threshold changed"
+        );
+    }
+}
+
+#[test]
+fn pts_stays_exactly_tight_at_two_plus_sigma() {
+    // The acceptance-criterion form of the first golden row: threshold ==
+    // bound == 2 + sigma*, and one capacity below loses packets.
+    let rows = e11b_rows(true);
+    let pts = &rows[0];
+    let bound = pts.bound.expect("PTS has a closed-form bound");
+    assert_eq!(bound, 2 + pts.sigma_star);
+    assert_eq!(pts.search.threshold as u64, bound, "PTS must stay tight");
+    assert!(pts.search.drops_below.expect("threshold > 1") > 0);
+}
+
+#[test]
+fn hpts_threshold_stays_within_its_bound() {
+    let rows = e11b_rows(true);
+    let hpts = rows
+        .iter()
+        .find(|r| r.protocol.starts_with("HPTS"))
+        .expect("HPTS row present");
+    let bound = hpts.bound.expect("HPTS has a closed-form bound");
+    assert!(
+        (hpts.search.threshold as u64) <= bound,
+        "measured threshold {} exceeds the Thm 4.1 bound {bound}",
+        hpts.search.threshold
+    );
+}

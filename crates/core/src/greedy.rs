@@ -52,6 +52,40 @@ impl GreedyPolicy {
             GreedyPolicy::FurthestToGo => "FTG",
         }
     }
+
+    /// Picks this policy's preferred packet among `candidates` stored at
+    /// `v` (selection is total and deterministic: every key ends in the
+    /// globally-unique `seq`). The shared selection rule of [`Greedy`] and
+    /// [`DagGreedy`](crate::DagGreedy) — the latter applies it once per
+    /// outgoing link.
+    pub fn select_from<'a, T, I>(
+        self,
+        topo: &T,
+        v: NodeId,
+        candidates: I,
+    ) -> Option<&'a StoredPacket>
+    where
+        T: Topology,
+        I: IntoIterator<Item = &'a StoredPacket>,
+    {
+        let iter = candidates.into_iter();
+        match self {
+            GreedyPolicy::Fifo => iter.min_by_key(|p| p.seq()),
+            GreedyPolicy::Lifo => iter.max_by_key(|p| p.seq()),
+            GreedyPolicy::LongestInSystem => {
+                iter.min_by_key(|p| (p.packet().injected_at(), p.seq()))
+            }
+            GreedyPolicy::ShortestInSystem => {
+                iter.max_by_key(|p| (p.packet().injected_at(), p.seq()))
+            }
+            GreedyPolicy::NearestToGo => {
+                iter.min_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(usize::MAX), p.seq()))
+            }
+            GreedyPolicy::FurthestToGo => {
+                iter.max_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(0), p.seq()))
+            }
+        }
+    }
 }
 
 /// A greedy protocol: every non-empty buffer forwards one packet per round,
@@ -96,22 +130,7 @@ impl Greedy {
         buffer: &'a [StoredPacket],
     ) -> Option<&'a StoredPacket> {
         // Ties broken by seq for determinism.
-        match self.policy {
-            GreedyPolicy::Fifo => buffer.iter().min_by_key(|p| p.seq()),
-            GreedyPolicy::Lifo => buffer.iter().max_by_key(|p| p.seq()),
-            GreedyPolicy::LongestInSystem => buffer
-                .iter()
-                .min_by_key(|p| (p.packet().injected_at(), p.seq())),
-            GreedyPolicy::ShortestInSystem => buffer
-                .iter()
-                .max_by_key(|p| (p.packet().injected_at(), p.seq())),
-            GreedyPolicy::NearestToGo => buffer
-                .iter()
-                .min_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(usize::MAX), p.seq())),
-            GreedyPolicy::FurthestToGo => buffer
-                .iter()
-                .max_by_key(|p| (topo.route_len(v, p.dest()).unwrap_or(0), p.seq())),
-        }
+        self.policy.select_from(topo, v, buffer)
     }
 }
 

@@ -14,6 +14,11 @@
 //! | [`HptsD`] | abstract's d-version (**experimental**) | `ℓ·(d+1)^{1/ℓ} + σ + 1`, validated empirically |
 //! | [`LocalPts`] | open problem (**exploratory**) | locality-r restriction of PTS; no bound claimed |
 //! | [`Greedy`] | classical AQT | none matching the above |
+//! | [`DagGreedy`] | grid/DAG extension (cf. Even–Medina grids) | per-link greedy; coincides with [`Greedy`] on paths/trees |
+//!
+//! [`Batched`] wraps any immediate-injection protocol in the ℓ-reduction's
+//! phase staging, so the staging dimension of the capacity experiments is
+//! available for every baseline.
 //!
 //! All protocols implement [`aqt_model::Protocol`] and run under the
 //! `aqt-model` engine; they are pure functions of the observable
@@ -44,6 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod badness;
+mod batched;
+mod dag;
 mod greedy;
 pub mod hpts;
 mod local;
@@ -51,6 +58,8 @@ mod ppts;
 mod pts;
 mod tree;
 
+pub use batched::Batched;
+pub use dag::DagGreedy;
 pub use greedy::{Greedy, GreedyPolicy};
 pub use hpts::{DestSpaceError, Hierarchy, Hpts, HptsD, LevelSchedule};
 pub use local::LocalPts;

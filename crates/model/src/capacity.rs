@@ -71,6 +71,56 @@ enum Limits {
     PerNode(Vec<usize>),
 }
 
+// The vendored serde stub derives only unit-variant enums, so the
+// data-carrying `Limits` serializes by hand as a tagged object.
+impl Serialize for Limits {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Limits::Uniform(l) => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::Str("uniform".into())),
+                ("limit".into(), l.to_value()),
+            ]),
+            Limits::PerNode(ls) => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::Str("per_node".into())),
+                ("limits".into(), ls.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Limits {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected limits object"))?;
+        // Re-assert the constructor invariants: replayed artifacts must
+        // not be able to build configs the rest of the code assumes
+        // impossible (capacity 0, empty per-node lists).
+        match serde::__field(obj, "kind").as_str() {
+            Some("uniform") => {
+                let limit = usize::from_value(serde::__field(obj, "limit"))?;
+                if limit == 0 {
+                    return Err(serde::Error::custom("buffer capacity must be at least 1"));
+                }
+                Ok(Limits::Uniform(limit))
+            }
+            Some("per_node") => {
+                let limits: Vec<usize> = Vec::from_value(serde::__field(obj, "limits"))?;
+                if limits.is_empty() {
+                    return Err(serde::Error::custom("need at least one buffer limit"));
+                }
+                if limits.contains(&0) {
+                    return Err(serde::Error::custom(
+                        "every buffer capacity must be at least 1",
+                    ));
+                }
+                Ok(Limits::PerNode(limits))
+            }
+            _ => Err(serde::Error::custom("unknown limits kind")),
+        }
+    }
+}
+
 /// Whether staged packets (batched injection mode, the ℓ-reduction) count
 /// against their source buffer's capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -108,7 +158,7 @@ pub enum StagingMode {
 /// assert_eq!(skewed.limit(NodeId::new(1)), 8);
 /// assert_eq!(skewed.staging_mode(), StagingMode::Counted);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CapacityConfig {
     limits: Limits,
     staging: StagingMode,
@@ -274,6 +324,64 @@ impl<P: DropPolicy + ?Sized> DropPolicy for Box<P> {
         ctx: &DropContext<'_>,
     ) -> Victim {
         (**self).select(buffer, incoming, ctx)
+    }
+}
+
+/// A serializable *selection* of one of the built-in drop policies —
+/// the archivable form of a policy choice. Experiment configs and sweep
+/// matrices name policies through this enum and instantiate fresh policy
+/// state per run with [`build`](DropPolicyKind::build).
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::DropPolicyKind;
+///
+/// let kind = DropPolicyKind::Head;
+/// let policy = kind.build();
+/// assert_eq!(policy.name(), "drop-head");
+/// assert_eq!(DropPolicyKind::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropPolicyKind {
+    /// [`DropTail`].
+    Tail,
+    /// [`DropHead`].
+    Head,
+    /// [`DropFarthest`].
+    Farthest,
+    /// [`DropNewest`].
+    Newest,
+}
+
+impl DropPolicyKind {
+    /// Every built-in policy, for sweep matrices.
+    pub const ALL: [DropPolicyKind; 4] = [
+        DropPolicyKind::Tail,
+        DropPolicyKind::Head,
+        DropPolicyKind::Farthest,
+        DropPolicyKind::Newest,
+    ];
+
+    /// Short display name (matches [`DropPolicy::name`] of the built
+    /// policy).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropPolicyKind::Tail => "drop-tail",
+            DropPolicyKind::Head => "drop-head",
+            DropPolicyKind::Farthest => "drop-farthest",
+            DropPolicyKind::Newest => "drop-newest",
+        }
+    }
+
+    /// Instantiates a fresh boxed policy of this kind.
+    pub fn build(self) -> Box<dyn DropPolicy> {
+        match self {
+            DropPolicyKind::Tail => Box::new(DropTail),
+            DropPolicyKind::Head => Box::new(DropHead),
+            DropPolicyKind::Farthest => Box::new(DropFarthest),
+            DropPolicyKind::Newest => Box::new(DropNewest),
+        }
     }
 }
 
@@ -503,6 +611,13 @@ mod tests {
             boxed.select(&buf, &incoming(9, 9, 3), &ctx(&d)),
             Victim::Stored(PacketId::new(1))
         );
+    }
+
+    #[test]
+    fn policy_kinds_build_matching_policies() {
+        for kind in DropPolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.label());
+        }
     }
 
     #[test]

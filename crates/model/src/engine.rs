@@ -10,10 +10,11 @@
 //!    measurement point).
 //! 3. **Forwarding step** — the protocol fills a [`ForwardingPlan`]; the
 //!    engine validates it (packet present, next hop exists, at most one
-//!    packet out of each buffer — which on paths/trees is exactly the
-//!    one-packet-per-link capacity constraint) and applies all moves
-//!    simultaneously. Packets forwarded into their destination are
-//!    delivered and leave the network.
+//!    packet per outgoing *link* — on single-out paths/trees that is "one
+//!    packet out of each buffer", on DAGs a node may forward up to its
+//!    out-degree, one per link) and applies all moves simultaneously.
+//!    Packets forwarded into their destination are delivered and leave the
+//!    network.
 //!
 //! The hot path is allocation-lean: the per-round scratch (the plan, the
 //! move list, the in-flight list, the injection buffer) lives in the
@@ -52,13 +53,23 @@ pub enum InjectionMode {
     },
 }
 
-/// A forwarding decision: for each node, at most one packet to send over
-/// its unique outgoing link.
+/// A forwarding decision: for each node, at most one packet per outgoing
+/// link.
+///
+/// The plan is a flat array of **slots** — one per (node, out-edge) pair,
+/// laid out per node. On single-out topologies (paths, trees) the layout
+/// degenerates to one slot per node, which is bit-for-bit the historical
+/// representation; on DAGs a node with out-degree `k` owns `k` slots and
+/// may schedule up to `k` sends per round ([`send`](ForwardingPlan::send)
+/// fills the first free slot). Which *link* each send uses is not stored
+/// here: the engine derives it from the packet's destination via
+/// [`Topology::next_hop`] and rejects two sends from one node over the
+/// same link ([`ModelError::LinkOverload`]).
 ///
 /// The engine owns one plan and hands it to the protocol each round after
-/// [`reset`](ForwardingPlan::reset)ting it, so steady-state planning incurs
-/// no allocation; the send count is tracked incrementally, making
-/// [`len`](ForwardingPlan::len) O(1).
+/// resetting it, so steady-state planning incurs no allocation; the send
+/// count is tracked incrementally, making [`len`](ForwardingPlan::len)
+/// O(1).
 ///
 /// # Examples
 ///
@@ -75,59 +86,142 @@ pub enum InjectionMode {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForwardingPlan {
+    /// Slot-indexed sends; node `v`'s slots are contiguous.
     sends: Vec<Option<PacketId>>,
+    /// Slot offsets per node (`offsets[v]..offsets[v+1]`), present only
+    /// for non-uniform layouts; empty means one slot per node (identity).
+    offsets: Vec<u32>,
     count: usize,
 }
 
 impl ForwardingPlan {
-    /// An empty plan (nobody forwards) for `n` nodes.
+    /// An empty plan (nobody forwards) for `n` single-out nodes.
     pub fn new(n: usize) -> Self {
         ForwardingPlan {
             sends: vec![None; n],
+            offsets: Vec::new(),
             count: 0,
         }
     }
 
-    /// Clears all sends and resizes to `n` nodes, reusing the allocation.
+    /// Clears all sends and resizes to `n` nodes with one slot each,
+    /// reusing the allocation.
     pub fn reset(&mut self, n: usize) {
         self.sends.clear();
         self.sends.resize(n, None);
+        self.offsets.clear();
         self.count = 0;
     }
 
-    /// Schedules `packet` to be forwarded out of `v`.
+    /// Clears all sends and lays slots out for `topology`: every node gets
+    /// `max(1, out_degree)` slots. Single-out topologies produce the
+    /// identity layout of [`reset`](ForwardingPlan::reset), so the hot
+    /// path is unchanged for paths and trees.
+    pub fn reset_for<T: Topology>(&mut self, topology: &T) {
+        let n = topology.node_count();
+        let mut total = 0usize;
+        let mut uniform = true;
+        for v in 0..n {
+            let width = topology.out_degree(NodeId::new(v)).max(1);
+            uniform &= width == 1;
+            total += width;
+        }
+        if uniform {
+            self.reset(n);
+            return;
+        }
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        let mut at = 0u32;
+        self.offsets.push(0);
+        for v in 0..n {
+            at += topology.out_degree(NodeId::new(v)).max(1) as u32;
+            self.offsets.push(at);
+        }
+        self.sends.clear();
+        self.sends.resize(total, None);
+        self.count = 0;
+    }
+
+    /// Clears all sends, keeping the current slot layout.
+    ///
+    /// The layout depends only on the topology, which is fixed for a
+    /// simulation's lifetime — so the engine lays slots out once at
+    /// construction ([`reset_for`](ForwardingPlan::reset_for)) and calls
+    /// this every round.
+    pub fn clear_sends(&mut self) {
+        self.sends.fill(None);
+        self.count = 0;
+    }
+
+    /// Number of nodes the current layout covers.
+    fn node_count(&self) -> usize {
+        if self.offsets.is_empty() {
+            self.sends.len()
+        } else {
+            self.offsets.len() - 1
+        }
+    }
+
+    /// The slot range of `v` in the current layout.
+    fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        if self.offsets.is_empty() {
+            v.index()..v.index() + 1
+        } else {
+            self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+        }
+    }
+
+    /// Number of forwarding slots `v` owns this round (its clamped
+    /// out-degree).
+    pub fn width(&self, v: NodeId) -> usize {
+        self.slot_range(v).len()
+    }
+
+    /// Schedules `packet` to be forwarded out of `v`, occupying `v`'s
+    /// first free slot.
     ///
     /// # Panics
     ///
-    /// Panics if `v` already has a scheduled send — protocols are expected
-    /// to activate at most one (pseudo-)buffer per node (cf. Lemma 4.7).
+    /// Panics if all of `v`'s slots are taken — a node forwards at most
+    /// one packet per outgoing link (on single-out topologies: at most one
+    /// packet per round, cf. Lemma 4.7).
     pub fn send(&mut self, v: NodeId, packet: PacketId) {
-        let slot = &mut self.sends[v.index()];
-        assert!(
-            slot.is_none(),
-            "node {v} already forwards {} this round",
-            slot.unwrap()
+        let range = self.slot_range(v);
+        for i in range.clone() {
+            if self.sends[i].is_none() {
+                self.sends[i] = Some(packet);
+                self.count += 1;
+                return;
+            }
+        }
+        panic!(
+            "node {v} already forwards {} packet(s) this round",
+            range.len()
         );
-        *slot = Some(packet);
-        self.count += 1;
     }
 
-    /// Whether `v` already has a scheduled send.
+    /// Whether `v` already has a scheduled send (in any of its slots).
     pub fn is_active(&self, v: NodeId) -> bool {
-        self.sends[v.index()].is_some()
+        self.slot_range(v).any(|i| self.sends[i].is_some())
     }
 
-    /// The packet scheduled out of `v`, if any.
+    /// The first packet scheduled out of `v`, if any.
     pub fn get(&self, v: NodeId) -> Option<PacketId> {
-        self.sends[v.index()]
+        self.slot_range(v).find_map(|i| self.sends[i])
     }
 
-    /// Iterates over `(node, packet)` scheduled sends.
+    /// Iterates over the packets scheduled out of `v`.
+    pub fn sends_from(&self, v: NodeId) -> impl Iterator<Item = PacketId> + '_ {
+        self.slot_range(v).filter_map(|i| self.sends[i])
+    }
+
+    /// Iterates over `(node, packet)` scheduled sends, node-major.
     pub fn sends(&self) -> impl Iterator<Item = (NodeId, PacketId)> + '_ {
-        self.sends
-            .iter()
-            .enumerate()
-            .filter_map(|(v, p)| p.map(|p| (NodeId::new(v), p)))
+        (0..self.node_count()).flat_map(move |v| {
+            let v = NodeId::new(v);
+            self.sends_from(v).map(move |p| (v, p))
+        })
     }
 
     /// Number of scheduled sends (O(1): tracked incrementally).
@@ -207,6 +301,18 @@ pub enum ModelError {
         /// Round of the offense.
         round: Round,
     },
+    /// The plan scheduled two packets out of one node over the same link
+    /// in one round, violating the one-packet-per-link bandwidth
+    /// constraint (only possible on multi-out topologies; the plan's slot
+    /// structure already forbids it elsewhere).
+    LinkOverload {
+        /// The forwarding node.
+        node: NodeId,
+        /// The overloaded link's head.
+        hop: NodeId,
+        /// Round of the offense.
+        round: Round,
+    },
     /// A [`DropPolicy`] named a victim that is not in the full buffer.
     InvalidVictim {
         /// The node whose buffer overflowed.
@@ -234,6 +340,10 @@ impl fmt::Display for ModelError {
             } => write!(
                 f,
                 "plan at {round} forwards {packet} from {node} with no next hop"
+            ),
+            ModelError::LinkOverload { node, hop, round } => write!(
+                f,
+                "plan at {round} forwards two packets over link {node} -> {hop}"
             ),
             ModelError::InvalidVictim {
                 node,
@@ -378,6 +488,17 @@ fn admit<T: Topology>(
         state.place(v, packet, t);
         return Ok(true);
     }
+    // Under counted staging the limit can be reached by staged wishes
+    // alone. Staged packets are invisible to drop policies (they are not
+    // part of the observable configuration), so with an empty buffer no
+    // stored victim exists and the incoming packet is necessarily the
+    // loss — policies are only consulted on non-empty buffers, as their
+    // contract states.
+    if state.occupancy(v) == 0 {
+        metrics.record_drop(t, v);
+        state.note_drop(v);
+        return Ok(false);
+    }
     let distance = |dest: NodeId| topology.route_len(v, dest).unwrap_or(0);
     let ctx = DropContext::new(v, t, &distance);
     match cap.policy.select(state.buffer(v), &packet, &ctx) {
@@ -425,6 +546,11 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     /// [`ModelError::Pattern`] from [`step`](Simulation::step).
     pub fn from_source(topology: T, protocol: P, source: S) -> Self {
         let n = topology.node_count();
+        // Lay the plan's slots out once: the layout is a pure function of
+        // the (immutable) topology, so the per-round reset is just a
+        // clear.
+        let mut plan_buf = ForwardingPlan::new(n);
+        plan_buf.reset_for(&topology);
         Simulation {
             topology,
             protocol,
@@ -436,7 +562,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             validate_injections: true,
             injection_buf: Vec::new(),
             accept_buf: Vec::new(),
-            plan_buf: ForwardingPlan::new(n),
+            plan_buf,
             moves_buf: Vec::new(),
             lift_buf: Vec::new(),
             capacity: None,
@@ -531,7 +657,6 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     pub fn step(&mut self) -> Result<RoundOutcome, ModelError> {
         let t = self.round;
         let mode = self.protocol.injection_mode();
-        let n = self.state.node_count();
         let drops_before = self.metrics.dropped;
 
         // --- Injection step -------------------------------------------
@@ -613,7 +738,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         self.metrics.observe(t, &self.state);
 
         // --- Forwarding step ------------------------------------------
-        self.plan_buf.reset(n);
+        self.plan_buf.clear_sends();
         self.protocol
             .plan(t, &self.topology, &self.state, &mut self.plan_buf);
         self.moves_buf.clear();
@@ -632,6 +757,21 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
                     packet: pid,
                     round: t,
                 })?;
+            // One packet per link per round: sends are node-major, so any
+            // earlier send from the same node sits at the tail of the
+            // move list (out-degrees are tiny; this scan is O(deg)).
+            for &(pv, _, phop, _) in self.moves_buf.iter().rev() {
+                if pv != v {
+                    break;
+                }
+                if phop == hop {
+                    return Err(ModelError::LinkOverload {
+                        node: v,
+                        hop,
+                        round: t,
+                    });
+                }
+            }
             self.moves_buf.push((v, pid, hop, hop == dest));
         }
         // Apply simultaneously: all removals strictly before all placements,
@@ -936,6 +1076,92 @@ mod tests {
     }
 
     #[test]
+    fn multi_out_node_forwards_one_packet_per_link() {
+        use crate::topology::Dag;
+        // Diamond: 0 fans out to middles 1..=2; packets destined for the
+        // middles themselves use distinct links and may leave together.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1), Injection::new(0, 0, 2)]);
+        /// Forwards everything in node 0's buffer (one send per packet).
+        struct FanOut;
+        impl<T: Topology> Protocol<T> for FanOut {
+            fn name(&self) -> String {
+                "fan-out".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                for sp in state.buffer(NodeId::new(0)) {
+                    plan.send(NodeId::new(0), sp.id());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Dag::diamond(2), FanOut, &p).unwrap();
+        let o = sim.step().unwrap();
+        assert_eq!(o.forwarded, 2);
+        assert_eq!(o.delivered, 2);
+        assert!(sim.is_drained());
+    }
+
+    #[test]
+    fn same_link_twice_is_link_overload() {
+        use crate::topology::Dag;
+        // Both packets head for the sink: the deterministic router sends
+        // them over the same first link, which a plan may use only once.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3); 2]);
+        struct FanOut;
+        impl<T: Topology> Protocol<T> for FanOut {
+            fn name(&self) -> String {
+                "fan-out".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                for sp in state.buffer(NodeId::new(0)) {
+                    plan.send(NodeId::new(0), sp.id());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Dag::diamond(2), FanOut, &p).unwrap();
+        assert!(matches!(
+            sim.step(),
+            Err(ModelError::LinkOverload { node, .. }) if node == NodeId::new(0)
+        ));
+    }
+
+    #[test]
+    fn plan_slots_follow_out_degrees() {
+        use crate::topology::Dag;
+        let d = Dag::diamond(3); // node 0 has out-degree 3
+        let mut plan = ForwardingPlan::new(1);
+        plan.reset_for(&d);
+        assert_eq!(plan.width(NodeId::new(0)), 3);
+        assert_eq!(plan.width(NodeId::new(4)), 1); // sink still gets a slot
+        plan.send(NodeId::new(0), PacketId::new(1));
+        plan.send(NodeId::new(0), PacketId::new(2));
+        plan.send(NodeId::new(0), PacketId::new(3));
+        assert_eq!(plan.len(), 3);
+        assert!(plan.is_active(NodeId::new(0)));
+        assert_eq!(plan.get(NodeId::new(0)), Some(PacketId::new(1)));
+        assert_eq!(
+            plan.sends_from(NodeId::new(0)).collect::<Vec<_>>(),
+            vec![PacketId::new(1), PacketId::new(2), PacketId::new(3)]
+        );
+        assert_eq!(plan.sends().count(), 3);
+        // Identity layout on a path: reset_for == reset.
+        plan.reset_for(&Path::new(4));
+        assert_eq!(plan.width(NodeId::new(0)), 1);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already forwards")]
+    fn overfilling_a_node_panics() {
+        use crate::topology::Dag;
+        let d = Dag::diamond(2);
+        let mut plan = ForwardingPlan::new(1);
+        plan.reset_for(&d);
+        plan.send(NodeId::new(0), PacketId::new(1));
+        plan.send(NodeId::new(0), PacketId::new(2));
+        plan.send(NodeId::new(0), PacketId::new(3)); // out-degree is 2
+    }
+
+    #[test]
     fn capacity_drop_tail_rejects_overflow_and_records_it() {
         use crate::capacity::{CapacityConfig, DropTail};
         // Three packets burst into node 0 (cap 2): the third is dropped.
@@ -1027,6 +1253,48 @@ mod tests {
         assert_eq!(o.dropped, 0);
         assert_eq!(sim.metrics().max_occupancy, 2);
         assert_eq!(sim.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn counted_staging_overflow_with_empty_buffer_drops_the_arrival() {
+        use crate::capacity::{CapacityConfig, DropHead, StagingMode};
+        // Node 1's single slot is reserved by a staged wish while its
+        // buffer is still empty; a packet forwarded into node 1 finds no
+        // stored victim, so the arrival itself is lost — and stored-victim
+        // policies like DropHead must not be consulted on the empty
+        // buffer.
+        let p = Pattern::from_injections(vec![
+            Injection::new(0, 0, 2), // forwarded 0 → 1 in round 1
+            Injection::new(1, 1, 2), // staged wish reserving node 1's slot
+        ]);
+        /// Batched staging, but forward only node 0's buffer.
+        struct BatchedPushFromZero;
+        impl<T: Topology> Protocol<T> for BatchedPushFromZero {
+            fn name(&self) -> String {
+                "batched-push0".into()
+            }
+            fn injection_mode(&self) -> InjectionMode {
+                InjectionMode::Batched { len: 4 }
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                if let Some(top) = state.lifo_top_where(NodeId::new(0), |_| true) {
+                    plan.send(NodeId::new(0), top.id());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Path::new(3), BatchedPushFromZero, &p)
+            .unwrap()
+            .with_capacity(
+                CapacityConfig::uniform(1).staging(StagingMode::Counted),
+                DropHead,
+            );
+        // Round 0: wish 0 staged. Round 1: wish 1 staged (reserves node
+        // 1's slot)… but forwarding needs packet 0 *in* a buffer, which
+        // only happens at acceptance (round 4). Step to round 5 where the
+        // forwarded packet hits the reserved-but-empty buffer.
+        sim.run(6).unwrap();
+        assert_eq!(sim.metrics().dropped, 1);
+        assert_eq!(sim.metrics().per_node_drops[1], 1);
     }
 
     #[test]

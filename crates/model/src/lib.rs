@@ -6,9 +6,11 @@
 //!
 //! This crate implements the model of the paper's Section 2:
 //!
-//! * **Topologies** — the directed path ([`Path`]) and directed trees with
-//!   edges oriented toward the root ([`DirectedTree`]), unified by the
-//!   [`Topology`] trait.
+//! * **Topologies** — the directed path ([`Path`]), directed trees with
+//!   edges oriented toward the root ([`DirectedTree`]), and general
+//!   acyclic networks with precomputed next-hop routing ([`Dag`]: grids,
+//!   butterflies, diamonds, random DAGs), unified by the [`Topology`]
+//!   trait. Paths and trees embed losslessly into [`Dag`] via `From`.
 //! * **Packets and patterns** — an adversary is a set of packets
 //!   `(t, i_P, w_P)` ([`Pattern`] of [`Injection`]s), with the ℓ-reduction
 //!   of Def. 2.4 available as [`Pattern::reduce`].
@@ -71,8 +73,8 @@ pub use boundedness::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, ExcessTracker,
 };
 pub use capacity::{
-    CapacityConfig, DropContext, DropFarthest, DropHead, DropNewest, DropPolicy, DropTail,
-    StagingMode, Victim,
+    CapacityConfig, DropContext, DropFarthest, DropHead, DropNewest, DropPolicy, DropPolicyKind,
+    DropTail, StagingMode, Victim,
 };
 pub use engine::{ForwardingPlan, InjectionMode, ModelError, Protocol, RoundOutcome, Simulation};
 pub use ids::{NodeId, PacketId, Round};
@@ -82,4 +84,4 @@ pub use pattern::{Injection, Pattern, PatternError, Rounds};
 pub use rate::{Rate, RateError};
 pub use source::{FnSource, InjectionSource, PatternSource};
 pub use state::NetworkState;
-pub use topology::{DirectedTree, Path, Topology, TreeError};
+pub use topology::{Dag, DagError, DirectedTree, Path, Topology, TreeError};

@@ -1,0 +1,688 @@
+//! General directed acyclic networks: adjacency-list DAGs with precomputed
+//! next-hop routing tables.
+//!
+//! The paper proves its AQT bounds for paths and trees, but poses the
+//! space-bandwidth question for general networks, and the closest related
+//! work (Even & Medina; Even, Medina & Patt-Shamir) lives on grids. [`Dag`]
+//! opens that workload: any acyclic digraph, with deterministic shortest-path
+//! routing fixed at construction time, so that every `(from, dest)` pair has
+//! a *unique* route — the property the engine and the metrics rely on.
+//!
+//! Routing is **first-edge shortest-path**: among the out-edges of `v` that
+//! lie on a shortest route to `dest`, the one inserted earliest wins. The
+//! [`grid`](Dag::grid) constructor inserts each node's row edge before its
+//! column edge, which makes the tie-break reproduce classical
+//! **row-column (XY) routing**: packets travel along their row to the
+//! destination column, then down the column.
+//!
+//! Single-out topologies embed losslessly: [`Dag::from`] a [`Path`] or a
+//! [`DirectedTree`] yields a DAG whose `next_hop`, `route_len`,
+//! `route_buffers` and `on_route` agree with the original at every input —
+//! the contract the differential conformance harness (`tests/
+//! dag_conformance.rs`) checks byte-for-byte through the engine.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::topology::{DirectedTree, Path, Topology};
+use crate::util::SplitMix64;
+
+/// Sentinel for "no next hop / unreachable" in the routing tables.
+const NONE: u32 = u32::MAX;
+
+/// Error produced when an edge list does not describe a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The DAG had zero nodes.
+    Empty,
+    /// An edge endpoint was out of range.
+    NodeOutOfRange {
+        /// The offending endpoint index.
+        index: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+    /// The same directed edge appeared twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edges contain a directed cycle.
+    Cyclic,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "DAG must have at least one node"),
+            DagError::NodeOutOfRange { index, n } => {
+                write!(f, "edge endpoint {index} is outside 0..{n}")
+            }
+            DagError::SelfLoop(v) => write!(f, "edge {v} -> {v} is a self-loop"),
+            DagError::DuplicateEdge(u, v) => write!(f, "edge {u} -> {v} appears twice"),
+            DagError::Cyclic => write!(f, "edge list contains a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic network with deterministic next-hop routing.
+///
+/// Stores the adjacency in CSR form (out-edges of `v` in insertion order),
+/// a topological order, per-node out-degrees, and dense `n × n` next-hop /
+/// distance tables computed once at construction — `next_hop` and
+/// `route_len` are O(1) lookups afterwards. Memory for the tables is
+/// `O(n²)`, sized for the grid/butterfly instances of the experiments, not
+/// for million-node graphs.
+///
+/// Serialization stores only the defining data — node count, the
+/// insertion-ordered edge list, and the grid dims — and deserialization
+/// rebuilds through [`Dag::from_edges`], so replayed artifacts re-run the
+/// full validation (and never carry the `O(n²)` derived tables).
+///
+/// # Examples
+///
+/// ```
+/// use aqt_model::{Dag, NodeId, Topology};
+///
+/// // A 2×3 mesh with row-column routing: 0 1 2 / 3 4 5.
+/// let g = Dag::grid(2, 3);
+/// assert_eq!(g.node_count(), 6);
+/// // From the top-left corner toward the bottom-right: row first.
+/// assert_eq!(
+///     g.next_hop(NodeId::new(0), NodeId::new(5)),
+///     Some(NodeId::new(1)),
+/// );
+/// assert_eq!(g.route_len(NodeId::new(0), NodeId::new(5)), Some(3));
+/// assert_eq!(g.out_degree(NodeId::new(0)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    /// CSR edge targets, grouped by source in insertion order.
+    adj: Vec<NodeId>,
+    /// CSR offsets: out-edges of `v` are `adj[adj_off[v]..adj_off[v+1]]`.
+    adj_off: Vec<u32>,
+    /// A topological order (every edge points forward in it).
+    topo: Vec<NodeId>,
+    /// `next[from·n + dest]`: chosen next hop, or [`NONE`].
+    next: Vec<u32>,
+    /// `dist[from·n + dest]`: links on the chosen route, or [`NONE`].
+    dist: Vec<u32>,
+    /// `(rows, cols)` when built by [`Dag::grid`] (drives renderers).
+    grid: Option<(usize, usize)>,
+}
+
+impl Dag {
+    /// Builds a DAG on `n` nodes from a directed edge list, validating and
+    /// precomputing the routing tables.
+    ///
+    /// Edge insertion order is semantic: it is the routing tie-break (see
+    /// the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DagError`] if `n == 0`, an endpoint is out of range, an
+    /// edge is a self-loop or a duplicate, or the edges form a cycle.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, DagError> {
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        let mut out_deg = vec![0u32; n];
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(DagError::NodeOutOfRange { index: u, n });
+            }
+            if v >= n {
+                return Err(DagError::NodeOutOfRange { index: v, n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(NodeId::new(u)));
+            }
+            out_deg[u] += 1;
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for v in 0..n {
+            adj_off[v + 1] = adj_off[v] + out_deg[v];
+        }
+        let mut adj = vec![NodeId::new(0); edges.len()];
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        for &(u, v) in edges {
+            adj[cursor[u] as usize] = NodeId::new(v);
+            cursor[u] += 1;
+        }
+        // Duplicate detection within each (now grouped) adjacency list.
+        for v in 0..n {
+            let list = &adj[adj_off[v] as usize..adj_off[v + 1] as usize];
+            for (i, &a) in list.iter().enumerate() {
+                if list[i + 1..].contains(&a) {
+                    return Err(DagError::DuplicateEdge(NodeId::new(v), a));
+                }
+            }
+        }
+        // Kahn's algorithm: a complete topological order proves acyclicity.
+        let mut in_deg = vec![0u32; n];
+        for &t in &adj {
+            in_deg[t.index()] += 1;
+        }
+        let mut topo: Vec<NodeId> = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+            .filter(|&v| in_deg[v] == 0)
+            .map(NodeId::new)
+            .collect();
+        while let Some(v) = queue.pop_front() {
+            topo.push(v);
+            for &t in &adj[adj_off[v.index()] as usize..adj_off[v.index() + 1] as usize] {
+                in_deg[t.index()] -= 1;
+                if in_deg[t.index()] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cyclic);
+        }
+        let (next, dist) = build_tables(n, &adj, &adj_off, &topo);
+        Ok(Dag {
+            adj,
+            adj_off,
+            topo,
+            next,
+            dist,
+            grid: None,
+        })
+    }
+
+    /// A `rows × cols` mesh with edges pointing right (within a row) and
+    /// down (within a column); node `(r, c)` has id `r·cols + c`. The row
+    /// edge is inserted first, so routing is row-column (XY): along the row
+    /// to the destination column, then down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        let mut edges = Vec::with_capacity(2 * rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1)); // row edge first: XY routing
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols));
+                }
+            }
+        }
+        let mut dag = Dag::from_edges(rows * cols, &edges).expect("mesh edge list is acyclic");
+        dag.grid = Some((rows, cols));
+        dag
+    }
+
+    /// The `k`-dimensional butterfly: `k + 1` levels of `2^k` rows each,
+    /// node `(level, row)` at id `level·2^k + row`, with a *straight* edge
+    /// to `(level+1, row)` (inserted first) and a *cross* edge to
+    /// `(level+1, row XOR 2^level)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the butterfly would exceed `u32` node ids.
+    pub fn butterfly(k: u32) -> Self {
+        assert!(k >= 1, "butterfly needs at least one dimension");
+        // (k+1)·2^k must fit u32 node ids; k = 27 is the last that does
+        // (and far beyond what the O(n²) routing tables can host anyway).
+        assert!(k <= 27, "butterfly of dimension {k} exceeds u32 node ids");
+        let per_level = 1usize << k;
+        let n = per_level * (k as usize + 1);
+        let mut edges = Vec::with_capacity(2 * per_level * k as usize);
+        for level in 0..k as usize {
+            for row in 0..per_level {
+                let v = level * per_level + row;
+                edges.push((v, v + per_level)); // straight
+                edges.push((v, (level + 1) * per_level + (row ^ (1 << level))));
+                // cross
+            }
+        }
+        Dag::from_edges(n, &edges).expect("butterfly edge list is acyclic")
+    }
+
+    /// A diamond: one source (node 0) fanning out to `width` parallel
+    /// middle nodes (`1..=width`), all converging on one sink
+    /// (`width + 1`). The canonical multi-out-edge / multi-in-edge stress
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn diamond(width: usize) -> Self {
+        assert!(width > 0, "diamond needs at least one middle node");
+        let sink = width + 1;
+        let mut edges = Vec::with_capacity(2 * width);
+        for m in 1..=width {
+            edges.push((0, m));
+        }
+        for m in 1..=width {
+            edges.push((m, sink));
+        }
+        Dag::from_edges(width + 2, &edges).expect("diamond edge list is acyclic")
+    }
+
+    /// A pseudo-random DAG on `n` nodes, deterministic in `seed`: the spine
+    /// path `0 → 1 → … → n−1` is always present (so every pair `i < j` is
+    /// connected and the DAG embeds a path), and every remaining forward
+    /// edge `(i, j)` with `j > i + 1` is included independently with
+    /// probability `density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `density` is not within `0.0..=1.0`.
+    pub fn random_dag(n: usize, density: f64, seed: u64) -> Self {
+        assert!(n > 0, "random DAG must have at least one node");
+        assert!(
+            (0.0..=1.0).contains(&density),
+            "density must be a probability"
+        );
+        let mut rng = SplitMix64::new(seed);
+        // P(next_u64 < threshold) = density, computed in u128 to allow
+        // density = 1.0 without overflow.
+        let threshold = (density * (u64::MAX as f64)) as u128;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            if i + 1 < n {
+                edges.push((i, i + 1));
+            }
+            for j in i + 2..n {
+                if u128::from(rng.next_u64()) < threshold {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Dag::from_edges(n, &edges).expect("forward edge list is acyclic")
+    }
+
+    /// The out-neighbors of `v`, in insertion (= routing tie-break) order.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.adj_off[v.index()] as usize..self.adj_off[v.index() + 1] as usize]
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// A topological order of the nodes (every edge points forward in it).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Whether `v` has no outgoing edges.
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.out_neighbors(v).is_empty()
+    }
+
+    /// `(rows, cols)` when this DAG was built by [`Dag::grid`] — renderers
+    /// use it to lay nodes out spatially.
+    pub fn grid_dims(&self) -> Option<(usize, usize)> {
+        self.grid
+    }
+
+    /// The edge list in per-source insertion order — exactly the input
+    /// that [`Dag::from_edges`] rebuilds this DAG (routing tie-breaks
+    /// included) from; also the serialization format.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        (0..self.node_count())
+            .flat_map(|v| {
+                self.out_neighbors(NodeId::new(v))
+                    .iter()
+                    .map(move |u| (v, u.index()))
+            })
+            .collect()
+    }
+}
+
+// The derived `next`/`dist` tables are pure functions of the edge list,
+// so serialization carries only the defining data and deserialization
+// reconstructs through `from_edges` — replayed artifacts cannot smuggle
+// in tables that disagree with the adjacency (and stay small: a 16×32
+// mesh is ~1k edge pairs instead of half a million table entries).
+impl Serialize for Dag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".into(), self.node_count().to_value()),
+            ("edges".into(), self.edges().to_value()),
+            ("grid".into(), self.grid.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dag {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected DAG object"))?;
+        let n = usize::from_value(serde::__field(obj, "n"))?;
+        let edges: Vec<(usize, usize)> = Vec::from_value(serde::__field(obj, "edges"))?;
+        let grid: Option<(usize, usize)> = Option::from_value(serde::__field(obj, "grid"))?;
+        let mut dag = Dag::from_edges(n, &edges).map_err(serde::Error::custom)?;
+        if let Some((rows, cols)) = grid {
+            if rows * cols != n {
+                return Err(serde::Error::custom("grid dims do not cover the node set"));
+            }
+            dag.grid = Some((rows, cols));
+        }
+        Ok(dag)
+    }
+}
+
+/// Fills the dense next-hop and distance tables by dynamic programming in
+/// reverse topological order: when `v` is processed, every out-neighbor
+/// already knows its distance to every destination. Among out-edges
+/// achieving the minimum distance, the first in adjacency order wins
+/// (strict `<` comparison), making routing deterministic.
+fn build_tables(
+    n: usize,
+    adj: &[NodeId],
+    adj_off: &[u32],
+    topo: &[NodeId],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut next = vec![NONE; n * n];
+    let mut dist = vec![NONE; n * n];
+    for v in 0..n {
+        dist[v * n + v] = 0;
+    }
+    for &v in topo.iter().rev() {
+        let vi = v.index();
+        for dest in 0..n {
+            if vi == dest {
+                continue;
+            }
+            let mut best = NONE;
+            let mut hop = NONE;
+            for &u in &adj[adj_off[vi] as usize..adj_off[vi + 1] as usize] {
+                let du = dist[u.index() * n + dest];
+                if du != NONE && du + 1 < best {
+                    best = du + 1;
+                    hop = u.index() as u32;
+                }
+            }
+            dist[vi * n + dest] = best;
+            next[vi * n + dest] = hop;
+        }
+    }
+    (next, dist)
+}
+
+impl From<Path> for Dag {
+    /// Embeds the path `0 → 1 → … → n−1`; routing agrees with [`Path`] at
+    /// every input.
+    fn from(path: Path) -> Self {
+        let n = path.node_count();
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Dag::from_edges(n, &edges).expect("path edge list is acyclic")
+    }
+}
+
+impl From<&DirectedTree> for Dag {
+    /// Embeds a directed tree (every edge child → parent); routing agrees
+    /// with [`DirectedTree`] at every input.
+    fn from(tree: &DirectedTree) -> Self {
+        let n = tree.node_count();
+        let edges: Vec<(usize, usize)> = (0..n)
+            .filter_map(|v| tree.parent(NodeId::new(v)).map(|p| (v, p.index())))
+            .collect();
+        Dag::from_edges(n, &edges).expect("tree edge list is acyclic")
+    }
+}
+
+impl From<DirectedTree> for Dag {
+    fn from(tree: DirectedTree) -> Self {
+        Dag::from(&tree)
+    }
+}
+
+impl Topology for Dag {
+    fn node_count(&self) -> usize {
+        self.adj_off.len() - 1
+    }
+
+    fn next_hop(&self, from: NodeId, dest: NodeId) -> Option<NodeId> {
+        let n = self.node_count();
+        if from.index() >= n || dest.index() >= n {
+            return None;
+        }
+        let hop = self.next[from.index() * n + dest.index()];
+        (hop != NONE).then(|| NodeId::new(hop as usize))
+    }
+
+    fn reaches(&self, from: NodeId, dest: NodeId) -> bool {
+        let n = self.node_count();
+        from.index() < n && dest.index() < n && self.dist[from.index() * n + dest.index()] != NONE
+    }
+
+    fn route_len(&self, from: NodeId, dest: NodeId) -> Option<usize> {
+        let n = self.node_count();
+        if from.index() >= n || dest.index() >= n {
+            return None;
+        }
+        let d = self.dist[from.index() * n + dest.index()];
+        (d != NONE).then_some(d as usize)
+    }
+
+    fn on_route(&self, from: NodeId, dest: NodeId, v: NodeId) -> bool {
+        // Walk the *chosen* route (not "any shortest path"), matching the
+        // route_buffers default exactly.
+        if !self.reaches(from, dest) {
+            return false;
+        }
+        let mut at = from;
+        while at != dest {
+            if at == v {
+                return true;
+            }
+            at = self
+                .next_hop(at, dest)
+                .expect("reaches() implies a next-hop chain");
+        }
+        false
+    }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_validates() {
+        assert_eq!(Dag::from_edges(0, &[]), Err(DagError::Empty));
+        assert_eq!(
+            Dag::from_edges(2, &[(0, 2)]),
+            Err(DagError::NodeOutOfRange { index: 2, n: 2 })
+        );
+        assert_eq!(
+            Dag::from_edges(2, &[(1, 1)]),
+            Err(DagError::SelfLoop(NodeId::new(1)))
+        );
+        assert_eq!(
+            Dag::from_edges(2, &[(0, 1), (0, 1)]),
+            Err(DagError::DuplicateEdge(NodeId::new(0), NodeId::new(1)))
+        );
+        assert_eq!(
+            Dag::from_edges(3, &[(0, 1), (1, 2), (2, 0)]),
+            Err(DagError::Cyclic)
+        );
+        assert!(Dag::from_edges(1, &[]).is_ok());
+    }
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DagError::Cyclic);
+        assert!(e.to_string().contains("cycle"));
+        assert!(DagError::SelfLoop(NodeId::new(3))
+            .to_string()
+            .contains("v3"));
+    }
+
+    #[test]
+    fn grid_routes_row_first() {
+        // 0 1 2
+        // 3 4 5
+        let g = Dag::grid(2, 3);
+        assert_eq!(g.edge_count(), 7);
+        // 0 → 5: row to column 2, then down.
+        let route = g
+            .route_buffers(NodeId::new(0), NodeId::new(5))
+            .expect("reachable");
+        assert_eq!(route, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(g.route_len(NodeId::new(0), NodeId::new(5)), Some(3));
+        // Same column: straight down.
+        assert_eq!(
+            g.next_hop(NodeId::new(1), NodeId::new(4)),
+            Some(NodeId::new(4))
+        );
+        // No leftward/upward routes.
+        assert!(!g.reaches(NodeId::new(5), NodeId::new(0)));
+        assert!(!g.reaches(NodeId::new(1), NodeId::new(3)));
+        assert_eq!(g.grid_dims(), Some((2, 3)));
+        assert!(g.is_sink(NodeId::new(5)));
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.out_degree(NodeId::new(2)), 1);
+    }
+
+    #[test]
+    fn grid_on_route_follows_the_chosen_route_only() {
+        let g = Dag::grid(2, 3);
+        // The chosen 0 → 5 route goes 0,1,2 — node 3 (down first) is a
+        // shortest-path node but NOT on the chosen route.
+        assert!(g.on_route(NodeId::new(0), NodeId::new(5), NodeId::new(1)));
+        assert!(!g.on_route(NodeId::new(0), NodeId::new(5), NodeId::new(3)));
+        assert!(!g.on_route(NodeId::new(0), NodeId::new(5), NodeId::new(5)));
+    }
+
+    #[test]
+    fn butterfly_shape_and_routing() {
+        let b = Dag::butterfly(2); // 3 levels × 4 rows = 12 nodes
+        assert_eq!(b.node_count(), 12);
+        assert_eq!(b.edge_count(), 16);
+        // Level 0 row 0 reaches every level-2 row in exactly 2 hops.
+        for row in 0..4usize {
+            assert_eq!(
+                b.route_len(NodeId::new(0), NodeId::new(8 + row)),
+                Some(2),
+                "row {row}"
+            );
+        }
+        // Straight edge is the tie-break winner toward the same row.
+        assert_eq!(
+            b.next_hop(NodeId::new(0), NodeId::new(8)),
+            Some(NodeId::new(4))
+        );
+    }
+
+    #[test]
+    fn diamond_fans_out_and_back_in() {
+        let d = Dag::diamond(3);
+        assert_eq!(d.node_count(), 5);
+        assert_eq!(d.out_degree(NodeId::new(0)), 3);
+        assert_eq!(d.route_len(NodeId::new(0), NodeId::new(4)), Some(2));
+        // Deterministic tie-break: first middle node wins.
+        assert_eq!(
+            d.next_hop(NodeId::new(0), NodeId::new(4)),
+            Some(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_and_contains_the_spine() {
+        let a = Dag::random_dag(24, 0.3, 7);
+        let b = Dag::random_dag(24, 0.3, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, Dag::random_dag(24, 0.3, 8));
+        // The spine guarantees i < j reachability everywhere.
+        for i in 0..24usize {
+            for j in i..24 {
+                assert!(a.reaches(NodeId::new(i), NodeId::new(j)), "{i} -> {j}");
+            }
+        }
+        // Density extremes.
+        assert_eq!(Dag::random_dag(10, 0.0, 1).edge_count(), 9);
+        assert_eq!(Dag::random_dag(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn path_embedding_agrees_with_path() {
+        let n = 9usize;
+        let p = Path::new(n);
+        let d = Dag::from(p);
+        assert_eq!(d.node_count(), n);
+        for from in 0..n {
+            for dest in 0..n {
+                let (from, dest) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(d.next_hop(from, dest), p.next_hop(from, dest));
+                assert_eq!(d.reaches(from, dest), p.reaches(from, dest));
+                assert_eq!(d.route_len(from, dest), p.route_len(from, dest));
+                assert_eq!(d.route_buffers(from, dest), p.route_buffers(from, dest));
+                for v in 0..n {
+                    let v = NodeId::new(v);
+                    assert_eq!(d.on_route(from, dest, v), p.on_route(from, dest, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_embedding_agrees_with_tree() {
+        let t = DirectedTree::random(12, 3);
+        let d = Dag::from(&t);
+        let n = t.node_count();
+        for from in 0..n {
+            for dest in 0..n {
+                let (from, dest) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(
+                    d.next_hop(from, dest),
+                    t.next_hop(from, dest),
+                    "{from}->{dest}"
+                );
+                assert_eq!(d.reaches(from, dest), t.reaches(from, dest));
+                assert_eq!(d.route_len(from, dest), t.route_len(from, dest));
+                for v in 0..n {
+                    let v = NodeId::new(v);
+                    assert_eq!(d.on_route(from, dest, v), t.on_route(from, dest, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_dag_is_degenerate_but_valid() {
+        let d = Dag::from_edges(1, &[]).unwrap();
+        assert_eq!(d.node_count(), 1);
+        assert!(d.reaches(NodeId::new(0), NodeId::new(0)));
+        assert_eq!(d.route_len(NodeId::new(0), NodeId::new(0)), Some(0));
+        assert_eq!(d.next_hop(NodeId::new(0), NodeId::new(0)), None);
+        assert!(d.is_sink(NodeId::new(0)));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = Dag::random_dag(20, 0.4, 11);
+        let pos: Vec<usize> = {
+            let mut pos = vec![0usize; 20];
+            for (i, &v) in d.topo_order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for v in 0..20usize {
+            for &u in d.out_neighbors(NodeId::new(v)) {
+                assert!(pos[v] < pos[u.index()], "edge v{v} -> {u} goes backward");
+            }
+        }
+    }
+}

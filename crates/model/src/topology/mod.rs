@@ -1,26 +1,34 @@
-//! Network topologies: directed paths and directed (in-)trees.
+//! Network topologies: directed paths, directed (in-)trees, and general
+//! DAGs.
 //!
 //! The paper restricts attention to paths (§2–§5) and directed trees with
-//! all edges oriented toward the root (§3.3, App. B.2). Both are unified
-//! under the [`Topology`] trait so that the engine and the greedy baselines
-//! are topology-generic, while PTS/PPTS/HPTS constrain themselves to the
-//! concrete type they are proven for.
+//! all edges oriented toward the root (§3.3, App. B.2); [`Dag`] opens the
+//! general acyclic case (grids, butterflies, diamonds) the related grid
+//! literature works on. All are unified under the [`Topology`] trait so
+//! that the engine and the greedy baselines are topology-generic, while
+//! PTS/PPTS/HPTS constrain themselves to the concrete type they are proven
+//! for.
 
+mod dag;
 mod path;
 mod tree;
 
+pub use dag::{Dag, DagError};
 pub use path::Path;
 pub use tree::{DirectedTree, TreeError};
 
 use crate::ids::NodeId;
 
-/// A directed network in which every node has at most one outgoing link and
-/// routes are unique.
+/// A directed network with deterministic, unique routes: for every
+/// `(from, dest)` pair there is at most one route, fixed by
+/// [`next_hop`](Topology::next_hop).
 ///
-/// Both supported topologies — [`Path`] and [`DirectedTree`] — satisfy a
-/// strong property the engine relies on: **each node has at most one
-/// outgoing link**, so "at most one packet per link per round" is exactly
-/// "at most one packet forwarded out of each buffer per round".
+/// Paths and trees additionally have **at most one outgoing link per
+/// node**; general DAGs may have several, reported by
+/// [`out_degree`](Topology::out_degree). The engine enforces the AQT
+/// bandwidth constraint per *link*: at most one packet crosses each
+/// outgoing edge per round, so a node forwards at most `out_degree` packets
+/// per round (exactly one per buffer on single-out topologies).
 pub trait Topology {
     /// Number of nodes; valid ids are `0..node_count()`.
     fn node_count(&self) -> usize;
@@ -74,6 +82,14 @@ pub trait Topology {
     /// True if `id` is a valid node of this topology.
     fn contains(&self, id: NodeId) -> bool {
         id.index() < self.node_count()
+    }
+
+    /// Number of outgoing links of `v` — the number of packets `v` may
+    /// forward in one round. Defaults to 1 (the single-out case); the
+    /// engine clamps to at least one forwarding slot per node, so
+    /// topologies whose terminal nodes report 0 lose nothing.
+    fn out_degree(&self, _v: NodeId) -> usize {
+        1
     }
 }
 

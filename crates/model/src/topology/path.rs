@@ -84,6 +84,10 @@ impl Topology for Path {
     fn on_route(&self, from: NodeId, dest: NodeId, v: NodeId) -> bool {
         self.reaches(from, dest) && from <= v && v < dest
     }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        usize::from(v.index() + 1 < self.n)
+    }
 }
 
 #[cfg(test)]

@@ -372,6 +372,10 @@ impl Topology for DirectedTree {
             && self.is_ancestor_or_self(v, from)
             && self.is_ancestor_or_self(dest, v)
     }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        usize::from(self.parent(v).is_some())
+    }
 }
 
 #[cfg(test)]

@@ -62,5 +62,5 @@ pub use event::{RoundRecord, SendRecord, Trace};
 pub use monitor::{
     run_monitored, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor, Violation,
 };
-pub use render::{heatmap, loss_heatmap, sparkline};
+pub use render::{grid_heatmap, heatmap, loss_heatmap, sparkline};
 pub use traced::Traced;

@@ -149,6 +149,58 @@ pub fn loss_heatmap(trace: &Trace, max_width: usize, max_height: usize) -> Strin
     out
 }
 
+/// Renders a trace of a `rows × cols` mesh run as a **spatial** occupancy
+/// heatmap: one character cell per grid node (row-major ids, as produced
+/// by [`Dag::grid`](aqt_model::Dag::grid)), intensity = that node's *peak*
+/// occupancy over the whole run. Where [`heatmap`] shows space × time,
+/// this shows space × space — the shape of a congestion hotspot on the
+/// mesh (e.g. the last column under diagonal-wave traffic).
+///
+/// Returns an empty string for an empty trace.
+///
+/// # Panics
+///
+/// Panics if `rows · cols` does not equal the trace's node count.
+pub fn grid_heatmap(trace: &Trace, rows: usize, cols: usize) -> String {
+    if trace.is_empty() || trace.node_count == 0 {
+        return String::new();
+    }
+    assert_eq!(
+        rows * cols,
+        trace.node_count,
+        "grid dims must cover every node exactly"
+    );
+    // Per-node peak over the run.
+    let mut peaks = vec![0u32; trace.node_count];
+    for record in &trace.rounds {
+        for (v, &occ) in record.occupancy.iter().enumerate() {
+            peaks[v] = peaks[v].max(occ);
+        }
+    }
+    let peak = peaks.iter().copied().max().unwrap_or(0);
+    let scale = peak.max(1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — grid occupancy heatmap ({rows}×{cols}, peak {peak})\n",
+        trace.protocol
+    ));
+    for r in 0..rows {
+        out.push_str(&format!("{:>5} |", r * cols));
+        for c in 0..cols {
+            let v = peaks[r * cols + c] as usize;
+            let idx = (v * (SHADES.len() - 1)).div_ceil(scale as usize);
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      +{}\n      shades: ' ' = 0 … '@' = {peak} peak occupancy\n",
+        "-".repeat(cols)
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +295,34 @@ mod tests {
         // Body rows (between header and axis) are all blank.
         let body: Vec<&str> = map.lines().skip(1).take(2).collect();
         assert!(body.iter().all(|row| !row.contains('@')), "{map}");
+    }
+
+    #[test]
+    fn grid_heatmap_lays_nodes_out_spatially() {
+        // 2×3 mesh; node 2 (row 0, col 2) is the hotspot.
+        let t = trace_with(vec![vec![0, 1, 6, 0, 0, 1], vec![0, 0, 4, 0, 2, 0]]);
+        let map = grid_heatmap(&t, 2, 3);
+        assert!(map.contains("peak 6"), "{map}");
+        let body: Vec<&str> = map.lines().skip(1).take(2).collect();
+        assert_eq!(body.len(), 2);
+        // Row 0 line carries the '@' in column 2.
+        let row0: String = body[0].split('|').nth(1).unwrap().to_string();
+        assert_eq!(row0.chars().count(), 3);
+        assert_eq!(row0.chars().nth(2), Some('@'));
+        // Row labels are the row-major base ids.
+        assert!(body[1].trim_start().starts_with('3'), "{map}");
+    }
+
+    #[test]
+    fn grid_heatmap_empty_trace_renders_empty() {
+        assert_eq!(grid_heatmap(&Trace::new("x", 0), 1, 1), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dims")]
+    fn grid_heatmap_rejects_mismatched_dims() {
+        let t = trace_with(vec![vec![0, 1]]);
+        let _ = grid_heatmap(&t, 3, 3);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! so experiment artifacts can be archived and replayed.
 
 use small_buffers::{
-    analyze, BoundednessReport, DestSpec, DirectedTree, Injection, Path, Pattern, Ppts,
-    RandomAdversary, Rate, RunMetrics, Simulation,
+    analyze, BoundednessReport, CapacityConfig, Dag, DagError, DagGreedy, DestSpec, DirectedTree,
+    DropPolicyKind, Injection, NodeId, Path, Pattern, Ppts, RandomAdversary, Rate, RunMetrics,
+    Simulation, StagingMode, Topology, TreeError,
 };
 
 #[test]
@@ -73,6 +74,124 @@ fn tree_topology_roundtrips() {
     let tree = DirectedTree::caterpillar(10, 3);
     let back: DirectedTree = serde_json::from_str(&serde_json::to_string(&tree).unwrap()).unwrap();
     assert_eq!(tree, back);
+}
+
+#[test]
+fn dag_topology_roundtrips() {
+    for dag in [
+        Dag::grid(3, 4),
+        Dag::butterfly(2),
+        Dag::diamond(3),
+        Dag::random_dag(16, 0.3, 9),
+        Dag::from(Path::new(6)),
+        Dag::from(DirectedTree::caterpillar(4, 2)),
+    ] {
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(dag, back);
+        // The routing tables survive, not just the shape.
+        let n = back.node_count();
+        for from in 0..n {
+            for dest in 0..n {
+                let (from, dest) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(dag.next_hop(from, dest), back.next_hop(from, dest));
+            }
+        }
+    }
+}
+
+#[test]
+fn replayed_dag_run_reproduces_the_metrics_exactly() {
+    let mesh = Dag::grid(3, 3);
+    let pattern = Pattern::from_injections(vec![
+        Injection::new(0, 0, 8),
+        Injection::new(0, 0, 2),
+        Injection::new(1, 3, 5),
+        Injection::new(2, 1, 7),
+    ]);
+    let replayed: Dag = serde_json::from_str(&serde_json::to_string(&mesh).unwrap()).unwrap();
+    let run = |topo: Dag| -> RunMetrics {
+        let mut sim = Simulation::new(topo, DagGreedy::fifo(), &pattern).unwrap();
+        sim.run_past_horizon(20).unwrap();
+        sim.metrics().clone()
+    };
+    assert_eq!(run(mesh), run(replayed));
+}
+
+#[test]
+fn capacity_config_roundtrips() {
+    for config in [
+        CapacityConfig::uniform(4),
+        CapacityConfig::uniform(1).staging(StagingMode::Counted),
+        CapacityConfig::per_node(vec![1, 8, 3]).staging(StagingMode::Exempt),
+    ] {
+        let json = serde_json::to_string(&config).unwrap();
+        let back: CapacityConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        assert_eq!(config.staging_mode(), back.staging_mode());
+        assert_eq!(config.limit(NodeId::new(1)), back.limit(NodeId::new(1)));
+    }
+}
+
+#[test]
+fn dag_serialization_is_the_edge_list_and_revalidates() {
+    // The archived form carries the defining data only — no derived
+    // routing tables — and deserialization goes back through from_edges,
+    // so corrupt artifacts are rejected instead of trusted.
+    let json = serde_json::to_string(&Dag::grid(4, 4)).unwrap();
+    assert!(json.contains("\"edges\""));
+    assert!(
+        !json.contains("\"next\""),
+        "derived tables must not be archived"
+    );
+    let cyclic = r#"{"n":3,"edges":[[0,1],[1,2],[2,0]],"grid":null}"#;
+    assert!(serde_json::from_str::<Dag>(cyclic).is_err());
+    let bad_grid = r#"{"n":2,"edges":[[0,1]],"grid":[3,3]}"#;
+    assert!(serde_json::from_str::<Dag>(bad_grid).is_err());
+}
+
+#[test]
+fn invalid_capacity_artifacts_are_rejected() {
+    // Constructor invariants hold for replayed configs too: capacity 0
+    // and empty per-node lists must fail at deserialize time, not panic
+    // deep inside a simulation.
+    let zero = r#"{"limits":{"kind":"uniform","limit":0},"staging":"Exempt"}"#;
+    assert!(serde_json::from_str::<CapacityConfig>(zero).is_err());
+    let empty = r#"{"limits":{"kind":"per_node","limits":[]},"staging":"Exempt"}"#;
+    assert!(serde_json::from_str::<CapacityConfig>(empty).is_err());
+    let zero_entry = r#"{"limits":{"kind":"per_node","limits":[2,0]},"staging":"Counted"}"#;
+    assert!(serde_json::from_str::<CapacityConfig>(zero_entry).is_err());
+}
+
+#[test]
+fn drop_policy_selections_roundtrip() {
+    for kind in DropPolicyKind::ALL {
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: DropPolicyKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(kind, back);
+        // The selection still builds the policy it names.
+        assert_eq!(back.build().name(), kind.label());
+    }
+}
+
+#[test]
+fn topology_errors_are_std_errors() {
+    // Both topology error types box as `dyn Error`, so validation results
+    // compose with `?` in application code.
+    let tree_err: Box<dyn std::error::Error> =
+        Box::new(DirectedTree::from_parents(&[]).unwrap_err());
+    assert!(tree_err.to_string().contains("at least one node"));
+    assert!(matches!(
+        DirectedTree::from_parents(&[Some(0), None]),
+        Err(TreeError::SelfLoop(_))
+    ));
+    let dag_err: Box<dyn std::error::Error> =
+        Box::new(Dag::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err());
+    assert!(dag_err.to_string().contains("cycle"));
+    assert!(matches!(
+        Dag::from_edges(2, &[(0, 0)]),
+        Err(DagError::SelfLoop(_))
+    ));
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Edge cases of `DirectedTree::random` and `capacity_threshold`: the
+//! degenerate corners a binary search or a tree generator gets wrong
+//! first — single-node topologies, single-edge routes, stars at the
+//! minimum legal capacity, and counted staging probed at exactly the
+//! threshold.
+
+use small_buffers::{
+    capacity_threshold, Batched, CapacityConfig, DirectedTree, DropPolicy, DropTail, FnSource,
+    Greedy, GreedyPolicy, Injection, NodeId, Path, Pattern, PatternSource, Simulation, StagingMode,
+    Topology,
+};
+
+fn boxed_tail() -> Box<dyn DropPolicy> {
+    Box::new(DropTail)
+}
+
+#[test]
+fn random_tree_of_one_node_is_just_a_root() {
+    for seed in 0..8u64 {
+        let t = DirectedTree::random(1, seed);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.root(), NodeId::new(0));
+        assert_eq!(t.height(), 0);
+        assert!(t.is_leaf(NodeId::new(0)));
+        assert_eq!(t.out_degree(NodeId::new(0)), 0);
+        // Identical regardless of seed: there is only one 1-node tree.
+        assert_eq!(t, DirectedTree::random(1, seed + 1));
+    }
+}
+
+#[test]
+fn random_tree_of_two_nodes_is_the_single_edge() {
+    let t = DirectedTree::random(2, 99);
+    assert_eq!(t.node_count(), 2);
+    assert_eq!(t.root(), NodeId::new(1));
+    assert_eq!(t.parent(NodeId::new(0)), Some(NodeId::new(1)));
+    assert_eq!(
+        t.next_hop(NodeId::new(0), NodeId::new(1)),
+        Some(NodeId::new(1))
+    );
+    assert_eq!(t.route_len(NodeId::new(0), NodeId::new(1)), Some(1));
+}
+
+#[test]
+fn random_trees_always_root_at_the_last_node() {
+    for n in [3usize, 7, 19, 64] {
+        for seed in 0..4u64 {
+            let t = DirectedTree::random(n, seed);
+            assert_eq!(t.node_count(), n);
+            assert_eq!(t.root(), NodeId::new(n - 1), "n={n} seed={seed}");
+            // Every edge points toward a higher index (the generator's
+            // invariant, which makes i < root reachability total).
+            for v in 0..n - 1 {
+                let p = t.parent(NodeId::new(v)).expect("non-root has a parent");
+                assert!(p.index() > v, "n={n} seed={seed}: edge v{v} -> {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_on_single_node_topology_with_no_traffic() {
+    // n = 1 admits no injection at all (every route would be empty); the
+    // search must degenerate gracefully: threshold 1 (the smallest legal
+    // capacity), peak 0, nothing below to probe.
+    let th = capacity_threshold(
+        &Path::new(1),
+        || Greedy::new(GreedyPolicy::Fifo),
+        || PatternSource::new(&Pattern::new()),
+        boxed_tail,
+        StagingMode::Exempt,
+        4,
+    )
+    .unwrap();
+    assert_eq!(th.threshold, 1);
+    assert_eq!(th.unbounded_peak, 0);
+    assert_eq!(th.drops_below, None);
+}
+
+#[test]
+fn threshold_on_a_single_edge_equals_the_burst_size() {
+    // The smallest routable topology: one edge, one burst. The threshold
+    // is exactly the burst size, and one below loses exactly one packet
+    // under drop-tail.
+    let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 1); 3]);
+    let th = capacity_threshold(
+        &Path::new(2),
+        || Greedy::new(GreedyPolicy::Fifo),
+        || PatternSource::new(&pattern),
+        boxed_tail,
+        StagingMode::Exempt,
+        6,
+    )
+    .unwrap();
+    assert_eq!(th.threshold, 3);
+    assert_eq!(th.unbounded_peak, 3);
+    assert_eq!(th.drops_below, Some(1));
+}
+
+#[test]
+fn star_at_capacity_one_routes_loss_free() {
+    // Every leaf of a star streams to the root at rate 1: each leaf
+    // buffer holds at most one packet (placed, then forwarded straight
+    // into the root = delivered), so the minimum legal capacity suffices
+    // and the threshold search agrees.
+    let leaves = 5usize;
+    let star = DirectedTree::star(leaves);
+    let mk_source = move || {
+        FnSource::new(12, move |t, out| {
+            for leaf in 1..=leaves {
+                out.push(Injection::new(t, leaf, 0));
+            }
+        })
+    };
+    let mut sim =
+        Simulation::from_source(star.clone(), Greedy::new(GreedyPolicy::Fifo), mk_source())
+            .with_capacity(CapacityConfig::uniform(1), DropTail);
+    sim.run_past_horizon(4).unwrap();
+    assert!(sim.is_drained());
+    assert_eq!(sim.metrics().dropped, 0);
+    assert_eq!(sim.metrics().delivered, 12 * leaves as u64);
+    assert_eq!(sim.metrics().max_occupancy, 1);
+
+    let th = capacity_threshold(
+        &star,
+        || Greedy::new(GreedyPolicy::Fifo),
+        mk_source,
+        boxed_tail,
+        StagingMode::Exempt,
+        4,
+    )
+    .unwrap();
+    assert_eq!(th.threshold, 1);
+    assert_eq!(th.drops_below, None);
+}
+
+#[test]
+fn counted_staging_is_loss_free_at_exactly_the_threshold() {
+    // Counted staging reserves buffer slots for staged wishes, so the
+    // threshold can exceed the unbounded occupancy peak. Whatever the
+    // search returns must be *exactly* the boundary: zero drops at the
+    // threshold, losses at threshold − 1.
+    let n = 8usize;
+    let pattern: Pattern = (0..12u64)
+        .flat_map(|t| std::iter::repeat_n(Injection::new(t, 0, n - 1), 2))
+        .collect();
+    let mk = || Batched::new(Greedy::new(GreedyPolicy::Fifo), 3);
+    let th = capacity_threshold(
+        &Path::new(n),
+        mk,
+        || PatternSource::new(&pattern),
+        boxed_tail,
+        StagingMode::Counted,
+        30,
+    )
+    .unwrap();
+    let drops_at = |cap: usize| {
+        let mut sim = Simulation::new(Path::new(n), mk(), &pattern)
+            .unwrap()
+            .with_capacity(
+                CapacityConfig::uniform(cap).staging(StagingMode::Counted),
+                DropTail,
+            );
+        sim.run_past_horizon(30).unwrap();
+        sim.metrics().dropped
+    };
+    assert_eq!(drops_at(th.threshold), 0, "threshold must be loss-free");
+    assert!(th.threshold > 1, "this workload needs more than one slot");
+    assert!(
+        drops_at(th.threshold - 1) > 0,
+        "threshold must be the smallest loss-free capacity"
+    );
+    // And the staging reservation really pushed it above the occupancy
+    // peak (the case a naive peak-based search gets wrong).
+    assert!(
+        th.threshold > th.unbounded_peak,
+        "counted staging must reserve beyond the occupancy peak here \
+         (threshold {}, peak {})",
+        th.threshold,
+        th.unbounded_peak
+    );
+}
