@@ -186,12 +186,12 @@ pub fn shaped_cross_traffic(
     rate: Rate,
     sigma: u64,
     wish_rounds: u64,
-) -> impl InjectionSource + '_ {
+) -> impl InjectionSource {
     let (rows, cols) = mesh
         .grid_dims()
         .expect("shaped cross traffic needs a Dag::grid mesh");
     let wishes = all_floods_source(rows, cols, wish_rounds);
-    ShapingSource::new(mesh, wishes, rate, sigma)
+    ShapingSource::new(mesh.clone(), wishes, rate, sigma)
 }
 
 #[cfg(test)]

@@ -51,8 +51,10 @@ mod lower_bound;
 pub mod patterns;
 mod random;
 mod shaper;
+mod spec;
 
 pub use admission::Admitter;
 pub use lower_bound::{LowerBoundAdversary, LowerBoundError};
 pub use random::{Cadence, DestSpec, RandomAdversary, RandomPathSource, RandomTreeSource};
 pub use shaper::{shape, ShapingSource};
+pub use spec::{SourceSpec, SourceSpecError};

@@ -21,6 +21,11 @@ use crate::admission::Admitter;
 /// its route have capacity. Head-of-line blocking preserves the inner
 /// source's emission order.
 ///
+/// The source **owns** its topology (a clone is cheap next to a run), so
+/// a fully-owned `ShapingSource` can be boxed as a
+/// `Box<dyn InjectionSource>` and outlive the scope that configured it —
+/// which is what the declarative scenario layer needs.
+///
 /// The horizon is unknown ([`horizon`](InjectionSource::horizon) returns
 /// `None`): how long draining takes depends on admission. The source is
 /// exhausted once the inner source is exhausted and the backlog is empty;
@@ -40,13 +45,13 @@ use crate::admission::Admitter;
 /// let wishes = PatternSource::from(Pattern::from_injections(vec![
 ///     Injection::new(0, 0, 3); 10
 /// ]));
-/// let shaped = ShapingSource::new(&topo, wishes, Rate::ONE, 1).into_pattern();
+/// let shaped = ShapingSource::new(topo, wishes, Rate::ONE, 1).into_pattern();
 /// assert_eq!(shaped.len(), 10);
 /// assert!(analyze(&topo, &shaped, Rate::ONE).tight_sigma <= 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ShapingSource<'a, T: Topology, S: InjectionSource> {
-    topology: &'a T,
+pub struct ShapingSource<T: Topology, S: InjectionSource> {
+    topology: T,
     inner: S,
     queue: VecDeque<Injection>,
     admitter: Admitter,
@@ -55,7 +60,7 @@ pub struct ShapingSource<'a, T: Topology, S: InjectionSource> {
     max_delay: u64,
 }
 
-impl<'a, T: Topology, S: InjectionSource> ShapingSource<'a, T, S> {
+impl<T: Topology, S: InjectionSource> ShapingSource<T, S> {
     /// Shapes `inner`'s wishes onto `topology` at (ρ, σ).
     ///
     /// # Panics
@@ -63,7 +68,7 @@ impl<'a, T: Topology, S: InjectionSource> ShapingSource<'a, T, S> {
     /// Panics if ρ = 0 or `ρ + σ < 1`: by Def. 2.1 a single packet already
     /// needs `1 ≤ ρ·1 + σ`, so for `ρ + σ < 1` **no** non-empty
     /// (ρ, σ)-bounded pattern exists and shaping could never terminate.
-    pub fn new(topology: &'a T, inner: S, rate: aqt_model::Rate, sigma: u64) -> Self {
+    pub fn new(topology: T, inner: S, rate: aqt_model::Rate, sigma: u64) -> Self {
         assert!(
             rate.num() > 0,
             "rate must be positive for shaping to terminate"
@@ -96,7 +101,7 @@ impl<'a, T: Topology, S: InjectionSource> ShapingSource<'a, T, S> {
     }
 }
 
-impl<T: Topology, S: InjectionSource> InjectionSource for ShapingSource<'_, T, S> {
+impl<T: Topology, S: InjectionSource> InjectionSource for ShapingSource<T, S> {
     fn next_round(&mut self, round: Round, out: &mut Vec<Injection>) {
         let t = round.value();
         // Wishes whose time has come join the back of the queue.
@@ -162,14 +167,14 @@ impl<T: Topology, S: InjectionSource> InjectionSource for ShapingSource<'_, T, S
 ///
 /// Panics if a wish has no route in the topology, or if `ρ + σ < 1` (see
 /// [`ShapingSource::new`]).
-pub fn shape<T: Topology>(
+pub fn shape<T: Topology + Clone>(
     topology: &T,
     wishes: Vec<Injection>,
     rate: aqt_model::Rate,
     sigma: u64,
 ) -> (Pattern, u64) {
     let inner = PatternSource::from(Pattern::from_injections(wishes));
-    let mut source = ShapingSource::new(topology, inner, rate, sigma);
+    let mut source = ShapingSource::new(topology.clone(), inner, rate, sigma);
     let mut out = Vec::new();
     let mut t = 0u64;
     while !source.is_exhausted() {
@@ -269,7 +274,7 @@ mod tests {
             .collect();
         let (expected, expected_delay) = shape(&topo, wishes.clone(), rho, 2);
         let inner = PatternSource::from(Pattern::from_injections(wishes));
-        let mut src = ShapingSource::new(&topo, inner, rho, 2);
+        let mut src = ShapingSource::new(topo, inner, rho, 2);
         let mut out = Vec::new();
         let mut t = 0;
         while !src.is_exhausted() {
@@ -303,7 +308,7 @@ mod tests {
         // horizon must not truncate the run.
         let topo = Path::new(3);
         let wishes = Pattern::from_injections(vec![Injection::new(0, 0, 2); 12]);
-        let source = ShapingSource::new(&topo, PatternSource::from(wishes), Rate::ONE, 0);
+        let source = ShapingSource::new(topo, PatternSource::from(wishes), Rate::ONE, 0);
         let mut sim = Simulation::from_source(topo, Drain, source);
         sim.run_past_horizon(4).unwrap();
         assert!(sim.is_drained());
@@ -319,7 +324,7 @@ mod tests {
         let topo = Path::new(4);
         let rho = Rate::new(1, 2).unwrap();
         let wishes = patterns::paced_stream_source(0, 3, Rate::ONE, 40);
-        let shaped = ShapingSource::new(&topo, wishes, rho, 1).into_pattern();
+        let shaped = ShapingSource::new(topo, wishes, rho, 1).into_pattern();
         assert_eq!(shaped.len() as u64, Rate::ONE.mul_floor(40));
         assert!(analyze(&topo, &shaped, rho).tight_sigma <= 1);
     }

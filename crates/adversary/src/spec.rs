@@ -1,0 +1,1128 @@
+//! Declarative source specs: serializable descriptions of every workload
+//! generator in this crate, buildable against an [`AnyTopology`].
+//!
+//! A [`SourceSpec`] names a workload as *data* — a paced stream, a
+//! round-robin schedule, a seeded [`RandomAdversary`] stream, or a
+//! leaky-bucket [`ShapingSource`] wrapped around any other spec.
+//! [`SourceSpec::build`] validates the parameters against the topology
+//! (returning a [`SourceSpecError`] instead of panicking like the raw
+//! generators) and produces a boxed [`InjectionSource`] that emits the
+//! exact same injection schedule as the hand-wired generator — the
+//! scenario differential suite pins this byte-for-byte.
+
+use std::fmt;
+
+use aqt_model::{
+    AnyTopology, FnSource, Injection, InjectionSource, NodeId, Pattern, PatternError,
+    PatternSource, Rate, Topology,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::patterns;
+use crate::random::{Cadence, DestSpec, RandomAdversary};
+use crate::shaper::ShapingSource;
+use crate::{grid, patterns::staircase_source};
+
+/// A serializable description of an injection workload.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_adversary::SourceSpec;
+/// use aqt_model::{InjectionSource, Rate, TopologySpec};
+///
+/// let topo = TopologySpec::Path { n: 8 }.build()?;
+/// let spec = SourceSpec::PacedStream {
+///     source: 0,
+///     dest: 7,
+///     rate: Rate::ONE,
+///     rounds: 10,
+/// };
+/// let mut built = spec.build(&topo)?;
+/// assert_eq!(built.horizon(), Some(10));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpec {
+    /// An explicit injection list (the fully-materialized escape hatch).
+    Pattern {
+        /// The injections, any order (sorted into rounds on build).
+        injections: Vec<Injection>,
+    },
+    /// `size` packets `source → dest` in one round.
+    Burst {
+        /// Injection round.
+        round: u64,
+        /// Source node.
+        source: usize,
+        /// Destination node.
+        dest: usize,
+        /// Packets in the burst.
+        size: usize,
+    },
+    /// `count` bursts of `size` packets every `period` rounds.
+    BurstTrain {
+        /// Source node.
+        source: usize,
+        /// Destination node.
+        dest: usize,
+        /// Packets per burst.
+        size: usize,
+        /// Rounds between bursts (≥ 1).
+        period: u64,
+        /// Number of bursts.
+        count: usize,
+    },
+    /// A maximally-smooth rate-ρ stream on one route.
+    PacedStream {
+        /// Source node.
+        source: usize,
+        /// Destination node.
+        dest: usize,
+        /// Injection rate ρ.
+        rate: Rate,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// `per_round` packets `source → dest` every round — the canonical
+    /// overload wish stream for shaping experiments.
+    Repeat {
+        /// Source node.
+        source: usize,
+        /// Destination node.
+        dest: usize,
+        /// Packets per round (≥ 1).
+        per_round: usize,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// Round-robin traffic from node 0 over `dests`, paced at total ρ.
+    RoundRobin {
+        /// Destination nodes (non-empty, all routable from node 0).
+        dests: Vec<usize>,
+        /// Total injection rate ρ.
+        rate: Rate,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// The staircase stress: far destinations first, one step per `gap`.
+    Staircase {
+        /// Destination nodes (non-empty, all routable from node 0).
+        dests: Vec<usize>,
+        /// Packets per step.
+        per_step: usize,
+        /// Rounds between steps (0 = all in round 0).
+        gap: u64,
+    },
+    /// The PTS "peak" pursuit stress (paths only).
+    PeakChase {
+        /// Injection rate ρ > 0.
+        rate: Rate,
+        /// Burst budget σ.
+        sigma: u64,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// A seeded (ρ, σ)-bounded [`RandomAdversary`] stream (paths and
+    /// trees).
+    Random {
+        /// Injection rate ρ.
+        rate: Rate,
+        /// Burst budget σ.
+        sigma: u64,
+        /// Active rounds.
+        rounds: u64,
+        /// Destination restriction.
+        dests: DestSpec,
+        /// Injection cadence.
+        cadence: Cadence,
+        /// RNG seed; same seed ⇒ same schedule.
+        seed: u64,
+        /// Candidate draws per active round (≥ 1).
+        attempts: usize,
+    },
+    /// A paced stream across one row of a mesh (grids only).
+    RowFlood {
+        /// Row index.
+        row: usize,
+        /// Injection rate ρ.
+        rate: Rate,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// A paced stream down one column of a mesh (grids only).
+    ColumnFlood {
+        /// Column index.
+        col: usize,
+        /// Injection rate ρ.
+        rate: Rate,
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// Every row flooded right and every column flooded down at rate 1
+    /// (grids only).
+    AllFloods {
+        /// Active rounds.
+        rounds: u64,
+    },
+    /// Anti-diagonal waves toward the far corner (grids only).
+    DiagonalWave {
+        /// Packets per cell per wave (≥ 1).
+        per_step: usize,
+        /// Rounds between waves (0 = all in round 0).
+        gap: u64,
+    },
+    /// Leaky-bucket shaping of any inner spec down to (ρ, σ).
+    Shaped {
+        /// The wish stream to shape.
+        inner: Box<SourceSpec>,
+        /// Shaping rate ρ > 0.
+        rate: Rate,
+        /// Shaping burst budget σ (with `ρ + σ ≥ 1`).
+        sigma: u64,
+    },
+}
+
+/// Why a [`SourceSpec`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpecError {
+    /// The workload is not defined on the given topology family.
+    NotApplicable {
+        /// The source kind, e.g. `"diagonal_wave"`.
+        source: &'static str,
+        /// The family it needs, e.g. `"grid"`.
+        needs: &'static str,
+        /// The family the scenario supplied.
+        got: &'static str,
+    },
+    /// A parameter is out of range for the topology.
+    InvalidParameter {
+        /// The source kind.
+        source: &'static str,
+        /// What is wrong.
+        reason: String,
+    },
+    /// An explicit pattern failed validation against the topology.
+    Pattern(PatternError),
+}
+
+impl fmt::Display for SourceSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceSpecError::NotApplicable { source, needs, got } => {
+                write!(
+                    f,
+                    "{source} workload requires a {needs} topology, got {got}"
+                )
+            }
+            SourceSpecError::InvalidParameter { source, reason } => {
+                write!(f, "invalid {source} spec: {reason}")
+            }
+            SourceSpecError::Pattern(e) => write!(f, "invalid pattern spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceSpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceSpecError::Pattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for SourceSpecError {
+    fn from(e: PatternError) -> Self {
+        SourceSpecError::Pattern(e)
+    }
+}
+
+fn invalid(source: &'static str, reason: impl Into<String>) -> SourceSpecError {
+    SourceSpecError::InvalidParameter {
+        source,
+        reason: reason.into(),
+    }
+}
+
+/// Checks that `source → dest` is a real route of `topo`.
+fn check_route(
+    topo: &AnyTopology,
+    kind: &'static str,
+    source: usize,
+    dest: usize,
+) -> Result<(), SourceSpecError> {
+    let n = topo.node_count();
+    if source >= n || dest >= n {
+        return Err(invalid(
+            kind,
+            format!("node out of range: {source} -> {dest} on {n} nodes"),
+        ));
+    }
+    if source == dest {
+        return Err(invalid(kind, "route must be non-empty (source == dest)"));
+    }
+    if !topo.reaches(NodeId::new(source), NodeId::new(dest)) {
+        return Err(invalid(kind, format!("no route {source} -> {dest}")));
+    }
+    Ok(())
+}
+
+fn grid_dims(topo: &AnyTopology, kind: &'static str) -> Result<(usize, usize), SourceSpecError> {
+    topo.as_dag()
+        .and_then(|d| d.grid_dims())
+        .ok_or(SourceSpecError::NotApplicable {
+            source: kind,
+            needs: "grid",
+            got: topo.family(),
+        })
+}
+
+impl SourceSpec {
+    /// Short kind label (matches the serialized `kind` tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceSpec::Pattern { .. } => "pattern",
+            SourceSpec::Burst { .. } => "burst",
+            SourceSpec::BurstTrain { .. } => "burst_train",
+            SourceSpec::PacedStream { .. } => "paced_stream",
+            SourceSpec::Repeat { .. } => "repeat",
+            SourceSpec::RoundRobin { .. } => "round_robin",
+            SourceSpec::Staircase { .. } => "staircase",
+            SourceSpec::PeakChase { .. } => "peak_chase",
+            SourceSpec::Random { .. } => "random",
+            SourceSpec::RowFlood { .. } => "row_flood",
+            SourceSpec::ColumnFlood { .. } => "column_flood",
+            SourceSpec::AllFloods { .. } => "all_floods",
+            SourceSpec::DiagonalWave { .. } => "diagonal_wave",
+            SourceSpec::Shaped { .. } => "shaped",
+        }
+    }
+
+    /// Builds the described workload against `topo`, validating every
+    /// parameter (the raw generators panic on the same inputs; specs come
+    /// from files, so they error instead). The built source emits exactly
+    /// the schedule the hand-wired generator would.
+    ///
+    /// # Errors
+    ///
+    /// [`SourceSpecError::NotApplicable`] when the workload needs a
+    /// different topology family, [`SourceSpecError::InvalidParameter`] /
+    /// [`SourceSpecError::Pattern`] for bad parameters.
+    pub fn build(&self, topo: &AnyTopology) -> Result<Box<dyn InjectionSource>, SourceSpecError> {
+        match self {
+            SourceSpec::Pattern { injections } => {
+                let pattern = Pattern::from_injections(injections.clone());
+                pattern.validate(topo)?;
+                Ok(Box::new(PatternSource::from(pattern)))
+            }
+            SourceSpec::Burst {
+                round,
+                source,
+                dest,
+                size,
+            } => {
+                check_route(topo, "burst", *source, *dest)?;
+                let pattern =
+                    Pattern::from_injections(vec![Injection::new(*round, *source, *dest); *size]);
+                Ok(Box::new(PatternSource::from(pattern)))
+            }
+            SourceSpec::BurstTrain {
+                source,
+                dest,
+                size,
+                period,
+                count,
+            } => {
+                check_route(topo, "burst_train", *source, *dest)?;
+                if *period == 0 {
+                    return Err(invalid("burst_train", "period must be at least 1"));
+                }
+                Ok(Box::new(patterns::burst_train_source(
+                    *source, *dest, *size, *period, *count,
+                )))
+            }
+            SourceSpec::PacedStream {
+                source,
+                dest,
+                rate,
+                rounds,
+            } => {
+                check_route(topo, "paced_stream", *source, *dest)?;
+                Ok(Box::new(patterns::paced_stream_source(
+                    *source, *dest, *rate, *rounds,
+                )))
+            }
+            SourceSpec::Repeat {
+                source,
+                dest,
+                per_round,
+                rounds,
+            } => {
+                check_route(topo, "repeat", *source, *dest)?;
+                if *per_round == 0 {
+                    return Err(invalid("repeat", "per_round must be at least 1"));
+                }
+                let (source, dest, per_round) = (*source, *dest, *per_round);
+                Ok(Box::new(FnSource::new(*rounds, move |t, out| {
+                    out.extend(std::iter::repeat_n(
+                        Injection::new(t, source, dest),
+                        per_round,
+                    ));
+                })))
+            }
+            SourceSpec::RoundRobin {
+                dests,
+                rate,
+                rounds,
+            } => {
+                if dests.is_empty() {
+                    return Err(invalid("round_robin", "need at least one destination"));
+                }
+                for &w in dests {
+                    check_route(topo, "round_robin", 0, w)?;
+                }
+                Ok(Box::new(patterns::round_robin_source(
+                    dests, *rate, *rounds,
+                )))
+            }
+            SourceSpec::Staircase {
+                dests,
+                per_step,
+                gap,
+            } => {
+                if dests.is_empty() {
+                    return Err(invalid("staircase", "need at least one destination"));
+                }
+                for &w in dests {
+                    check_route(topo, "staircase", 0, w)?;
+                }
+                Ok(Box::new(staircase_source(dests, *per_step, *gap)))
+            }
+            SourceSpec::PeakChase {
+                rate,
+                sigma,
+                rounds,
+            } => {
+                let path = topo.as_path().ok_or(SourceSpecError::NotApplicable {
+                    source: "peak_chase",
+                    needs: "path",
+                    got: topo.family(),
+                })?;
+                if path.node_count() < 3 {
+                    return Err(invalid("peak_chase", "need at least 3 nodes"));
+                }
+                if rate.num() == 0 {
+                    return Err(invalid("peak_chase", "rate must be positive"));
+                }
+                Ok(Box::new(patterns::peak_chase_source(
+                    path.node_count(),
+                    *rate,
+                    *sigma,
+                    *rounds,
+                )))
+            }
+            SourceSpec::Random {
+                rate,
+                sigma,
+                rounds,
+                dests,
+                cadence,
+                seed,
+                attempts,
+            } => {
+                if *attempts == 0 {
+                    return Err(invalid("random", "need at least one attempt per round"));
+                }
+                let n = topo.node_count();
+                if n < 2 {
+                    return Err(invalid("random", "need at least two nodes to route"));
+                }
+                let adversary = RandomAdversary::new(*rate, *sigma, *rounds)
+                    .destinations(dests.clone())
+                    .cadence(*cadence)
+                    .seed(*seed)
+                    .attempts_per_round(*attempts);
+                match topo {
+                    AnyTopology::Path(p) => {
+                        validate_path_dests(dests, n)?;
+                        Ok(Box::new(adversary.stream_path(p)))
+                    }
+                    AnyTopology::Tree(t) => {
+                        validate_tree_dests(dests, t)?;
+                        Ok(Box::new(adversary.stream_tree(t)))
+                    }
+                    AnyTopology::Dag(_) => Err(SourceSpecError::NotApplicable {
+                        source: "random",
+                        needs: "path or tree",
+                        got: topo.family(),
+                    }),
+                }
+            }
+            SourceSpec::RowFlood { row, rate, rounds } => {
+                let (rows, cols) = grid_dims(topo, "row_flood")?;
+                if *row >= rows {
+                    return Err(invalid("row_flood", format!("row {row} out of {rows}")));
+                }
+                if cols < 2 {
+                    return Err(invalid("row_flood", "need at least two columns"));
+                }
+                Ok(Box::new(grid::row_flood_source(
+                    rows, cols, *row, *rate, *rounds,
+                )))
+            }
+            SourceSpec::ColumnFlood { col, rate, rounds } => {
+                let (rows, cols) = grid_dims(topo, "column_flood")?;
+                if *col >= cols {
+                    return Err(invalid("column_flood", format!("col {col} out of {cols}")));
+                }
+                if rows < 2 {
+                    return Err(invalid("column_flood", "need at least two rows"));
+                }
+                Ok(Box::new(grid::column_flood_source(
+                    rows, cols, *col, *rate, *rounds,
+                )))
+            }
+            SourceSpec::AllFloods { rounds } => {
+                let (rows, cols) = grid_dims(topo, "all_floods")?;
+                if rows < 2 || cols < 2 {
+                    return Err(invalid("all_floods", "need a 2x2 or larger mesh"));
+                }
+                Ok(Box::new(grid::all_floods_source(rows, cols, *rounds)))
+            }
+            SourceSpec::DiagonalWave { per_step, gap } => {
+                let (rows, cols) = grid_dims(topo, "diagonal_wave")?;
+                if rows * cols < 2 {
+                    return Err(invalid("diagonal_wave", "need at least two cells"));
+                }
+                if *per_step == 0 {
+                    return Err(invalid("diagonal_wave", "waves must carry packets"));
+                }
+                Ok(Box::new(grid::diagonal_wave_source(
+                    rows, cols, *per_step, *gap,
+                )))
+            }
+            SourceSpec::Shaped { inner, rate, sigma } => {
+                if rate.num() == 0 {
+                    return Err(invalid("shaped", "rate must be positive"));
+                }
+                if u128::from(rate.num()) + u128::from(*sigma) * u128::from(rate.den())
+                    < u128::from(rate.den())
+                {
+                    return Err(invalid(
+                        "shaped",
+                        format!("need rho + sigma >= 1, got rho = {rate}, sigma = {sigma}"),
+                    ));
+                }
+                let wishes = inner.build(topo)?;
+                Ok(Box::new(ShapingSource::new(
+                    topo.clone(),
+                    wishes,
+                    *rate,
+                    *sigma,
+                )))
+            }
+        }
+    }
+}
+
+fn validate_path_dests(dests: &DestSpec, n: usize) -> Result<(), SourceSpecError> {
+    match dests {
+        DestSpec::AnyReachable => Ok(()),
+        DestSpec::Fixed(ws) => {
+            if ws.iter().all(|w| w.index() > 0 && w.index() < n) {
+                Ok(())
+            } else {
+                Err(invalid("random", "fixed destinations must lie in 1..n"))
+            }
+        }
+        DestSpec::Spread { count } => {
+            if *count >= 1 && *count < n {
+                Ok(())
+            } else {
+                Err(invalid(
+                    "random",
+                    format!("cannot spread {count} destinations over {n} nodes"),
+                ))
+            }
+        }
+    }
+}
+
+fn validate_tree_dests(
+    dests: &DestSpec,
+    tree: &aqt_model::DirectedTree,
+) -> Result<(), SourceSpecError> {
+    match dests {
+        DestSpec::AnyReachable | DestSpec::Fixed(_) => Ok(()),
+        DestSpec::Spread { count } => {
+            let internal = (0..tree.node_count())
+                .filter(|&v| !tree.is_leaf(NodeId::new(v)))
+                .count();
+            if *count <= internal {
+                Ok(())
+            } else {
+                Err(invalid(
+                    "random",
+                    format!("tree has only {internal} internal nodes, need {count}"),
+                ))
+            }
+        }
+    }
+}
+
+// Data-carrying enums: manual `kind`-tagged serde (the stub derives only
+// unit-variant enums).
+impl Serialize for DestSpec {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            DestSpec::AnyReachable => {
+                serde::Value::Object(vec![("kind".into(), serde::Value::Str("any".into()))])
+            }
+            DestSpec::Fixed(ws) => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::Str("fixed".into())),
+                ("dests".into(), ws.to_value()),
+            ]),
+            DestSpec::Spread { count } => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::Str("spread".into())),
+                ("count".into(), count.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for DestSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected destination spec object"))?;
+        match serde::__field(obj, "kind").as_str() {
+            Some("any") => Ok(DestSpec::AnyReachable),
+            Some("fixed") => Ok(DestSpec::Fixed(Vec::from_value(serde::__field(
+                obj, "dests",
+            ))?)),
+            Some("spread") => Ok(DestSpec::Spread {
+                count: usize::from_value(serde::__field(obj, "count"))?,
+            }),
+            _ => Err(serde::Error::custom("unknown destination spec kind")),
+        }
+    }
+}
+
+impl Serialize for Cadence {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Cadence::Smooth => {
+                serde::Value::Object(vec![("kind".into(), serde::Value::Str("smooth".into()))])
+            }
+            Cadence::Bursty { period } => serde::Value::Object(vec![
+                ("kind".into(), serde::Value::Str("bursty".into())),
+                ("period".into(), period.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Cadence {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected cadence object"))?;
+        match serde::__field(obj, "kind").as_str() {
+            Some("smooth") => Ok(Cadence::Smooth),
+            Some("bursty") => Ok(Cadence::Bursty {
+                period: u64::from_value(serde::__field(obj, "period"))?,
+            }),
+            _ => Err(serde::Error::custom("unknown cadence kind")),
+        }
+    }
+}
+
+impl Serialize for SourceSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> =
+            vec![("kind".into(), serde::Value::Str(self.kind().into()))];
+        match self {
+            SourceSpec::Pattern { injections } => {
+                fields.push(("injections".into(), injections.to_value()));
+            }
+            SourceSpec::Burst {
+                round,
+                source,
+                dest,
+                size,
+            } => {
+                fields.push(("round".into(), round.to_value()));
+                fields.push(("source".into(), source.to_value()));
+                fields.push(("dest".into(), dest.to_value()));
+                fields.push(("size".into(), size.to_value()));
+            }
+            SourceSpec::BurstTrain {
+                source,
+                dest,
+                size,
+                period,
+                count,
+            } => {
+                fields.push(("source".into(), source.to_value()));
+                fields.push(("dest".into(), dest.to_value()));
+                fields.push(("size".into(), size.to_value()));
+                fields.push(("period".into(), period.to_value()));
+                fields.push(("count".into(), count.to_value()));
+            }
+            SourceSpec::PacedStream {
+                source,
+                dest,
+                rate,
+                rounds,
+            } => {
+                fields.push(("source".into(), source.to_value()));
+                fields.push(("dest".into(), dest.to_value()));
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::Repeat {
+                source,
+                dest,
+                per_round,
+                rounds,
+            } => {
+                fields.push(("source".into(), source.to_value()));
+                fields.push(("dest".into(), dest.to_value()));
+                fields.push(("per_round".into(), per_round.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::RoundRobin {
+                dests,
+                rate,
+                rounds,
+            } => {
+                fields.push(("dests".into(), dests.to_value()));
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::Staircase {
+                dests,
+                per_step,
+                gap,
+            } => {
+                fields.push(("dests".into(), dests.to_value()));
+                fields.push(("per_step".into(), per_step.to_value()));
+                fields.push(("gap".into(), gap.to_value()));
+            }
+            SourceSpec::PeakChase {
+                rate,
+                sigma,
+                rounds,
+            } => {
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("sigma".into(), sigma.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::Random {
+                rate,
+                sigma,
+                rounds,
+                dests,
+                cadence,
+                seed,
+                attempts,
+            } => {
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("sigma".into(), sigma.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+                fields.push(("dests".into(), dests.to_value()));
+                fields.push(("cadence".into(), cadence.to_value()));
+                fields.push(("seed".into(), seed.to_value()));
+                fields.push(("attempts".into(), attempts.to_value()));
+            }
+            SourceSpec::RowFlood { row, rate, rounds } => {
+                fields.push(("row".into(), row.to_value()));
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::ColumnFlood { col, rate, rounds } => {
+                fields.push(("col".into(), col.to_value()));
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::AllFloods { rounds } => {
+                fields.push(("rounds".into(), rounds.to_value()));
+            }
+            SourceSpec::DiagonalWave { per_step, gap } => {
+                fields.push(("per_step".into(), per_step.to_value()));
+                fields.push(("gap".into(), gap.to_value()));
+            }
+            SourceSpec::Shaped { inner, rate, sigma } => {
+                fields.push(("inner".into(), inner.to_value()));
+                fields.push(("rate".into(), rate.to_value()));
+                fields.push(("sigma".into(), sigma.to_value()));
+            }
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SourceSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected source spec object"))?;
+        let f = |name: &str| serde::__field(obj, name);
+        match f("kind").as_str() {
+            Some("pattern") => Ok(SourceSpec::Pattern {
+                injections: Vec::from_value(f("injections"))?,
+            }),
+            Some("burst") => Ok(SourceSpec::Burst {
+                round: u64::from_value(f("round"))?,
+                source: usize::from_value(f("source"))?,
+                dest: usize::from_value(f("dest"))?,
+                size: usize::from_value(f("size"))?,
+            }),
+            Some("burst_train") => Ok(SourceSpec::BurstTrain {
+                source: usize::from_value(f("source"))?,
+                dest: usize::from_value(f("dest"))?,
+                size: usize::from_value(f("size"))?,
+                period: u64::from_value(f("period"))?,
+                count: usize::from_value(f("count"))?,
+            }),
+            Some("paced_stream") => Ok(SourceSpec::PacedStream {
+                source: usize::from_value(f("source"))?,
+                dest: usize::from_value(f("dest"))?,
+                rate: Rate::from_value(f("rate"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("repeat") => Ok(SourceSpec::Repeat {
+                source: usize::from_value(f("source"))?,
+                dest: usize::from_value(f("dest"))?,
+                per_round: usize::from_value(f("per_round"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("round_robin") => Ok(SourceSpec::RoundRobin {
+                dests: Vec::from_value(f("dests"))?,
+                rate: Rate::from_value(f("rate"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("staircase") => Ok(SourceSpec::Staircase {
+                dests: Vec::from_value(f("dests"))?,
+                per_step: usize::from_value(f("per_step"))?,
+                gap: u64::from_value(f("gap"))?,
+            }),
+            Some("peak_chase") => Ok(SourceSpec::PeakChase {
+                rate: Rate::from_value(f("rate"))?,
+                sigma: u64::from_value(f("sigma"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("random") => Ok(SourceSpec::Random {
+                rate: Rate::from_value(f("rate"))?,
+                sigma: u64::from_value(f("sigma"))?,
+                rounds: u64::from_value(f("rounds"))?,
+                dests: match f("dests") {
+                    serde::Value::Null => DestSpec::AnyReachable,
+                    other => DestSpec::from_value(other)?,
+                },
+                cadence: match f("cadence") {
+                    serde::Value::Null => Cadence::Smooth,
+                    other => Cadence::from_value(other)?,
+                },
+                seed: u64::from_value(f("seed"))?,
+                attempts: match f("attempts") {
+                    serde::Value::Null => 8,
+                    other => usize::from_value(other)?,
+                },
+            }),
+            Some("row_flood") => Ok(SourceSpec::RowFlood {
+                row: usize::from_value(f("row"))?,
+                rate: Rate::from_value(f("rate"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("column_flood") => Ok(SourceSpec::ColumnFlood {
+                col: usize::from_value(f("col"))?,
+                rate: Rate::from_value(f("rate"))?,
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("all_floods") => Ok(SourceSpec::AllFloods {
+                rounds: u64::from_value(f("rounds"))?,
+            }),
+            Some("diagonal_wave") => Ok(SourceSpec::DiagonalWave {
+                per_step: usize::from_value(f("per_step"))?,
+                gap: u64::from_value(f("gap"))?,
+            }),
+            Some("shaped") => Ok(SourceSpec::Shaped {
+                inner: Box::new(SourceSpec::from_value(f("inner"))?),
+                rate: Rate::from_value(f("rate"))?,
+                sigma: u64::from_value(f("sigma"))?,
+            }),
+            _ => Err(serde::Error::custom("unknown source spec kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_model::{Round, TopologySpec};
+
+    fn drain(mut src: Box<dyn InjectionSource>) -> Pattern {
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        while !src.is_exhausted() {
+            if src.horizon().is_some_and(|h| t >= h) {
+                break;
+            }
+            src.next_round(Round::new(t), &mut out);
+            t += 1;
+        }
+        Pattern::from_injections(out)
+    }
+
+    fn roundtrip(spec: &SourceSpec) -> SourceSpec {
+        SourceSpec::from_value(&spec.to_value()).expect("roundtrip")
+    }
+
+    #[test]
+    fn specs_match_their_hand_wired_generators() {
+        let path = TopologySpec::Path { n: 8 }.build().unwrap();
+        let half = Rate::new(1, 2).unwrap();
+
+        let spec = SourceSpec::PacedStream {
+            source: 0,
+            dest: 7,
+            rate: half,
+            rounds: 20,
+        };
+        assert_eq!(
+            drain(spec.build(&path).unwrap()),
+            patterns::paced_stream(0, 7, half, 20)
+        );
+        assert_eq!(roundtrip(&spec), spec);
+
+        let spec = SourceSpec::RoundRobin {
+            dests: vec![2, 4, 6],
+            rate: Rate::ONE,
+            rounds: 9,
+        };
+        assert_eq!(
+            drain(spec.build(&path).unwrap()),
+            patterns::round_robin(&[2, 4, 6], Rate::ONE, 9)
+        );
+        assert_eq!(roundtrip(&spec), spec);
+
+        let spec = SourceSpec::Staircase {
+            dests: vec![2, 4, 6],
+            per_step: 2,
+            gap: 3,
+        };
+        assert_eq!(
+            drain(spec.build(&path).unwrap()),
+            patterns::staircase(&[2, 4, 6], 2, 3)
+        );
+
+        let spec = SourceSpec::BurstTrain {
+            source: 0,
+            dest: 3,
+            size: 4,
+            period: 5,
+            count: 3,
+        };
+        assert_eq!(
+            drain(spec.build(&path).unwrap()),
+            patterns::burst_train(0, 3, 4, 5, 3)
+        );
+
+        let spec = SourceSpec::PeakChase {
+            rate: half,
+            sigma: 3,
+            rounds: 40,
+        };
+        assert_eq!(
+            drain(spec.build(&path).unwrap()),
+            patterns::peak_chase(8, half, 3, 40)
+        );
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn random_spec_matches_the_seeded_stream() {
+        let path = TopologySpec::Path { n: 16 }.build().unwrap();
+        let rate = Rate::new(2, 3).unwrap();
+        let spec = SourceSpec::Random {
+            rate,
+            sigma: 2,
+            rounds: 70,
+            dests: DestSpec::Spread { count: 3 },
+            cadence: Cadence::Bursty { period: 7 },
+            seed: 5,
+            attempts: 8,
+        };
+        let expected = RandomAdversary::new(rate, 2, 70)
+            .destinations(DestSpec::Spread { count: 3 })
+            .cadence(Cadence::Bursty { period: 7 })
+            .seed(5)
+            .build_path(&aqt_model::Path::new(16));
+        assert_eq!(drain(spec.build(&path).unwrap()), expected);
+        assert_eq!(roundtrip(&spec), spec);
+
+        let tree_topo = TopologySpec::Tree(aqt_model::TreeSpec::Random { n: 20, seed: 4 })
+            .build()
+            .unwrap();
+        let tree = tree_topo.as_tree().unwrap().clone();
+        let tspec = SourceSpec::Random {
+            rate: Rate::new(1, 2).unwrap(),
+            sigma: 1,
+            rounds: 50,
+            dests: DestSpec::AnyReachable,
+            cadence: Cadence::Smooth,
+            seed: 8,
+            attempts: 8,
+        };
+        let texpected = RandomAdversary::new(Rate::new(1, 2).unwrap(), 1, 50)
+            .seed(8)
+            .build_tree(&tree);
+        assert_eq!(drain(tspec.build(&tree_topo).unwrap()), texpected);
+    }
+
+    #[test]
+    fn grid_specs_match_their_generators() {
+        let mesh = TopologySpec::Grid { rows: 3, cols: 4 }.build().unwrap();
+        assert_eq!(
+            drain(
+                SourceSpec::DiagonalWave {
+                    per_step: 2,
+                    gap: 3
+                }
+                .build(&mesh)
+                .unwrap()
+            ),
+            grid::diagonal_wave(3, 4, 2, 3)
+        );
+        assert_eq!(
+            drain(SourceSpec::AllFloods { rounds: 5 }.build(&mesh).unwrap()),
+            grid::all_floods(3, 4, 5)
+        );
+        assert_eq!(
+            drain(
+                SourceSpec::RowFlood {
+                    row: 1,
+                    rate: Rate::ONE,
+                    rounds: 8
+                }
+                .build(&mesh)
+                .unwrap()
+            ),
+            grid::row_flood(3, 4, 1, Rate::ONE, 8)
+        );
+    }
+
+    #[test]
+    fn shaped_spec_matches_the_shaper() {
+        let mesh_topo = TopologySpec::Grid { rows: 3, cols: 3 }.build().unwrap();
+        let mesh = mesh_topo.as_dag().unwrap().clone();
+        let spec = SourceSpec::Shaped {
+            inner: Box::new(SourceSpec::AllFloods { rounds: 10 }),
+            rate: Rate::ONE,
+            sigma: 2,
+        };
+        let expected = grid::shaped_cross_traffic(&mesh, Rate::ONE, 2, 10).into_pattern();
+        assert_eq!(drain(spec.build(&mesh_topo).unwrap()), expected);
+        assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn applicability_and_parameter_errors() {
+        let path = TopologySpec::Path { n: 4 }.build().unwrap();
+        let mesh = TopologySpec::Grid { rows: 2, cols: 2 }.build().unwrap();
+        // Grid workloads need grids.
+        assert!(matches!(
+            SourceSpec::AllFloods { rounds: 3 }.build(&path),
+            Err(SourceSpecError::NotApplicable { .. })
+        ));
+        // Random streams need paths or trees.
+        assert!(matches!(
+            SourceSpec::Random {
+                rate: Rate::ONE,
+                sigma: 1,
+                rounds: 5,
+                dests: DestSpec::AnyReachable,
+                cadence: Cadence::Smooth,
+                seed: 0,
+                attempts: 8,
+            }
+            .build(&mesh),
+            Err(SourceSpecError::NotApplicable { .. })
+        ));
+        // Routes are validated.
+        assert!(SourceSpec::Burst {
+            round: 0,
+            source: 3,
+            dest: 0,
+            size: 2
+        }
+        .build(&path)
+        .is_err());
+        assert!(SourceSpec::Repeat {
+            source: 0,
+            dest: 3,
+            per_round: 0,
+            rounds: 5
+        }
+        .build(&path)
+        .is_err());
+        // Shaping parameters that admit nothing are rejected upfront.
+        assert!(SourceSpec::Shaped {
+            inner: Box::new(SourceSpec::Burst {
+                round: 0,
+                source: 0,
+                dest: 3,
+                size: 2
+            }),
+            rate: Rate::new(1, 2).unwrap(),
+            sigma: 0,
+        }
+        .build(&path)
+        .is_err());
+        // Invalid explicit patterns are caught at build time.
+        assert!(matches!(
+            SourceSpec::Pattern {
+                injections: vec![Injection::new(0, 0, 9)]
+            }
+            .build(&path),
+            Err(SourceSpecError::Pattern(_))
+        ));
+    }
+
+    #[test]
+    fn pattern_spec_roundtrips_with_injections() {
+        let spec = SourceSpec::Pattern {
+            injections: vec![Injection::new(0, 0, 3), Injection::new(2, 1, 3)],
+        };
+        assert_eq!(roundtrip(&spec), spec);
+        let path = TopologySpec::Path { n: 4 }.build().unwrap();
+        let built = drain(spec.build(&path).unwrap());
+        assert_eq!(built.len(), 2);
+    }
+
+    #[test]
+    fn random_spec_defaults_apply_on_missing_fields() {
+        let v = serde::Value::Object(vec![
+            ("kind".into(), serde::Value::Str("random".into())),
+            ("rate".into(), Rate::ONE.to_value()),
+            ("sigma".into(), 2u64.to_value()),
+            ("rounds".into(), 10u64.to_value()),
+            ("seed".into(), 3u64.to_value()),
+        ]);
+        let spec = SourceSpec::from_value(&v).unwrap();
+        assert_eq!(
+            spec,
+            SourceSpec::Random {
+                rate: Rate::ONE,
+                sigma: 2,
+                rounds: 10,
+                dests: DestSpec::AnyReachable,
+                cadence: Cadence::Smooth,
+                seed: 3,
+                attempts: 8,
+            }
+        );
+    }
+}

@@ -3,11 +3,15 @@
 //! The glue between the algorithms (`aqt-core`), the adversaries
 //! (`aqt-adversary`) and the experiment harness (`aqt-bench`):
 //!
+//! * [`Scenario`] / [`run_scenario`] — the declarative layer: one
+//!   serializable spec describing topology × protocol × workload ×
+//!   capacity, one generic runner executing it; [`ScenarioGrid`] expands
+//!   whole parameter grids and [`run_grid`] sweeps them in parallel;
 //! * [`bounds`] — the paper's bound formulas as executable functions;
-//! * [`RunSummary`] / [`run_path`] / [`run_tree`] (and their `_stream`
-//!   variants for [`InjectionSource`](aqt_model::InjectionSource)s) —
-//!   one-shot protocol runs distilled to the quantities the theorems speak
-//!   about;
+//! * [`RunSummary`] / [`run_pattern`] / [`run_source`] /
+//!   [`run_source_capacity`] — generic one-shot runs distilled to the
+//!   quantities the theorems speak about (the topology-specific
+//!   `run_path`/`run_tree`/`run_dag` wrappers are deprecated);
 //! * [`sweep`] — scoped-thread parameter sweeps: [`sweep::parallel`]
 //!   scatters a grid across cores and merges deterministically (equal to
 //!   [`sweep::serial`] for pure functions);
@@ -21,15 +25,24 @@
 //! ## Example
 //!
 //! ```
-//! use aqt_analysis::{bounds, run_path, Table, Verdict};
-//! use aqt_core::Pts;
-//! use aqt_model::{NodeId, Pattern, Injection};
+//! use aqt_analysis::{bounds, run_scenario, Scenario, Verdict};
+//! use aqt_adversary::SourceSpec;
+//! use aqt_core::ProtocolSpec;
+//! use aqt_model::TopologySpec;
 //!
-//! let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 7); 3]);
-//! let summary = run_path(8, Pts::new(NodeId::new(7)), &pattern, 20)?;
-//! let bound = bounds::pts_bound(2); // σ = 2 burst
+//! // A σ = 2 burst against PTS, described as data.
+//! let scenario = Scenario {
+//!     name: None,
+//!     topology: TopologySpec::Path { n: 8 },
+//!     protocol: ProtocolSpec::Pts { dest: None, eager: false },
+//!     source: SourceSpec::Burst { round: 0, source: 0, dest: 7, size: 3 },
+//!     extra: 20,
+//!     capacity: None,
+//! };
+//! let summary = run_scenario(&scenario)?;
+//! let bound = bounds::pts_bound(2);
 //! assert_eq!(Verdict::upper(summary.max_occupancy as u64, bound), Verdict::Holds);
-//! # Ok::<(), aqt_model::ModelError>(())
+//! # Ok::<(), aqt_analysis::ScenarioError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,15 +51,24 @@
 pub mod bounds;
 mod experiment;
 mod figure1;
+mod scenario;
 pub mod sweep;
 mod threshold;
 
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
+pub use scenario::{
+    run_grid, run_scenario, run_scenarios, run_scenarios_with_threads, CapacitySpec, Scenario,
+    ScenarioError, ScenarioGrid,
+};
 pub use sweep::{
-    measured_sigma, measured_sigma_on, parallel_map, run_dag, run_dag_capacity, run_dag_stream,
-    run_path, run_path_capacity, run_path_stream, run_tree, run_tree_capacity, run_tree_stream,
+    measured_sigma, measured_sigma_on, parallel_map, run_pattern, run_source, run_source_capacity,
     RunSummary, SweepAggregate,
+};
+#[allow(deprecated)]
+pub use sweep::{
+    run_dag, run_dag_capacity, run_dag_stream, run_path, run_path_capacity, run_path_stream,
+    run_tree, run_tree_capacity, run_tree_stream,
 };
 pub use threshold::{
     capacity_rate_grid, capacity_threshold, sweep_capacity_grid, CapacityGridPoint, CapacityProbe,

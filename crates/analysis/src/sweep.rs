@@ -1,18 +1,27 @@
 //! Run helpers and parallel parameter sweeps.
 //!
-//! Thin wrappers that run a protocol against a pattern (or a streaming
-//! [`InjectionSource`]) and distill the metrics into a [`RunSummary`],
-//! plus scoped-thread sweep runners for embarrassingly-parallel parameter
-//! grids (no external dependency needed):
+//! Generic one-shot runners ([`run_pattern`], [`run_source`],
+//! [`run_source_capacity`]) that execute a protocol on **any** topology
+//! and distill the metrics into a [`RunSummary`], plus scoped-thread
+//! sweep runners for embarrassingly-parallel parameter grids (no external
+//! dependency needed):
 //!
 //! * [`serial`] — the reference runner: applies `f` to each grid point in
 //!   order on the calling thread.
 //! * [`parallel`] — scatters the grid across all available cores and
 //!   merges results **deterministically**: outputs are returned in input
 //!   order, so `parallel(grid, f) == serial(grid, f)` for any pure `f`.
-//! * [`parallel_with_threads`] — same, with an explicit thread count.
+//! * [`parallel_with_threads`] — same, with an explicit thread count;
+//!   [`set_default_threads`] pins [`parallel`]'s worker count globally
+//!   (the `experiments --threads N` plumbing).
 //! * [`SweepAggregate`] — an order-insensitive reduction of many
 //!   [`RunSummary`]s (sums and maxima only).
+//!
+//! The topology-specific `run_path` / `run_tree` / `run_dag` families are
+//! **deprecated** thin wrappers kept for one release: new code should
+//! either call the generic runners directly or — better — describe the
+//! whole run as a [`Scenario`](crate::Scenario) and let
+//! [`run_scenario`](crate::run_scenario) execute it.
 
 use aqt_model::{
     analyze, CapacityConfig, Dag, DirectedTree, DropPolicy, InjectionSource, ModelError, Path,
@@ -44,7 +53,7 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    fn from_metrics(protocol: String, metrics: &RunMetrics) -> Self {
+    pub(crate) fn from_metrics(protocol: String, metrics: &RunMetrics) -> Self {
         RunSummary {
             protocol,
             max_occupancy: metrics.max_occupancy,
@@ -59,54 +68,116 @@ impl RunSummary {
     }
 }
 
-/// Runs `protocol` on a path of `n` nodes against `pattern`, for the
-/// pattern horizon plus `extra` settle rounds.
+/// Runs `protocol` on `topology` against `pattern` (validated upfront),
+/// for the pattern horizon plus `extra` settle rounds — the generic core
+/// behind every pattern-based run helper.
 ///
 /// # Errors
 ///
 /// Propagates pattern validation or plan errors from the engine.
+pub fn run_pattern<T: Topology, P: Protocol<T>>(
+    topology: T,
+    protocol: P,
+    pattern: &Pattern,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::new(topology, protocol, pattern)?;
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Runs `protocol` on `topology` against a streaming source, for the
+/// source horizon plus `extra` settle rounds — the long-horizon
+/// counterpart of [`run_pattern`], with O(live packets) memory.
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_source<T: Topology, P: Protocol<T>, S: InjectionSource>(
+    topology: T,
+    protocol: P,
+    source: S,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(topology, protocol, source);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Capacity-bounded counterpart of [`run_source`]: buffers are capped per
+/// `config` and overflow is resolved by `policy`; losses show up in
+/// [`RunSummary::dropped`] and [`RunSummary::goodput`].
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+pub fn run_source_capacity<T: Topology, P: Protocol<T>, S: InjectionSource>(
+    topology: T,
+    protocol: P,
+    source: S,
+    extra: u64,
+    config: CapacityConfig,
+    policy: impl DropPolicy + 'static,
+) -> Result<RunSummary, ModelError> {
+    let mut sim = Simulation::from_source(topology, protocol, source).with_capacity(config, policy);
+    sim.run_past_horizon(extra)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
+/// Runs `protocol` on a path of `n` nodes against `pattern`.
+///
+/// # Errors
+///
+/// Propagates pattern validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
+)]
 pub fn run_path<P: Protocol<Path>>(
     n: usize,
     protocol: P,
     pattern: &Pattern,
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::new(Path::new(n), protocol, pattern)?;
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_pattern(Path::new(n), protocol, pattern, extra)
 }
 
-/// Runs `protocol` on a path of `n` nodes against a streaming source, for
-/// the source horizon plus `extra` settle rounds — the long-horizon
-/// counterpart of [`run_path`], with O(live packets) memory.
+/// Runs `protocol` on a path of `n` nodes against a streaming source.
 ///
 /// # Errors
 ///
 /// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
+)]
 pub fn run_path_stream<P: Protocol<Path>, S: InjectionSource>(
     n: usize,
     protocol: P,
     source: S,
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::from_source(Path::new(n), protocol, source);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_source(Path::new(n), protocol, source, extra)
 }
 
-/// Capacity-bounded counterpart of [`run_path_stream`]: buffers are
-/// capped per `config` and overflow is resolved by `policy`; losses show
-/// up in [`RunSummary::dropped`] and [`RunSummary::goodput`].
+/// Capacity-bounded run on a path of `n` nodes.
 ///
 /// # Errors
 ///
 /// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
+)]
 pub fn run_path_capacity<P: Protocol<Path>, S: InjectionSource>(
     n: usize,
     protocol: P,
@@ -115,20 +186,54 @@ pub fn run_path_capacity<P: Protocol<Path>, S: InjectionSource>(
     config: CapacityConfig,
     policy: impl DropPolicy + 'static,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim =
-        Simulation::from_source(Path::new(n), protocol, source).with_capacity(config, policy);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_source_capacity(Path::new(n), protocol, source, extra, config, policy)
 }
 
-/// Capacity-bounded counterpart of [`run_tree_stream`].
+/// Runs `protocol` on a directed tree against `pattern`.
+///
+/// # Errors
+///
+/// Propagates pattern validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
+)]
+pub fn run_tree<P: Protocol<DirectedTree>>(
+    tree: DirectedTree,
+    protocol: P,
+    pattern: &Pattern,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    run_pattern(tree, protocol, pattern, extra)
+}
+
+/// Runs `protocol` on a directed tree against a streaming source.
 ///
 /// # Errors
 ///
 /// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
+)]
+pub fn run_tree_stream<P: Protocol<DirectedTree>, S: InjectionSource>(
+    tree: DirectedTree,
+    protocol: P,
+    source: S,
+    extra: u64,
+) -> Result<RunSummary, ModelError> {
+    run_source(tree, protocol, source, extra)
+}
+
+/// Capacity-bounded run on a directed tree.
+///
+/// # Errors
+///
+/// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
+)]
 pub fn run_tree_capacity<P: Protocol<DirectedTree>, S: InjectionSource>(
     tree: DirectedTree,
     protocol: P,
@@ -137,70 +242,25 @@ pub fn run_tree_capacity<P: Protocol<DirectedTree>, S: InjectionSource>(
     config: CapacityConfig,
     policy: impl DropPolicy + 'static,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::from_source(tree, protocol, source).with_capacity(config, policy);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_source_capacity(tree, protocol, source, extra, config, policy)
 }
 
-/// Runs `protocol` on a directed tree against `pattern`.
+/// Runs `protocol` on a [`Dag`] against `pattern`.
 ///
 /// # Errors
 ///
 /// Propagates pattern validation or plan errors from the engine.
-pub fn run_tree<P: Protocol<DirectedTree>>(
-    tree: DirectedTree,
-    protocol: P,
-    pattern: &Pattern,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::new(tree, protocol, pattern)?;
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
-}
-
-/// Runs `protocol` on a directed tree against a streaming source.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-pub fn run_tree_stream<P: Protocol<DirectedTree>, S: InjectionSource>(
-    tree: DirectedTree,
-    protocol: P,
-    source: S,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::from_source(tree, protocol, source);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
-}
-
-/// Runs `protocol` on a [`Dag`] against `pattern` — the DAG/grid
-/// counterpart of [`run_path`] / [`run_tree`].
-///
-/// # Errors
-///
-/// Propagates pattern validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
+)]
 pub fn run_dag<P: Protocol<Dag>>(
     dag: Dag,
     protocol: P,
     pattern: &Pattern,
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::new(dag, protocol, pattern)?;
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_pattern(dag, protocol, pattern, extra)
 }
 
 /// Runs `protocol` on a [`Dag`] against a streaming source.
@@ -208,25 +268,28 @@ pub fn run_dag<P: Protocol<Dag>>(
 /// # Errors
 ///
 /// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
+)]
 pub fn run_dag_stream<P: Protocol<Dag>, S: InjectionSource>(
     dag: Dag,
     protocol: P,
     source: S,
     extra: u64,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::from_source(dag, protocol, source);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_source(dag, protocol, source, extra)
 }
 
-/// Capacity-bounded counterpart of [`run_dag_stream`].
+/// Capacity-bounded run on a [`Dag`].
 ///
 /// # Errors
 ///
 /// Propagates injection validation or plan errors from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
+)]
 pub fn run_dag_capacity<P: Protocol<Dag>, S: InjectionSource>(
     dag: Dag,
     protocol: P,
@@ -235,12 +298,7 @@ pub fn run_dag_capacity<P: Protocol<Dag>, S: InjectionSource>(
     config: CapacityConfig,
     policy: impl DropPolicy + 'static,
 ) -> Result<RunSummary, ModelError> {
-    let mut sim = Simulation::from_source(dag, protocol, source).with_capacity(config, policy);
-    sim.run_past_horizon(extra)?;
-    Ok(RunSummary::from_metrics(
-        sim.protocol().name(),
-        sim.metrics(),
-    ))
+    run_source_capacity(dag, protocol, source, extra, config, policy)
 }
 
 /// Measures the tight σ of `pattern` on a path of `n` nodes at rate ρ —
@@ -264,10 +322,31 @@ where
     inputs.iter().map(f).collect()
 }
 
-/// Scatters a parameter grid across all available cores
-/// (`std::thread::available_parallelism`) and merges the results
-/// deterministically: outputs come back in input order regardless of
-/// completion order, so the result equals [`serial`]'s for any pure `f`.
+/// The process-wide worker-count override for [`parallel`]; 0 means
+/// "use `std::thread::available_parallelism`".
+static DEFAULT_THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pins the worker count every subsequent [`parallel`] call uses (the
+/// `experiments --threads N` plumbing); `0` restores the default of one
+/// worker per available core. Explicit [`parallel_with_threads`] calls
+/// are unaffected.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The worker count [`parallel`] will use right now.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        n => n,
+    }
+}
+
+/// Scatters a parameter grid across worker threads — one per available
+/// core unless [`set_default_threads`] pinned a count — and merges the
+/// results deterministically: outputs come back in input order regardless
+/// of completion order, so the result equals [`serial`]'s for any pure
+/// `f`.
 ///
 /// # Panics
 ///
@@ -278,8 +357,7 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    parallel_with_threads(inputs, threads, f)
+    parallel_with_threads(inputs, default_threads(), f)
 }
 
 /// [`parallel`] with an explicit worker count.
@@ -394,6 +472,9 @@ impl SweepAggregate {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrappers stay covered until their removal release.
+    #![allow(deprecated)]
+
     use super::*;
     use aqt_core::{Greedy, GreedyPolicy};
     use aqt_model::{FnSource, Injection};

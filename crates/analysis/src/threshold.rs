@@ -63,7 +63,7 @@ pub struct CapacityThreshold {
 /// The factories are invoked once per probe (sources are consumed by a
 /// run and policies may be stateful); each probe runs to the source
 /// horizon plus `extra` settle rounds, like
-/// [`run_path`](crate::run_path). The search probes O(log peak)
+/// [`run_source`](crate::run_source). The search probes O(log peak)
 /// capacities plus one unbounded reference run.
 ///
 /// # Errors
@@ -228,8 +228,8 @@ where
     FD: Fn() -> Box<dyn DropPolicy> + Sync,
 {
     sweep::parallel(grid, |point| {
-        sweep::run_path_capacity(
-            n,
+        sweep::run_source_capacity(
+            Path::new(n),
             mk_protocol(point.rate),
             mk_source(point.rate),
             extra,

@@ -7,7 +7,7 @@
 //! its space bound.
 
 use aqt_adversary::{patterns, RandomAdversary};
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::HptsD;
 use aqt_model::{Path, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -29,7 +29,7 @@ fn bench_dest_space(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("destinations", d), &d, |b, _| {
             b.iter(|| {
                 let hptsd = HptsD::new(dests.clone(), 2).expect("valid set");
-                run_path(n, hptsd, &pattern, 100).expect("valid run")
+                run_pattern(Path::new(n), hptsd, &pattern, 100).expect("valid run")
             })
         });
     }
@@ -47,7 +47,7 @@ fn bench_dest_space(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("line_length", n), &n, |b, _| {
             b.iter(|| {
                 let hptsd = HptsD::new(dests.clone(), 2).expect("valid set");
-                run_path(n, hptsd, &pattern, 100).expect("valid run")
+                run_pattern(Path::new(n), hptsd, &pattern, 100).expect("valid run")
             })
         });
     }

@@ -5,7 +5,7 @@
 //! bandwidth (phases) and planning work. This bench pins the cost curve.
 
 use aqt_adversary::RandomAdversary;
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::{Hpts, LevelSchedule};
 use aqt_model::{Path, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -23,7 +23,7 @@ fn bench_hpts(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("levels", l), &l, |b, &l| {
             b.iter(|| {
                 let hpts = Hpts::for_line(n, l).expect("fits");
-                run_path(n, hpts, &pattern, 50).expect("valid run")
+                run_pattern(Path::new(n), hpts, &pattern, 50).expect("valid run")
             })
         });
     }
@@ -39,7 +39,7 @@ fn bench_hpts(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("schedule", label), |b| {
             b.iter(|| {
                 let hpts = Hpts::for_line(n, 4).expect("fits").schedule(schedule);
-                run_path(n, hpts, &pattern, 50).expect("valid run")
+                run_pattern(Path::new(n), hpts, &pattern, 50).expect("valid run")
             })
         });
     }

@@ -4,9 +4,9 @@
 //! duel against a representative protocol.
 
 use aqt_adversary::LowerBoundAdversary;
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::{Greedy, GreedyPolicy, Hpts};
-use aqt_model::{Rate, Topology};
+use aqt_model::{Path, Rate, Topology};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lower_bound(c: &mut Criterion) {
@@ -31,8 +31,13 @@ fn bench_lower_bound(c: &mut Criterion) {
             &pattern,
             |b, pattern| {
                 b.iter(|| {
-                    run_path(n, Greedy::new(GreedyPolicy::LongestInSystem), pattern, 8)
-                        .expect("valid run")
+                    run_pattern(
+                        Path::new(n),
+                        Greedy::new(GreedyPolicy::LongestInSystem),
+                        pattern,
+                        8,
+                    )
+                    .expect("valid run")
                 })
             },
         );
@@ -42,7 +47,7 @@ fn bench_lower_bound(c: &mut Criterion) {
             |b, pattern| {
                 b.iter(|| {
                     let hpts = Hpts::for_line(n, l).expect("fits");
-                    run_path(n, hpts, pattern, 8).expect("valid run")
+                    run_pattern(Path::new(n), hpts, pattern, 8).expect("valid run")
                 })
             },
         );

@@ -5,7 +5,7 @@
 //! baseline's d-independent cost.
 
 use aqt_adversary::{DestSpec, RandomAdversary};
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::{Greedy, GreedyPolicy, Ppts};
 use aqt_model::{Path, Pattern, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -25,12 +25,17 @@ fn bench_ppts(c: &mut Criterion) {
         let pattern = pattern_for(n, d, rounds);
         group.throughput(Throughput::Elements(rounds));
         group.bench_with_input(BenchmarkId::new("ppts", d), &d, |b, _| {
-            b.iter(|| run_path(n, Ppts::new(), &pattern, 50).expect("valid run"))
+            b.iter(|| run_pattern(Path::new(n), Ppts::new(), &pattern, 50).expect("valid run"))
         });
         group.bench_with_input(BenchmarkId::new("greedy-lis", d), &d, |b, _| {
             b.iter(|| {
-                run_path(n, Greedy::new(GreedyPolicy::LongestInSystem), &pattern, 50)
-                    .expect("valid run")
+                run_pattern(
+                    Path::new(n),
+                    Greedy::new(GreedyPolicy::LongestInSystem),
+                    &pattern,
+                    50,
+                )
+                .expect("valid run")
             })
         });
     }

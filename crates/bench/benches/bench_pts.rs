@@ -7,7 +7,7 @@
 //! engine or protocol are caught.
 
 use aqt_adversary::{DestSpec, RandomAdversary};
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::Pts;
 use aqt_model::{NodeId, Path, Pattern, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -26,7 +26,10 @@ fn bench_pts(c: &mut Criterion) {
         let pattern = pattern_for(n, rounds);
         group.throughput(Throughput::Elements(rounds));
         group.bench_with_input(BenchmarkId::new("run", n), &n, |b, &n| {
-            b.iter(|| run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, 50).expect("valid run"))
+            b.iter(|| {
+                run_pattern(Path::new(n), Pts::new(NodeId::new(n - 1)), &pattern, 50)
+                    .expect("valid run")
+            })
         });
     }
     group.finish();

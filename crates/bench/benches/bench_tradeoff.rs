@@ -4,7 +4,7 @@
 //! the bench doubles as a performance budget for the experiment runner.
 
 use aqt_adversary::{patterns, RandomAdversary};
-use aqt_analysis::run_path;
+use aqt_analysis::run_pattern;
 use aqt_core::{Hpts, Ppts};
 use aqt_model::{Path, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -21,7 +21,7 @@ fn bench_tradeoff(c: &mut Criterion) {
                 .build_path(&Path::new(n));
             b.iter(|| {
                 let hpts = Hpts::for_line(n, k).expect("fits");
-                run_path(n, hpts, &pattern, 100).expect("valid run")
+                run_pattern(Path::new(n), hpts, &pattern, 100).expect("valid run")
             })
         });
     }
@@ -30,7 +30,7 @@ fn bench_tradeoff(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ppts_alpha_point", d), &d, |b, &d| {
             let dests = patterns::even_destinations(n + 1, d);
             let pattern = patterns::round_robin(&dests, Rate::ONE, 400);
-            b.iter(|| run_path(n + 1, Ppts::new(), &pattern, 100).expect("valid run"))
+            b.iter(|| run_pattern(Path::new(n + 1), Ppts::new(), &pattern, 100).expect("valid run"))
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Timing bench for E3: tree forwarding throughput on assorted shapes.
 
 use aqt_adversary::{DestSpec, RandomAdversary};
-use aqt_analysis::run_tree;
+use aqt_analysis::run_pattern;
 use aqt_core::{TreePpts, TreePts};
 use aqt_model::{DirectedTree, Rate};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -25,10 +25,12 @@ fn bench_tree(c: &mut Criterion) {
             .seed(4)
             .build_tree(&tree);
         group.bench_with_input(BenchmarkId::new("tree_pts", label), &tree, |b, tree| {
-            b.iter(|| run_tree(tree.clone(), TreePts::new(root), &single, 50).expect("valid run"))
+            b.iter(|| {
+                run_pattern(tree.clone(), TreePts::new(root), &single, 50).expect("valid run")
+            })
         });
         group.bench_with_input(BenchmarkId::new("tree_ppts", label), &tree, |b, tree| {
-            b.iter(|| run_tree(tree.clone(), TreePpts::new(), &multi, 50).expect("valid run"))
+            b.iter(|| run_pattern(tree.clone(), TreePpts::new(), &multi, 50).expect("valid run"))
         });
     }
     group.finish();

@@ -10,23 +10,29 @@
 //! ```
 
 use aqt_bench::{
-    engine_bench_json, measure_engine, render_e10, run_experiment, EXPERIMENT_IDS, EXPERIMENT_INDEX,
+    bench_delta_table, engine_bench_json, measure_engine, parse_engine_bench_json, render_e10,
+    run_experiment, EXPERIMENT_IDS, EXPERIMENT_INDEX,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("Usage: experiments [--quick] [--csv] [--list] [--bench-json PATH] [ID ...]");
+        println!("Usage: experiments [--quick] [--csv] [--list] [--threads N]");
+        println!("                   [--bench-json PATH] [--bench-baseline PATH] [ID ...]");
         println!();
         println!("Regenerates the paper's claims as measured tables.");
         println!();
         println!("Options:");
-        println!("  --quick            run smaller instances (CI-sized)");
-        println!("  --csv              emit CSV instead of rendered tables");
-        println!("  --list             print the experiment-id -> claim -> function index");
-        println!("  --bench-json PATH  write E10's engine measurements as JSON");
-        println!("                     (the perf-trajectory artifact; implies e10 runs)");
-        println!("  -h, --help         print this message");
+        println!("  --quick                run smaller instances (CI-sized)");
+        println!("  --csv                  emit CSV instead of rendered tables");
+        println!("  --list                 print the experiment-id -> claim -> function index");
+        println!("  --threads N            worker count for every parallel sweep");
+        println!("                         (default: all cores)");
+        println!("  --bench-json PATH      write E10's engine measurements as JSON");
+        println!("                         (the perf-trajectory artifact; implies e10 runs)");
+        println!("  --bench-baseline PATH  print the delta vs a committed BENCH_engine.json");
+        println!("                         baseline (implies e10 runs)");
+        println!("  -h, --help             print this message");
         println!();
         println!(
             "Experiment ids (default: all): {}",
@@ -60,6 +66,7 @@ fn main() {
     let mut quick = false;
     let mut csv = false;
     let mut bench_json: Option<String> = None;
+    let mut bench_baseline: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -73,6 +80,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--bench-baseline" => match iter.next() {
+                Some(path) if !path.starts_with('-') => bench_baseline = Some(path.clone()),
+                _ => {
+                    eprintln!("error: --bench-baseline needs a path (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => aqt_analysis::sweep::set_default_threads(n),
+                _ => {
+                    eprintln!("error: --threads needs a positive integer (try --help)");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with('-') => {
                 eprintln!("error: unknown option `{other}` (try --help)");
                 std::process::exit(2);
@@ -80,12 +101,25 @@ fn main() {
             id => ids.push(id.to_string()),
         }
     }
+    // Unknown experiment ids are an error, not a late panic: validate the
+    // whole list upfront against the index.
+    let unknown: Vec<&String> = ids
+        .iter()
+        .filter(|id| !EXPERIMENT_IDS.contains(&id.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for id in &unknown {
+            eprintln!("error: unknown experiment id `{id}`");
+        }
+        eprintln!("valid ids: {}", EXPERIMENT_IDS.join(" "));
+        std::process::exit(2);
+    }
     let mut ids: Vec<&str> = if ids.is_empty() {
         EXPERIMENT_IDS.to_vec()
     } else {
         ids.iter().map(String::as_str).collect()
     };
-    if bench_json.is_some() && !ids.contains(&"e10") {
+    if (bench_json.is_some() || bench_baseline.is_some()) && !ids.contains(&"e10") {
         ids.push("e10");
     }
     let started = std::time::Instant::now();
@@ -100,7 +134,15 @@ fn main() {
                     .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
                 eprintln!("[e10] wrote {path}");
             }
-            render_e10(&report)
+            let mut tables = render_e10(&report);
+            if let Some(path) = &bench_baseline {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+                let baseline = parse_engine_bench_json(&text)
+                    .unwrap_or_else(|e| panic!("baseline {path} is not a bench report: {e}"));
+                tables.push(bench_delta_table(&report, &baseline));
+            }
+            tables
         } else {
             run_experiment(id, quick)
         };

@@ -1,0 +1,218 @@
+//! Scenario runner: executes JSON scenario files through the declarative
+//! layer — every workload is a data file, not a Rust entry point.
+//!
+//! ```text
+//! cargo run -p aqt-bench --release --bin scenarios -- scenarios/e12_grid_4x4_diag.json
+//! cargo run -p aqt-bench --release --bin scenarios -- --parallel scenarios/*.json
+//! cargo run -p aqt-bench --release --bin scenarios -- --json scenarios/pts_burst_path.json
+//! cargo run -p aqt-bench --release --bin scenarios -- --csv --threads 4 FILE...
+//! ```
+//!
+//! A file holds either a single `Scenario` object or a `ScenarioGrid`
+//! (recognized by its `topologies` field); grids are expanded before
+//! running. Results render as the same table format the experiment
+//! harness emits (`--csv` for CSV, `--json` for raw `RunSummary` JSON).
+
+use aqt_analysis::{
+    run_scenarios_with_threads, sweep, RunSummary, Scenario, ScenarioError, ScenarioGrid, Table,
+};
+
+fn usage() {
+    println!("Usage: scenarios [--parallel] [--threads N] [--csv | --json] FILE...");
+    println!();
+    println!("Runs JSON scenario files through the declarative scenario layer.");
+    println!();
+    println!("Each FILE holds one Scenario object or one ScenarioGrid (an object");
+    println!("with `topologies`/`protocols`/`sources` axes, expanded on load).");
+    println!();
+    println!("Options:");
+    println!("  --parallel     run scenarios on all cores (deterministic merge:");
+    println!("                 output order always matches input order)");
+    println!("  --threads N    worker count for --parallel (default: all cores)");
+    println!("  --csv          emit CSV instead of a rendered table");
+    println!("  --json         emit the RunSummary list as JSON");
+    println!("  -h, --help     print this message");
+}
+
+/// One loaded unit: the file it came from and its expanded scenarios.
+struct Loaded {
+    file: String,
+    scenarios: Vec<Scenario>,
+}
+
+fn load(file: &str) -> Result<Loaded, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    // A file holds either a single Scenario or a ScenarioGrid; the two
+    // shapes share no required fields, so try both parsers in order.
+    let scenario_err = match serde_json::from_str::<Scenario>(&text) {
+        Ok(scenario) => {
+            return Ok(Loaded {
+                file: file.to_string(),
+                scenarios: vec![scenario],
+            })
+        }
+        Err(e) => e,
+    };
+    match serde_json::from_str::<ScenarioGrid>(&text) {
+        Ok(grid) => Ok(Loaded {
+            file: file.to_string(),
+            scenarios: grid.expand(),
+        }),
+        Err(grid_err) => Err(format!(
+            "{file}: neither a Scenario ({scenario_err}) nor a ScenarioGrid ({grid_err})"
+        )),
+    }
+}
+
+fn summary_row(scenario: &Scenario, result: &Result<RunSummary, ScenarioError>) -> [String; 9] {
+    match result {
+        Ok(s) => [
+            scenario.display_name(),
+            s.protocol.clone(),
+            s.max_occupancy.to_string(),
+            s.injected.to_string(),
+            s.delivered.to_string(),
+            s.dropped.to_string(),
+            s.goodput
+                .map_or_else(|| "-".into(), |g| format!("{:.1}", g.as_f64() * 100.0)),
+            s.mean_latency
+                .map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+            s.max_latency.to_string(),
+        ],
+        Err(e) => [
+            scenario.display_name(),
+            format!("ERROR: {e}"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    let mut parallel = false;
+    let mut csv = false;
+    let mut json = false;
+    let mut threads: Option<usize> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--parallel" => parallel = true,
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = Some(n),
+                _ => {
+                    eprintln!("error: --threads needs a positive integer (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if csv && json {
+        eprintln!("error: --csv and --json are mutually exclusive");
+        std::process::exit(2);
+    }
+    if files.is_empty() {
+        eprintln!("error: no scenario files given (try --help)");
+        std::process::exit(2);
+    }
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut origins: Vec<String> = Vec::new();
+    for file in &files {
+        match load(file) {
+            Ok(loaded) => {
+                for s in loaded.scenarios {
+                    origins.push(loaded.file.clone());
+                    scenarios.push(s);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workers = if parallel {
+        threads.unwrap_or_else(sweep::default_threads)
+    } else {
+        threads.unwrap_or(1)
+    };
+    let started = std::time::Instant::now();
+    let results = run_scenarios_with_threads(&scenarios, workers);
+    let elapsed = started.elapsed();
+
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    if json {
+        let ok: Vec<&RunSummary> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ok).expect("summaries serialize")
+        );
+        for (scenario, result) in scenarios.iter().zip(&results) {
+            if let Err(e) = result {
+                eprintln!("error: {}: {e}", scenario.display_name());
+            }
+        }
+    } else {
+        let mut table = Table::new(
+            "scenario runs",
+            [
+                "scenario",
+                "protocol",
+                "peak occupancy",
+                "injected",
+                "delivered",
+                "dropped",
+                "goodput %",
+                "mean latency",
+                "max latency",
+            ],
+        );
+        for ((scenario, result), origin) in scenarios.iter().zip(&results).zip(&origins) {
+            let mut row = summary_row(scenario, result);
+            if files.len() > 1 {
+                row[0] = format!("{origin}: {}", row[0]);
+            }
+            table.push_row(row);
+        }
+        table.note(format!(
+            "{} scenario(s) from {} file(s), {} worker(s), {:.1?}",
+            scenarios.len(),
+            files.len(),
+            workers,
+            elapsed
+        ));
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+    eprintln!(
+        "ran {} scenario(s) in {:.1?} ({} failed)",
+        scenarios.len(),
+        elapsed,
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,7 @@
 //! * **E8** prints the paper's Figure 1.
 
 use aqt_adversary::{Cadence, DestSpec, RandomAdversary};
-use aqt_analysis::{bounds, render_figure1, run_path, Table, Verdict};
+use aqt_analysis::{bounds, render_figure1, run_pattern, Table, Verdict};
 use aqt_core::badness::max_badness_hpts;
 use aqt_core::{Hierarchy, Hpts, Ppts, Pts};
 use aqt_model::{analyze, NodeId, Path, Rate, Simulation};
@@ -121,7 +121,7 @@ pub fn a2_eager(quick: bool) -> Vec<Table> {
         (Box::new(Ppts::new()), &multi),
         (Box::new(Ppts::new().eager()), &multi),
     ] {
-        let summary = run_path(n, protocol, pattern, 400).expect("valid run");
+        let summary = run_pattern(Path::new(n), protocol, pattern, 400).expect("valid run");
         table.push_row([
             summary.protocol.clone(),
             summary.max_occupancy.to_string(),

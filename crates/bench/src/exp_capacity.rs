@@ -22,12 +22,15 @@
 //!   table prints the gap, zero drops at the bound, and the losses just
 //!   below the measured threshold.
 
-use aqt_adversary::{patterns, Cadence, RandomAdversary, ShapingSource};
-use aqt_analysis::{bounds, capacity_threshold, sweep, CapacityThreshold, Table};
-use aqt_core::{Greedy, GreedyPolicy, Hpts, Ppts, Pts};
+use aqt_adversary::{patterns, Cadence, RandomAdversary, SourceSpec};
+use aqt_analysis::{
+    bounds, capacity_threshold, run_scenario, sweep, CapacitySpec, CapacityThreshold, Scenario,
+    Table,
+};
+use aqt_core::{Greedy, GreedyPolicy, Hpts, Ppts, ProtocolSpec, Pts};
 use aqt_model::{
-    analyze, CapacityConfig, DropPolicy, DropTail, FnSource, Injection, NodeId, Path, Pattern,
-    PatternSource, Protocol, Rate, Simulation, StagingMode,
+    analyze, CapacityConfig, DropPolicy, DropPolicyKind, DropTail, Injection, NodeId, Path,
+    Pattern, PatternSource, Protocol, Rate, StagingMode, TopologySpec,
 };
 
 /// Settle time after the adversary stops.
@@ -54,7 +57,7 @@ pub fn pts_two_wave(n: usize, site: usize, sigma: u64) -> Pattern {
 
 /// The protocols E11a sweeps, with their per-protocol injection rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Contender {
+pub enum Contender {
     /// Eager PTS at ρ = 1 (eager so the loss-free plateau reads 100%).
     PtsEager,
     /// PPTS at ρ = 1.
@@ -66,7 +69,8 @@ enum Contender {
 }
 
 impl Contender {
-    const ALL: [Contender; 4] = [
+    /// Every contender, in E11a column order.
+    pub const ALL: [Contender; 4] = [
         Contender::PtsEager,
         Contender::Ppts,
         Contender::Hpts,
@@ -89,18 +93,60 @@ impl Contender {
         }
     }
 
-    fn build(self, n: usize) -> Box<dyn Protocol<Path>> {
+    /// The contender as a declarative [`ProtocolSpec`].
+    pub fn spec(self) -> ProtocolSpec {
         match self {
-            Contender::PtsEager => Box::new(Pts::eager(NodeId::new(n - 1))),
-            Contender::Ppts => Box::new(Ppts::new()),
-            Contender::Hpts => Box::new(Hpts::for_line(n, 2).expect("geometry fits")),
-            Contender::GreedyFifo => Box::new(Greedy::new(GreedyPolicy::Fifo)),
+            Contender::PtsEager => ProtocolSpec::Pts {
+                dest: None,
+                eager: true,
+            },
+            Contender::Ppts => ProtocolSpec::Ppts { eager: false },
+            Contender::Hpts => ProtocolSpec::Hpts { levels: 2 },
+            Contender::GreedyFifo => ProtocolSpec::Greedy {
+                policy: GreedyPolicy::Fifo,
+            },
         }
     }
 }
 
+/// The E11a goodput cell as a declarative [`Scenario`]: an overloaded
+/// wish stream (2 packets per round toward the sink), leaky-bucket shaped
+/// down to the contender's (ρ, σ), against drop-tail buffers of the given
+/// capacity. This is the exact run `shaped_goodput_run` measures — and
+/// the checked-in `scenarios/e11a_fifo_cap4.json` artifact.
+pub fn e11a_scenario(
+    contender: Contender,
+    capacity: usize,
+    n: usize,
+    sigma: u64,
+    wish_rounds: u64,
+) -> Scenario {
+    Scenario {
+        name: Some(format!("e11a {} cap {capacity}", contender.label())),
+        topology: TopologySpec::Path { n },
+        protocol: contender.spec(),
+        source: SourceSpec::Shaped {
+            inner: Box::new(SourceSpec::Repeat {
+                source: 0,
+                dest: n - 1,
+                per_round: 2,
+                rounds: wish_rounds,
+            }),
+            rate: contender.rate(),
+            sigma,
+        },
+        extra: EXTRA,
+        capacity: Some(CapacitySpec {
+            config: CapacityConfig::uniform(capacity),
+            policy: DropPolicyKind::Tail,
+        }),
+    }
+}
+
 /// One E11a goodput measurement: `protocol` at `capacity` against its
-/// shaped adversary. Returns (delivered, injected, dropped).
+/// shaped adversary, routed through the declarative scenario layer (the
+/// harness and the public API exercise one code path). Returns
+/// (delivered, injected, dropped).
 fn shaped_goodput_run(
     contender: Contender,
     capacity: usize,
@@ -108,20 +154,9 @@ fn shaped_goodput_run(
     sigma: u64,
     wish_rounds: u64,
 ) -> (u64, u64, u64) {
-    let topo = Path::new(n);
-    // An overloaded wish stream (2 packets per round toward the sink),
-    // leaky-bucket shaped down to the contender's (ρ, σ) — the shaped
-    // adversary saturates its budget, which is exactly the pressure the
-    // thresholds are about.
-    let wishes = FnSource::new(wish_rounds, move |t, out| {
-        out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 2));
-    });
-    let shaped = ShapingSource::new(&topo, wishes, contender.rate(), sigma);
-    let mut sim = Simulation::from_source(topo, contender.build(n), shaped)
-        .with_capacity(CapacityConfig::uniform(capacity), DropTail);
-    sim.run_past_horizon(EXTRA).expect("valid shaped run");
-    let m = sim.metrics();
-    (m.delivered, m.injected, m.dropped)
+    let summary = run_scenario(&e11a_scenario(contender, capacity, n, sigma, wish_rounds))
+        .expect("valid shaped run");
+    (summary.delivered, summary.injected, summary.dropped)
 }
 
 /// Renders a goodput fraction as a percentage cell.
@@ -394,6 +429,8 @@ pub fn e11_capacity(quick: bool) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqt_adversary::ShapingSource;
+    use aqt_model::{FnSource, Simulation};
 
     /// Runs `protocol` against `pattern` at a uniform capacity and
     /// returns the drop count.
@@ -402,6 +439,39 @@ mod tests {
             .with_capacity(CapacityConfig::uniform(cap), DropTail);
         sim.run_past_horizon(EXTRA).expect("valid run");
         sim.metrics().dropped
+    }
+
+    #[test]
+    fn e11a_scenario_matches_the_hand_wired_run() {
+        // The declarative path must reproduce the pre-scenario wiring of
+        // E11a bit-for-bit: same shaped stream, same protocol, same
+        // capacity enforcement, same metrics.
+        let (n, sigma, wish_rounds, cap) = (24usize, 4u64, 60u64, 4usize);
+        for contender in Contender::ALL {
+            let topo = Path::new(n);
+            let wishes = FnSource::new(wish_rounds, move |t, out| {
+                out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 2));
+            });
+            let shaped = ShapingSource::new(topo, wishes, contender.rate(), sigma);
+            let protocol: Box<dyn Protocol<Path>> = match contender {
+                Contender::PtsEager => Box::new(Pts::eager(NodeId::new(n - 1))),
+                Contender::Ppts => Box::new(Ppts::new()),
+                Contender::Hpts => Box::new(Hpts::for_line(n, 2).expect("geometry fits")),
+                Contender::GreedyFifo => Box::new(Greedy::new(GreedyPolicy::Fifo)),
+            };
+            let mut sim = Simulation::from_source(topo, protocol, shaped)
+                .with_capacity(CapacityConfig::uniform(cap), DropTail);
+            sim.run_past_horizon(EXTRA).expect("valid run");
+            let summary =
+                run_scenario(&e11a_scenario(contender, cap, n, sigma, wish_rounds)).unwrap();
+            let m = sim.metrics();
+            assert_eq!(summary.protocol, sim.protocol().name(), "{contender:?}");
+            assert_eq!(summary.injected, m.injected, "{contender:?}");
+            assert_eq!(summary.delivered, m.delivered, "{contender:?}");
+            assert_eq!(summary.dropped, m.dropped, "{contender:?}");
+            assert_eq!(summary.max_occupancy, m.max_occupancy, "{contender:?}");
+            assert_eq!(summary.goodput, m.goodput(), "{contender:?}");
+        }
     }
 
     #[test]

@@ -20,12 +20,10 @@
 //! unbounded run's peak — the same falsifiable-threshold contract E11
 //! established on paths, now on DAGs.
 
-use aqt_adversary::grid as gridpat;
-use aqt_analysis::{capacity_threshold, sweep, Table};
-use aqt_core::DagGreedy;
-use aqt_model::{
-    Dag, DropPolicy, DropTail, InjectionSource, PatternSource, Rate, Simulation, StagingMode,
-};
+use aqt_adversary::{grid as gridpat, SourceSpec};
+use aqt_analysis::{capacity_threshold, run_scenario, sweep, Scenario, Table};
+use aqt_core::{DagGreedy, GreedyPolicy, ProtocolSpec};
+use aqt_model::{Dag, DropPolicy, DropTail, PatternSource, Rate, StagingMode, TopologySpec};
 
 /// Settle time after the adversary stops.
 const EXTRA: u64 = 100;
@@ -45,41 +43,83 @@ pub fn e12_shapes(quick: bool) -> Vec<(usize, usize)> {
 /// "floods" load, shared with the shaper's wish stream.
 pub use aqt_adversary::grid::all_floods_source;
 
-/// One E12a measurement: peak occupancy of `protocol` on the mesh under
-/// one of the three loads.
-fn peak_for(mesh: &Dag, load: &str, rounds: u64) -> usize {
-    let (rows, cols) = mesh.grid_dims().expect("e12 meshes are grids");
-    let run = |source: Box<dyn InjectionSource>| -> usize {
-        let mut sim = Simulation::from_source(mesh.clone(), DagGreedy::fifo(), source);
-        sim.run_past_horizon(EXTRA).expect("valid grid run");
-        sim.metrics().max_occupancy
-    };
-    match load {
-        "floods" => run(Box::new(all_floods_source(rows, cols, rounds))),
-        "diag" => run(Box::new(gridpat::diagonal_wave_source(rows, cols, 1, 1))),
-        "shaped" => {
-            // The shaper borrows the mesh; materialize so the run owns it.
-            let pattern = gridpat::shaped_cross_traffic(mesh, Rate::ONE, 2, rounds).into_pattern();
-            run(Box::new(PatternSource::from(pattern)))
+/// The three canonical E12 grid loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridLoad {
+    /// Every row and column flooded at rate 1.
+    Floods,
+    /// Anti-diagonal waves toward the far corner.
+    Diag,
+    /// Overloaded floods shaped down to (1, 2).
+    Shaped,
+}
+
+impl GridLoad {
+    /// The loads in E12a column order.
+    pub const ALL: [GridLoad; 3] = [GridLoad::Floods, GridLoad::Diag, GridLoad::Shaped];
+
+    fn label(self) -> &'static str {
+        match self {
+            GridLoad::Floods => "floods",
+            GridLoad::Diag => "diag",
+            GridLoad::Shaped => "shaped",
         }
-        other => unreachable!("unknown load {other}"),
     }
+
+    /// The load as a declarative [`SourceSpec`] (`rounds` bounds the
+    /// flood streams; the diagonal wave's horizon is the mesh itself).
+    pub fn spec(self, rounds: u64) -> SourceSpec {
+        match self {
+            GridLoad::Floods => SourceSpec::AllFloods { rounds },
+            GridLoad::Diag => SourceSpec::DiagonalWave {
+                per_step: 1,
+                gap: 1,
+            },
+            GridLoad::Shaped => SourceSpec::Shaped {
+                inner: Box::new(SourceSpec::AllFloods { rounds }),
+                rate: Rate::ONE,
+                sigma: 2,
+            },
+        }
+    }
+}
+
+/// The E12a cell as a declarative [`Scenario`]: DagGreedy-FIFO on a
+/// `rows × cols` mesh under one of the three canonical loads. This is
+/// the exact run the E12a table measures — and the checked-in
+/// `scenarios/e12_grid_4x4_diag.json` artifact.
+pub fn e12_scenario(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> Scenario {
+    Scenario {
+        name: Some(format!("e12a {rows}x{cols} {}", load.label())),
+        topology: TopologySpec::Grid { rows, cols },
+        protocol: ProtocolSpec::DagGreedy {
+            policy: GreedyPolicy::Fifo,
+        },
+        source: load.spec(rounds),
+        extra: EXTRA,
+        capacity: None,
+    }
+}
+
+/// One E12a measurement: peak occupancy on the mesh under one of the
+/// three loads, routed through the declarative scenario layer (the
+/// harness and the public API exercise one code path).
+fn peak_for(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> usize {
+    run_scenario(&e12_scenario(rows, cols, load, rounds))
+        .expect("valid grid run")
+        .max_occupancy
 }
 
 /// E12a — peak buffer occupancy vs mesh dimensions for the three loads.
 fn e12a_peaks(quick: bool) -> Table {
     let rounds = if quick { 60 } else { 200 };
     let shapes = e12_shapes(quick);
-    let grid: Vec<((usize, usize), &str)> = shapes
+    let grid: Vec<((usize, usize), GridLoad)> = shapes
         .iter()
-        .flat_map(|&s| {
-            ["floods", "diag", "shaped"]
-                .into_iter()
-                .map(move |l| (s, l))
-        })
+        .flat_map(|&s| GridLoad::ALL.into_iter().map(move |l| (s, l)))
         .collect();
     let peaks = sweep::parallel(&grid, |&((rows, cols), load)| {
-        peak_for(&Dag::grid(rows, cols), load, rounds)
+        peak_for(rows, cols, load, rounds)
     });
 
     let mut table = Table::new(
@@ -152,6 +192,7 @@ pub fn e12_grid(quick: bool) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqt_model::{Protocol, Simulation};
 
     #[test]
     fn e12_tables_cover_every_shape() {
@@ -170,12 +211,47 @@ mod tests {
     #[test]
     fn diag_wave_peak_grows_with_the_mesh() {
         // The corner hotspot scales with the diagonal count.
-        let small = peak_for(&Dag::grid(4, 4), "diag", 0);
-        let large = peak_for(&Dag::grid(8, 8), "diag", 0);
+        let small = peak_for(4, 4, GridLoad::Diag, 0);
+        let large = peak_for(8, 8, GridLoad::Diag, 0);
         assert!(
             large > small,
             "8x8 diag peak {large} must exceed 4x4 peak {small}"
         );
+    }
+
+    #[test]
+    fn e12_scenario_matches_the_hand_wired_run() {
+        // The declarative path must reproduce the pre-scenario wiring of
+        // E12a bit-for-bit on every load, including the streamed shaper
+        // (previously materialized into a pattern — same schedule either
+        // way).
+        use aqt_model::InjectionSource;
+        let (rows, cols, rounds) = (4usize, 4usize, 20u64);
+        for load in GridLoad::ALL {
+            let mesh = Dag::grid(rows, cols);
+            let source: Box<dyn InjectionSource> = match load {
+                GridLoad::Floods => Box::new(all_floods_source(rows, cols, rounds)),
+                GridLoad::Diag => Box::new(gridpat::diagonal_wave_source(rows, cols, 1, 1)),
+                GridLoad::Shaped => {
+                    let pattern =
+                        gridpat::shaped_cross_traffic(&mesh, Rate::ONE, 2, rounds).into_pattern();
+                    Box::new(PatternSource::from(pattern))
+                }
+            };
+            let mut sim = Simulation::from_source(mesh, DagGreedy::fifo(), source);
+            sim.run_past_horizon(EXTRA).expect("valid run");
+            let summary = run_scenario(&e12_scenario(rows, cols, load, rounds)).unwrap();
+            let m = sim.metrics();
+            assert_eq!(
+                summary.protocol,
+                Protocol::<Dag>::name(sim.protocol()),
+                "{load:?}"
+            );
+            assert_eq!(summary.injected, m.injected, "{load:?}");
+            assert_eq!(summary.delivered, m.delivered, "{load:?}");
+            assert_eq!(summary.max_occupancy, m.max_occupancy, "{load:?}");
+            assert_eq!(summary.max_latency, m.latency.max_rounds, "{load:?}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! periodic bursts.
 
 use aqt_adversary::patterns;
-use aqt_analysis::{run_path, Table};
+use aqt_analysis::{run_pattern, Table};
 use aqt_core::LocalPts;
 use aqt_model::{analyze, NodeId, Path, Rate};
 
@@ -26,12 +26,22 @@ pub fn e9_locality(quick: bool) -> Vec<Table> {
         format!("E9a (open problem) - LocalPTS space vs radius (n = {n}, sigma* = {sigma_star})"),
         ["radius r", "measured", "PTS reference (r = n)"],
     );
-    let reference = run_path(n, LocalPts::new(NodeId::new(n - 1), n), &pattern, 400)
-        .expect("valid run")
-        .max_occupancy;
+    let reference = run_pattern(
+        Path::new(n),
+        LocalPts::new(NodeId::new(n - 1), n),
+        &pattern,
+        400,
+    )
+    .expect("valid run")
+    .max_occupancy;
     for r in [1usize, 2, 4, 8, 16, 64, n] {
-        let summary =
-            run_path(n, LocalPts::new(NodeId::new(n - 1), r), &pattern, 400).expect("valid run");
+        let summary = run_pattern(
+            Path::new(n),
+            LocalPts::new(NodeId::new(n - 1), r),
+            &pattern,
+            400,
+        )
+        .expect("valid run");
         table.push_row([
             r.to_string(),
             summary.max_occupancy.to_string(),
@@ -52,15 +62,15 @@ pub fn e9_locality(quick: bool) -> Vec<Table> {
     for n in [32usize, 64, 128, 256, 512] {
         let pattern = patterns::peak_chase(n, rho, sigma, rounds);
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let local = run_path(
-            n,
+        let local = run_pattern(
+            Path::new(n),
             LocalPts::new(NodeId::new(n - 1), r),
             &pattern,
             2 * n as u64,
         )
         .expect("valid run");
-        let full = run_path(
-            n,
+        let full = run_pattern(
+            Path::new(n),
             LocalPts::new(NodeId::new(n - 1), n),
             &pattern,
             2 * n as u64,

@@ -8,7 +8,7 @@
 //! m for fixed ℓ).
 
 use aqt_adversary::LowerBoundAdversary;
-use aqt_analysis::{run_path, Table};
+use aqt_analysis::{run_pattern, Table};
 use aqt_core::{Greedy, GreedyPolicy, Hpts, Ppts};
 use aqt_model::{analyze, Path, Protocol, Rate, Topology};
 
@@ -71,8 +71,13 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
         let sigma_star = analyze(&topo, &pattern, rho).tight_sigma;
         let reference = adv.theorem_bound();
         for (label, protocol) in zoo(topo.node_count(), l) {
-            let summary = run_path(topo.node_count(), protocol, &pattern, 4 * u64::from(l))
-                .expect("valid run");
+            let summary = run_pattern(
+                Path::new(topo.node_count()),
+                protocol,
+                &pattern,
+                4 * u64::from(l),
+            )
+            .expect("valid run");
             let ratio = summary.max_occupancy as f64 / reference;
             min_ratio = min_ratio.min(ratio);
             table.push_row([
@@ -111,7 +116,8 @@ pub fn e5_duel(quick: bool) -> Vec<Table> {
         let topo = adv.topology();
         let mut best: Option<(String, usize)> = None;
         for (label, protocol) in zoo(topo.node_count(), 2) {
-            let summary = run_path(topo.node_count(), protocol, &pattern, 8).expect("valid run");
+            let summary = run_pattern(Path::new(topo.node_count()), protocol, &pattern, 8)
+                .expect("valid run");
             if best
                 .as_ref()
                 .is_none_or(|(_, b)| summary.max_occupancy < *b)

@@ -22,7 +22,7 @@ use aqt_model::{
     CapacityConfig, DropTail, FnSource, Injection, InjectionSource, Packet, Path, Rate, Simulation,
     StoredPacket,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Disjoint-pairs stream on an `n`-node path (`n` even): every round, one
 /// packet `2i → 2i+1` for each of the `n/2` pairs. Each buffer `2i` sees
@@ -37,8 +37,10 @@ pub fn pairs_source(n: usize, rounds: u64) -> impl InjectionSource {
 }
 
 /// Everything E10 measures, serialized into `BENCH_engine.json` so future
-/// PRs can compare against a recorded trajectory.
-#[derive(Debug, Clone, Serialize)]
+/// PRs can compare against a recorded trajectory (the repo commits a
+/// quick-mode baseline; CI prints the delta via
+/// [`bench_delta_table`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineBenchReport {
     /// Whether the quick (CI-sized) instance was used.
     pub quick: bool,
@@ -148,7 +150,7 @@ pub fn run_e6_point(point: &E6Point, quick: bool) -> RunSummary {
     let source = RandomAdversary::new(rho, 1, rounds)
         .seed(1000 + point.seed * 131 + u64::from(point.k))
         .stream_path(&Path::new(n));
-    sweep::run_path_stream(n, hpts, source, 300).expect("valid run")
+    sweep::run_source(Path::new(n), hpts, source, 300).expect("valid run")
 }
 
 /// Measures throughput and sweep wall-clock; the data behind E10's tables
@@ -412,6 +414,86 @@ pub fn e10_throughput(quick: bool) -> Vec<Table> {
 /// The `BENCH_engine.json` payload for a measured report.
 pub fn engine_bench_json(report: &EngineBenchReport) -> String {
     serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Parses a `BENCH_engine.json` payload back into a report (the committed
+/// baseline CI compares against).
+///
+/// # Errors
+///
+/// Returns the underlying parse error message for malformed JSON.
+pub fn parse_engine_bench_json(json: &str) -> Result<EngineBenchReport, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Renders the delta between a fresh measurement and the committed
+/// baseline: throughput-style metrics (higher = better) as percentage
+/// change, plus the invariant columns that must match for the comparison
+/// to be meaningful.
+pub fn bench_delta_table(current: &EngineBenchReport, baseline: &EngineBenchReport) -> Table {
+    let mut table = Table::new(
+        "E10 delta vs committed baseline (positive % = faster than baseline)",
+        ["metric", "baseline", "current", "delta %"],
+    );
+    let rows: [(&str, f64, f64); 6] = [
+        (
+            "rounds/s (streaming)",
+            baseline.rounds_per_sec,
+            current.rounds_per_sec,
+        ),
+        (
+            "packets/s (streaming)",
+            baseline.packets_per_sec,
+            current.packets_per_sec,
+        ),
+        (
+            "rounds/s (capacity)",
+            baseline.capacity_rounds_per_sec,
+            current.capacity_rounds_per_sec,
+        ),
+        (
+            "rounds/s (DAG)",
+            baseline.dag_rounds_per_sec,
+            current.dag_rounds_per_sec,
+        ),
+        (
+            "sweep speedup",
+            baseline.sweep_speedup,
+            current.sweep_speedup,
+        ),
+        (
+            "lossy drops/ms",
+            // Inverted from wall-clock so every row reads
+            // higher-is-better, matching the title's sign convention.
+            baseline.lossy_dropped as f64 / baseline.lossy_wall_ms.max(1e-9),
+            current.lossy_dropped as f64 / current.lossy_wall_ms.max(1e-9),
+        ),
+    ];
+    // Ratio-valued metrics need decimals; the big rates do not.
+    let fmt = |v: f64| {
+        if v.abs() < 100.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.0}")
+        }
+    };
+    for (metric, base, cur) in rows {
+        let delta = if base.abs() < 1e-9 {
+            "-".to_string()
+        } else {
+            format!("{:+.1}", (cur - base) / base * 100.0)
+        };
+        table.push_row([metric.to_string(), fmt(base), fmt(cur), delta]);
+    }
+    if current.quick != baseline.quick || current.nodes != baseline.nodes {
+        table.note(format!(
+            "WARNING: instance mismatch (baseline quick={} nodes={}, current quick={} nodes={}) - deltas are not comparable",
+            baseline.quick, baseline.nodes, current.quick, current.nodes
+        ));
+    } else {
+        table.note("same instance size as the baseline; wall-clock deltas include host noise");
+    }
+    table
 }
 
 #[cfg(test)]

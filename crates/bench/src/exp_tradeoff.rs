@@ -7,7 +7,7 @@
 //! rate shrinks by O(log α) with near-flat buffers (HPTS).
 
 use aqt_adversary::{patterns, RandomAdversary};
-use aqt_analysis::{bounds, run_path, Table, Verdict};
+use aqt_analysis::{bounds, run_pattern, Table, Verdict};
 use aqt_core::{Hpts, HptsD, Ppts};
 use aqt_model::{analyze, Path, Rate};
 
@@ -27,7 +27,7 @@ pub fn e6_tradeoff(quick: bool) -> Vec<Table> {
             .seed(77 + u64::from(k))
             .build_path(&Path::new(n));
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let summary = run_path(n, hpts, &pattern, 300).expect("valid run");
+        let summary = run_pattern(Path::new(n), hpts, &pattern, 300).expect("valid run");
         let bound = bounds::hpts_bound(k, m, sigma_star);
         table.push_row([
             k.to_string(),
@@ -67,7 +67,7 @@ pub fn e7_alpha(quick: bool) -> Vec<Table> {
         // PPTS at full rate.
         let full = patterns::round_robin(&dests, Rate::ONE, rounds);
         let sigma_full = analyze(&Path::new(n), &full, Rate::ONE).tight_sigma;
-        let ppts = run_path(n, Ppts::new(), &full, 200).expect("valid run");
+        let ppts = run_pattern(Path::new(n), Ppts::new(), &full, 200).expect("valid run");
         // HPTS at rate 1/⌈log2 d⌉ with matching level count.
         let levels = (usize::BITS - (d - 1).leading_zeros()).max(1);
         let rho = Rate::one_over(levels).expect("valid rate");
@@ -75,7 +75,7 @@ pub fn e7_alpha(quick: bool) -> Vec<Table> {
         let sigma_slow = analyze(&Path::new(n), &slow, rho).tight_sigma;
         let hpts = Hpts::for_line(n, levels).expect("geometry fits");
         let m = hpts.hierarchy().base();
-        let hsummary = run_path(n, hpts, &slow, 300).expect("valid run");
+        let hsummary = run_pattern(Path::new(n), hpts, &slow, 300).expect("valid run");
         table.push_row([
             d.to_string(),
             bounds::ppts_bound(d, sigma_full).to_string(),
@@ -112,7 +112,7 @@ pub fn e7_alpha(quick: bool) -> Vec<Table> {
         let hptsd = HptsD::new(dests, l).expect("valid destination set");
         let m = hptsd.hierarchy().base();
         let bound = hptsd.space_bound(sigma);
-        let summary = run_path(n, hptsd, &slow, 400).expect("valid run");
+        let summary = run_pattern(Path::new(n), hptsd, &slow, 400).expect("valid run");
         dtable.push_row([
             d.to_string(),
             l.to_string(),

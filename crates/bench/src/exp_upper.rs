@@ -7,7 +7,7 @@
 //! this reproduction).
 
 use aqt_adversary::{patterns, Cadence, DestSpec, RandomAdversary};
-use aqt_analysis::{bounds, run_path, run_tree, Table, Verdict};
+use aqt_analysis::{bounds, run_pattern, Table, Verdict};
 use aqt_core::{Greedy, GreedyPolicy, Hpts, LevelSchedule, Ppts, Pts, TreePpts, TreePts};
 use aqt_model::{analyze, DirectedTree, NodeId, Path, Rate, Topology};
 
@@ -38,7 +38,8 @@ pub fn e1_pts(quick: bool) -> Vec<Table> {
                 // pattern, which may be less bursty than the budget.
                 let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
                 let summary =
-                    run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, EXTRA).expect("valid run");
+                    run_pattern(Path::new(n), Pts::new(NodeId::new(n - 1)), &pattern, EXTRA)
+                        .expect("valid run");
                 let bound = bounds::pts_bound(sigma_star);
                 table.push_row([
                     rho.to_string(),
@@ -63,8 +64,8 @@ pub fn e1_pts(quick: bool) -> Vec<Table> {
         let rho = Rate::new(1, 2).expect("valid rate");
         let pattern = patterns::peak_chase(n, rho, 4, 300);
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let summary =
-            run_path(n, Pts::new(NodeId::new(n - 1)), &pattern, EXTRA).expect("valid run");
+        let summary = run_pattern(Path::new(n), Pts::new(NodeId::new(n - 1)), &pattern, EXTRA)
+            .expect("valid run");
         let bound = bounds::pts_bound(sigma_star);
         stress.push_row([
             n.to_string(),
@@ -98,18 +99,28 @@ pub fn e2_ppts(quick: bool) -> Vec<Table> {
             .build_path(&Path::new(n));
         let d_actual = pattern.destinations().len();
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let ppts = run_path(n, Ppts::new(), &pattern, EXTRA).expect("valid run");
-        let fifo =
-            run_path(n, Greedy::new(GreedyPolicy::Fifo), &pattern, EXTRA).expect("valid run");
-        let lis = run_path(
-            n,
+        let ppts = run_pattern(Path::new(n), Ppts::new(), &pattern, EXTRA).expect("valid run");
+        let fifo = run_pattern(
+            Path::new(n),
+            Greedy::new(GreedyPolicy::Fifo),
+            &pattern,
+            EXTRA,
+        )
+        .expect("valid run");
+        let lis = run_pattern(
+            Path::new(n),
             Greedy::new(GreedyPolicy::LongestInSystem),
             &pattern,
             EXTRA,
         )
         .expect("valid run");
-        let ntg = run_path(n, Greedy::new(GreedyPolicy::NearestToGo), &pattern, EXTRA)
-            .expect("valid run");
+        let ntg = run_pattern(
+            Path::new(n),
+            Greedy::new(GreedyPolicy::NearestToGo),
+            &pattern,
+            EXTRA,
+        )
+        .expect("valid run");
         let bound = bounds::ppts_bound(d_actual, sigma_star);
         table.push_row([
             d_actual.to_string(),
@@ -139,7 +150,8 @@ pub fn e2_ppts(quick: bool) -> Vec<Table> {
             ("staircase", patterns::staircase(&dests, 3, 2)),
         ] {
             let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-            let summary = run_path(n, Ppts::new(), &pattern, EXTRA).expect("valid run");
+            let summary =
+                run_pattern(Path::new(n), Ppts::new(), &pattern, EXTRA).expect("valid run");
             let bound = bounds::ppts_bound(pattern.destinations().len(), sigma_star);
             stress.push_row([
                 label.to_string(),
@@ -178,7 +190,7 @@ pub fn e3_trees(quick: bool) -> Vec<Table> {
             .build_tree(tree);
         let sigma_star = aqt_analysis::measured_sigma_on(tree, &pattern, rho);
         let summary =
-            run_tree(tree.clone(), TreePts::new(root), &pattern, EXTRA).expect("valid run");
+            run_pattern(tree.clone(), TreePts::new(root), &pattern, EXTRA).expect("valid run");
         let bound = bounds::tree_pts_bound(sigma_star);
         single.push_row([
             label.to_string(),
@@ -214,7 +226,7 @@ pub fn e3_trees(quick: bool) -> Vec<Table> {
             let d_prime = tree.destination_depth(&dests);
             let sigma_star = aqt_analysis::measured_sigma_on(tree, &pattern, rho);
             let summary =
-                run_tree(tree.clone(), TreePpts::new(), &pattern, EXTRA).expect("valid run");
+                run_pattern(tree.clone(), TreePpts::new(), &pattern, EXTRA).expect("valid run");
             let bound = bounds::tree_ppts_bound(d_prime, sigma_star);
             multi.push_row([
                 label.to_string(),
@@ -249,8 +261,13 @@ pub fn e4_hpts(quick: bool) -> Vec<Table> {
             .seed(42 + u64::from(l))
             .build_path(&Path::new(n));
         let sigma_star = analyze(&Path::new(n), &pattern, rho).tight_sigma;
-        let summary =
-            run_path(n, hpts.clone(), &pattern, EXTRA + 4 * u64::from(l)).expect("valid run");
+        let summary = run_pattern(
+            Path::new(n),
+            hpts.clone(),
+            &pattern,
+            EXTRA + 4 * u64::from(l),
+        )
+        .expect("valid run");
         let bound = bounds::hpts_bound(l, m, sigma_star);
         table.push_row([
             l.to_string(),
@@ -285,7 +302,7 @@ pub fn e4_hpts(quick: bool) -> Vec<Table> {
                 .expect("geometry fits")
                 .schedule(schedule);
             let m = hpts.hierarchy().base();
-            let summary = run_path(n, hpts, &pattern, EXTRA).expect("valid run");
+            let summary = run_pattern(Path::new(n), hpts, &pattern, EXTRA).expect("valid run");
             let bound = bounds::hpts_bound(l, m, sigma_star);
             sched.push_row([
                 l.to_string(),

@@ -39,13 +39,15 @@ mod exp_tradeoff;
 mod exp_upper;
 
 pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
-pub use exp_capacity::{e11_capacity, e11b_rows, pts_two_wave, ThresholdRow};
-pub use exp_grid::{all_floods_source, e12_grid, e12_shapes};
+pub use exp_capacity::{
+    e11_capacity, e11a_scenario, e11b_rows, pts_two_wave, Contender, ThresholdRow,
+};
+pub use exp_grid::{all_floods_source, e12_grid, e12_scenario, e12_shapes, GridLoad};
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
 pub use exp_throughput::{
-    e10_throughput, e6_grid, engine_bench_json, measure_engine, pairs_source, render_e10,
-    run_e6_point, E6Point, EngineBenchReport,
+    bench_delta_table, e10_throughput, e6_grid, engine_bench_json, measure_engine, pairs_source,
+    parse_engine_bench_json, render_e10, run_e6_point, E6Point, EngineBenchReport,
 };
 pub use exp_tradeoff::{e6_tradeoff, e7_alpha};
 pub use exp_upper::{e1_pts, e2_ppts, e3_trees, e4_hpts};

@@ -1,0 +1,86 @@
+//! The checked-in `scenarios/*.json` artifacts stay in lock-step with the
+//! experiment harness: each file parses to exactly the scenario the
+//! harness constructs, and replaying it through [`run_scenario`]
+//! reproduces the corresponding experiment table cell bit-for-bit.
+
+use aqt_analysis::{run_scenario, Scenario, ScenarioGrid};
+use aqt_bench::{e11a_scenario, e12_grid, e12_scenario, Contender, GridLoad};
+
+fn scenario_file(name: &str) -> String {
+    let path = format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn e12_file_is_exactly_the_harness_scenario() {
+    let from_file: Scenario = serde_json::from_str(&scenario_file("e12_grid_4x4_diag.json"))
+        .expect("e12 scenario file parses");
+    // Quick-mode E12a uses 60 flood rounds; the diag wave ignores the
+    // round budget, so the file pins the whole quick-mode cell.
+    assert_eq!(from_file, e12_scenario(4, 4, GridLoad::Diag, 60));
+}
+
+#[test]
+fn e12_file_reproduces_the_table_cell_bit_for_bit() {
+    let from_file: Scenario = serde_json::from_str(&scenario_file("e12_grid_4x4_diag.json"))
+        .expect("e12 scenario file parses");
+    let replayed = run_scenario(&from_file).expect("file scenario runs");
+
+    // The authoritative E12a quick table, as the experiments bin prints it.
+    let tables = e12_grid(true);
+    let csv = tables[0].to_csv();
+    let row = csv
+        .lines()
+        .find(|l| l.starts_with("4x4,"))
+        .expect("4x4 row present in E12a");
+    // Columns: grid, nodes, floods, diag wave, shaped.
+    let diag_cell: usize = row.split(',').nth(3).expect("diag column").parse().unwrap();
+    assert_eq!(
+        replayed.max_occupancy, diag_cell,
+        "replaying the checked-in scenario must reproduce the E12a 4x4 diag cell"
+    );
+}
+
+#[test]
+fn e11a_file_is_exactly_the_harness_scenario_and_replays() {
+    let from_file: Scenario = serde_json::from_str(&scenario_file("e11a_fifo_cap4.json"))
+        .expect("e11a scenario file parses");
+    // Quick-mode E11a: n = 24, σ = 4, 120 wish rounds, FIFO column at
+    // capacity 4.
+    let expected = e11a_scenario(Contender::GreedyFifo, 4, 24, 4, 120);
+    assert_eq!(from_file, expected);
+    let from_file_run = run_scenario(&from_file).expect("file scenario runs");
+    let harness_run = run_scenario(&expected).expect("harness scenario runs");
+    assert_eq!(from_file_run, harness_run);
+    assert!(from_file_run.dropped > 0, "capacity 4 is below threshold");
+}
+
+#[test]
+fn remaining_checked_in_files_parse_and_run() {
+    for file in ["pts_two_wave_path.json", "tree_random_gather.json"] {
+        let scenario: Scenario =
+            serde_json::from_str(&scenario_file(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let summary = run_scenario(&scenario).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(summary.injected > 0, "{file} must inject traffic");
+        assert!(summary.delivered > 0, "{file} must deliver traffic");
+    }
+    let grid: ScenarioGrid =
+        serde_json::from_str(&scenario_file("mesh_sweep_grid.json")).expect("grid file parses");
+    assert_eq!(grid.len(), 4);
+    for (scenario, result) in grid.expand().iter().zip(aqt_analysis::run_grid(&grid)) {
+        let summary = result.unwrap_or_else(|e| panic!("{}: {e}", scenario.display_name()));
+        assert!(summary.delivered > 0);
+    }
+}
+
+#[test]
+fn pts_two_wave_file_is_loss_free_at_the_bound() {
+    // The file pins eager PTS at capacity 2 + σ = 6 against the two-wave
+    // stress: zero drops at the Prop 3.1 bound, everything delivered.
+    let scenario: Scenario =
+        serde_json::from_str(&scenario_file("pts_two_wave_path.json")).expect("file parses");
+    let summary = run_scenario(&scenario).expect("runs");
+    assert_eq!(summary.dropped, 0);
+    assert!(summary.max_occupancy <= 6, "Prop 3.1 bound");
+    assert_eq!(summary.delivered, summary.injected);
+}

@@ -10,9 +10,10 @@
 //! generally have no matching `O(d + σ)` guarantee.
 
 use aqt_model::{ForwardingPlan, NetworkState, NodeId, Protocol, Round, StoredPacket, Topology};
+use serde::{Deserialize, Serialize};
 
 /// The packet-selection rule of a greedy protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GreedyPolicy {
     /// First-In-First-Out: forward the packet that arrived at this buffer
     /// earliest (unstable at arbitrarily low rates in AQT, see [5]).

@@ -56,6 +56,7 @@ pub mod hpts;
 mod local;
 mod ppts;
 mod pts;
+mod spec;
 mod tree;
 
 pub use batched::Batched;
@@ -65,4 +66,5 @@ pub use hpts::{DestSpaceError, Hierarchy, Hpts, HptsD, LevelSchedule};
 pub use local::LocalPts;
 pub use ppts::{Ppts, PseudoPriority};
 pub use pts::Pts;
+pub use spec::{ProtocolSpec, ProtocolSpecError};
 pub use tree::{low_antichain, TreePpts, TreePts};

@@ -84,4 +84,7 @@ pub use pattern::{Injection, Pattern, PatternError, Rounds};
 pub use rate::{Rate, RateError};
 pub use source::{FnSource, InjectionSource, PatternSource};
 pub use state::NetworkState;
-pub use topology::{Dag, DagError, DirectedTree, Path, Topology, TreeError};
+pub use topology::{
+    AnyTopology, Dag, DagError, DirectedTree, Path, Topology, TopologySpec, TopologySpecError,
+    TreeError, TreeSpec,
+};

@@ -11,10 +11,12 @@
 
 mod dag;
 mod path;
+mod spec;
 mod tree;
 
 pub use dag::{Dag, DagError};
 pub use path::Path;
+pub use spec::{AnyTopology, TopologySpec, TopologySpecError, TreeSpec};
 pub use tree::{DirectedTree, TreeError};
 
 use crate::ids::NodeId;

@@ -23,9 +23,7 @@ const WISH_ROUNDS: u64 = 120;
 /// The overload wish stream: 2 packets per round toward the sink, shaped
 /// by the leaky bucket to (1, σ) — a bounded adversary that saturates its
 /// budget.
-fn shaped(
-    topo: &Path,
-) -> small_buffers::ShapingSource<'_, Path, impl small_buffers::InjectionSource> {
+fn shaped(topo: Path) -> small_buffers::ShapingSource<Path, impl small_buffers::InjectionSource> {
     let wishes = FnSource::new(WISH_ROUNDS, |t, out| {
         out.extend(std::iter::repeat_n(Injection::new(t, 0, N - 1), 2));
     });
@@ -42,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut losses = Vec::new();
     println!("goodput of eager PTS vs buffer capacity (n = {N}, sigma = {SIGMA}):\n");
     for &cap in &capacities {
-        let mut sim = Simulation::from_source(topo, Pts::eager(sink), shaped(&topo))
+        let mut sim = Simulation::from_source(topo, Pts::eager(sink), shaped(topo))
             .with_capacity(CapacityConfig::uniform(cap), DropTail);
         sim.run_past_horizon(200)?;
         let m = sim.metrics();
@@ -64,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let th = capacity_threshold(
         &topo,
         || Pts::eager(sink),
-        || shaped(&topo),
+        || shaped(topo),
         || Box::new(DropTail) as Box<dyn DropPolicy>,
         StagingMode::Exempt,
         200,
@@ -86,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Where the losses land, one below the threshold ---------------
     let starved = th.threshold.saturating_sub(1).max(1);
-    let mut sim = Simulation::from_source(topo, Traced::new(Pts::eager(sink)), shaped(&topo))
+    let mut sim = Simulation::from_source(topo, Traced::new(Pts::eager(sink)), shaped(topo))
         .with_capacity(CapacityConfig::uniform(starved), DropTail);
     sim.run_past_horizon(200)?;
     println!("{}", loss_heatmap(sim.protocol().trace(), 64, N.min(8)));

@@ -108,26 +108,34 @@ pub mod trace {
 
 pub use aqt_adversary::{
     grid, patterns, shape, Admitter, Cadence, DestSpec, LowerBoundAdversary, LowerBoundError,
-    RandomAdversary, RandomPathSource, RandomTreeSource, ShapingSource,
+    RandomAdversary, RandomPathSource, RandomTreeSource, ShapingSource, SourceSpec,
+    SourceSpecError,
 };
 pub use aqt_analysis::{
     bounds, capacity_rate_grid, capacity_threshold, measured_sigma, measured_sigma_on,
-    parallel_map, render_figure1, run_dag, run_dag_capacity, run_dag_stream, run_path,
-    run_path_capacity, run_path_stream, run_tree, run_tree_capacity, run_tree_stream, sweep,
-    sweep_capacity_grid, CapacityGridPoint, CapacityProbe, CapacityThreshold, RunSummary,
-    SweepAggregate, Table, Verdict,
+    parallel_map, render_figure1, run_grid, run_pattern, run_scenario, run_scenarios,
+    run_scenarios_with_threads, run_source, run_source_capacity, sweep, sweep_capacity_grid,
+    CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold, RunSummary, Scenario,
+    ScenarioError, ScenarioGrid, SweepAggregate, Table, Verdict,
+};
+#[allow(deprecated)]
+pub use aqt_analysis::{
+    run_dag, run_dag_capacity, run_dag_stream, run_path, run_path_capacity, run_path_stream,
+    run_tree, run_tree_capacity, run_tree_stream,
 };
 pub use aqt_core::{
     badness, low_antichain, Batched, DagGreedy, DestSpaceError, Greedy, GreedyPolicy, Hierarchy,
-    Hpts, HptsD, LevelSchedule, LocalPts, Ppts, PseudoPriority, Pts, TreePpts, TreePts,
+    Hpts, HptsD, LevelSchedule, LocalPts, Ppts, ProtocolSpec, ProtocolSpecError, PseudoPriority,
+    Pts, TreePpts, TreePts,
 };
 pub use aqt_model::{
-    analyze, brute_force_tight_sigma, interval_load, is_bounded, BoundednessReport, CapacityConfig,
-    Dag, DagError, DirectedTree, DropContext, DropFarthest, DropHead, DropNewest, DropPolicy,
-    DropPolicyKind, DropTail, ExcessTracker, FnSource, ForwardingPlan, Injection, InjectionMode,
-    InjectionSource, LatencyStats, ModelError, NetworkState, NodeId, Packet, PacketId, Path,
-    Pattern, PatternError, PatternSource, Protocol, Rate, RateError, Round, RoundOutcome,
-    RunMetrics, Simulation, StagingMode, StoredPacket, Topology, TreeError, Victim,
+    analyze, brute_force_tight_sigma, interval_load, is_bounded, AnyTopology, BoundednessReport,
+    CapacityConfig, Dag, DagError, DirectedTree, DropContext, DropFarthest, DropHead, DropNewest,
+    DropPolicy, DropPolicyKind, DropTail, ExcessTracker, FnSource, ForwardingPlan, Injection,
+    InjectionMode, InjectionSource, LatencyStats, ModelError, NetworkState, NodeId, Packet,
+    PacketId, Path, Pattern, PatternError, PatternSource, Protocol, Rate, RateError, Round,
+    RoundOutcome, RunMetrics, Simulation, StagingMode, StoredPacket, Topology, TopologySpec,
+    TopologySpecError, TreeError, TreeSpec, Victim,
 };
 pub use aqt_trace::{
     grid_heatmap, heatmap, loss_heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor,

@@ -203,3 +203,194 @@ fn injection_json_is_human_readable() {
         assert!(json.contains(field), "missing field {field} in {json}");
     }
 }
+
+// --- Scenario-layer round-trips (the declarative specs) ----------------
+
+mod scenario_specs {
+    use small_buffers::{
+        run_scenario, Cadence, CapacityConfig, CapacitySpec, DestSpec, GreedyPolicy, Injection,
+        ProtocolSpec, Rate, Scenario, ScenarioGrid, SourceSpec, StagingMode, TopologySpec,
+        TreeSpec,
+    };
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+    {
+        let json = serde_json::to_string_pretty(value).unwrap();
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot reparse {json}: {e}"))
+    }
+
+    #[test]
+    fn every_topology_spec_roundtrips() {
+        for spec in [
+            TopologySpec::Path { n: 16 },
+            TopologySpec::Tree(TreeSpec::Star { leaves: 4 }),
+            TopologySpec::Tree(TreeSpec::FullBinary { height: 3 }),
+            TopologySpec::Tree(TreeSpec::Caterpillar { spine: 3, legs: 2 }),
+            TopologySpec::Tree(TreeSpec::Random { n: 10, seed: 3 }),
+            TopologySpec::Tree(TreeSpec::Parents {
+                parents: vec![Some(1), None],
+            }),
+            TopologySpec::Grid { rows: 4, cols: 8 },
+            TopologySpec::Butterfly { k: 3 },
+            TopologySpec::Diamond { width: 2 },
+            TopologySpec::RandomDag {
+                n: 12,
+                density: 0.25,
+                seed: 9,
+            },
+        ] {
+            assert_eq!(roundtrip(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn every_protocol_spec_roundtrips() {
+        for spec in [
+            ProtocolSpec::Pts {
+                dest: Some(7),
+                eager: true,
+            },
+            ProtocolSpec::Ppts { eager: false },
+            ProtocolSpec::Hpts { levels: 3 },
+            ProtocolSpec::TreePts { dest: None },
+            ProtocolSpec::TreePpts,
+            ProtocolSpec::Greedy {
+                policy: GreedyPolicy::ShortestInSystem,
+            },
+            ProtocolSpec::DagGreedy {
+                policy: GreedyPolicy::FurthestToGo,
+            },
+            ProtocolSpec::Batched {
+                inner: Box::new(ProtocolSpec::Ppts { eager: true }),
+                phase: 4,
+            },
+        ] {
+            assert_eq!(roundtrip(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn every_source_spec_roundtrips() {
+        let rate = Rate::new(2, 5).unwrap();
+        for spec in [
+            SourceSpec::Pattern {
+                injections: vec![Injection::new(0, 0, 3), Injection::new(2, 1, 3)],
+            },
+            SourceSpec::Burst {
+                round: 1,
+                source: 0,
+                dest: 5,
+                size: 4,
+            },
+            SourceSpec::BurstTrain {
+                source: 0,
+                dest: 5,
+                size: 3,
+                period: 7,
+                count: 4,
+            },
+            SourceSpec::PacedStream {
+                source: 1,
+                dest: 6,
+                rate,
+                rounds: 40,
+            },
+            SourceSpec::Repeat {
+                source: 0,
+                dest: 3,
+                per_round: 2,
+                rounds: 25,
+            },
+            SourceSpec::RoundRobin {
+                dests: vec![2, 4, 6],
+                rate,
+                rounds: 30,
+            },
+            SourceSpec::Staircase {
+                dests: vec![3, 6],
+                per_step: 2,
+                gap: 3,
+            },
+            SourceSpec::PeakChase {
+                rate,
+                sigma: 3,
+                rounds: 50,
+            },
+            SourceSpec::Random {
+                rate,
+                sigma: 2,
+                rounds: 60,
+                dests: DestSpec::fixed([3, 7]),
+                cadence: Cadence::Bursty { period: 6 },
+                seed: 12,
+                attempts: 5,
+            },
+            SourceSpec::RowFlood {
+                row: 2,
+                rate,
+                rounds: 20,
+            },
+            SourceSpec::ColumnFlood {
+                col: 1,
+                rate,
+                rounds: 20,
+            },
+            SourceSpec::AllFloods { rounds: 15 },
+            SourceSpec::DiagonalWave {
+                per_step: 2,
+                gap: 0,
+            },
+            SourceSpec::Shaped {
+                inner: Box::new(SourceSpec::AllFloods { rounds: 10 }),
+                rate: Rate::ONE,
+                sigma: 2,
+            },
+        ] {
+            assert_eq!(roundtrip(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn scenario_and_grid_roundtrip_and_replay_identically() {
+        let scenario = Scenario {
+            name: Some("replayable artifact".into()),
+            topology: TopologySpec::Grid { rows: 3, cols: 3 },
+            protocol: ProtocolSpec::DagGreedy {
+                policy: GreedyPolicy::Fifo,
+            },
+            source: SourceSpec::Shaped {
+                inner: Box::new(SourceSpec::AllFloods { rounds: 12 }),
+                rate: Rate::ONE,
+                sigma: 2,
+            },
+            extra: 50,
+            capacity: Some(CapacitySpec {
+                config: CapacityConfig::uniform(3).staging(StagingMode::Counted),
+                policy: small_buffers::DropPolicyKind::Farthest,
+            }),
+        };
+        let replay = roundtrip(&scenario);
+        assert_eq!(replay, scenario);
+        // A deserialized scenario reproduces the run exactly.
+        assert_eq!(
+            run_scenario(&scenario).unwrap(),
+            run_scenario(&replay).unwrap()
+        );
+
+        let grid = ScenarioGrid {
+            name: None,
+            topologies: vec![TopologySpec::Path { n: 8 }],
+            protocols: vec![ProtocolSpec::Ppts { eager: true }],
+            sources: vec![SourceSpec::RoundRobin {
+                dests: vec![3, 7],
+                rate: Rate::ONE,
+                rounds: 12,
+            }],
+            capacities: vec![None],
+            extra: 30,
+        };
+        assert_eq!(roundtrip(&grid), grid);
+    }
+}
