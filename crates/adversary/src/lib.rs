@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod admission;
 pub mod grid;
@@ -57,4 +57,4 @@ pub use admission::Admitter;
 pub use lower_bound::{LowerBoundAdversary, LowerBoundError};
 pub use random::{Cadence, DestSpec, RandomAdversary, RandomPathSource, RandomTreeSource};
 pub use shaper::{shape, ShapingSource};
-pub use spec::{SourceSpec, SourceSpecError};
+pub use spec::{SourceProfile, SourceSpec, SourceSpecError, PROFILE_DRAIN_CAP};

@@ -13,8 +13,8 @@
 use std::fmt;
 
 use aqt_model::{
-    AnyTopology, FnSource, Injection, InjectionSource, NodeId, Pattern, PatternError,
-    PatternSource, Rate, Topology,
+    analyze, AnyTopology, FnSource, Injection, InjectionSource, NodeId, Pattern, PatternError,
+    PatternSource, Rate, Round, Topology,
 };
 use serde::{Deserialize, Serialize};
 
@@ -236,6 +236,75 @@ impl From<PatternError> for SourceSpecError {
     fn from(e: PatternError) -> Self {
         SourceSpecError::Pattern(e)
     }
+}
+
+/// Horizon cap (in rounds) below which [`SourceSpec::profile`] fully
+/// materializes the schedule for exact static analysis. Longer schedules
+/// fall back to closed-form bounds where one is known.
+pub const PROFILE_DRAIN_CAP: u64 = 4096;
+
+/// A static profile of a [`SourceSpec`]'s injection schedule, computed by
+/// [`SourceSpec::profile`] without running a simulation.
+///
+/// `round0` is always exact (the first round of every spec'd source is
+/// deterministic and cheap to probe). The remaining fields are exact when
+/// the horizon is at most [`PROFILE_DRAIN_CAP`] and the schedule was
+/// materialized (`exact` set), and analytic or absent otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProfile {
+    /// Active horizon in rounds, when finite and known.
+    pub horizon: Option<u64>,
+    /// Total packets injected over the whole schedule, when known.
+    pub injections: Option<u64>,
+    /// Exact per-node injection counts at round 0, sorted by node.
+    pub round0: Vec<(usize, usize)>,
+    /// Distinct destination nodes (sorted), when known. For shaped
+    /// sources this is the inner wish stream's destination superset.
+    pub dests: Option<Vec<usize>>,
+    /// A (ρ, σ) bound the schedule satisfies, when known.
+    pub bound: Option<(Rate, u64)>,
+    /// Whether `bound` holds by construction / closed form (`true`) or
+    /// was measured tight at ρ = 1 on the materialized schedule
+    /// (`false`).
+    pub bound_declared: bool,
+    /// Whether `injections` and `dests` come from the exact materialized
+    /// schedule.
+    pub exact: bool,
+    /// The spec injects more than one packet per round indefinitely
+    /// (ρ > 1): every finite buffer eventually overflows.
+    pub sustained_overload: bool,
+}
+
+/// Runs `src` to exhaustion (or its horizon) and collects the schedule.
+fn materialize(src: &mut dyn InjectionSource) -> Pattern {
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while !src.is_exhausted() {
+        if src.horizon().is_some_and(|h| t >= h) {
+            break;
+        }
+        src.next_round(Round::new(t), &mut out);
+        t += 1;
+    }
+    Pattern::from_injections(out)
+}
+
+/// Exact per-node injection counts at round 0, sorted by node.
+fn round0_counts(injections: &[Injection]) -> Vec<(usize, usize)> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for inj in injections {
+        if inj.round.value() == 0 {
+            *counts.entry(inj.source.index()).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+fn distinct_dests(injections: &[Injection]) -> Vec<usize> {
+    let mut dests: Vec<usize> = injections.iter().map(|inj| inj.dest.index()).collect();
+    dests.sort_unstable();
+    dests.dedup();
+    dests
 }
 
 fn invalid(source: &'static str, reason: impl Into<String>) -> SourceSpecError {
@@ -523,6 +592,121 @@ impl SourceSpec {
                 )))
             }
         }
+    }
+
+    /// A (ρ, σ) bound this spec satisfies by construction or closed
+    /// form, without materializing the schedule.
+    ///
+    /// Shaped, random and peak-chase sources declare their bound
+    /// directly; paced streams and floods are (ρ, 1)-bounded by the
+    /// pacing invariant; `repeat` is exactly (per_round, 0)-bounded.
+    fn declared_bound(&self) -> Option<(Rate, u64)> {
+        match self {
+            SourceSpec::Shaped { rate, sigma, .. }
+            | SourceSpec::PeakChase { rate, sigma, .. }
+            | SourceSpec::Random { rate, sigma, .. } => Some((*rate, *sigma)),
+            SourceSpec::PacedStream { rate, .. }
+            | SourceSpec::RoundRobin { rate, .. }
+            | SourceSpec::RowFlood { rate, .. }
+            | SourceSpec::ColumnFlood { rate, .. } => Some((*rate, 1)),
+            SourceSpec::Repeat { per_round, .. } => u32::try_from(*per_round)
+                .ok()
+                .and_then(|p| Rate::new(p, 1).ok())
+                .map(|r| (r, 0)),
+            _ => None,
+        }
+    }
+
+    /// Destination set known directly from the spec, without
+    /// materializing. For shaped sources, the inner spec's set is a
+    /// superset of what survives shaping.
+    fn declared_dests(&self) -> Option<Vec<usize>> {
+        let mut dests = match self {
+            SourceSpec::Burst { dest, .. }
+            | SourceSpec::BurstTrain { dest, .. }
+            | SourceSpec::PacedStream { dest, .. }
+            | SourceSpec::Repeat { dest, .. } => vec![*dest],
+            SourceSpec::RoundRobin { dests, .. } | SourceSpec::Staircase { dests, .. } => {
+                dests.clone()
+            }
+            SourceSpec::Pattern { injections } => distinct_dests(injections),
+            SourceSpec::Shaped { inner, .. } => inner.declared_dests()?,
+            _ => return None,
+        };
+        dests.sort_unstable();
+        dests.dedup();
+        Some(dests)
+    }
+
+    /// Statically profiles the schedule this spec would emit on `topo`:
+    /// horizon, exact round-0 injection counts, destination set, total
+    /// volume, and a (ρ, σ) bound — all without running a simulation.
+    ///
+    /// Schedules with a horizon of at most [`PROFILE_DRAIN_CAP`] rounds
+    /// are materialized for exact answers (the tight σ at ρ = 1 is
+    /// measured with [`aqt_model::analyze`] unless the spec declares a
+    /// bound by construction). Longer schedules keep the declared
+    /// closed-form bound and an exact round-0 probe only.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`SourceSpec::build`] — a spec that does
+    /// not build has no profile.
+    pub fn profile(&self, topo: &AnyTopology) -> Result<SourceProfile, SourceSpecError> {
+        let mut built = self.build(topo)?;
+        let horizon = built.horizon();
+        let declared = self.declared_bound();
+        // A long-running schedule whose declared rate exceeds 1 packet
+        // per round outgrows every finite buffer.
+        let sustained_overload = declared.is_some_and(|(rate, _)| rate.num() > rate.den());
+
+        if horizon.is_some_and(|h| h <= PROFILE_DRAIN_CAP) {
+            let pattern = materialize(built.as_mut());
+            let bound = declared
+                .or_else(|| Some((Rate::ONE, analyze(topo, &pattern, Rate::ONE).tight_sigma)));
+            return Ok(SourceProfile {
+                horizon,
+                injections: Some(pattern.len() as u64),
+                round0: round0_counts(pattern.injections()),
+                dests: Some(distinct_dests(pattern.injections())),
+                bound,
+                bound_declared: declared.is_some(),
+                exact: true,
+                sustained_overload: false,
+            });
+        }
+
+        // Too long to materialize: probe round 0 exactly (every spec'd
+        // source is deterministic), keep analytic facts for the rest.
+        let mut round0_injections = Vec::new();
+        if !built.is_exhausted() && horizon != Some(0) {
+            built.next_round(Round::ZERO, &mut round0_injections);
+        }
+        let injections = match self {
+            SourceSpec::Pattern { injections } => Some(injections.len() as u64),
+            SourceSpec::Repeat {
+                per_round, rounds, ..
+            } => u64::try_from(*per_round)
+                .ok()
+                .and_then(|p| p.checked_mul(*rounds)),
+            SourceSpec::PacedStream { rate, rounds, .. }
+            | SourceSpec::RoundRobin { rate, rounds, .. } => Some(
+                (u128::from(*rounds) * u128::from(rate.num()) / u128::from(rate.den()))
+                    .try_into()
+                    .unwrap_or(u64::MAX),
+            ),
+            _ => None,
+        };
+        Ok(SourceProfile {
+            horizon,
+            injections,
+            round0: round0_counts(&round0_injections),
+            dests: self.declared_dests(),
+            bound: declared,
+            bound_declared: declared.is_some(),
+            exact: false,
+            sustained_overload,
+        })
     }
 }
 
@@ -861,19 +1045,10 @@ impl Deserialize for SourceSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqt_model::{Round, TopologySpec};
+    use aqt_model::TopologySpec;
 
     fn drain(mut src: Box<dyn InjectionSource>) -> Pattern {
-        let mut out = Vec::new();
-        let mut t = 0u64;
-        while !src.is_exhausted() {
-            if src.horizon().is_some_and(|h| t >= h) {
-                break;
-            }
-            src.next_round(Round::new(t), &mut out);
-            t += 1;
-        }
-        Pattern::from_injections(out)
+        materialize(src.as_mut())
     }
 
     fn roundtrip(spec: &SourceSpec) -> SourceSpec {
@@ -1100,6 +1275,76 @@ mod tests {
         let path = TopologySpec::Path { n: 4 }.build().unwrap();
         let built = drain(spec.build(&path).unwrap());
         assert_eq!(built.len(), 2);
+    }
+
+    #[test]
+    fn profiles_are_exact_for_short_schedules() {
+        let path = TopologySpec::Path { n: 8 }.build().unwrap();
+        let spec = SourceSpec::Burst {
+            round: 0,
+            source: 0,
+            dest: 7,
+            size: 5,
+        };
+        let p = spec.profile(&path).unwrap();
+        assert!(p.exact);
+        assert_eq!(p.injections, Some(5));
+        assert_eq!(p.round0, vec![(0, 5)]);
+        assert_eq!(p.dests, Some(vec![7]));
+        // 5 packets in one round at ρ = 1 measure tight σ = 4.
+        assert_eq!(p.bound, Some((Rate::ONE, 4)));
+        assert!(!p.bound_declared);
+        assert!(!p.sustained_overload);
+
+        // Peak-chase declares its (ρ, σ) by construction.
+        let half = Rate::new(1, 2).unwrap();
+        let spec = SourceSpec::PeakChase {
+            rate: half,
+            sigma: 4,
+            rounds: 40,
+        };
+        let p = spec.profile(&path).unwrap();
+        assert!(p.exact && p.bound_declared);
+        assert_eq!(p.bound, Some((half, 4)));
+    }
+
+    #[test]
+    fn long_horizon_profiles_fall_back_to_closed_forms() {
+        let path = TopologySpec::Path { n: 8 }.build().unwrap();
+        let spec = SourceSpec::Repeat {
+            source: 0,
+            dest: 7,
+            per_round: 3,
+            rounds: 1_000_000,
+        };
+        let p = spec.profile(&path).unwrap();
+        assert!(!p.exact);
+        assert!(p.sustained_overload);
+        assert_eq!(p.injections, Some(3_000_000));
+        assert_eq!(p.round0, vec![(0, 3)]);
+        assert_eq!(p.dests, Some(vec![7]));
+        assert_eq!(p.bound, Some((Rate::new(3, 1).unwrap(), 0)));
+
+        let spec = SourceSpec::PacedStream {
+            source: 0,
+            dest: 7,
+            rate: Rate::new(1, 2).unwrap(),
+            rounds: 1_000_000,
+        };
+        let p = spec.profile(&path).unwrap();
+        assert!(!p.exact && !p.sustained_overload);
+        assert_eq!(p.injections, Some(500_000));
+        assert_eq!(p.bound, Some((Rate::new(1, 2).unwrap(), 1)));
+
+        // Profile errors are exactly build errors.
+        assert!(SourceSpec::Burst {
+            round: 0,
+            source: 3,
+            dest: 0,
+            size: 2
+        }
+        .profile(&path)
+        .is_err());
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub fn hpts_bound(l: u32, m: usize, sigma: u64) -> u64 {
     u64::from(l) * m as u64 + sigma + 1
 }
 
+/// Empirical closed form for the E12 diagonal-wave peak under greedy
+/// forwarding on a `rows × cols` mesh: `per_step · cols + 1`.
+///
+/// Measured to be policy-independent (FIFO/LIFO/nearest/furthest) and
+/// exact for every `rows ≥ 3`, `gap = 1` grid probed; outside that
+/// regime (shallow grids, sparser waves) the interference pattern
+/// changes and no closed form is claimed, so `None` is returned.
+pub fn grid_diag_wave_peak(rows: usize, cols: usize, per_step: usize, gap: u64) -> Option<u64> {
+    if rows >= 3 && gap == 1 && per_step >= 1 {
+        Some(per_step as u64 * cols as u64 + 1)
+    } else {
+        None
+    }
+}
+
 /// Thm. 5.1 — the lower-bound reference value
 /// `((ℓ+1)ρ − 1)/(2ℓ) · n^{1/ℓ}`. Any protocol must reach Ω(this) against
 /// the §5 adversary.
@@ -66,6 +81,17 @@ mod tests {
         assert_eq!(tree_ppts_bound(3, 2), 6);
         assert_eq!(hpts_bound(2, 4, 1), 10);
         assert_eq!(hpts_bound(1, 16, 0), 17);
+    }
+
+    #[test]
+    fn diag_wave_closed_form_is_gated() {
+        // The E12 4×4 cell: one packet per cell per wave → peak 5.
+        assert_eq!(grid_diag_wave_peak(4, 4, 1, 1), Some(5));
+        assert_eq!(grid_diag_wave_peak(3, 5, 2, 1), Some(11));
+        // Outside the measured regime no closed form is claimed.
+        assert_eq!(grid_diag_wave_peak(2, 4, 1, 1), None);
+        assert_eq!(grid_diag_wave_peak(4, 4, 1, 2), None);
+        assert_eq!(grid_diag_wave_peak(4, 4, 0, 1), None);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   serializable spec describing topology × protocol × workload ×
 //!   capacity, one generic runner executing it; [`ScenarioGrid`] expands
 //!   whole parameter grids and [`run_grid`] sweeps them in parallel;
+//! * [`Scenario::validate`] / [`StaticReport`] — the static checker behind
+//!   `scenarios check`: applicability, capacity sanity and the paper's
+//!   closed-form predictions, computed without executing a round;
 //! * [`bounds`] — the paper's bound formulas as executable functions;
 //! * [`RunSummary`] / [`run_pattern`] / [`run_source`] /
 //!   [`run_source_capacity`] — generic one-shot runs distilled to the
@@ -46,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 mod experiment;
@@ -54,6 +57,7 @@ mod figure1;
 mod scenario;
 pub mod sweep;
 mod threshold;
+mod validate;
 
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
@@ -74,3 +78,4 @@ pub use threshold::{
     capacity_rate_grid, capacity_threshold, sweep_capacity_grid, CapacityGridPoint, CapacityProbe,
     CapacityThreshold,
 };
+pub use validate::{Prediction, StaticReport};

@@ -115,6 +115,14 @@ pub enum ScenarioError {
     Source(SourceSpecError),
     /// The engine rejected the run (invalid injection or plan).
     Model(ModelError),
+    /// A static validation check failed: the specs build individually
+    /// but the combination is provably broken without running it.
+    Static {
+        /// The check that fired, e.g. `"round0-capacity"`.
+        check: &'static str,
+        /// Why the scenario cannot behave as intended.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -124,6 +132,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Protocol(e) => write!(f, "{e}"),
             ScenarioError::Source(e) => write!(f, "{e}"),
             ScenarioError::Model(e) => write!(f, "{e}"),
+            ScenarioError::Static { check, reason } => {
+                write!(f, "static check {check} failed: {reason}")
+            }
         }
     }
 }
@@ -135,6 +146,7 @@ impl std::error::Error for ScenarioError {
             ScenarioError::Protocol(e) => Some(e),
             ScenarioError::Source(e) => Some(e),
             ScenarioError::Model(e) => Some(e),
+            ScenarioError::Static { .. } => None,
         }
     }
 }

@@ -10,8 +10,8 @@
 //! ```
 
 use aqt_bench::{
-    bench_delta_table, engine_bench_json, measure_engine, parse_engine_bench_json, render_e10,
-    run_experiment, EXPERIMENT_IDS, EXPERIMENT_INDEX,
+    bench_delta_table, bench_regressions, engine_bench_json, measure_engine,
+    parse_engine_bench_json, render_e10, run_experiment, EXPERIMENT_IDS, EXPERIMENT_INDEX,
 };
 
 fn main() {
@@ -32,6 +32,9 @@ fn main() {
         println!("                         (the perf-trajectory artifact; implies e10 runs)");
         println!("  --bench-baseline PATH  print the delta vs a committed BENCH_engine.json");
         println!("                         baseline (implies e10 runs)");
+        println!("  --fail-on-regression PCT");
+        println!("                         exit 1 if any baseline metric regressed more");
+        println!("                         than PCT percent (requires --bench-baseline)");
         println!("  -h, --help             print this message");
         println!();
         println!(
@@ -67,6 +70,7 @@ fn main() {
     let mut csv = false;
     let mut bench_json: Option<String> = None;
     let mut bench_baseline: Option<String> = None;
+    let mut fail_on_regression: Option<f64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -84,6 +88,15 @@ fn main() {
                 Some(path) if !path.starts_with('-') => bench_baseline = Some(path.clone()),
                 _ => {
                     eprintln!("error: --bench-baseline needs a path (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            "--fail-on-regression" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => fail_on_regression = Some(pct),
+                _ => {
+                    eprintln!(
+                        "error: --fail-on-regression needs a non-negative percentage (try --help)"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -122,6 +135,11 @@ fn main() {
     if (bench_json.is_some() || bench_baseline.is_some()) && !ids.contains(&"e10") {
         ids.push("e10");
     }
+    if fail_on_regression.is_some() && bench_baseline.is_none() {
+        eprintln!("error: --fail-on-regression requires --bench-baseline (try --help)");
+        std::process::exit(2);
+    }
+    let mut regressed = false;
     let started = std::time::Instant::now();
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -141,6 +159,15 @@ fn main() {
                 let baseline = parse_engine_bench_json(&text)
                     .unwrap_or_else(|e| panic!("baseline {path} is not a bench report: {e}"));
                 tables.push(bench_delta_table(&report, &baseline));
+                if let Some(pct) = fail_on_regression {
+                    for (metric, delta) in bench_regressions(&report, &baseline, pct) {
+                        eprintln!(
+                            "[e10] REGRESSION: {metric} is {delta:+.1}% vs baseline \
+                             (threshold -{pct}%)"
+                        );
+                        regressed = true;
+                    }
+                }
             }
             tables
         } else {
@@ -158,4 +185,7 @@ fn main() {
         eprintln!("[{id}] finished in {:.1?}", t0.elapsed());
     }
     eprintln!("all experiments finished in {:.1?}", started.elapsed());
+    if regressed {
+        std::process::exit(1);
+    }
 }

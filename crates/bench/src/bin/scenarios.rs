@@ -14,11 +14,13 @@
 //! harness emits (`--csv` for CSV, `--json` for raw `RunSummary` JSON).
 
 use aqt_analysis::{
-    run_scenarios_with_threads, sweep, RunSummary, Scenario, ScenarioError, ScenarioGrid, Table,
+    run_scenarios_with_threads, sweep, RunSummary, Scenario, ScenarioError, ScenarioGrid,
+    StaticReport, Table,
 };
 
 fn usage() {
     println!("Usage: scenarios [--parallel] [--threads N] [--csv | --json] FILE...");
+    println!("       scenarios check [--json] FILE...");
     println!();
     println!("Runs JSON scenario files through the declarative scenario layer.");
     println!();
@@ -32,6 +34,11 @@ fn usage() {
     println!("  --csv          emit CSV instead of a rendered table");
     println!("  --json         emit the RunSummary list as JSON");
     println!("  -h, --help     print this message");
+    println!();
+    println!("The `check` subcommand statically validates each file without");
+    println!("executing a round: build applicability, capacity sanity, and the");
+    println!("paper's closed-form peak/capacity predictions. Exits nonzero if");
+    println!("any scenario fails validation (`--json` emits the reports).");
 }
 
 /// One loaded unit: the file it came from and its expanded scenarios.
@@ -93,11 +100,91 @@ fn summary_row(scenario: &Scenario, result: &Result<RunSummary, ScenarioError>) 
     }
 }
 
+/// `scenarios check`: static validation only, no execution.
+fn check_main(args: &[String]) -> ! {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown check option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no scenario files given (try --help)");
+        std::process::exit(2);
+    }
+
+    let mut reports: Vec<StaticReport> = Vec::new();
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    for file in &files {
+        let loaded = match load(file) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        for scenario in &loaded.scenarios {
+            checked += 1;
+            match scenario.validate() {
+                Ok(report) => {
+                    if !json {
+                        println!("{file}: {} — OK", report.scenario);
+                        let sigma = report.sigma.map_or_else(|| "?".into(), |s| s.to_string());
+                        let bound = report.bound.map_or_else(|| "?".into(), |r| r.to_string());
+                        println!(
+                            "  {} node {}, workload ({bound}, {sigma})-bounded, horizon {}",
+                            report.nodes,
+                            report.family,
+                            report
+                                .horizon
+                                .map_or_else(|| "open".into(), |h| h.to_string()),
+                        );
+                        for p in &report.predictions {
+                            let rel = if p.exact { "=" } else { "<=" };
+                            println!("  predict {} {rel} {}   [{}]", p.metric, p.value, p.formula);
+                        }
+                        for w in &report.warnings {
+                            println!("  warning: {w}");
+                        }
+                    }
+                    reports.push(report);
+                }
+                Err(e) => {
+                    failed += 1;
+                    eprintln!("error: {file}: {}: {e}", scenario.display_name());
+                }
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialize")
+        );
+    }
+    eprintln!(
+        "checked {checked} scenario(s) from {} file(s) ({failed} failed)",
+        files.len()
+    );
+    std::process::exit(if failed > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
         return;
+    }
+    if args[0] == "check" {
+        check_main(&args[1..]);
     }
     let mut parallel = false;
     let mut csv = false;

@@ -158,7 +158,7 @@ mod tests {
                 let l: u64 = cells[0].parse().expect("level column");
                 // Empirical regression guard: the implementable algorithm
                 // tracks the idealized potential within +ℓ+2 (see the
-                // table notes / DESIGN.md §5).
+                // table notes / DESIGN.md §6).
                 assert!(
                     badness <= cap + l + 2,
                     "full HPTS phase-end badness {badness} drifted past sigma*+1+l+2: {line}"

@@ -426,16 +426,13 @@ pub fn parse_engine_bench_json(json: &str) -> Result<EngineBenchReport, String> 
     serde_json::from_str(json).map_err(|e| e.to_string())
 }
 
-/// Renders the delta between a fresh measurement and the committed
-/// baseline: throughput-style metrics (higher = better) as percentage
-/// change, plus the invariant columns that must match for the comparison
-/// to be meaningful.
-pub fn bench_delta_table(current: &EngineBenchReport, baseline: &EngineBenchReport) -> Table {
-    let mut table = Table::new(
-        "E10 delta vs committed baseline (positive % = faster than baseline)",
-        ["metric", "baseline", "current", "delta %"],
-    );
-    let rows: [(&str, f64, f64); 6] = [
+/// The higher-is-better metrics compared against the committed baseline:
+/// `(name, baseline value, current value)`.
+fn bench_delta_rows(
+    current: &EngineBenchReport,
+    baseline: &EngineBenchReport,
+) -> [(&'static str, f64, f64); 6] {
+    [
         (
             "rounds/s (streaming)",
             baseline.rounds_per_sec,
@@ -468,7 +465,44 @@ pub fn bench_delta_table(current: &EngineBenchReport, baseline: &EngineBenchRepo
             baseline.lossy_dropped as f64 / baseline.lossy_wall_ms.max(1e-9),
             current.lossy_dropped as f64 / current.lossy_wall_ms.max(1e-9),
         ),
-    ];
+    ]
+}
+
+/// Metrics that regressed more than `threshold_pct` percent below the
+/// baseline, as `(metric, delta %)` with negative deltas — the CI gate
+/// behind `experiments --bench-baseline --fail-on-regression`.
+///
+/// Returns an empty list when the baseline was measured on a different
+/// instance (`quick`/`nodes` mismatch): such deltas are not comparable,
+/// and [`bench_delta_table`] already prints the warning.
+pub fn bench_regressions(
+    current: &EngineBenchReport,
+    baseline: &EngineBenchReport,
+    threshold_pct: f64,
+) -> Vec<(String, f64)> {
+    if current.quick != baseline.quick || current.nodes != baseline.nodes {
+        return Vec::new();
+    }
+    bench_delta_rows(current, baseline)
+        .into_iter()
+        .filter(|(_, base, _)| base.abs() > 1e-9)
+        .filter_map(|(metric, base, cur)| {
+            let delta = (cur - base) / base * 100.0;
+            (delta < -threshold_pct).then(|| (metric.to_string(), delta))
+        })
+        .collect()
+}
+
+/// Renders the delta between a fresh measurement and the committed
+/// baseline: throughput-style metrics (higher = better) as percentage
+/// change, plus the invariant columns that must match for the comparison
+/// to be meaningful.
+pub fn bench_delta_table(current: &EngineBenchReport, baseline: &EngineBenchReport) -> Table {
+    let mut table = Table::new(
+        "E10 delta vs committed baseline (positive % = faster than baseline)",
+        ["metric", "baseline", "current", "delta %"],
+    );
+    let rows = bench_delta_rows(current, baseline);
     // Ratio-valued metrics need decimals; the big rates do not.
     let fmt = |v: f64| {
         if v.abs() < 100.0 {
@@ -562,5 +596,25 @@ mod tests {
         assert!(!tables[0].to_csv().contains("NaN"));
         assert!(tables[2].render().contains("cap 1"));
         assert!(tables[3].render().contains("8x8"));
+    }
+
+    #[test]
+    fn regressions_fire_only_past_the_threshold() {
+        let baseline = measure_engine(true);
+        // Identical reports never regress.
+        assert!(bench_regressions(&baseline, &baseline, 0.0).is_empty());
+        // Halve one throughput metric: a -50% delta trips a 25% gate but
+        // not a 75% one.
+        let mut current = baseline.clone();
+        current.dag_rounds_per_sec = baseline.dag_rounds_per_sec / 2.0;
+        let regs = bench_regressions(&current, &baseline, 25.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, "rounds/s (DAG)");
+        assert!((regs[0].1 + 50.0).abs() < 1e-6);
+        assert!(bench_regressions(&current, &baseline, 75.0).is_empty());
+        // Instance mismatch disables the gate rather than comparing
+        // apples to oranges.
+        current.nodes = baseline.nodes + 1;
+        assert!(bench_regressions(&current, &baseline, 25.0).is_empty());
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Regenerates every claim of the paper as a measured table (the paper is a
 //! theory paper: its "tables and figures" are the theorems plus Figure 1 —
-//! see `DESIGN.md` §4 for the mapping):
+//! see `DESIGN.md` §5 for the mapping):
 //!
 //! | Experiment | Claim | Function |
 //! |-----------|-------|----------|
@@ -27,7 +27,7 @@
 //! `experiments -- e10 --bench-json BENCH_engine.json`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod exp_ablation;
 mod exp_capacity;
@@ -46,8 +46,9 @@ pub use exp_grid::{all_floods_source, e12_grid, e12_scenario, e12_shapes, GridLo
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
 pub use exp_throughput::{
-    bench_delta_table, e10_throughput, e6_grid, engine_bench_json, measure_engine, pairs_source,
-    parse_engine_bench_json, render_e10, run_e6_point, E6Point, EngineBenchReport,
+    bench_delta_table, bench_regressions, e10_throughput, e6_grid, engine_bench_json,
+    measure_engine, pairs_source, parse_engine_bench_json, render_e10, run_e6_point, E6Point,
+    EngineBenchReport,
 };
 pub use exp_tradeoff::{e6_tradeoff, e7_alpha};
 pub use exp_upper::{e1_pts, e2_ppts, e3_trees, e4_hpts};

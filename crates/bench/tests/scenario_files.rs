@@ -74,6 +74,54 @@ fn remaining_checked_in_files_parse_and_run() {
 }
 
 #[test]
+fn e12_static_prediction_matches_the_measured_cell() {
+    // The static checker's closed-form diag-wave peak must agree with the
+    // E12a table cell the replay test above pins — an exact prediction,
+    // computed without running a single round.
+    let from_file: Scenario = serde_json::from_str(&scenario_file("e12_grid_4x4_diag.json"))
+        .expect("e12 scenario file parses");
+    let report = from_file.validate().expect("e12 validates statically");
+    let pred = report
+        .prediction("peak_occupancy")
+        .expect("diag wave has a closed-form peak");
+    assert!(pred.exact, "diag-wave peak is exact, not an upper bound");
+    assert_eq!(pred.value, 5, "per_step * cols + 1 on a 4x4 mesh");
+    let replayed = run_scenario(&from_file).expect("file scenario runs");
+    assert_eq!(replayed.max_occupancy as u64, pred.value);
+}
+
+#[test]
+fn new_artifacts_pin_their_static_bounds() {
+    // (file, predicted bound, measured peak): the prediction is the
+    // paper's worst-case bound, the measured peak the replayed run —
+    // peaks must reproduce exactly and sit within the bound.
+    for (file, bound, measured) in [
+        ("hpts_shaped_line.json", 11, 3),    // Thm 4.1: l*m + sigma + 1
+        ("ppts_roundrobin_path.json", 6, 5), // Prop 3.2: 1 + d + sigma
+        ("tree_pts_star_burst.json", 5, 4),  // Prop B.3: 2 + sigma
+    ] {
+        let scenario: Scenario =
+            serde_json::from_str(&scenario_file(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{file} must validate: {e}"));
+        let pred = report
+            .prediction("peak_occupancy")
+            .unwrap_or_else(|| panic!("{file} must predict a peak"));
+        assert_eq!(pred.value, bound, "{file}: static bound drifted");
+        let summary = run_scenario(&scenario).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(summary.max_occupancy as u64, measured, "{file}");
+        assert!(
+            (summary.max_occupancy as u64) <= pred.value,
+            "{file}: measured peak {} above the static bound {}",
+            summary.max_occupancy,
+            pred.value
+        );
+        assert_eq!(summary.dropped, 0, "{file} runs loss-free");
+    }
+}
+
+#[test]
 fn pts_two_wave_file_is_loss_free_at_the_bound() {
     // The file pins eager PTS at capacity 2 + σ = 6 against the two-wave
     // stress: zero drops at the Prop 3.1 bound, everything delivered.

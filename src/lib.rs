@@ -79,7 +79,7 @@
 //! [arXiv:1902.08069]: https://arxiv.org/abs/1902.08069
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// The AQT substrate: topologies, packets, patterns, boundedness, engine.
 pub mod model {
@@ -115,8 +115,8 @@ pub use aqt_analysis::{
     bounds, capacity_rate_grid, capacity_threshold, measured_sigma, measured_sigma_on,
     parallel_map, render_figure1, run_grid, run_pattern, run_scenario, run_scenarios,
     run_scenarios_with_threads, run_source, run_source_capacity, sweep, sweep_capacity_grid,
-    CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold, RunSummary, Scenario,
-    ScenarioError, ScenarioGrid, SweepAggregate, Table, Verdict,
+    CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold, Prediction, RunSummary,
+    Scenario, ScenarioError, ScenarioGrid, StaticReport, SweepAggregate, Table, Verdict,
 };
 #[allow(deprecated)]
 pub use aqt_analysis::{

@@ -1,0 +1,108 @@
+//! The static checker against the checked-in artifact corpus: every
+//! valid `scenarios/*.json` file passes [`Scenario::validate`] with a
+//! usable [`StaticReport`], and every file in `scenarios/invalid/` is
+//! rejected with the *named* [`ScenarioError`] variant it documents —
+//! all without executing a single round.
+
+use small_buffers::{Scenario, ScenarioError, ScenarioGrid};
+
+fn read(rel: &str) -> String {
+    let path = format!("{}/scenarios/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn reject(rel: &str) -> ScenarioError {
+    let scenario: Scenario =
+        serde_json::from_str(&read(rel)).unwrap_or_else(|e| panic!("{rel} must parse: {e}"));
+    scenario
+        .validate()
+        .err()
+        .unwrap_or_else(|| panic!("{rel} must be rejected"))
+}
+
+#[test]
+fn every_valid_artifact_passes_static_validation() {
+    for file in [
+        "e11a_fifo_cap4.json",
+        "e12_grid_4x4_diag.json",
+        "hpts_shaped_line.json",
+        "ppts_roundrobin_path.json",
+        "pts_two_wave_path.json",
+        "tree_pts_star_burst.json",
+        "tree_random_gather.json",
+    ] {
+        let scenario: Scenario =
+            serde_json::from_str(&read(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{file} must validate: {e}"));
+        assert!(report.nodes > 0, "{file}");
+        assert!(
+            !report.family.is_empty() && !report.protocol.is_empty(),
+            "{file}"
+        );
+    }
+    let grid: ScenarioGrid =
+        serde_json::from_str(&read("mesh_sweep_grid.json")).expect("grid parses");
+    for result in grid.validate() {
+        result.expect("every mesh sweep cell validates");
+    }
+}
+
+#[test]
+fn protocol_topology_mismatch_is_a_protocol_error() {
+    let err = reject("invalid/bad_protocol_topology.json");
+    assert!(matches!(err, ScenarioError::Protocol(_)), "{err}");
+    assert!(
+        err.to_string().contains("pts requires a path topology"),
+        "{err}"
+    );
+}
+
+#[test]
+fn round0_overflow_is_a_static_check() {
+    let err = reject("invalid/capacity_below_round0.json");
+    assert!(
+        matches!(&err, ScenarioError::Static { check, .. } if *check == "round0-capacity"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("drops are guaranteed"), "{err}");
+}
+
+#[test]
+fn empty_hierarchy_is_a_protocol_error() {
+    let err = reject("invalid/hpts_zero_levels.json");
+    assert!(matches!(err, ScenarioError::Protocol(_)), "{err}");
+    assert!(err.to_string().contains("at least one level"), "{err}");
+}
+
+#[test]
+fn out_of_range_destination_is_a_source_error() {
+    let err = reject("invalid/out_of_range_dest.json");
+    assert!(matches!(err, ScenarioError::Source(_)), "{err}");
+    assert!(err.to_string().contains("node out of range"), "{err}");
+}
+
+#[test]
+fn starved_shaper_is_a_source_error() {
+    let err = reject("invalid/shaped_starved.json");
+    assert!(matches!(err, ScenarioError::Source(_)), "{err}");
+    assert!(err.to_string().contains("need rho + sigma >= 1"), "{err}");
+}
+
+#[test]
+fn unroutable_pattern_is_a_source_error() {
+    let err = reject("invalid/unroutable_pattern.json");
+    assert!(matches!(err, ScenarioError::Source(_)), "{err}");
+    assert!(
+        err.to_string().contains("no route in the topology"),
+        "{err}"
+    );
+}
+
+#[test]
+fn degenerate_topology_is_a_topology_error() {
+    let err = reject("invalid/zero_node_path.json");
+    assert!(matches!(err, ScenarioError::Topology(_)), "{err}");
+    assert!(err.to_string().contains("at least one node"), "{err}");
+}

@@ -1,0 +1,26 @@
+//! Lint self-test fixture: looks suspicious but must pass — every
+//! would-be finding is waived, quoted, or inside a test module.
+
+/// Docs may mention HashMap, Instant, thread_rng and println! freely.
+pub fn quoted() -> &'static str {
+    "HashMap Instant thread_rng println! run_path("
+}
+
+// #[allow(aqt::no-std-hash)] order never observed: drained via into_values().sum()
+use std::collections::HashMap;
+
+pub fn waived_same_line() -> u64 {
+    let m: HashMap<u8, u64> = HashMap::new(); // #[allow(aqt::no-std-hash)] summed, order-free
+    m.into_values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_and_print() {
+        let t = Instant::now();
+        println!("{:?}", t.elapsed());
+    }
+}

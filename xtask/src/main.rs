@@ -1,0 +1,59 @@
+//! Repo automation tasks. The only task so far is `lint`: the static
+//! determinism/invariant pass described in DESIGN.md §3.
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # lint the whole workspace
+//! ```
+//!
+//! Violations print as `file:line: rule-id: message` and the process
+//! exits nonzero. A finding can be waived with an inline comment on the
+//! same or the preceding line: `// #[allow(aqt::rule-id)] why it is ok`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod lint;
+
+use std::path::PathBuf;
+
+fn usage() {
+    println!("Usage: cargo run -p xtask -- lint");
+    println!();
+    println!("Tasks:");
+    println!("  lint    run the static determinism/invariant pass over the");
+    println!("          workspace library sources (DESIGN.md section 3);");
+    println!("          prints `file:line: rule-id: message` per violation");
+    println!("          and exits nonzero if any fire");
+}
+
+/// The workspace root: xtask always lives one level below it.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint::lint_workspace(&root);
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                eprintln!("lint: clean ({} rules)", lint::RULE_IDS.len());
+            } else {
+                eprintln!("lint: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+        }
+        Some("--help" | "-h") | None => usage(),
+        Some(other) => {
+            eprintln!("error: unknown task `{other}` (try --help)");
+            std::process::exit(2);
+        }
+    }
+}
