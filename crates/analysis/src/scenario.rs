@@ -199,6 +199,37 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunSummary, ScenarioError> {
     ))
 }
 
+/// [`run_scenario`] on the sharded engine
+/// ([`Simulation::step_sharded`]): the state is partitioned into `shards`
+/// contiguous node ranges and each round's plan/validate/forward phases
+/// run on scoped threads.
+///
+/// Byte-identical to [`run_scenario`] for every scenario and any shard
+/// count — the engine's deterministic round-barrier merge guarantees it
+/// (`tests/sharded_conformance.rs` pins the equality across the protocol
+/// × topology × capacity × staging matrix).
+///
+/// # Errors
+///
+/// Exactly as [`run_scenario`].
+pub fn run_scenario_sharded(
+    scenario: &Scenario,
+    shards: usize,
+) -> Result<RunSummary, ScenarioError> {
+    let topology = scenario.topology.build()?;
+    let protocol = scenario.protocol.build(&topology)?;
+    let source = scenario.source.build(&topology)?;
+    let mut sim = Simulation::from_source(topology, protocol, source);
+    if let Some(cap) = &scenario.capacity {
+        sim = sim.with_capacity(cap.config.clone(), cap.policy.build());
+    }
+    sim.run_past_horizon_sharded(scenario.extra, shards)?;
+    Ok(RunSummary::from_metrics(
+        sim.protocol().name(),
+        sim.metrics(),
+    ))
+}
+
 /// A serializable scenario *grid*: the cartesian product of topology,
 /// protocol, source and capacity axes, expanded in a deterministic
 /// (input-major) order.

@@ -21,7 +21,7 @@
 //! established on paths, now on DAGs.
 
 use aqt_adversary::{grid as gridpat, SourceSpec};
-use aqt_analysis::{capacity_threshold, run_scenario, sweep, Scenario, Table};
+use aqt_analysis::{capacity_threshold, run_grid, sweep, Scenario, ScenarioGrid, Table};
 use aqt_core::{DagGreedy, GreedyPolicy, ProtocolSpec};
 use aqt_model::{Dag, DropPolicy, DropTail, PatternSource, Rate, StagingMode, TopologySpec};
 
@@ -101,26 +101,35 @@ pub fn e12_scenario(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> Sc
     }
 }
 
-/// One E12a measurement: peak occupancy on the mesh under one of the
-/// three loads, routed through the declarative scenario layer (the
-/// harness and the public API exercise one code path).
-fn peak_for(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> usize {
-    run_scenario(&e12_scenario(rows, cols, load, rounds))
-        .expect("valid grid run")
-        .max_occupancy
+/// The whole E12a sweep as one declarative [`ScenarioGrid`] — shapes ×
+/// the three canonical loads, expanded topology-major so row `i` of the
+/// E12a table is results `3i..3i+3`. The quick instance is the
+/// checked-in `scenarios/e12a_sweep_grid.json` artifact.
+pub fn e12a_sweep_grid(quick: bool) -> ScenarioGrid {
+    let rounds = if quick { 60 } else { 200 };
+    ScenarioGrid {
+        name: Some("e12a peaks: mesh shapes x canonical grid loads".into()),
+        topologies: e12_shapes(quick)
+            .into_iter()
+            .map(|(rows, cols)| TopologySpec::Grid { rows, cols })
+            .collect(),
+        protocols: vec![ProtocolSpec::DagGreedy {
+            policy: GreedyPolicy::Fifo,
+        }],
+        sources: GridLoad::ALL.into_iter().map(|l| l.spec(rounds)).collect(),
+        capacities: Vec::new(),
+        extra: EXTRA,
+    }
 }
 
 /// E12a — peak buffer occupancy vs mesh dimensions for the three loads.
 fn e12a_peaks(quick: bool) -> Table {
     let rounds = if quick { 60 } else { 200 };
     let shapes = e12_shapes(quick);
-    let grid: Vec<((usize, usize), GridLoad)> = shapes
-        .iter()
-        .flat_map(|&s| GridLoad::ALL.into_iter().map(move |l| (s, l)))
+    let peaks: Vec<usize> = run_grid(&e12a_sweep_grid(quick))
+        .into_iter()
+        .map(|r| r.expect("valid grid run").max_occupancy)
         .collect();
-    let peaks = sweep::parallel(&grid, |&((rows, cols), load)| {
-        peak_for(rows, cols, load, rounds)
-    });
 
     let mut table = Table::new(
         "E12a - grid peak buffer occupancy vs mesh dimensions (DagGreedy-FIFO)",
@@ -192,7 +201,15 @@ pub fn e12_grid(quick: bool) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqt_analysis::run_scenario;
     use aqt_model::{Protocol, Simulation};
+
+    /// One E12a measurement through the declarative scenario layer.
+    fn peak_for(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> usize {
+        run_scenario(&e12_scenario(rows, cols, load, rounds))
+            .expect("valid grid run")
+            .max_occupancy
+    }
 
     #[test]
     fn e12_tables_cover_every_shape() {

@@ -113,6 +113,36 @@ pub struct EngineBenchReport {
     pub dag_packets_per_sec: f64,
     /// Peak buffer occupancy of the DAG run.
     pub dag_peak_occupancy: usize,
+    /// Mesh shape of the E13 smoke wave (computed routing + arena +
+    /// sharded engine), e.g. `"256x256"`.
+    pub mesh_grid: String,
+    /// Nodes in the E13 smoke mesh.
+    pub mesh_nodes: usize,
+    /// Rounds of the E13 smoke wave.
+    pub mesh_rounds: u64,
+    /// Packet-moves executed by the E13 smoke wave.
+    pub mesh_moves: u64,
+    /// Wall-clock of the E13 smoke wave in milliseconds.
+    pub mesh_wall_ms: f64,
+    /// Packet-moves per second of the E13 smoke wave.
+    pub mesh_packets_per_sec: f64,
+    /// Shards (scoped worker threads) of the E13 smoke wave.
+    pub mesh_shards: usize,
+    /// Mesh shape of the million-node run (always `"1024x1024"`).
+    pub mesh1m_grid: String,
+    /// Nodes in the million-node mesh (1,048,576).
+    pub mesh1m_nodes: usize,
+    /// Rounds of the million-node wave.
+    pub mesh1m_rounds: u64,
+    /// Packet-moves executed by the million-node wave.
+    pub mesh1m_moves: u64,
+    /// Wall-clock of the million-node wave in milliseconds.
+    pub mesh1m_wall_ms: f64,
+    /// Packet-moves per second of the million-node wave — the tentpole
+    /// headline rate.
+    pub mesh1m_packets_per_sec: f64,
+    /// Shards (scoped worker threads) of the million-node wave.
+    pub mesh1m_shards: usize,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -175,13 +205,18 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let secs = wall.as_secs_f64().max(1e-9);
 
     // --- Part 2: serial vs parallel sweep over the E6 grid ------------
+    // At least two workers even on single-core hosts: `sweep_speedup`
+    // must measure the parallel path, not a degenerate one-thread run
+    // that reports ~1.0 by construction.
     let grid = e6_grid(quick);
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .max(2);
     let t0 = Instant::now();
     let serial = sweep::serial(&grid, |p| run_e6_point(p, quick));
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let parallel = sweep::parallel(&grid, |p| run_e6_point(p, quick));
+    let parallel = sweep::parallel_with_threads(&grid, threads, |p| run_e6_point(p, quick));
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
     assert_eq!(serial, parallel, "parallel sweep must be deterministic");
 
@@ -254,6 +289,14 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let dag_rounds = dag_sim.round().value();
     let (dag_injected, dag_peak_occupancy) = (dag_metrics.injected, dag_metrics.max_occupancy);
 
+    // --- Part 6: the E13 mesh waves (computed routing + arena + shards)
+    // Smoke at 256x256 plus the tentpole 1024x1024 (~1M node) instance;
+    // round budgets keep quick mode CI-sized while still touching the
+    // million-node regime.
+    let mesh_shards = crate::exp_mesh::default_shards();
+    let mesh = crate::exp_mesh::measure_mesh(256, 256, if quick { 16 } else { 96 }, mesh_shards);
+    let mesh1m = crate::exp_mesh::measure_mesh(1024, 1024, if quick { 2 } else { 24 }, mesh_shards);
+
     EngineBenchReport {
         quick,
         nodes: n,
@@ -287,6 +330,20 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         dag_rounds_per_sec: dag_rounds as f64 / dag_secs,
         dag_packets_per_sec: dag_injected as f64 / dag_secs,
         dag_peak_occupancy,
+        mesh_grid: mesh.grid,
+        mesh_nodes: mesh.nodes,
+        mesh_rounds: mesh.rounds,
+        mesh_moves: mesh.moves,
+        mesh_wall_ms: mesh.wall_ms,
+        mesh_packets_per_sec: mesh.moves_per_sec,
+        mesh_shards: mesh.shards,
+        mesh1m_grid: mesh1m.grid,
+        mesh1m_nodes: mesh1m.nodes,
+        mesh1m_rounds: mesh1m.rounds,
+        mesh1m_moves: mesh1m.moves,
+        mesh1m_wall_ms: mesh1m.wall_ms,
+        mesh1m_packets_per_sec: mesh1m.moves_per_sec,
+        mesh1m_shards: mesh1m.shards,
     }
 }
 
@@ -403,7 +460,40 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
         report.dag_peak_occupancy.to_string(),
     ]);
     dag.note("all rows flooded right + all columns flooded down on a row-column-routed mesh (DagGreedy-FIFO)");
-    vec![throughput, sweeps, capacity, dag]
+
+    let mut mesh = Table::new(
+        "E10e - E13 mesh waves (computed routing, arenas, sharded rounds)",
+        ["grid", "rounds", "moves", "wall ms", "moves/s", "shards"],
+    );
+    for (grid, rounds, moves, wall, rate, shards) in [
+        (
+            &report.mesh_grid,
+            report.mesh_rounds,
+            report.mesh_moves,
+            report.mesh_wall_ms,
+            report.mesh_packets_per_sec,
+            report.mesh_shards,
+        ),
+        (
+            &report.mesh1m_grid,
+            report.mesh1m_rounds,
+            report.mesh1m_moves,
+            report.mesh1m_wall_ms,
+            report.mesh1m_packets_per_sec,
+            report.mesh1m_shards,
+        ),
+    ] {
+        mesh.push_row([
+            grid.clone(),
+            rounds.to_string(),
+            moves.to_string(),
+            format!("{wall:.1}"),
+            format!("{rate:.2e}"),
+            shards.to_string(),
+        ]);
+    }
+    mesh.note("same workload as E13; exported to BENCH_engine.json as mesh_*/mesh1m_* fields");
+    vec![throughput, sweeps, capacity, dag, mesh]
 }
 
 /// E10 — throughput + sweep scaling (runs the measurement and renders it).
@@ -431,8 +521,18 @@ pub fn parse_engine_bench_json(json: &str) -> Result<EngineBenchReport, String> 
 fn bench_delta_rows(
     current: &EngineBenchReport,
     baseline: &EngineBenchReport,
-) -> [(&'static str, f64, f64); 6] {
+) -> [(&'static str, f64, f64); 8] {
     [
+        (
+            "moves/s (mesh smoke)",
+            baseline.mesh_packets_per_sec,
+            current.mesh_packets_per_sec,
+        ),
+        (
+            "moves/s (mesh 1M)",
+            baseline.mesh1m_packets_per_sec,
+            current.mesh1m_packets_per_sec,
+        ),
         (
             "rounds/s (streaming)",
             baseline.rounds_per_sec,
@@ -584,6 +684,17 @@ mod tests {
         assert_eq!(report.dag_nodes, 64);
         assert!(report.dag_rounds_per_sec > 0.0);
         assert!(report.dag_peak_occupancy >= 1);
+        // The sweep satellite: the parallel path really ran with >= 2
+        // workers, so sweep_speedup is a measurement, not a tautology.
+        assert!(report.sweep_threads >= 2);
+        // The E13 mesh fields: the smoke and the million-node instance
+        // both ran on the table-free path.
+        assert_eq!(report.mesh_grid, "256x256");
+        assert_eq!(report.mesh1m_grid, "1024x1024");
+        assert_eq!(report.mesh1m_nodes, 1024 * 1024);
+        assert!(report.mesh_packets_per_sec > 0.0);
+        assert!(report.mesh1m_packets_per_sec > 0.0);
+        assert!(report.mesh1m_moves > 0);
         let json = engine_bench_json(&report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
@@ -591,11 +702,13 @@ mod tests {
         assert!(json.contains("lossy_dropped"));
         assert!(json.contains("dag_rounds_per_sec"));
         assert!(json.contains("dag_peak_occupancy"));
+        assert!(json.contains("mesh1m_packets_per_sec"));
         let tables = render_e10(&report);
-        assert_eq!(tables.len(), 4);
+        assert_eq!(tables.len(), 5);
         assert!(!tables[0].to_csv().contains("NaN"));
         assert!(tables[2].render().contains("cap 1"));
         assert!(tables[3].render().contains("8x8"));
+        assert!(tables[4].render().contains("1024x1024"));
     }
 
     #[test]

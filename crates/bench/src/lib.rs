@@ -18,6 +18,7 @@
 //! | E10 | engine throughput + parallel sweep scaling | [`e10_throughput`] |
 //! | E11 | finite buffers: goodput vs capacity, space thresholds | [`e11_capacity`] |
 //! | E12 | grid routing: peak buffer vs mesh dimensions | [`e12_grid`] |
+//! | E13 | million-node mesh: computed routing, arenas, sharded rounds | [`e13_mesh`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
@@ -34,6 +35,7 @@ mod exp_capacity;
 mod exp_grid;
 mod exp_locality;
 mod exp_lower;
+mod exp_mesh;
 mod exp_throughput;
 mod exp_tradeoff;
 mod exp_upper;
@@ -42,9 +44,14 @@ pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
 pub use exp_capacity::{
     e11_capacity, e11a_scenario, e11b_rows, pts_two_wave, Contender, ThresholdRow,
 };
-pub use exp_grid::{all_floods_source, e12_grid, e12_scenario, e12_shapes, GridLoad};
+pub use exp_grid::{
+    all_floods_source, e12_grid, e12_scenario, e12_shapes, e12a_sweep_grid, GridLoad,
+};
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
+pub use exp_mesh::{
+    default_shards, e13_instances, e13_mesh, measure_mesh, render_e13, wave_source, MeshRun,
+};
 pub use exp_throughput::{
     bench_delta_table, bench_regressions, e10_throughput, e6_grid, engine_bench_json,
     measure_engine, pairs_source, parse_engine_bench_json, render_e10, run_e6_point, E6Point,
@@ -71,7 +78,7 @@ pub const EXPERIMENT_IDS: [&str; EXPERIMENT_INDEX.len()] = {
 
 /// The experiment index: `(id, claim, function)` — what `experiments
 /// --list` prints; the single source of truth for experiment ids.
-pub const EXPERIMENT_INDEX: [(&str, &str, &str); 14] = [
+pub const EXPERIMENT_INDEX: [(&str, &str, &str); 15] = [
     (
         "e1",
         "Prop. 3.1 - PTS single destination <= 2 + sigma",
@@ -116,6 +123,11 @@ pub const EXPERIMENT_INDEX: [(&str, &str, &str); 14] = [
         "grid routing - peak buffer vs mesh dimensions (DAG engine)",
         "e12_grid",
     ),
+    (
+        "e13",
+        "million-node mesh - computed routing, arenas, sharded rounds",
+        "e13_mesh",
+    ),
     ("a1", "ablation - HPTS without ActivatePreBad", "a1_prebad"),
     ("a2", "ablation - eager delivery variants", "a2_eager"),
 ];
@@ -144,6 +156,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e10" => e10_throughput(quick),
         "e11" => e11_capacity(quick),
         "e12" => e12_grid(quick),
+        "e13" => e13_mesh(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

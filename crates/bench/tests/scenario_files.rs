@@ -4,7 +4,7 @@
 //! reproduces the corresponding experiment table cell bit-for-bit.
 
 use aqt_analysis::{run_scenario, Scenario, ScenarioGrid};
-use aqt_bench::{e11a_scenario, e12_grid, e12_scenario, Contender, GridLoad};
+use aqt_bench::{e11a_scenario, e12_grid, e12_scenario, e12a_sweep_grid, Contender, GridLoad};
 
 fn scenario_file(name: &str) -> String {
     let path = format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -118,6 +118,49 @@ fn new_artifacts_pin_their_static_bounds() {
             pred.value
         );
         assert_eq!(summary.dropped, 0, "{file} runs loss-free");
+    }
+}
+
+#[test]
+fn mesh_wave_file_pins_the_static_bound_without_a_replay() {
+    // The E13-scale wave artifact: a 256×256 mesh is too large to replay
+    // in a debug-mode test, but the static checker prices its peak in
+    // closed form — per_step * cols + 1 = 257 — and the bound's exactness
+    // is already proven at 4×4 by
+    // `e12_static_prediction_matches_the_measured_cell`.
+    let from_file: Scenario = serde_json::from_str(&scenario_file("mesh_256x256_wave.json"))
+        .expect("mesh wave file parses");
+    let mut expected = e12_scenario(256, 256, GridLoad::Diag, 60);
+    expected.name = Some("mesh 256x256 diag wave".into());
+    assert_eq!(from_file, expected);
+    let report = from_file
+        .validate()
+        .expect("mesh wave validates statically");
+    let pred = report
+        .prediction("peak_occupancy")
+        .expect("diag wave has a closed-form peak");
+    assert!(pred.exact, "diag-wave peak is exact, not an upper bound");
+    assert_eq!(pred.value, 257, "per_step * cols + 1 on a 256-wide mesh");
+}
+
+#[test]
+fn e12a_sweep_file_is_exactly_the_harness_grid() {
+    // The whole quick-mode E12a sweep as one declarative grid: the file
+    // must match the generator the E12a table now runs through, and its
+    // expansion must enumerate exactly the harness's per-cell scenarios
+    // (grid expansion leaves names unset; everything else is identical).
+    let from_file: ScenarioGrid = serde_json::from_str(&scenario_file("e12a_sweep_grid.json"))
+        .expect("e12a sweep grid parses");
+    assert_eq!(from_file, e12a_sweep_grid(true));
+    let cells = from_file.expand();
+    assert_eq!(cells.len(), 9, "3 shapes x 3 loads");
+    let shapes = [(4usize, 4usize), (4, 8), (8, 8)];
+    let loads = [GridLoad::Floods, GridLoad::Diag, GridLoad::Shaped];
+    for (i, cell) in cells.iter().enumerate() {
+        let (rows, cols) = shapes[i / 3];
+        let mut expected = e12_scenario(rows, cols, loads[i % 3], 60);
+        expected.name = None;
+        assert_eq!(*cell, expected, "cell {i}");
     }
 }
 

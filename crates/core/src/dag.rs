@@ -14,9 +14,49 @@
 //! [`Greedy`](crate::Greedy) move-for-move — a fact the differential
 //! conformance harness checks byte-for-byte.
 
-use aqt_model::{ForwardingPlan, NetworkState, NodeId, Protocol, Round, Topology};
+use aqt_model::{
+    ForwardingPlan, NetworkState, NodeId, PacketId, PlanWindow, Protocol, Round, Topology,
+};
 
 use crate::greedy::GreedyPolicy;
+
+/// Plans one node's per-link sends: partitions `v`'s buffer by next hop
+/// (in placement order) and forwards the policy pick of each partition.
+/// Shared by the sequential and the sharded planning paths.
+fn plan_node<T: Topology>(
+    policy: GreedyPolicy,
+    topo: &T,
+    state: &NetworkState,
+    v: NodeId,
+    hops: &mut Vec<NodeId>,
+    mut send: impl FnMut(NodeId, PacketId),
+) {
+    let buffer = state.buffer(v);
+    if buffer.is_empty() {
+        return;
+    }
+    // Distinct links with traffic, in buffer (placement) order.
+    hops.clear();
+    for sp in buffer {
+        if let Some(h) = topo.next_hop(v, sp.dest()) {
+            if !hops.contains(&h) {
+                hops.push(h);
+            }
+        }
+    }
+    for &h in hops.iter() {
+        let pick = policy.select_from(
+            topo,
+            v,
+            buffer
+                .iter()
+                .filter(|sp| topo.next_hop(v, sp.dest()) == Some(h)),
+        );
+        if let Some(sp) = pick {
+            send(v, sp.id());
+        }
+    }
+}
 
 /// A per-link greedy protocol for multi-out topologies: each round, each
 /// node forwards the policy-preferred packet over *every* outgoing link
@@ -78,33 +118,27 @@ impl<T: Topology> Protocol<T> for DagGreedy {
 
     fn plan(&mut self, _round: Round, topo: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
         let policy = self.policy;
+        let mut hops = std::mem::take(&mut self.hops);
         for v in 0..state.node_count() {
             let v = NodeId::new(v);
-            let buffer = state.buffer(v);
-            if buffer.is_empty() {
-                continue;
-            }
-            // Distinct links with traffic, in buffer (placement) order.
-            self.hops.clear();
-            for sp in buffer {
-                if let Some(h) = topo.next_hop(v, sp.dest()) {
-                    if !self.hops.contains(&h) {
-                        self.hops.push(h);
-                    }
-                }
-            }
-            for &h in &self.hops {
-                let pick = policy.select_from(
-                    topo,
-                    v,
-                    buffer
-                        .iter()
-                        .filter(|sp| topo.next_hop(v, sp.dest()) == Some(h)),
-                );
-                if let Some(sp) = pick {
-                    plan.send(v, sp.id());
-                }
-            }
+            plan_node(policy, topo, state, v, &mut hops, |v, id| plan.send(v, id));
+        }
+        self.hops = hops;
+    }
+
+    // Per-link selection is node-local; the sharded path pays a tiny
+    // per-shard scratch allocation instead of reusing `self.hops`.
+    fn supports_range_planning(&self) -> bool {
+        true
+    }
+
+    fn plan_range(&self, _round: Round, topo: &T, state: &NetworkState, w: &mut PlanWindow<'_>) {
+        let mut hops = Vec::new();
+        for v in w.node_range() {
+            let v = NodeId::new(v);
+            plan_node(self.policy, topo, state, v, &mut hops, |v, id| {
+                w.send(v, id)
+            });
         }
     }
 }

@@ -9,7 +9,9 @@
 //! needs Ω(d) buffers ([17]) — greedy ones included — but greedy policies
 //! generally have no matching `O(d + σ)` guarantee.
 
-use aqt_model::{ForwardingPlan, NetworkState, NodeId, Protocol, Round, StoredPacket, Topology};
+use aqt_model::{
+    ForwardingPlan, NetworkState, NodeId, PlanWindow, Protocol, Round, StoredPacket, Topology,
+};
 use serde::{Deserialize, Serialize};
 
 /// The packet-selection rule of a greedy protocol.
@@ -146,6 +148,21 @@ impl<T: Topology> Protocol<T> for Greedy {
             let buffer = state.buffer(v);
             if let Some(sp) = self.select(topo, v, buffer) {
                 plan.send(v, sp.id());
+            }
+        }
+    }
+
+    // Selection only reads the local buffer, so sharded planning is just
+    // the same loop over the window's node range.
+    fn supports_range_planning(&self) -> bool {
+        true
+    }
+
+    fn plan_range(&self, _round: Round, topo: &T, state: &NetworkState, w: &mut PlanWindow<'_>) {
+        for v in w.node_range() {
+            let v = NodeId::new(v);
+            if let Some(sp) = self.select(topo, v, state.buffer(v)) {
+                w.send(v, sp.id());
             }
         }
     }

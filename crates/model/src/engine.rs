@@ -26,6 +26,19 @@
 //! overflowing placement through a [`DropPolicy`](crate::DropPolicy) —
 //! same hot path, no extra allocation, losses recorded in
 //! [`RunMetrics`].
+//!
+//! # Sharded rounds
+//!
+//! [`Simulation::step_sharded`] partitions the nodes into contiguous
+//! ranges and runs the plan, validate and forward phases on
+//! `std::thread::scope` workers, exchanging cross-shard arrivals at a
+//! round barrier with a deterministic merge order (ascending shard, then
+//! the shard's node-major move order). The result is **byte-identical**
+//! to [`step`](Simulation::step) — same metrics, same buffer contents,
+//! same `seq` numbers, same error on an invalid plan — because every
+//! merge point reproduces the sequential order exactly; the differential
+//! suite in `tests/sharded_conformance.rs` pins this across the full
+//! protocol × topology × capacity × staging matrix.
 
 use std::fmt;
 
@@ -233,6 +246,130 @@ impl ForwardingPlan {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Splits the plan's send slots into one exclusive [`PlanWindow`] per
+    /// node range (the ranges must be contiguous, ordered, and cover all
+    /// nodes). The windows borrow disjoint slices, so shard workers fill
+    /// them in parallel; the caller re-derives
+    /// [`len`](ForwardingPlan::len) from the window counts afterwards.
+    pub(crate) fn windows<'a>(
+        &'a mut self,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<PlanWindow<'a>> {
+        let offsets: &[u32] = &self.offsets;
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [Option<PacketId>] = &mut self.sends;
+        let mut base = 0usize;
+        for r in ranges {
+            let end = if offsets.is_empty() {
+                r.end
+            } else {
+                offsets[r.end] as usize
+            };
+            let (head, tail) = rest.split_at_mut(end - base);
+            out.push(PlanWindow {
+                first_node: r.start,
+                nodes: r.len(),
+                base_slot: base,
+                offsets,
+                sends: head,
+                count: 0,
+            });
+            base = end;
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// A shard worker's exclusive window into a [`ForwardingPlan`]: the send
+/// slots of one contiguous node range.
+///
+/// Protocols that implement [`Protocol::plan_range`] receive one window
+/// per shard and fill them concurrently, with the same
+/// [`send`](PlanWindow::send) semantics as the full plan. Because the
+/// windows are disjoint slices of the one plan, the filled plan is
+/// bit-identical to what a sequential [`Protocol::plan`] pass over the
+/// same per-node decisions would produce.
+pub struct PlanWindow<'a> {
+    /// First node of the window's range.
+    first_node: usize,
+    /// Nodes covered by the window.
+    nodes: usize,
+    /// Slot index (in the full plan) of the window's first slot.
+    base_slot: usize,
+    /// The full plan's slot offsets (empty = one slot per node).
+    offsets: &'a [u32],
+    /// The window's slice of the plan's send slots.
+    sends: &'a mut [Option<PacketId>],
+    count: usize,
+}
+
+impl PlanWindow<'_> {
+    /// The contiguous node range this window plans for.
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        self.first_node..self.first_node + self.nodes
+    }
+
+    /// The (window-local) slot range of `v`.
+    fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let x = v.index();
+        debug_assert!(
+            self.node_range().contains(&x),
+            "node {v} is outside the window's range"
+        );
+        if self.offsets.is_empty() {
+            let i = x - self.first_node;
+            i..i + 1
+        } else {
+            self.offsets[x] as usize - self.base_slot..self.offsets[x + 1] as usize - self.base_slot
+        }
+    }
+
+    /// Number of forwarding slots `v` owns (its clamped out-degree).
+    pub fn width(&self, v: NodeId) -> usize {
+        self.slot_range(v).len()
+    }
+
+    /// Schedules `packet` out of `v` (which must lie in the window's node
+    /// range), occupying `v`'s first free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all of `v`'s slots are taken, exactly like
+    /// [`ForwardingPlan::send`].
+    pub fn send(&mut self, v: NodeId, packet: PacketId) {
+        let range = self.slot_range(v);
+        for i in range.clone() {
+            if self.sends[i].is_none() {
+                self.sends[i] = Some(packet);
+                self.count += 1;
+                return;
+            }
+        }
+        panic!(
+            "node {v} already forwards {} packet(s) this round",
+            range.len()
+        );
+    }
+
+    /// Sends scheduled in this window so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the window has no scheduled sends.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Clears the window's slots. Workers call this instead of a
+    /// full-plan clear, which parallelizes the per-round reset — at a
+    /// million nodes, zeroing the slot array is itself a visible cost.
+    fn clear(&mut self) {
+        self.sends.fill(None);
+        self.count = 0;
+    }
 }
 
 /// A forwarding protocol (the paper's "algorithm"): given the observable
@@ -254,6 +391,33 @@ pub trait Protocol<T: Topology> {
     /// Computes this round's forwarding decision for configuration `L^t`,
     /// filling `plan` (handed over empty, sized to the topology).
     fn plan(&mut self, round: Round, topology: &T, state: &NetworkState, plan: &mut ForwardingPlan);
+
+    /// Whether [`plan_range`](Protocol::plan_range) is implemented. The
+    /// sharded engine plans shards in parallel when this is true and
+    /// falls back to one sequential [`plan`](Protocol::plan) call
+    /// otherwise.
+    ///
+    /// Range planning must be **node-local**: the sends for node `v` may
+    /// depend only on `v`'s own buffer (plus topology and round), so
+    /// planning disjoint ranges concurrently fills the same plan a
+    /// sequential pass would.
+    fn supports_range_planning(&self) -> bool {
+        false
+    }
+
+    /// Computes the forwarding decision for the window's node range only
+    /// (see [`supports_range_planning`](Protocol::supports_range_planning)).
+    /// Takes `&self`: range planners run concurrently, so planning must
+    /// not mutate protocol state.
+    fn plan_range(
+        &self,
+        _round: Round,
+        _topology: &T,
+        _state: &NetworkState,
+        _window: &mut PlanWindow<'_>,
+    ) {
+        unimplemented!("protocol does not support range planning")
+    }
 }
 
 impl<T: Topology, P: Protocol<T> + ?Sized> Protocol<T> for Box<P> {
@@ -273,6 +437,20 @@ impl<T: Topology, P: Protocol<T> + ?Sized> Protocol<T> for Box<P> {
         plan: &mut ForwardingPlan,
     ) {
         (**self).plan(round, topology, state, plan);
+    }
+
+    fn supports_range_planning(&self) -> bool {
+        (**self).supports_range_planning()
+    }
+
+    fn plan_range(
+        &self,
+        round: Round,
+        topology: &T,
+        state: &NetworkState,
+        window: &mut PlanWindow<'_>,
+    ) {
+        (**self).plan_range(round, topology, state, window);
     }
 }
 
@@ -447,8 +625,12 @@ pub struct Simulation<T: Topology, P: Protocol<T>, S: InjectionSource = PatternS
     injection_buf: Vec<Injection>,
     accept_buf: Vec<Packet>,
     plan_buf: ForwardingPlan,
-    moves_buf: Vec<(NodeId, PacketId, NodeId, bool)>,
+    moves_buf: Vec<Move>,
     lift_buf: Vec<(StoredPacket, NodeId, bool)>,
+    // Sharded-round scratch (empty until `step_sharded` is used).
+    shard_moves: Vec<Vec<Move>>,
+    shard_arrivals: Vec<Vec<Vec<(NodeId, StoredPacket)>>>,
+    shard_deliver: Vec<Vec<Packet>>,
     /// Capacity enforcement, if enabled via
     /// [`with_capacity`](Simulation::with_capacity). `None` keeps the
     /// unbounded hot path entirely check-free.
@@ -461,6 +643,64 @@ pub struct Simulation<T: Topology, P: Protocol<T>, S: InjectionSource = PatternS
 struct CapacityState {
     config: CapacityConfig,
     policy: Box<dyn DropPolicy>,
+}
+
+/// A validated forwarding move: `(from, packet, next hop, delivers)`.
+type Move = (NodeId, PacketId, NodeId, bool);
+
+/// Validates the plan's sends for the nodes in `range` and collects their
+/// moves in node-major order — the sequential engine's move order
+/// restricted to the range, so concatenating the per-range lists in range
+/// order reproduces the full sequential move list. Returns the first
+/// error in that order, if any; each send's validity depends only on the
+/// plan and the (immutable) pre-forwarding state, so the first error over
+/// the concatenated ranges is exactly the sequential engine's error.
+fn collect_moves<T: Topology>(
+    topology: &T,
+    state: &NetworkState,
+    plan: &ForwardingPlan,
+    t: Round,
+    range: std::ops::Range<usize>,
+    moves: &mut Vec<Move>,
+) -> Option<ModelError> {
+    moves.clear();
+    for v in range {
+        let v = NodeId::new(v);
+        for pid in plan.sends_from(v) {
+            let Some(stored) = state.find(v, pid) else {
+                return Some(ModelError::UnknownPacket {
+                    node: v,
+                    packet: pid,
+                    round: t,
+                });
+            };
+            let dest = stored.dest();
+            let Some(hop) = topology.next_hop(v, dest) else {
+                return Some(ModelError::NoNextHop {
+                    node: v,
+                    packet: pid,
+                    round: t,
+                });
+            };
+            // One packet per link per round: sends are node-major, so any
+            // earlier send from the same node sits at the tail of the
+            // move list (out-degrees are tiny; this scan is O(deg)).
+            for &(pv, _, phop, _) in moves.iter().rev() {
+                if pv != v {
+                    break;
+                }
+                if phop == hop {
+                    return Some(ModelError::LinkOverload {
+                        node: v,
+                        hop,
+                        round: t,
+                    });
+                }
+            }
+            moves.push((v, pid, hop, hop == dest));
+        }
+    }
+    None
 }
 
 /// Places `packet` into `v` unless capacity forbids it; on overflow the
@@ -565,6 +805,9 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             plan_buf,
             moves_buf: Vec::new(),
             lift_buf: Vec::new(),
+            shard_moves: Vec::new(),
+            shard_arrivals: Vec::new(),
+            shard_deliver: Vec::new(),
             capacity: None,
         }
     }
@@ -647,17 +890,12 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             && self.state.staged_len() == 0
     }
 
-    /// Executes one full round.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ModelError`] if the source produced an invalid injection
-    /// or the protocol produced an invalid plan; the simulation must not be
-    /// used further after an error.
-    pub fn step(&mut self) -> Result<RoundOutcome, ModelError> {
-        let t = self.round;
+    /// The injection step shared by [`step`](Simulation::step) and
+    /// [`step_sharded`](Simulation::step_sharded): phase-boundary
+    /// acceptance, then this round's injections. Returns
+    /// `(injected, accepted)` and bumps `metrics.injected`.
+    fn injection_phase(&mut self, t: Round) -> Result<(usize, usize), ModelError> {
         let mode = self.protocol.injection_mode();
-        let drops_before = self.metrics.dropped;
 
         // --- Injection step -------------------------------------------
         // Acceptance of previously staged packets happens before this
@@ -733,6 +971,21 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             }
         }
         self.metrics.injected += injected as u64;
+        Ok((injected, accepted))
+    }
+
+    /// Executes one full round.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the source produced an invalid injection
+    /// or the protocol produced an invalid plan; the simulation must not be
+    /// used further after an error.
+    pub fn step(&mut self) -> Result<RoundOutcome, ModelError> {
+        let t = self.round;
+        let drops_before = self.metrics.dropped;
+
+        let (injected, accepted) = self.injection_phase(t)?;
 
         // --- Observe L^t ----------------------------------------------
         self.metrics.observe(t, &self.state);
@@ -741,38 +994,15 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         self.plan_buf.clear_sends();
         self.protocol
             .plan(t, &self.topology, &self.state, &mut self.plan_buf);
-        self.moves_buf.clear();
-        for (v, pid) in self.plan_buf.sends() {
-            let stored = self.state.find(v, pid).ok_or(ModelError::UnknownPacket {
-                node: v,
-                packet: pid,
-                round: t,
-            })?;
-            let dest = stored.dest();
-            let hop = self
-                .topology
-                .next_hop(v, dest)
-                .ok_or(ModelError::NoNextHop {
-                    node: v,
-                    packet: pid,
-                    round: t,
-                })?;
-            // One packet per link per round: sends are node-major, so any
-            // earlier send from the same node sits at the tail of the
-            // move list (out-degrees are tiny; this scan is O(deg)).
-            for &(pv, _, phop, _) in self.moves_buf.iter().rev() {
-                if pv != v {
-                    break;
-                }
-                if phop == hop {
-                    return Err(ModelError::LinkOverload {
-                        node: v,
-                        hop,
-                        round: t,
-                    });
-                }
-            }
-            self.moves_buf.push((v, pid, hop, hop == dest));
+        if let Some(e) = collect_moves(
+            &self.topology,
+            &self.state,
+            &self.plan_buf,
+            t,
+            0..self.topology.node_count(),
+            &mut self.moves_buf,
+        ) {
+            return Err(e);
         }
         // Apply simultaneously: all removals strictly before all placements,
         // so a packet received this round can never be re-forwarded within
@@ -852,6 +1082,300 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
                 }
                 for _ in 0..extra {
                     self.step()?;
+                }
+            }
+        }
+        Ok(&self.metrics)
+    }
+}
+
+impl<T, P, S> Simulation<T, P, S>
+where
+    T: Topology + Sync,
+    P: Protocol<T> + Sync,
+    S: InjectionSource,
+{
+    /// Executes one full round with the state partitioned into `shards`
+    /// contiguous node ranges, running the plan, validate and forward
+    /// phases on `std::thread::scope` workers.
+    ///
+    /// **Byte-identical to [`step`](Simulation::step)**: same metrics,
+    /// same buffer contents and `seq` numbers, same drop counters, same
+    /// error on an invalid plan. The merge discipline that guarantees it:
+    ///
+    /// 1. *Plan*: shards fill disjoint [`PlanWindow`]s of the one plan
+    ///    (when the protocol supports range planning; otherwise one
+    ///    sequential [`Protocol::plan`] call) — the filled plan is the
+    ///    sequential plan by disjointness.
+    /// 2. *Validate*: each shard collects its node-major move list;
+    ///    concatenated in shard order that is exactly the sequential move
+    ///    list, and the first error in that order is the sequential error.
+    /// 3. *Forward*: removals happen shard-locally; cross-shard arrivals
+    ///    are bucketed by destination shard and exchanged at the round
+    ///    barrier. Each destination shard then places its arrivals in
+    ///    ascending (source shard, source move index) order with `seq`
+    ///    numbers precomputed from per-shard prefix counts — the exact
+    ///    values and per-buffer order the sequential apply produces.
+    ///
+    /// Capacity-bounded runs apply moves sequentially (drop policies are
+    /// stateful and consult buffers in move order), still behind the
+    /// parallel plan and validate phases.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`step`](Simulation::step).
+    pub fn step_sharded(&mut self, shards: usize) -> Result<RoundOutcome, ModelError> {
+        let n = self.topology.node_count();
+        let k = shards.clamp(1, n.max(1));
+        if k == 1 {
+            return self.step();
+        }
+        self.state.ensure_shards(k);
+        let t = self.round;
+        let drops_before = self.metrics.dropped;
+
+        let (injected, accepted) = self.injection_phase(t)?;
+
+        // --- Observe L^t ----------------------------------------------
+        self.metrics.observe(t, &self.state);
+
+        let ranges = self.state.shard_ranges();
+
+        // --- Plan ------------------------------------------------------
+        if self.protocol.supports_range_planning() {
+            let topology = &self.topology;
+            let protocol = &self.protocol;
+            let state = &self.state;
+            let windows = self.plan_buf.windows(&ranges);
+            let total: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = windows
+                    .into_iter()
+                    .map(|mut w| {
+                        scope.spawn(move || {
+                            w.clear();
+                            protocol.plan_range(t, topology, state, &mut w);
+                            w.len()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("plan worker panicked"))
+                    .sum()
+            });
+            self.plan_buf.count = total;
+        } else {
+            self.plan_buf.clear_sends();
+            self.protocol
+                .plan(t, &self.topology, &self.state, &mut self.plan_buf);
+        }
+
+        // --- Validate & collect moves ---------------------------------
+        self.shard_moves.resize_with(k, Vec::new);
+        self.shard_moves.truncate(k);
+        {
+            let topology = &self.topology;
+            let state = &self.state;
+            let plan = &self.plan_buf;
+            let first_error: Option<ModelError> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shard_moves
+                    .iter_mut()
+                    .zip(ranges.iter().cloned())
+                    .map(|(moves, range)| {
+                        scope.spawn(move || collect_moves(topology, state, plan, t, range, moves))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("validate worker panicked"))
+                    .find_map(|e| e)
+            });
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+        }
+        let forwarded: usize = self.shard_moves.iter().map(Vec::len).sum();
+
+        // --- Apply -----------------------------------------------------
+        let mut delivered = 0usize;
+        if self.capacity.is_some() {
+            // Drop policies are stateful and see buffers in move order;
+            // apply the merged (= sequential) move list sequentially.
+            self.moves_buf.clear();
+            for moves in &self.shard_moves {
+                self.moves_buf.extend_from_slice(moves);
+            }
+            self.lift_buf.clear();
+            for &(v, pid, hop, delivers) in &self.moves_buf {
+                let stored = self
+                    .state
+                    .remove(v, pid)
+                    .expect("packet verified present above");
+                self.lift_buf.push((stored, hop, delivers));
+            }
+            for (stored, hop, delivers) in std::mem::take(&mut self.lift_buf).drain(..) {
+                if delivers {
+                    self.metrics.record_delivery(t, stored.packet());
+                    delivered += 1;
+                } else {
+                    admit(
+                        &self.topology,
+                        &mut self.capacity,
+                        &mut self.state,
+                        &mut self.metrics,
+                        hop,
+                        *stored.packet(),
+                        t,
+                    )?;
+                }
+            }
+        } else {
+            // Parallel apply. Sequential placement order is the global
+            // move order and only non-delivering moves consume a seq, so
+            // per-shard prefix counts give every arrival its sequential
+            // seq up front.
+            let extra = n % k;
+            let big = n / k + 1;
+            let split = extra * big;
+            let shard_of = move |v: NodeId| {
+                let x = v.index();
+                if x < split {
+                    x / big
+                } else {
+                    extra + (x - split) / (big - 1)
+                }
+            };
+            let seq0 = self.state.seq_counter();
+            let mut next = seq0;
+            let mut bases = Vec::with_capacity(k);
+            for moves in &self.shard_moves {
+                bases.push(next);
+                next += moves.iter().filter(|m| !m.3).count() as u64;
+            }
+
+            self.shard_arrivals.resize_with(k, Vec::new);
+            self.shard_arrivals.truncate(k);
+            for row in self.shard_arrivals.iter_mut() {
+                row.resize_with(k, Vec::new);
+                row.truncate(k);
+            }
+            self.shard_deliver.resize_with(k, Vec::new);
+            self.shard_deliver.truncate(k);
+
+            // Phase 1: shard-local removals, arrivals bucketed by
+            // destination shard, deliveries collected per shard.
+            {
+                let views = self.state.shard_views();
+                std::thread::scope(|scope| {
+                    for (((mut view, moves), (arrivals, deliver)), base) in views
+                        .into_iter()
+                        .zip(&self.shard_moves)
+                        .zip(
+                            self.shard_arrivals
+                                .iter_mut()
+                                .zip(self.shard_deliver.iter_mut()),
+                        )
+                        .zip(bases.iter().copied())
+                    {
+                        scope.spawn(move || {
+                            for bucket in arrivals.iter_mut() {
+                                bucket.clear();
+                            }
+                            deliver.clear();
+                            let mut seq = base;
+                            for &(v, pid, hop, delivers) in moves {
+                                let sp =
+                                    view.remove(v, pid).expect("packet verified present above");
+                                if delivers {
+                                    deliver.push(*sp.packet());
+                                } else {
+                                    arrivals[shard_of(hop)]
+                                        .push((hop, StoredPacket::new(*sp.packet(), t, seq)));
+                                    seq += 1;
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            // Round barrier passed. Phase 2: each destination shard
+            // drains its buckets in ascending source-shard order —
+            // ascending seq, so every buffer receives its arrivals in the
+            // sequential placement order.
+            {
+                let arrivals = &self.shard_arrivals;
+                std::thread::scope(|scope| {
+                    for (j, mut view) in self.state.shard_views().into_iter().enumerate() {
+                        scope.spawn(move || {
+                            for row in arrivals {
+                                for &(hop, sp) in &row[j] {
+                                    view.place_stored(hop, sp);
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            self.state.advance_seq(next - seq0);
+            for deliver in &self.shard_deliver {
+                for packet in deliver {
+                    self.metrics.record_delivery(t, packet);
+                    delivered += 1;
+                }
+            }
+        }
+
+        self.metrics.forwarded += forwarded as u64;
+        self.round = t.next();
+        Ok(RoundOutcome {
+            round: t,
+            injected,
+            accepted,
+            forwarded,
+            delivered,
+            dropped: (self.metrics.dropped - drops_before) as usize,
+        })
+    }
+
+    /// Runs `rounds` sharded rounds (see
+    /// [`step_sharded`](Simulation::step_sharded)) and returns the
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first plan validation error.
+    pub fn run_sharded(&mut self, rounds: u64, shards: usize) -> Result<&RunMetrics, ModelError> {
+        for _ in 0..rounds {
+            self.step_sharded(shards)?;
+        }
+        Ok(&self.metrics)
+    }
+
+    /// Sharded counterpart of
+    /// [`run_past_horizon`](Simulation::run_past_horizon).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first plan validation error.
+    pub fn run_past_horizon_sharded(
+        &mut self,
+        extra: u64,
+        shards: usize,
+    ) -> Result<&RunMetrics, ModelError> {
+        match self.source.horizon() {
+            Some(horizon) => {
+                let total = horizon + extra;
+                while self.round.value() < total {
+                    self.step_sharded(shards)?;
+                }
+            }
+            None => {
+                while !self.source.is_exhausted() {
+                    self.step_sharded(shards)?;
+                }
+                for _ in 0..extra {
+                    self.step_sharded(shards)?;
                 }
             }
         }
@@ -1386,5 +1910,151 @@ mod tests {
         assert_eq!(sim.metrics().delivered, 5);
         assert_eq!(sim.round().value(), 5 + 3);
         assert!(sim.is_drained());
+    }
+
+    /// A grid pattern with enough crossing traffic that shards exchange
+    /// packets every round.
+    fn grid_pattern() -> Pattern {
+        let mut inj = Vec::new();
+        for t in 0..6u64 {
+            for v in 0..12usize {
+                // 4×4 grid, sink is node 15; also a shorter diagonal hop
+                // where one exists down-right.
+                inj.push(Injection::new(t, v, 15));
+                if v % 4 < 3 && v / 4 < 3 {
+                    inj.push(Injection::new(t, v, v + 5));
+                }
+            }
+        }
+        Pattern::from_injections(inj)
+    }
+
+    /// Asserts two simulations have byte-identical observable state:
+    /// metrics, every buffer (contents, order, `seq`s) and the seq counter.
+    fn assert_states_identical<T: Topology, P, Q, S, R>(
+        a: &Simulation<T, P, S>,
+        b: &Simulation<T, Q, R>,
+    ) where
+        P: Protocol<T>,
+        Q: Protocol<T>,
+        S: InjectionSource,
+        R: InjectionSource,
+    {
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.round(), b.round());
+        assert_eq!(a.state().seq_counter(), b.state().seq_counter());
+        for v in 0..a.state().node_count() {
+            let v = NodeId::new(v);
+            assert_eq!(a.state().buffer(v), b.state().buffer(v), "buffer {v}");
+        }
+    }
+
+    #[test]
+    fn sharded_step_is_byte_identical_to_sequential() {
+        use crate::topology::Dag;
+        for shards in [2, 3, 4, 7] {
+            let mut seq = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern()).unwrap();
+            let mut par = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern()).unwrap();
+            for _ in 0..14 {
+                let a = seq.step().unwrap();
+                let b = par.step_sharded(shards).unwrap();
+                assert_eq!(a, b, "shards = {shards}");
+                assert_states_identical(&seq, &par);
+            }
+            // Enough rounds that deliveries (and cross-shard hops) happened.
+            assert!(seq.metrics().delivered > 0);
+        }
+    }
+
+    #[test]
+    fn range_planning_protocol_matches_sequential_plan() {
+        use crate::topology::Dag;
+
+        /// `Drain` again, but planning shard-locally through `PlanWindow`.
+        struct RangeDrain;
+        impl<T: Topology> Protocol<T> for RangeDrain {
+            fn name(&self) -> String {
+                "range-drain".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                for v in 0..state.node_count() {
+                    let v = NodeId::new(v);
+                    if let Some(top) = state.lifo_top_where(v, |_| true) {
+                        plan.send(v, top.id());
+                    }
+                }
+            }
+            fn supports_range_planning(&self) -> bool {
+                true
+            }
+            fn plan_range(
+                &self,
+                _: Round,
+                _: &T,
+                state: &NetworkState,
+                window: &mut PlanWindow<'_>,
+            ) {
+                for v in window.node_range() {
+                    let v = NodeId::new(v);
+                    if let Some(top) = state.lifo_top_where(v, |_| true) {
+                        window.send(v, top.id());
+                    }
+                }
+            }
+        }
+
+        for shards in [1, 2, 5] {
+            let mut seq = Simulation::new(Dag::grid(4, 4), RangeDrain, &grid_pattern()).unwrap();
+            let mut par = Simulation::new(Dag::grid(4, 4), RangeDrain, &grid_pattern()).unwrap();
+            seq.run_past_horizon(150).unwrap();
+            par.run_past_horizon_sharded(150, shards).unwrap();
+            assert_states_identical(&seq, &par);
+            assert!(par.is_drained());
+        }
+    }
+
+    #[test]
+    fn sharded_capacity_run_matches_sequential_drops() {
+        use crate::capacity::{CapacityConfig, DropFarthest};
+        // Injections at both 0 and 1 collide with arrivals from upstream,
+        // so the unit-capacity buffers overflow and the drop policy runs.
+        let p: Pattern = (0..20u64)
+            .flat_map(|t| [Injection::new(t, 0, 3), Injection::new(t, 1, 3)])
+            .collect();
+        let mut seq = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(1), DropFarthest);
+        let mut par = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_capacity(CapacityConfig::uniform(1), DropFarthest);
+        seq.run(25).unwrap();
+        par.run_sharded(25, 2).unwrap();
+        assert_states_identical(&seq, &par);
+        assert!(par.metrics().dropped > 0);
+    }
+
+    #[test]
+    fn sharded_invalid_plan_reports_the_sequential_first_error() {
+        struct Liar;
+        impl<T: Topology> Protocol<T> for Liar {
+            fn name(&self) -> String {
+                "liar".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, _: &NetworkState, plan: &mut ForwardingPlan) {
+                // Two bad sends; the lower node's error must win even when
+                // a later shard hits its own error concurrently.
+                plan.send(NodeId::new(1), PacketId::new(998));
+                plan.send(NodeId::new(3), PacketId::new(999));
+            }
+        }
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1)]);
+        let mut sim = Simulation::new(Path::new(4), Liar, &p).unwrap();
+        match sim.step_sharded(4) {
+            Err(ModelError::UnknownPacket { node, packet, .. }) => {
+                assert_eq!(node, NodeId::new(1));
+                assert_eq!(packet, PacketId::new(998));
+            }
+            other => panic!("expected UnknownPacket at node 1, got {other:?}"),
+        }
     }
 }

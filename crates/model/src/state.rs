@@ -1,10 +1,114 @@
 //! The mutable network configuration: per-node buffers plus the staging
 //! area used by phase-batched protocols (HPTS's ℓ-reduction).
+//!
+//! Buffers live in a **slab arena**: one (or, when sharded, one per shard)
+//! contiguous `Vec<StoredPacket>` of slots, with each node owning a
+//! `[start, start + cap)` span inside it. The hot loop therefore walks
+//! cache-linear memory and never allocates per packet — a full-buffer node
+//! and an empty one cost the same pointer arithmetic — which is what keeps
+//! a million-node mesh round at memory speed. Spans grow by doubling
+//! (relocating to the slab tail), so total slab size stays within a
+//! constant factor of the peak aggregate occupancy; no compaction pass is
+//! needed.
 
 use std::collections::BTreeMap;
 
 use crate::ids::{NodeId, PacketId, Round};
 use crate::packet::{Packet, StoredPacket};
+
+/// A node's index range inside its segment's slot slab.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    /// Which segment (shard) holds this node's slots.
+    seg: u32,
+    /// First slot of the span inside the segment's slab.
+    start: u32,
+    /// Live packets (the buffer contents are `slots[start..start + len]`).
+    len: u32,
+    /// Reserved slots; `len == cap` triggers relocation on the next push.
+    cap: u32,
+}
+
+const EMPTY_SPAN: Span = Span {
+    seg: 0,
+    start: 0,
+    len: 0,
+    cap: 0,
+};
+
+/// One contiguous slot slab covering a contiguous node range — the unit a
+/// shard worker gets exclusive `&mut` access to.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// First node whose span lives in this segment.
+    first_node: u32,
+    /// Number of nodes covered (they are `first_node..first_node + nodes`).
+    nodes: u32,
+    /// The slot slab. Slots outside every live span hold stale copies.
+    slots: Vec<StoredPacket>,
+    /// Total live packets across the segment (Σ span.len).
+    live: usize,
+}
+
+/// Pushes `sp` at the back of `v`'s span, relocating the span to the slab
+/// tail with doubled capacity when full. Free function so both
+/// [`NetworkState`] and [`ShardView`] (which hold the parts pre-split)
+/// share the one implementation.
+fn span_push(span: &mut Span, seg: &mut Segment, sp: StoredPacket) {
+    if span.len == span.cap {
+        let new_cap = (span.cap * 2).max(2);
+        let new_start = seg.slots.len() as u32;
+        let (s, l) = (span.start as usize, span.len as usize);
+        seg.slots.extend_from_within(s..s + l);
+        // Pad the reserve with copies of the incoming packet; anything
+        // beyond `len` is dead storage.
+        seg.slots.resize(new_start as usize + new_cap as usize, sp);
+        seg.slots[new_start as usize + l] = sp;
+        span.start = new_start;
+        span.cap = new_cap;
+    } else {
+        seg.slots[(span.start + span.len) as usize] = sp;
+    }
+    span.len += 1;
+    seg.live += 1;
+}
+
+/// Removes the packet `id` from `v`'s span (shift-left within the span),
+/// returning it. Shared by [`NetworkState`] and [`ShardView`].
+fn span_remove(span: &mut Span, seg: &mut Segment, id: PacketId) -> Option<StoredPacket> {
+    let (s, l) = (span.start as usize, span.len as usize);
+    let pos = seg.slots[s..s + l].iter().position(|sp| sp.id() == id)?;
+    let sp = seg.slots[s + pos];
+    seg.slots.copy_within(s + pos + 1..s + l, s + pos);
+    span.len -= 1;
+    seg.live -= 1;
+    Some(sp)
+}
+
+/// A shard worker's exclusive window into the state: the spans and the one
+/// slot segment of a contiguous node range. Handing out disjoint views
+/// (see [`NetworkState::shard_views`]) lets `std::thread::scope` workers
+/// mutate their shards in parallel without `unsafe`.
+pub(crate) struct ShardView<'a> {
+    first_node: usize,
+    spans: &'a mut [Span],
+    seg: &'a mut Segment,
+}
+
+impl ShardView<'_> {
+    /// Removes `id` from `v`'s buffer (`v` must be in the shard's range).
+    pub(crate) fn remove(&mut self, v: NodeId, id: PacketId) -> Option<StoredPacket> {
+        span_remove(&mut self.spans[v.index() - self.first_node], self.seg, id)
+    }
+
+    /// Places an already-sequenced stored packet at the back of `v`'s
+    /// buffer (`v` must be in the shard's range). The caller is
+    /// responsible for assigning `seq`s that reproduce the sequential
+    /// placement order (see the sharded-apply merge in `engine.rs`).
+    pub(crate) fn place_stored(&mut self, v: NodeId, sp: StoredPacket) {
+        span_push(&mut self.spans[v.index() - self.first_node], self.seg, sp);
+    }
+}
 
 /// The configuration `L^t`: one buffer per node, each an ordered list of
 /// stored packets, plus a staging area for injected-but-not-yet-accepted
@@ -19,7 +123,11 @@ use crate::packet::{Packet, StoredPacket};
 /// [`ForwardingPlan`](crate::ForwardingPlan).
 #[derive(Debug, Clone)]
 pub struct NetworkState {
-    buffers: Vec<Vec<StoredPacket>>,
+    /// Per-node index ranges into the segment slabs.
+    spans: Vec<Span>,
+    /// Slot slabs, one per shard (a single segment when unsharded),
+    /// covering contiguous node ranges in order.
+    segs: Vec<Segment>,
     staged: Vec<Packet>,
     /// Staged packets per source node (capacity enforcement in
     /// [`StagingMode::Counted`](crate::StagingMode::Counted) and
@@ -35,7 +143,13 @@ pub struct NetworkState {
 impl NetworkState {
     pub(crate) fn new(n: usize) -> Self {
         NetworkState {
-            buffers: vec![Vec::new(); n],
+            spans: vec![EMPTY_SPAN; n],
+            segs: vec![Segment {
+                first_node: 0,
+                nodes: n as u32,
+                slots: Vec::new(),
+                live: 0,
+            }],
             staged: Vec::new(),
             staged_counts: vec![0; n],
             drops: vec![0; n],
@@ -46,22 +160,26 @@ impl NetworkState {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.buffers.len()
+        self.spans.len()
     }
 
     /// The contents of `v`'s buffer in placement (arrival) order.
+    #[inline]
     pub fn buffer(&self, v: NodeId) -> &[StoredPacket] {
-        &self.buffers[v.index()]
+        let span = &self.spans[v.index()];
+        let start = span.start as usize;
+        &self.segs[span.seg as usize].slots[start..start + span.len as usize]
     }
 
     /// `|L(v)|`: current occupancy of `v`'s buffer.
+    #[inline]
     pub fn occupancy(&self, v: NodeId) -> usize {
-        self.buffers[v.index()].len()
+        self.spans[v.index()].len as usize
     }
 
     /// Total packets currently buffered (excluding staged).
     pub fn total_buffered(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        self.segs.iter().map(|s| s.live).sum()
     }
 
     /// Packets injected but not yet accepted (batched injection mode).
@@ -92,7 +210,7 @@ impl NetworkState {
 
     /// Looks up a packet in `v`'s buffer.
     pub fn find(&self, v: NodeId, id: PacketId) -> Option<&StoredPacket> {
-        self.buffers[v.index()].iter().find(|sp| sp.id() == id)
+        self.buffer(v).iter().find(|sp| sp.id() == id)
     }
 
     /// Groups `v`'s buffer by destination; within each group packets appear
@@ -100,7 +218,7 @@ impl NetworkState {
     /// queuing* view used by PPTS (§3.2, footnote 2).
     pub fn by_destination(&self, v: NodeId) -> BTreeMap<NodeId, Vec<&StoredPacket>> {
         let mut map: BTreeMap<NodeId, Vec<&StoredPacket>> = BTreeMap::new();
-        for sp in &self.buffers[v.index()] {
+        for sp in self.buffer(v) {
             map.entry(sp.dest()).or_default().push(sp);
         }
         map
@@ -109,10 +227,7 @@ impl NetworkState {
     /// Number of packets at `v` destined for `dest` (`|L_k(v)|` where
     /// `w_k = dest`).
     pub fn count_for_dest(&self, v: NodeId, dest: NodeId) -> usize {
-        self.buffers[v.index()]
-            .iter()
-            .filter(|sp| sp.dest() == dest)
-            .count()
+        self.buffer(v).iter().filter(|sp| sp.dest() == dest).count()
     }
 
     /// The LIFO top (most recently placed packet) of the sub-buffer of `v`
@@ -124,7 +239,7 @@ impl NetworkState {
     where
         F: Fn(&StoredPacket) -> bool,
     {
-        self.buffers[v.index()].iter().rev().find(|sp| pred(sp))
+        self.buffer(v).iter().rev().find(|sp| pred(sp))
     }
 
     /// The FIFO head (earliest placed packet) of the sub-buffer of `v`
@@ -136,7 +251,7 @@ impl NetworkState {
     where
         F: Fn(&StoredPacket) -> bool,
     {
-        self.buffers[v.index()].iter().find(|sp| pred(sp))
+        self.buffer(v).iter().find(|sp| pred(sp))
     }
 
     // ------------------------------------------------------------------
@@ -147,7 +262,12 @@ impl NetworkState {
     pub(crate) fn place(&mut self, v: NodeId, packet: Packet, round: Round) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.buffers[v.index()].push(StoredPacket::new(packet, round, seq));
+        let span = &mut self.spans[v.index()];
+        span_push(
+            span,
+            &mut self.segs[span.seg as usize],
+            StoredPacket::new(packet, round, seq),
+        );
     }
 
     /// Adds a packet to the staging area.
@@ -172,9 +292,99 @@ impl NetworkState {
 
     /// Removes a packet from `v`'s buffer, returning it.
     pub(crate) fn remove(&mut self, v: NodeId, id: PacketId) -> Option<StoredPacket> {
-        let buf = &mut self.buffers[v.index()];
-        let pos = buf.iter().position(|sp| sp.id() == id)?;
-        Some(buf.remove(pos))
+        let span = &mut self.spans[v.index()];
+        span_remove(span, &mut self.segs[span.seg as usize], id)
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding support (engine-only).
+    // ------------------------------------------------------------------
+
+    /// The next placement sequence number (what the following
+    /// [`place`](NetworkState::place) would assign).
+    pub(crate) fn seq_counter(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Advances the placement counter by `by` — the sharded apply phase
+    /// hands out the skipped numbers itself (see `engine.rs`).
+    pub(crate) fn advance_seq(&mut self, by: u64) {
+        self.next_seq += by;
+    }
+
+    /// The contiguous node ranges the state is currently segmented into.
+    pub(crate) fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        self.segs
+            .iter()
+            .map(|s| s.first_node as usize..(s.first_node + s.nodes) as usize)
+            .collect()
+    }
+
+    /// Re-segments the arena into `k` contiguous shards of (near-)equal
+    /// node count: `n / k` nodes each, the first `n mod k` getting one
+    /// extra. No-op when the segmentation already matches. Buffer contents
+    /// and all observable state are unchanged.
+    pub(crate) fn ensure_shards(&mut self, k: usize) {
+        let n = self.node_count();
+        let k = k.clamp(1, n.max(1));
+        let base = n / k;
+        let extra = n % k;
+        let matches = self.segs.len() == k
+            && self
+                .segs
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.nodes as usize == base + usize::from(i < extra));
+        if matches {
+            return;
+        }
+        let old_spans = std::mem::take(&mut self.spans);
+        let old_segs = std::mem::take(&mut self.segs);
+        self.spans = Vec::with_capacity(n);
+        self.segs = Vec::with_capacity(k);
+        let mut node = 0usize;
+        for s in 0..k {
+            let nodes = base + usize::from(s < extra);
+            let mut slots = Vec::new();
+            let mut live = 0usize;
+            for &old in &old_spans[node..node + nodes] {
+                let (os, ol) = (old.start as usize, old.len as usize);
+                let start = slots.len() as u32;
+                slots.extend_from_slice(&old_segs[old.seg as usize].slots[os..os + ol]);
+                live += ol;
+                self.spans.push(Span {
+                    seg: s as u32,
+                    start,
+                    len: old.len,
+                    cap: old.len,
+                });
+            }
+            self.segs.push(Segment {
+                first_node: node as u32,
+                nodes: nodes as u32,
+                slots,
+                live,
+            });
+            node += nodes;
+        }
+    }
+
+    /// Splits the state into one exclusive [`ShardView`] per segment, for
+    /// `std::thread::scope` workers. Views cover disjoint node ranges, so
+    /// the borrow checker proves the parallel mutation race-free.
+    pub(crate) fn shard_views(&mut self) -> Vec<ShardView<'_>> {
+        let mut views = Vec::with_capacity(self.segs.len());
+        let mut rest: &mut [Span] = &mut self.spans;
+        for seg in self.segs.iter_mut() {
+            let (head, tail) = rest.split_at_mut(seg.nodes as usize);
+            views.push(ShardView {
+                first_node: seg.first_node as usize,
+                spans: head,
+                seg,
+            });
+            rest = tail;
+        }
+        views
     }
 }
 
@@ -248,6 +458,21 @@ mod tests {
     }
 
     #[test]
+    fn remove_from_middle_preserves_order() {
+        let mut st = NetworkState::new(1);
+        for id in 1..=5u64 {
+            st.place(NodeId::new(0), packet(id, 0), Round::new(0));
+        }
+        st.remove(NodeId::new(0), PacketId::new(3)).unwrap();
+        let ids: Vec<u64> = st
+            .buffer(NodeId::new(0))
+            .iter()
+            .map(|sp| sp.id().value())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
     fn staging_roundtrip() {
         let mut st = NetworkState::new(1);
         st.stage(packet(1, 0));
@@ -286,5 +511,85 @@ mod tests {
         assert_eq!(st.drops_at(NodeId::new(1)), 2);
         assert_eq!(st.drops_at(NodeId::new(0)), 0);
         assert_eq!(st.total_dropped(), 3);
+    }
+
+    #[test]
+    fn interleaved_spans_grow_independently() {
+        // Interleaved pushes force repeated relocation inside one slab;
+        // buffers must stay intact and ordered throughout.
+        let mut st = NetworkState::new(3);
+        for i in 0..30u64 {
+            st.place(NodeId::new((i % 3) as usize), packet(i, 1), Round::new(0));
+        }
+        for v in 0..3usize {
+            let buf = st.buffer(NodeId::new(v));
+            assert_eq!(buf.len(), 10, "node {v}");
+            let ids: Vec<u64> = buf.iter().map(|sp| sp.id().value()).collect();
+            let expect: Vec<u64> = (0..10).map(|j| v as u64 + 3 * j).collect();
+            assert_eq!(ids, expect, "node {v}");
+        }
+        assert_eq!(st.total_buffered(), 30);
+    }
+
+    #[test]
+    fn resharding_preserves_buffers() {
+        let mut st = NetworkState::new(5);
+        for i in 0..20u64 {
+            st.place(NodeId::new((i % 5) as usize), packet(i, 1), Round::new(0));
+        }
+        let before: Vec<Vec<u64>> = (0..5)
+            .map(|v| {
+                st.buffer(NodeId::new(v))
+                    .iter()
+                    .map(|sp| sp.id().value())
+                    .collect()
+            })
+            .collect();
+        for k in [2usize, 4, 1, 3] {
+            st.ensure_shards(k);
+            assert_eq!(st.shard_ranges().len(), k);
+            let after: Vec<Vec<u64>> = (0..5)
+                .map(|v| {
+                    st.buffer(NodeId::new(v))
+                        .iter()
+                        .map(|sp| sp.id().value())
+                        .collect()
+                })
+                .collect();
+            assert_eq!(before, after, "k = {k}");
+            assert_eq!(st.total_buffered(), 20);
+        }
+        // Ranges are contiguous, ordered, and cover all nodes.
+        st.ensure_shards(2);
+        assert_eq!(st.shard_ranges(), vec![0..3, 3..5]);
+    }
+
+    #[test]
+    fn shard_views_mutate_disjoint_ranges() {
+        let mut st = NetworkState::new(4);
+        for i in 0..8u64 {
+            st.place(NodeId::new((i % 4) as usize), packet(i, 1), Round::new(0));
+        }
+        st.ensure_shards(2);
+        let seq = st.seq_counter();
+        {
+            let mut views = st.shard_views();
+            assert_eq!(views.len(), 2);
+            // Remove from shard 0, place into shard 1.
+            let sp = views[0].remove(NodeId::new(0), PacketId::new(0)).unwrap();
+            views[1].place_stored(
+                NodeId::new(3),
+                StoredPacket::new(*sp.packet(), Round::new(1), seq),
+            );
+        }
+        st.advance_seq(1);
+        assert_eq!(st.occupancy(NodeId::new(0)), 1);
+        assert_eq!(st.occupancy(NodeId::new(3)), 3);
+        assert_eq!(st.total_buffered(), 8);
+        assert_eq!(
+            st.buffer(NodeId::new(3)).last().unwrap().id(),
+            PacketId::new(0)
+        );
+        assert_eq!(st.seq_counter(), seq + 1);
     }
 }

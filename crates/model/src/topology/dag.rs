@@ -1,5 +1,4 @@
-//! General directed acyclic networks: adjacency-list DAGs with precomputed
-//! next-hop routing tables.
+//! General directed acyclic networks with deterministic next-hop routing.
 //!
 //! The paper proves its AQT bounds for paths and trees, but poses the
 //! space-bandwidth question for general networks, and the closest related
@@ -13,7 +12,19 @@
 //! [`grid`](Dag::grid) constructor inserts each node's row edge before its
 //! column edge, which makes the tie-break reproduce classical
 //! **row-column (XY) routing**: packets travel along their row to the
-//! destination column, then down the column.
+//! destination column, then down.
+//!
+//! Routing is **computed, not tabulated**, wherever a closed form exists:
+//! grids answer `next_hop`/`route_len` from coordinates (XY routing is
+//! O(1) arithmetic — Even & Medina's grid routing never materializes
+//! tables), butterflies from the bit pattern of `row XOR dest_row`, and
+//! diamonds from the three-layer shape. Only [`Dag::from_edges`] on an
+//! arbitrary edge list (and so [`Dag::random_dag`]) falls back to dense
+//! `O(n²)` next-hop/distance tables, confined to the `dense` module. The
+//! computed and dense paths agree input-for-input: building the same mesh
+//! through `from_edges` yields identical routing — the property the
+//! `computed_routing` differential suite checks on every `(from, dest)`
+//! pair.
 //!
 //! Single-out topologies embed losslessly: [`Dag::from`] a [`Path`] or a
 //! [`DirectedTree`] yields a DAG whose `next_hop`, `route_len`,
@@ -26,11 +37,9 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::NodeId;
+use crate::topology::dense::DenseTables;
 use crate::topology::{DirectedTree, Path, Topology};
 use crate::util::SplitMix64;
-
-/// Sentinel for "no next hop / unreachable" in the routing tables.
-const NONE: u32 = u32::MAX;
 
 /// Error produced when an edge list does not describe a DAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,19 +77,48 @@ impl fmt::Display for DagError {
 
 impl std::error::Error for DagError {}
 
+/// How a [`Dag`] answers routing queries: a structured family's closed
+/// form, or the dense-table fallback for arbitrary edge lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Routing {
+    /// Dense `n × n` tables (the `from_edges`/`random_dag` fallback).
+    Dense(DenseTables),
+    /// Row-column (XY) routing from coordinates; node `(r, c)` at
+    /// `r·cols + c`.
+    Grid {
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// Bit-fixing butterfly routing; node `(level, row)` at
+    /// `level·2^k + row`.
+    Butterfly {
+        /// Dimension `k` (`k + 1` levels of `2^k` rows).
+        k: u32,
+    },
+    /// Source → `width` middles → sink.
+    Diamond {
+        /// Number of parallel middle nodes.
+        width: usize,
+    },
+}
+
 /// A directed acyclic network with deterministic next-hop routing.
 ///
-/// Stores the adjacency in CSR form (out-edges of `v` in insertion order),
-/// a topological order, per-node out-degrees, and dense `n × n` next-hop /
-/// distance tables computed once at construction — `next_hop` and
-/// `route_len` are O(1) lookups afterwards. Memory for the tables is
-/// `O(n²)`, sized for the grid/butterfly instances of the experiments, not
-/// for million-node graphs.
+/// Stores the adjacency in CSR form (out-edges of `v` in insertion order)
+/// and a topological order. Routing queries are O(1): structured
+/// constructors ([`grid`](Dag::grid), [`butterfly`](Dag::butterfly),
+/// [`diamond`](Dag::diamond)) compute next hops and distances from
+/// coordinates alone — no per-pair state, so a 1024×1024 mesh costs the
+/// same per query as an 8×8 one — while [`from_edges`](Dag::from_edges)
+/// precomputes dense `n × n` tables as the general-graph fallback.
 ///
-/// Serialization stores only the defining data — node count, the
-/// insertion-ordered edge list, and the grid dims — and deserialization
-/// rebuilds through [`Dag::from_edges`], so replayed artifacts re-run the
-/// full validation (and never carry the `O(n²)` derived tables).
+/// Serialization stores only the defining data — the constructor
+/// parameters for computed families, the insertion-ordered edge list for
+/// the dense fallback — and deserialization rebuilds through the same
+/// constructors, so replayed artifacts re-run the full validation and
+/// never carry `O(n²)` derived tables.
 ///
 /// # Examples
 ///
@@ -106,104 +144,108 @@ pub struct Dag {
     adj_off: Vec<u32>,
     /// A topological order (every edge points forward in it).
     topo: Vec<NodeId>,
-    /// `next[from·n + dest]`: chosen next hop, or [`NONE`].
-    next: Vec<u32>,
-    /// `dist[from·n + dest]`: links on the chosen route, or [`NONE`].
-    dist: Vec<u32>,
+    /// The routing representation (closed form or dense fallback).
+    routing: Routing,
     /// `(rows, cols)` when built by [`Dag::grid`] (drives renderers).
     grid: Option<(usize, usize)>,
 }
 
+/// Validates an edge list and builds the CSR adjacency plus a topological
+/// order — everything a [`Dag`] needs *except* a routing representation.
+#[allow(clippy::type_complexity)]
+fn validated_parts(
+    n: usize,
+    edges: &[(usize, usize)],
+) -> Result<(Vec<NodeId>, Vec<u32>, Vec<NodeId>), DagError> {
+    if n == 0 {
+        return Err(DagError::Empty);
+    }
+    let mut out_deg = vec![0u32; n];
+    for &(u, v) in edges {
+        if u >= n {
+            return Err(DagError::NodeOutOfRange { index: u, n });
+        }
+        if v >= n {
+            return Err(DagError::NodeOutOfRange { index: v, n });
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(NodeId::new(u)));
+        }
+        out_deg[u] += 1;
+    }
+    let mut adj_off = vec![0u32; n + 1];
+    for v in 0..n {
+        adj_off[v + 1] = adj_off[v] + out_deg[v];
+    }
+    let mut adj = vec![NodeId::new(0); edges.len()];
+    let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+    for &(u, v) in edges {
+        adj[cursor[u] as usize] = NodeId::new(v);
+        cursor[u] += 1;
+    }
+    // Duplicate detection within each (now grouped) adjacency list.
+    for v in 0..n {
+        let list = &adj[adj_off[v] as usize..adj_off[v + 1] as usize];
+        for (i, &a) in list.iter().enumerate() {
+            if list[i + 1..].contains(&a) {
+                return Err(DagError::DuplicateEdge(NodeId::new(v), a));
+            }
+        }
+    }
+    // Kahn's algorithm: a complete topological order proves acyclicity.
+    let mut in_deg = vec![0u32; n];
+    for &t in &adj {
+        in_deg[t.index()] += 1;
+    }
+    let mut topo: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+        .filter(|&v| in_deg[v] == 0)
+        .map(NodeId::new)
+        .collect();
+    while let Some(v) = queue.pop_front() {
+        topo.push(v);
+        for &t in &adj[adj_off[v.index()] as usize..adj_off[v.index() + 1] as usize] {
+            in_deg[t.index()] -= 1;
+            if in_deg[t.index()] == 0 {
+                queue.push_back(t);
+            }
+        }
+    }
+    if topo.len() != n {
+        return Err(DagError::Cyclic);
+    }
+    Ok((adj, adj_off, topo))
+}
+
 impl Dag {
     /// Builds a DAG on `n` nodes from a directed edge list, validating and
-    /// precomputing the routing tables.
+    /// precomputing the dense fallback routing tables.
     ///
     /// Edge insertion order is semantic: it is the routing tie-break (see
-    /// the module docs).
+    /// the module docs). Prefer the structured constructors
+    /// ([`grid`](Dag::grid), [`butterfly`](Dag::butterfly),
+    /// [`diamond`](Dag::diamond)) where they apply — they route from
+    /// closed forms with no `O(n²)` table cost.
     ///
     /// # Errors
     ///
     /// Returns a [`DagError`] if `n == 0`, an endpoint is out of range, an
     /// edge is a self-loop or a duplicate, or the edges form a cycle.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, DagError> {
-        if n == 0 {
-            return Err(DagError::Empty);
-        }
-        let mut out_deg = vec![0u32; n];
-        for &(u, v) in edges {
-            if u >= n {
-                return Err(DagError::NodeOutOfRange { index: u, n });
-            }
-            if v >= n {
-                return Err(DagError::NodeOutOfRange { index: v, n });
-            }
-            if u == v {
-                return Err(DagError::SelfLoop(NodeId::new(u)));
-            }
-            out_deg[u] += 1;
-        }
-        let mut adj_off = vec![0u32; n + 1];
-        for v in 0..n {
-            adj_off[v + 1] = adj_off[v] + out_deg[v];
-        }
-        let mut adj = vec![NodeId::new(0); edges.len()];
-        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
-        for &(u, v) in edges {
-            adj[cursor[u] as usize] = NodeId::new(v);
-            cursor[u] += 1;
-        }
-        // Duplicate detection within each (now grouped) adjacency list.
-        for v in 0..n {
-            let list = &adj[adj_off[v] as usize..adj_off[v + 1] as usize];
-            for (i, &a) in list.iter().enumerate() {
-                if list[i + 1..].contains(&a) {
-                    return Err(DagError::DuplicateEdge(NodeId::new(v), a));
-                }
-            }
-        }
-        // Kahn's algorithm: a complete topological order proves acyclicity.
-        let mut in_deg = vec![0u32; n];
-        for &t in &adj {
-            in_deg[t.index()] += 1;
-        }
-        let mut topo: Vec<NodeId> = Vec::with_capacity(n);
-        let mut queue: std::collections::VecDeque<NodeId> = (0..n)
-            .filter(|&v| in_deg[v] == 0)
-            .map(NodeId::new)
-            .collect();
-        while let Some(v) = queue.pop_front() {
-            topo.push(v);
-            for &t in &adj[adj_off[v.index()] as usize..adj_off[v.index() + 1] as usize] {
-                in_deg[t.index()] -= 1;
-                if in_deg[t.index()] == 0 {
-                    queue.push_back(t);
-                }
-            }
-        }
-        if topo.len() != n {
-            return Err(DagError::Cyclic);
-        }
-        let (next, dist) = build_tables(n, &adj, &adj_off, &topo);
+        let (adj, adj_off, topo) = validated_parts(n, edges)?;
+        let tables = DenseTables::build(n, &adj, &adj_off, &topo);
         Ok(Dag {
             adj,
             adj_off,
             topo,
-            next,
-            dist,
+            routing: Routing::Dense(tables),
             grid: None,
         })
     }
 
-    /// A `rows × cols` mesh with edges pointing right (within a row) and
-    /// down (within a column); node `(r, c)` has id `r·cols + c`. The row
-    /// edge is inserted first, so routing is row-column (XY): along the row
-    /// to the destination column, then down.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rows == 0` or `cols == 0`.
-    pub fn grid(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+    /// The canonical edge list of a `rows × cols` mesh (row edge before
+    /// column edge at every cell — the XY tie-break).
+    fn grid_edges(rows: usize, cols: usize) -> Vec<(usize, usize)> {
         let mut edges = Vec::with_capacity(2 * rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -216,26 +258,36 @@ impl Dag {
                 }
             }
         }
-        let mut dag = Dag::from_edges(rows * cols, &edges).expect("mesh edge list is acyclic");
-        dag.grid = Some((rows, cols));
-        dag
+        edges
     }
 
-    /// The `k`-dimensional butterfly: `k + 1` levels of `2^k` rows each,
-    /// node `(level, row)` at id `level·2^k + row`, with a *straight* edge
-    /// to `(level+1, row)` (inserted first) and a *cross* edge to
-    /// `(level+1, row XOR 2^level)`.
+    /// A `rows × cols` mesh with edges pointing right (within a row) and
+    /// down (within a column); node `(r, c)` has id `r·cols + c`. The row
+    /// edge is inserted first, so routing is row-column (XY): along the row
+    /// to the destination column, then down — computed from coordinates,
+    /// with no routing tables, so million-node meshes are cheap to build.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or the butterfly would exceed `u32` node ids.
-    pub fn butterfly(k: u32) -> Self {
-        assert!(k >= 1, "butterfly needs at least one dimension");
-        // (k+1)·2^k must fit u32 node ids; k = 27 is the last that does
-        // (and far beyond what the O(n²) routing tables can host anyway).
-        assert!(k <= 27, "butterfly of dimension {k} exceeds u32 node ids");
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        let edges = Dag::grid_edges(rows, cols);
+        let (adj, adj_off, topo) =
+            validated_parts(rows * cols, &edges).expect("mesh edge list is acyclic");
+        Dag {
+            adj,
+            adj_off,
+            topo,
+            routing: Routing::Grid { rows, cols },
+            grid: Some((rows, cols)),
+        }
+    }
+
+    /// The canonical butterfly edge list (straight before cross at every
+    /// node — the same-row tie-break).
+    fn butterfly_edges(k: u32) -> Vec<(usize, usize)> {
         let per_level = 1usize << k;
-        let n = per_level * (k as usize + 1);
         let mut edges = Vec::with_capacity(2 * per_level * k as usize);
         for level in 0..k as usize {
             for row in 0..per_level {
@@ -245,19 +297,39 @@ impl Dag {
                 // cross
             }
         }
-        Dag::from_edges(n, &edges).expect("butterfly edge list is acyclic")
+        edges
     }
 
-    /// A diamond: one source (node 0) fanning out to `width` parallel
-    /// middle nodes (`1..=width`), all converging on one sink
-    /// (`width + 1`). The canonical multi-out-edge / multi-in-edge stress
-    /// shape.
+    /// The `k`-dimensional butterfly: `k + 1` levels of `2^k` rows each,
+    /// node `(level, row)` at id `level·2^k + row`, with a *straight* edge
+    /// to `(level+1, row)` (inserted first) and a *cross* edge to
+    /// `(level+1, row XOR 2^level)`. Routing is bit-fixing, computed from
+    /// `row XOR dest_row` — no tables.
     ///
     /// # Panics
     ///
-    /// Panics if `width == 0`.
-    pub fn diamond(width: usize) -> Self {
-        assert!(width > 0, "diamond needs at least one middle node");
+    /// Panics if `k == 0` or the butterfly would exceed `u32` node ids.
+    pub fn butterfly(k: u32) -> Self {
+        assert!(k >= 1, "butterfly needs at least one dimension");
+        // (k+1)·2^k must fit u32 node ids; k = 27 is the last that does.
+        assert!(k <= 27, "butterfly of dimension {k} exceeds u32 node ids");
+        let per_level = 1usize << k;
+        let n = per_level * (k as usize + 1);
+        let edges = Dag::butterfly_edges(k);
+        let (adj, adj_off, topo) =
+            validated_parts(n, &edges).expect("butterfly edge list is acyclic");
+        Dag {
+            adj,
+            adj_off,
+            topo,
+            routing: Routing::Butterfly { k },
+            grid: None,
+        }
+    }
+
+    /// The canonical diamond edge list (middles in ascending order — the
+    /// first-middle tie-break).
+    fn diamond_edges(width: usize) -> Vec<(usize, usize)> {
         let sink = width + 1;
         let mut edges = Vec::with_capacity(2 * width);
         for m in 1..=width {
@@ -266,14 +338,37 @@ impl Dag {
         for m in 1..=width {
             edges.push((m, sink));
         }
-        Dag::from_edges(width + 2, &edges).expect("diamond edge list is acyclic")
+        edges
+    }
+
+    /// A diamond: one source (node 0) fanning out to `width` parallel
+    /// middle nodes (`1..=width`), all converging on one sink
+    /// (`width + 1`). The canonical multi-out-edge / multi-in-edge stress
+    /// shape; routing is computed from the three-layer structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn diamond(width: usize) -> Self {
+        assert!(width > 0, "diamond needs at least one middle node");
+        let edges = Dag::diamond_edges(width);
+        let (adj, adj_off, topo) =
+            validated_parts(width + 2, &edges).expect("diamond edge list is acyclic");
+        Dag {
+            adj,
+            adj_off,
+            topo,
+            routing: Routing::Diamond { width },
+            grid: None,
+        }
     }
 
     /// A pseudo-random DAG on `n` nodes, deterministic in `seed`: the spine
     /// path `0 → 1 → … → n−1` is always present (so every pair `i < j` is
     /// connected and the DAG embeds a path), and every remaining forward
     /// edge `(i, j)` with `j > i + 1` is included independently with
-    /// probability `density`.
+    /// probability `density`. No closed routing form exists for it, so it
+    /// uses the dense-table fallback of [`Dag::from_edges`].
     ///
     /// # Panics
     ///
@@ -329,9 +424,14 @@ impl Dag {
         self.grid
     }
 
+    /// Whether routing is answered from a closed form (no dense tables).
+    pub fn is_computed_routing(&self) -> bool {
+        !matches!(self.routing, Routing::Dense(_))
+    }
+
     /// The edge list in per-source insertion order — exactly the input
     /// that [`Dag::from_edges`] rebuilds this DAG (routing tie-breaks
-    /// included) from; also the serialization format.
+    /// included) from.
     pub fn edges(&self) -> Vec<(usize, usize)> {
         (0..self.node_count())
             .flat_map(|v| {
@@ -343,18 +443,37 @@ impl Dag {
     }
 }
 
-// The derived `next`/`dist` tables are pure functions of the edge list,
-// so serialization carries only the defining data and deserialization
-// reconstructs through `from_edges` — replayed artifacts cannot smuggle
-// in tables that disagree with the adjacency (and stay small: a 16×32
-// mesh is ~1k edge pairs instead of half a million table entries).
+// Serialization carries only the defining data: the constructor parameters
+// for computed families (a 1024×1024 mesh is three numbers, not two
+// million edge pairs), the insertion-ordered edge list for the dense
+// fallback. Deserialization rebuilds through the constructors, so
+// replayed artifacts re-run the full validation, cannot smuggle in tables
+// that disagree with the adjacency, and never materialize `O(n²)` state
+// for computed families.
 impl Serialize for Dag {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
-            ("n".into(), self.node_count().to_value()),
-            ("edges".into(), self.edges().to_value()),
-            ("grid".into(), self.grid.to_value()),
-        ])
+        match &self.routing {
+            Routing::Dense(_) => serde::Value::Object(vec![
+                ("n".into(), self.node_count().to_value()),
+                ("edges".into(), self.edges().to_value()),
+                ("grid".into(), self.grid.to_value()),
+            ]),
+            Routing::Grid { .. } => serde::Value::Object(vec![
+                ("n".into(), self.node_count().to_value()),
+                ("routing".into(), serde::Value::Str("grid".into())),
+                ("grid".into(), self.grid.to_value()),
+            ]),
+            Routing::Butterfly { k } => serde::Value::Object(vec![
+                ("n".into(), self.node_count().to_value()),
+                ("routing".into(), serde::Value::Str("butterfly".into())),
+                ("k".into(), k.to_value()),
+            ]),
+            Routing::Diamond { width } => serde::Value::Object(vec![
+                ("n".into(), self.node_count().to_value()),
+                ("routing".into(), serde::Value::Str("diamond".into())),
+                ("width".into(), width.to_value()),
+            ]),
+        }
     }
 }
 
@@ -364,55 +483,48 @@ impl Deserialize for Dag {
             .as_object()
             .ok_or_else(|| serde::Error::custom("expected DAG object"))?;
         let n = usize::from_value(serde::__field(obj, "n"))?;
-        let edges: Vec<(usize, usize)> = Vec::from_value(serde::__field(obj, "edges"))?;
-        let grid: Option<(usize, usize)> = Option::from_value(serde::__field(obj, "grid"))?;
-        let mut dag = Dag::from_edges(n, &edges).map_err(serde::Error::custom)?;
-        if let Some((rows, cols)) = grid {
-            if rows * cols != n {
-                return Err(serde::Error::custom("grid dims do not cover the node set"));
-            }
-            dag.grid = Some((rows, cols));
-        }
-        Ok(dag)
-    }
-}
-
-/// Fills the dense next-hop and distance tables by dynamic programming in
-/// reverse topological order: when `v` is processed, every out-neighbor
-/// already knows its distance to every destination. Among out-edges
-/// achieving the minimum distance, the first in adjacency order wins
-/// (strict `<` comparison), making routing deterministic.
-fn build_tables(
-    n: usize,
-    adj: &[NodeId],
-    adj_off: &[u32],
-    topo: &[NodeId],
-) -> (Vec<u32>, Vec<u32>) {
-    let mut next = vec![NONE; n * n];
-    let mut dist = vec![NONE; n * n];
-    for v in 0..n {
-        dist[v * n + v] = 0;
-    }
-    for &v in topo.iter().rev() {
-        let vi = v.index();
-        for dest in 0..n {
-            if vi == dest {
-                continue;
-            }
-            let mut best = NONE;
-            let mut hop = NONE;
-            for &u in &adj[adj_off[vi] as usize..adj_off[vi + 1] as usize] {
-                let du = dist[u.index() * n + dest];
-                if du != NONE && du + 1 < best {
-                    best = du + 1;
-                    hop = u.index() as u32;
+        let routing: Option<String> = Option::from_value(serde::__field(obj, "routing"))?;
+        match routing.as_deref() {
+            None | Some("dense") => {
+                let edges: Vec<(usize, usize)> = Vec::from_value(serde::__field(obj, "edges"))?;
+                let grid: Option<(usize, usize)> = Option::from_value(serde::__field(obj, "grid"))?;
+                let mut dag = Dag::from_edges(n, &edges).map_err(serde::Error::custom)?;
+                if let Some((rows, cols)) = grid {
+                    if rows * cols != n {
+                        return Err(serde::Error::custom("grid dims do not cover the node set"));
+                    }
+                    dag.grid = Some((rows, cols));
                 }
+                Ok(dag)
             }
-            dist[vi * n + dest] = best;
-            next[vi * n + dest] = hop;
+            Some("grid") => {
+                let dims: Option<(usize, usize)> = Option::from_value(serde::__field(obj, "grid"))?;
+                let (rows, cols) =
+                    dims.ok_or_else(|| serde::Error::custom("grid routing needs grid dims"))?;
+                if rows == 0 || cols == 0 || rows * cols != n {
+                    return Err(serde::Error::custom("grid dims do not cover the node set"));
+                }
+                Ok(Dag::grid(rows, cols))
+            }
+            Some("butterfly") => {
+                let k = u32::from_value(serde::__field(obj, "k"))?;
+                if !(1..=27).contains(&k) || (1usize << k) * (k as usize + 1) != n {
+                    return Err(serde::Error::custom("butterfly dims do not match n"));
+                }
+                Ok(Dag::butterfly(k))
+            }
+            Some("diamond") => {
+                let width = usize::from_value(serde::__field(obj, "width"))?;
+                if width == 0 || width + 2 != n {
+                    return Err(serde::Error::custom("diamond width does not match n"));
+                }
+                Ok(Dag::diamond(width))
+            }
+            Some(other) => Err(serde::Error::custom(format!(
+                "unknown DAG routing kind {other:?}"
+            ))),
         }
     }
-    (next, dist)
 }
 
 impl From<Path> for Dag {
@@ -450,30 +562,130 @@ impl Topology for Dag {
 
     fn next_hop(&self, from: NodeId, dest: NodeId) -> Option<NodeId> {
         let n = self.node_count();
-        if from.index() >= n || dest.index() >= n {
+        let (f, d) = (from.index(), dest.index());
+        if f >= n || d >= n || f == d {
             return None;
         }
-        let hop = self.next[from.index() * n + dest.index()];
-        (hop != NONE).then(|| NodeId::new(hop as usize))
+        match &self.routing {
+            Routing::Dense(t) => t.next_hop(f, d),
+            // XY: along the row to the destination column, then down —
+            // exactly the row-edge-first tie-break of the dense DP.
+            Routing::Grid { cols, .. } => {
+                let (r, c) = (f / cols, f % cols);
+                let (dr, dc) = (d / cols, d % cols);
+                if dr < r || dc < c {
+                    return None;
+                }
+                Some(NodeId::new(if c < dc { f + 1 } else { f + cols }))
+            }
+            // Bit-fixing: the bit at the current level decides straight
+            // vs cross; exactly one choice preserves reachability, so the
+            // straight-edge-first tie-break never actually ties.
+            Routing::Butterfly { k } => {
+                let per_level = 1usize << k;
+                let (l1, r1) = (f / per_level, f % per_level);
+                let (l2, r2) = (d / per_level, d % per_level);
+                let diff = r1 ^ r2;
+                if l1 >= l2 || (diff >> l2) != 0 || (diff & ((1 << l1) - 1)) != 0 {
+                    return None;
+                }
+                Some(NodeId::new(if diff & (1 << l1) == 0 {
+                    f + per_level // straight
+                } else {
+                    (l1 + 1) * per_level + (r1 ^ (1 << l1)) // cross
+                }))
+            }
+            // Source → first middle (the insertion-order tie-break) or the
+            // named middle; middles → sink.
+            Routing::Diamond { width } => {
+                let sink = width + 1;
+                if f == 0 {
+                    Some(NodeId::new(if d == sink { 1 } else { d }))
+                } else if d == sink {
+                    Some(NodeId::new(sink))
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     fn reaches(&self, from: NodeId, dest: NodeId) -> bool {
         let n = self.node_count();
-        from.index() < n && dest.index() < n && self.dist[from.index() * n + dest.index()] != NONE
+        let (f, d) = (from.index(), dest.index());
+        if f >= n || d >= n {
+            return false;
+        }
+        if f == d {
+            return true;
+        }
+        match &self.routing {
+            Routing::Dense(t) => t.reaches(f, d),
+            Routing::Grid { cols, .. } => d / cols >= f / cols && d % cols >= f % cols,
+            Routing::Butterfly { k } => {
+                let per_level = 1usize << k;
+                let (l1, l2) = (f / per_level, d / per_level);
+                let diff = (f % per_level) ^ (d % per_level);
+                l1 <= l2 && (diff >> l2) == 0 && (diff & ((1 << l1) - 1)) == 0
+            }
+            Routing::Diamond { width } => f == 0 || (d == width + 1 && f <= *width),
+        }
     }
 
     fn route_len(&self, from: NodeId, dest: NodeId) -> Option<usize> {
         let n = self.node_count();
-        if from.index() >= n || dest.index() >= n {
+        let (f, d) = (from.index(), dest.index());
+        if f >= n || d >= n {
             return None;
         }
-        let d = self.dist[from.index() * n + dest.index()];
-        (d != NONE).then_some(d as usize)
+        if f == d {
+            return Some(0);
+        }
+        match &self.routing {
+            Routing::Dense(t) => t.route_len(f, d),
+            Routing::Grid { cols, .. } => {
+                let (r, c) = (f / cols, f % cols);
+                let (dr, dc) = (d / cols, d % cols);
+                (dr >= r && dc >= c).then(|| (dr - r) + (dc - c))
+            }
+            Routing::Butterfly { k } => {
+                let per_level = 1usize << k;
+                let (l1, l2) = (f / per_level, d / per_level);
+                let diff = (f % per_level) ^ (d % per_level);
+                (l1 <= l2 && (diff >> l2) == 0 && (diff & ((1 << l1) - 1)) == 0).then(|| l2 - l1)
+            }
+            Routing::Diamond { width } => {
+                let sink = width + 1;
+                if f == 0 {
+                    Some(if d == sink { 2 } else { 1 })
+                } else if d == sink {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     fn on_route(&self, from: NodeId, dest: NodeId, v: NodeId) -> bool {
-        // Walk the *chosen* route (not "any shortest path"), matching the
-        // route_buffers default exactly.
+        // Membership on the *chosen* route (not "any shortest path"),
+        // matching the route_buffers default exactly.
+        if let Routing::Grid { cols, rows } = &self.routing {
+            // The chosen XY route is the L: row `r` from `c` to `dc`,
+            // then column `dc` from `r` to `dr`, destination excluded.
+            let n = rows * cols;
+            let (f, d) = (from.index(), dest.index());
+            if f >= n || d >= n {
+                return false;
+            }
+            let (r, c) = (f / cols, f % cols);
+            let (dr, dc) = (d / cols, d % cols);
+            if dr < r || dc < c || v == dest {
+                return false;
+            }
+            let (vr, vc) = (v.index() / cols, v.index() % cols);
+            return (vr == r && vc >= c && vc <= dc) || (vc == dc && vr >= r && vr <= dr);
+        }
         if !self.reaches(from, dest) {
             return false;
         }
@@ -535,6 +747,7 @@ mod tests {
         // 3 4 5
         let g = Dag::grid(2, 3);
         assert_eq!(g.edge_count(), 7);
+        assert!(g.is_computed_routing());
         // 0 → 5: row to column 2, then down.
         let route = g
             .route_buffers(NodeId::new(0), NodeId::new(5))
@@ -566,10 +779,35 @@ mod tests {
     }
 
     #[test]
+    fn computed_grid_agrees_with_dense_twin_everywhere() {
+        // The dense twin: same edges, same tie-breaks, table-backed.
+        let g = Dag::grid(3, 4);
+        let dense = Dag::from_edges(12, &g.edges()).unwrap();
+        assert!(!dense.is_computed_routing());
+        for from in 0..12usize {
+            for dest in 0..12usize {
+                let (f, d) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(g.next_hop(f, d), dense.next_hop(f, d), "{f}->{d}");
+                assert_eq!(g.route_len(f, d), dense.route_len(f, d), "{f}->{d}");
+                assert_eq!(g.reaches(f, d), dense.reaches(f, d), "{f}->{d}");
+                for v in 0..12usize {
+                    let v = NodeId::new(v);
+                    assert_eq!(
+                        g.on_route(f, d, v),
+                        dense.on_route(f, d, v),
+                        "{f}->{d} via {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn butterfly_shape_and_routing() {
         let b = Dag::butterfly(2); // 3 levels × 4 rows = 12 nodes
         assert_eq!(b.node_count(), 12);
         assert_eq!(b.edge_count(), 16);
+        assert!(b.is_computed_routing());
         // Level 0 row 0 reaches every level-2 row in exactly 2 hops.
         for row in 0..4usize {
             assert_eq!(
@@ -586,9 +824,24 @@ mod tests {
     }
 
     #[test]
+    fn computed_butterfly_agrees_with_dense_twin_everywhere() {
+        let b = Dag::butterfly(3); // 4 levels × 8 rows = 32 nodes
+        let dense = Dag::from_edges(32, &b.edges()).unwrap();
+        for from in 0..32usize {
+            for dest in 0..32usize {
+                let (f, d) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(b.next_hop(f, d), dense.next_hop(f, d), "{f}->{d}");
+                assert_eq!(b.route_len(f, d), dense.route_len(f, d), "{f}->{d}");
+                assert_eq!(b.reaches(f, d), dense.reaches(f, d), "{f}->{d}");
+            }
+        }
+    }
+
+    #[test]
     fn diamond_fans_out_and_back_in() {
         let d = Dag::diamond(3);
         assert_eq!(d.node_count(), 5);
+        assert!(d.is_computed_routing());
         assert_eq!(d.out_degree(NodeId::new(0)), 3);
         assert_eq!(d.route_len(NodeId::new(0), NodeId::new(4)), Some(2));
         // Deterministic tie-break: first middle node wins.
@@ -599,11 +852,30 @@ mod tests {
     }
 
     #[test]
+    fn computed_diamond_agrees_with_dense_twin_everywhere() {
+        let dia = Dag::diamond(4);
+        let dense = Dag::from_edges(6, &dia.edges()).unwrap();
+        for from in 0..6usize {
+            for dest in 0..6usize {
+                let (f, d) = (NodeId::new(from), NodeId::new(dest));
+                assert_eq!(dia.next_hop(f, d), dense.next_hop(f, d), "{f}->{d}");
+                assert_eq!(dia.route_len(f, d), dense.route_len(f, d), "{f}->{d}");
+                assert_eq!(dia.reaches(f, d), dense.reaches(f, d), "{f}->{d}");
+                for v in 0..6usize {
+                    let v = NodeId::new(v);
+                    assert_eq!(dia.on_route(f, d, v), dense.on_route(f, d, v));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn random_dag_is_deterministic_and_contains_the_spine() {
         let a = Dag::random_dag(24, 0.3, 7);
         let b = Dag::random_dag(24, 0.3, 7);
         assert_eq!(a, b);
         assert_ne!(a, Dag::random_dag(24, 0.3, 8));
+        assert!(!a.is_computed_routing());
         // The spine guarantees i < j reachability everywhere.
         for i in 0..24usize {
             for j in i..24 {

@@ -1,0 +1,84 @@
+//! The dense-table routing fallback for arbitrary DAGs.
+//!
+//! This module is the **only** place in the workspace allowed to allocate
+//! `n * n`-sized routing tables (the `no-dense-tables` lint rule in
+//! `xtask` enforces exactly that). Structured families — grids,
+//! butterflies, diamonds, trees — route from closed forms computed per
+//! query (see `topology::dag`); only [`Dag::from_edges`](
+//! crate::Dag::from_edges) on an arbitrary edge list (and thus
+//! [`Dag::random_dag`](crate::Dag::random_dag)) pays the quadratic cost,
+//! because no closed form exists for it.
+
+use crate::ids::NodeId;
+
+/// Sentinel for "no next hop / unreachable" in the routing tables.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Dense `n × n` next-hop and distance tables: O(1) lookups, O(n²) space.
+///
+/// Equality compares the tables themselves, but they are a pure function
+/// of the (validated) edge list, so two `DenseTables` built from the same
+/// adjacency always compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DenseTables {
+    n: usize,
+    /// `next[from·n + dest]`: chosen next hop, or [`NONE`].
+    next: Vec<u32>,
+    /// `dist[from·n + dest]`: links on the chosen route, or [`NONE`].
+    dist: Vec<u32>,
+}
+
+impl DenseTables {
+    /// Fills the dense next-hop and distance tables by dynamic programming
+    /// in reverse topological order: when `v` is processed, every
+    /// out-neighbor already knows its distance to every destination. Among
+    /// out-edges achieving the minimum distance, the first in adjacency
+    /// order wins (strict `<` comparison), making routing deterministic.
+    pub(crate) fn build(n: usize, adj: &[NodeId], adj_off: &[u32], topo: &[NodeId]) -> Self {
+        let mut next = vec![NONE; n * n];
+        let mut dist = vec![NONE; n * n];
+        for v in 0..n {
+            dist[v * n + v] = 0;
+        }
+        for &v in topo.iter().rev() {
+            let vi = v.index();
+            for dest in 0..n {
+                if vi == dest {
+                    continue;
+                }
+                let mut best = NONE;
+                let mut hop = NONE;
+                for &u in &adj[adj_off[vi] as usize..adj_off[vi + 1] as usize] {
+                    let du = dist[u.index() * n + dest];
+                    if du != NONE && du + 1 < best {
+                        best = du + 1;
+                        hop = u.index() as u32;
+                    }
+                }
+                dist[vi * n + dest] = best;
+                next[vi * n + dest] = hop;
+            }
+        }
+        DenseTables { n, next, dist }
+    }
+
+    /// The chosen next hop from `from` toward `dest` (both in range).
+    #[inline]
+    pub(crate) fn next_hop(&self, from: usize, dest: usize) -> Option<NodeId> {
+        let hop = self.next[from * self.n + dest];
+        (hop != NONE).then(|| NodeId::new(hop as usize))
+    }
+
+    /// Links on the chosen route from `from` to `dest` (both in range).
+    #[inline]
+    pub(crate) fn route_len(&self, from: usize, dest: usize) -> Option<usize> {
+        let d = self.dist[from * self.n + dest];
+        (d != NONE).then_some(d as usize)
+    }
+
+    /// Whether `dest` is reachable from `from` (both in range).
+    #[inline]
+    pub(crate) fn reaches(&self, from: usize, dest: usize) -> bool {
+        self.dist[from * self.n + dest] != NONE
+    }
+}

@@ -10,6 +10,7 @@
 //! for.
 
 mod dag;
+mod dense;
 mod path;
 mod spec;
 mod tree;

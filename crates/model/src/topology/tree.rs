@@ -59,6 +59,13 @@ impl std::error::Error for TreeError {}
 /// lies on the (unique) path from `u` to the root. Leaves are minimal, the
 /// root is maximal.
 ///
+/// Routing is **interval-based**: construction assigns every node its DFS
+/// preorder interval (`tin`, `tout`), so ancestry — and with it
+/// [`next_hop`](Topology::next_hop), [`reaches`](Topology::reaches) and
+/// [`on_route`](Topology::on_route) — is two integer comparisons instead of
+/// a parent-chain walk. O(n) extra space, O(1) per query, no `n × n`
+/// tables at any size.
+///
 /// # Examples
 ///
 /// ```
@@ -80,6 +87,11 @@ pub struct DirectedTree {
     parent: Vec<Option<NodeId>>,
     children: Vec<Vec<NodeId>>,
     depth: Vec<u32>,
+    /// DFS preorder entry time; the subtree of `v` is exactly the nodes
+    /// `u` with `tin[v] <= tin[u] < tout[v]` (interval routing).
+    tin: Vec<u32>,
+    /// DFS preorder exit time (exclusive end of `v`'s subtree interval).
+    tout: Vec<u32>,
     root: NodeId,
 }
 
@@ -144,10 +156,35 @@ impl DirectedTree {
         if visited != n {
             return Err(TreeError::NotConnected);
         }
+
+        // Euler intervals by iterative preorder DFS: tin on entry, tout as
+        // the exclusive end of the subtree interval, folded up in reverse
+        // preorder (children appear after their parent in preorder).
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut preorder: Vec<NodeId> = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            tin[v.index()] = preorder.len() as u32;
+            preorder.push(v);
+            // Reverse push so the first child gets the next tin.
+            stack.extend(children[v.index()].iter().rev().copied());
+        }
+        for &v in preorder.iter().rev() {
+            let vi = v.index();
+            tout[vi] = tout[vi].max(tin[vi] + 1);
+            if let Some(p) = parent[vi] {
+                let pi = p.index();
+                tout[pi] = tout[pi].max(tout[vi]);
+            }
+        }
+
         Ok(DirectedTree {
             parent,
             children,
             depth,
+            tin,
+            tout,
             root,
         })
     }
@@ -267,19 +304,13 @@ impl DirectedTree {
 
     /// Whether `anc` lies on the path from `desc` to the root
     /// (inclusive of both endpoints): `desc ⪯ anc` in the paper's order.
+    ///
+    /// O(1) by interval containment: `desc`'s preorder time falls inside
+    /// `anc`'s subtree interval.
+    #[inline]
     pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
-        let da = self.depth[anc.index()];
-        let dd = self.depth[desc.index()];
-        if da > dd {
-            return false;
-        }
-        let mut at = desc;
-        for _ in 0..(dd - da) {
-            at = self
-                .parent(at)
-                .expect("depth accounting guarantees a parent");
-        }
-        at == anc
+        let t = self.tin[desc.index()];
+        self.tin[anc.index()] <= t && t < self.tout[anc.index()]
     }
 
     /// The paper's strict order: `u ≺ v` iff `v` is a *proper* ancestor of
@@ -528,6 +559,28 @@ mod tests {
         // Determinism.
         assert_eq!(rnd, DirectedTree::random(50, 7));
         assert_ne!(rnd, DirectedTree::random(50, 8));
+    }
+
+    #[test]
+    fn interval_ancestry_matches_parent_walk_oracle() {
+        for seed in 0..4u64 {
+            let t = DirectedTree::random(60, seed);
+            for a in 0..60usize {
+                for d in 0..60usize {
+                    let (a, d) = (NodeId::new(a), NodeId::new(d));
+                    let mut at = Some(d);
+                    let mut walk_hit = false;
+                    while let Some(v) = at {
+                        if v == a {
+                            walk_hit = true;
+                            break;
+                        }
+                        at = t.parent(v);
+                    }
+                    assert_eq!(t.is_ancestor_or_self(a, d), walk_hit, "{a} anc-of {d}");
+                }
+            }
+        }
     }
 
     #[test]

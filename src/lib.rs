@@ -113,10 +113,11 @@ pub use aqt_adversary::{
 };
 pub use aqt_analysis::{
     bounds, capacity_rate_grid, capacity_threshold, measured_sigma, measured_sigma_on,
-    parallel_map, render_figure1, run_grid, run_pattern, run_scenario, run_scenarios,
-    run_scenarios_with_threads, run_source, run_source_capacity, sweep, sweep_capacity_grid,
-    CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold, Prediction, RunSummary,
-    Scenario, ScenarioError, ScenarioGrid, StaticReport, SweepAggregate, Table, Verdict,
+    parallel_map, render_figure1, run_grid, run_pattern, run_scenario, run_scenario_sharded,
+    run_scenarios, run_scenarios_with_threads, run_source, run_source_capacity, sweep,
+    sweep_capacity_grid, CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold,
+    Prediction, RunSummary, Scenario, ScenarioError, ScenarioGrid, StaticReport, SweepAggregate,
+    Table, Verdict,
 };
 #[allow(deprecated)]
 pub use aqt_analysis::{

@@ -134,11 +134,19 @@ fn capacity_config_roundtrips() {
 }
 
 #[test]
-fn dag_serialization_is_the_edge_list_and_revalidates() {
+fn dag_serialization_is_the_defining_data_and_revalidates() {
     // The archived form carries the defining data only — no derived
-    // routing tables — and deserialization goes back through from_edges,
-    // so corrupt artifacts are rejected instead of trusted.
+    // routing tables. Closed-form families archive their construction
+    // parameters; arbitrary DAGs archive the edge list and deserialization
+    // goes back through from_edges, so corrupt artifacts are rejected
+    // instead of trusted.
     let json = serde_json::to_string(&Dag::grid(4, 4)).unwrap();
+    assert!(json.contains("\"routing\":\"grid\""));
+    assert!(
+        !json.contains("\"edges\"") && !json.contains("\"next\""),
+        "neither edges nor derived tables are archived for computed families"
+    );
+    let json = serde_json::to_string(&Dag::random_dag(6, 0.5, 1)).unwrap();
     assert!(json.contains("\"edges\""));
     assert!(
         !json.contains("\"next\""),
@@ -148,6 +156,8 @@ fn dag_serialization_is_the_edge_list_and_revalidates() {
     assert!(serde_json::from_str::<Dag>(cyclic).is_err());
     let bad_grid = r#"{"n":2,"edges":[[0,1]],"grid":[3,3]}"#;
     assert!(serde_json::from_str::<Dag>(bad_grid).is_err());
+    let bad_computed = r#"{"n":5,"routing":"grid","grid":[2,2]}"#;
+    assert!(serde_json::from_str::<Dag>(bad_computed).is_err());
 }
 
 #[test]

@@ -13,4 +13,5 @@ fn nondeterministic_everything() {
     let who: ThreadId = thread::current().id();
     println!("{seen:?} {started:?} {coin} {rng:?} {who:?}");
     let _ = run_path(&topo, proto, &pattern, 64);
+    let next_hop_table = vec![u32::MAX; n * n];
 }

@@ -16,13 +16,14 @@ use std::path::Path;
 
 /// Every rule id, in reporting order (the waiver comment grammar is
 /// `#[allow(aqt::<id>)]`).
-pub const RULE_IDS: [&str; 8] = [
+pub const RULE_IDS: [&str; 9] = [
     "no-std-hash",
     "no-wall-clock",
     "no-unseeded-rand",
     "no-thread-id",
     "no-print",
     "no-deprecated-runners",
+    "no-dense-tables",
     "crate-headers",
     "vendor-lock",
 ];
@@ -74,7 +75,7 @@ fn in_bin(path: &str) -> bool {
     path.contains("/bin/")
 }
 
-const CONTENT_RULES: [ContentRule; 6] = [
+const CONTENT_RULES: [ContentRule; 7] = [
     ContentRule {
         id: "no-std-hash",
         tokens: &["HashMap", "HashSet"],
@@ -133,6 +134,16 @@ const CONTENT_RULES: [ContentRule; 6] = [
         // sweep.rs defines the wrappers; everything else is a caller.
         applies: |path| path != "crates/analysis/src/sweep.rs",
         skip_line: |line| line.contains("fn ") || line.contains("pub use"),
+    },
+    ContentRule {
+        id: "no-dense-tables",
+        tokens: &["n * n", "n*n", "node_count() * n"],
+        message: "O(n^2) routing tables wall off million-node meshes; use \
+                  the computed closed forms, or route arbitrary graphs \
+                  through the dense fallback module",
+        // The fallback module is the one place dense tables may live.
+        applies: |path| path != "crates/model/src/topology/dense.rs",
+        skip_line: never_skip,
     },
 ];
 
@@ -564,6 +575,7 @@ mod tests {
             "no-thread-id",
             "no-print",
             "no-deprecated-runners",
+            "no-dense-tables",
         ] {
             assert!(
                 violations.iter().any(|v| v.rule == id),
@@ -636,6 +648,24 @@ pub fn f() -> &'static str {
         assert!(rules_fired("crates/analysis/src/sweep.rs", call).is_empty());
         let reexport = "pub use sweep::{run_path, run_tree};\n";
         assert!(rules_fired("crates/analysis/src/lib.rs", reexport).is_empty());
+    }
+
+    #[test]
+    fn dense_tables_fire_everywhere_but_the_fallback_module() {
+        let alloc = "let next = vec![NONE; n * n];\n";
+        assert_eq!(
+            rules_fired("crates/model/src/topology/dag.rs", alloc),
+            vec!["no-dense-tables"]
+        );
+        assert_eq!(
+            rules_fired("crates/analysis/src/bounds.rs", alloc),
+            vec!["no-dense-tables"]
+        );
+        // The fallback module is the sanctioned home of dense tables.
+        assert!(rules_fired("crates/model/src/topology/dense.rs", alloc).is_empty());
+        // Word boundaries: `len * n` or `n * next` must not fire.
+        assert!(rules_fired("crates/model/src/x.rs", "let a = len * n;\n").is_empty());
+        assert!(rules_fired("crates/model/src/x.rs", "let a = n * next;\n").is_empty());
     }
 
     #[test]
