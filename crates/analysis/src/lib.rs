@@ -13,8 +13,11 @@
 //! * [`bounds`] — the paper's bound formulas as executable functions;
 //! * [`RunSummary`] / [`run_pattern`] / [`run_source`] /
 //!   [`run_source_capacity`] — generic one-shot runs distilled to the
-//!   quantities the theorems speak about (the topology-specific
-//!   `run_path`/`run_tree`/`run_dag` wrappers are deprecated);
+//!   quantities the theorems speak about;
+//! * [`run_scenario_telemetry`] — any scenario with a streaming
+//!   telemetry probe attached (`aqt-telemetry`): counters, occupancy
+//!   and latency histogram sketches, a bounded round series and phase
+//!   profiling in one serializable `TelemetryReport`;
 //! * [`sweep`] — scoped-thread parameter sweeps: [`sweep::parallel`]
 //!   scatters a grid across cores and merges deterministically (equal to
 //!   [`sweep::serial`] for pure functions);
@@ -41,6 +44,7 @@
 //!     source: SourceSpec::Burst { round: 0, source: 0, dest: 7, size: 3 },
 //!     extra: 20,
 //!     capacity: None,
+//!     telemetry: None,
 //! };
 //! let summary = run_scenario(&scenario)?;
 //! let bound = bounds::pts_bound(2);
@@ -62,17 +66,13 @@ mod validate;
 pub use experiment::{Table, Verdict};
 pub use figure1::render_figure1;
 pub use scenario::{
-    run_grid, run_scenario, run_scenario_sharded, run_scenarios, run_scenarios_with_threads,
-    CapacitySpec, Scenario, ScenarioError, ScenarioGrid,
+    run_grid, run_scenario, run_scenario_sharded, run_scenario_telemetry,
+    run_scenario_telemetry_sharded, run_scenario_telemetry_with, run_scenarios,
+    run_scenarios_with_threads, CapacitySpec, Scenario, ScenarioError, ScenarioGrid,
 };
 pub use sweep::{
     measured_sigma, measured_sigma_on, parallel_map, run_pattern, run_source, run_source_capacity,
     RunSummary, SweepAggregate,
-};
-#[allow(deprecated)]
-pub use sweep::{
-    run_dag, run_dag_capacity, run_dag_stream, run_path, run_path_capacity, run_path_stream,
-    run_tree, run_tree_capacity, run_tree_stream,
 };
 pub use threshold::{
     capacity_rate_grid, capacity_threshold, sweep_capacity_grid, CapacityGridPoint, CapacityProbe,

@@ -32,6 +32,7 @@ use aqt_core::{ProtocolSpec, ProtocolSpecError};
 use aqt_model::{
     CapacityConfig, DropPolicyKind, ModelError, Simulation, TopologySpec, TopologySpecError,
 };
+use aqt_telemetry::{Clock, TelemetryProbe, TelemetryReport, TelemetrySpec};
 use serde::{Deserialize, Serialize};
 
 use crate::sweep::{self, RunSummary};
@@ -63,6 +64,7 @@ pub struct CapacitySpec {
 ///     source: SourceSpec::Burst { round: 0, source: 0, dest: 4, size: 3 },
 ///     extra: 10,
 ///     capacity: None,
+///     telemetry: None,
 /// };
 /// let summary = run_scenario(&scenario)?;
 /// assert_eq!(summary.delivered, 3);
@@ -87,6 +89,12 @@ pub struct Scenario {
     pub extra: u64,
     /// Finite buffers, or `None` for the unbounded engine.
     pub capacity: Option<CapacitySpec>,
+    /// Streaming telemetry configuration for
+    /// [`run_scenario_telemetry`], or `None` to run without a probe.
+    /// Plain [`run_scenario`] ignores this field, so attaching a spec
+    /// never changes a summary. Absent in older JSON artifacts, which
+    /// deserialize as `None`.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Scenario {
@@ -230,6 +238,104 @@ pub fn run_scenario_sharded(
     ))
 }
 
+/// [`run_scenario`] with a streaming telemetry probe attached: returns
+/// the usual [`RunSummary`] plus the probe's [`TelemetryReport`].
+///
+/// The probe is configured from `scenario.telemetry` (the default
+/// [`TelemetrySpec`] when `None`) and uses the deterministic
+/// `NullClock`, so the report's `data` half is reproducible and the
+/// summary is byte-identical to an untelemetered [`run_scenario`]
+/// (`tests/sharded_conformance.rs` pins both).
+///
+/// # Errors
+///
+/// Exactly as [`run_scenario`].
+pub fn run_scenario_telemetry(
+    scenario: &Scenario,
+) -> Result<(RunSummary, TelemetryReport), ScenarioError> {
+    run_scenario_telemetry_with(scenario, 1, None, None, |_| {})
+}
+
+/// [`run_scenario_telemetry`] on the sharded engine. The report's
+/// `data` half is identical for every shard count; only the `profile`
+/// half (per-shard move totals, phase times) varies.
+///
+/// # Errors
+///
+/// Exactly as [`run_scenario`].
+pub fn run_scenario_telemetry_sharded(
+    scenario: &Scenario,
+    shards: usize,
+) -> Result<(RunSummary, TelemetryReport), ScenarioError> {
+    run_scenario_telemetry_with(scenario, shards, None, None, |_| {})
+}
+
+/// The fully general telemetry runner behind
+/// [`run_scenario_telemetry`]: explicit shard count (1 = sequential
+/// engine), optional profiling [`Clock`] (`None` = deterministic
+/// `NullClock`), and an optional periodic flush — every `flush_every`
+/// rounds, `flush` receives a snapshot of the report so far, so long
+/// runs can stream partial telemetry to disk. A final flush is **not**
+/// implied: the completed report is the return value.
+///
+/// # Errors
+///
+/// Exactly as [`run_scenario`].
+pub fn run_scenario_telemetry_with(
+    scenario: &Scenario,
+    shards: usize,
+    clock: Option<Box<dyn Clock>>,
+    flush_every: Option<u64>,
+    mut flush: impl FnMut(&TelemetryReport),
+) -> Result<(RunSummary, TelemetryReport), ScenarioError> {
+    let topology = scenario.topology.build()?;
+    let protocol = scenario.protocol.build(&topology)?;
+    let source = scenario.source.build(&topology)?;
+    let mut sim = Simulation::from_source(topology, protocol, source);
+    if let Some(cap) = &scenario.capacity {
+        sim = sim.with_capacity(cap.config.clone(), cap.policy.build());
+    }
+    let spec = scenario.telemetry.unwrap_or_default();
+    let mut probe = match clock {
+        Some(clock) => TelemetryProbe::with_clock(spec, clock),
+        None => TelemetryProbe::new(spec),
+    };
+    // Inline horizon loop (mirrors Simulation::run_past_horizon) so a
+    // flush can fire between rounds.
+    let flush_every = flush_every.unwrap_or(0);
+    let horizon = sim.source().horizon();
+    let mut step =
+        |sim: &mut Simulation<_, _, _>, probe: &mut TelemetryProbe| -> Result<(), ModelError> {
+            if shards > 1 {
+                sim.step_sharded_probed(shards, probe)?;
+            } else {
+                sim.step_probed(probe)?;
+            }
+            if flush_every > 0 && sim.round().value() % flush_every == 0 {
+                flush(&probe.report());
+            }
+            Ok(())
+        };
+    match horizon {
+        Some(horizon) => {
+            let total = horizon + scenario.extra;
+            while sim.round().value() < total {
+                step(&mut sim, &mut probe)?;
+            }
+        }
+        None => {
+            while !sim.source().is_exhausted() {
+                step(&mut sim, &mut probe)?;
+            }
+            for _ in 0..scenario.extra {
+                step(&mut sim, &mut probe)?;
+            }
+        }
+    }
+    let summary = RunSummary::from_metrics(sim.protocol().name(), sim.metrics());
+    Ok((summary, probe.report()))
+}
+
 /// A serializable scenario *grid*: the cartesian product of topology,
 /// protocol, source and capacity axes, expanded in a deterministic
 /// (input-major) order.
@@ -289,6 +395,7 @@ impl ScenarioGrid {
                             source: source.clone(),
                             extra: self.extra,
                             capacity: capacity.clone(),
+                            telemetry: None,
                         });
                     }
                 }
@@ -340,6 +447,7 @@ mod tests {
             },
             extra: 10,
             capacity: None,
+            telemetry: None,
         }
     }
 

@@ -17,15 +17,14 @@
 //! * [`SweepAggregate`] — an order-insensitive reduction of many
 //!   [`RunSummary`]s (sums and maxima only).
 //!
-//! The topology-specific `run_path` / `run_tree` / `run_dag` families are
-//! **deprecated** thin wrappers kept for one release: new code should
-//! either call the generic runners directly or — better — describe the
-//! whole run as a [`Scenario`](crate::Scenario) and let
-//! [`run_scenario`](crate::run_scenario) execute it.
+//! Prefer describing a whole run as a [`Scenario`](crate::Scenario) and
+//! letting [`run_scenario`](crate::run_scenario) execute it; the generic
+//! runners here are the layer underneath for hand-wired protocol or
+//! source instances the spec enums cannot express.
 
 use aqt_model::{
-    analyze, CapacityConfig, Dag, DirectedTree, DropPolicy, InjectionSource, ModelError, Path,
-    Pattern, Protocol, Rate, RunMetrics, Simulation, Topology,
+    analyze, CapacityConfig, DropPolicy, InjectionSource, ModelError, Path, Pattern, Protocol,
+    Rate, RunMetrics, Simulation, Topology,
 };
 use serde::{Deserialize, Serialize};
 
@@ -131,174 +130,6 @@ pub fn run_source_capacity<T: Topology, P: Protocol<T>, S: InjectionSource>(
         sim.protocol().name(),
         sim.metrics(),
     ))
-}
-
-/// Runs `protocol` on a path of `n` nodes against `pattern`.
-///
-/// # Errors
-///
-/// Propagates pattern validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
-)]
-pub fn run_path<P: Protocol<Path>>(
-    n: usize,
-    protocol: P,
-    pattern: &Pattern,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_pattern(Path::new(n), protocol, pattern, extra)
-}
-
-/// Runs `protocol` on a path of `n` nodes against a streaming source.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
-)]
-pub fn run_path_stream<P: Protocol<Path>, S: InjectionSource>(
-    n: usize,
-    protocol: P,
-    source: S,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_source(Path::new(n), protocol, source, extra)
-}
-
-/// Capacity-bounded run on a path of `n` nodes.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
-)]
-pub fn run_path_capacity<P: Protocol<Path>, S: InjectionSource>(
-    n: usize,
-    protocol: P,
-    source: S,
-    extra: u64,
-    config: CapacityConfig,
-    policy: impl DropPolicy + 'static,
-) -> Result<RunSummary, ModelError> {
-    run_source_capacity(Path::new(n), protocol, source, extra, config, policy)
-}
-
-/// Runs `protocol` on a directed tree against `pattern`.
-///
-/// # Errors
-///
-/// Propagates pattern validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
-)]
-pub fn run_tree<P: Protocol<DirectedTree>>(
-    tree: DirectedTree,
-    protocol: P,
-    pattern: &Pattern,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_pattern(tree, protocol, pattern, extra)
-}
-
-/// Runs `protocol` on a directed tree against a streaming source.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
-)]
-pub fn run_tree_stream<P: Protocol<DirectedTree>, S: InjectionSource>(
-    tree: DirectedTree,
-    protocol: P,
-    source: S,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_source(tree, protocol, source, extra)
-}
-
-/// Capacity-bounded run on a directed tree.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
-)]
-pub fn run_tree_capacity<P: Protocol<DirectedTree>, S: InjectionSource>(
-    tree: DirectedTree,
-    protocol: P,
-    source: S,
-    extra: u64,
-    config: CapacityConfig,
-    policy: impl DropPolicy + 'static,
-) -> Result<RunSummary, ModelError> {
-    run_source_capacity(tree, protocol, source, extra, config, policy)
-}
-
-/// Runs `protocol` on a [`Dag`] against `pattern`.
-///
-/// # Errors
-///
-/// Propagates pattern validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_pattern`"
-)]
-pub fn run_dag<P: Protocol<Dag>>(
-    dag: Dag,
-    protocol: P,
-    pattern: &Pattern,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_pattern(dag, protocol, pattern, extra)
-}
-
-/// Runs `protocol` on a [`Dag`] against a streaming source.
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source`"
-)]
-pub fn run_dag_stream<P: Protocol<Dag>, S: InjectionSource>(
-    dag: Dag,
-    protocol: P,
-    source: S,
-    extra: u64,
-) -> Result<RunSummary, ModelError> {
-    run_source(dag, protocol, source, extra)
-}
-
-/// Capacity-bounded run on a [`Dag`].
-///
-/// # Errors
-///
-/// Propagates injection validation or plan errors from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "describe the run as a `Scenario` and call `run_scenario`, or use the generic `run_source_capacity`"
-)]
-pub fn run_dag_capacity<P: Protocol<Dag>, S: InjectionSource>(
-    dag: Dag,
-    protocol: P,
-    source: S,
-    extra: u64,
-    config: CapacityConfig,
-    policy: impl DropPolicy + 'static,
-) -> Result<RunSummary, ModelError> {
-    run_source_capacity(dag, protocol, source, extra, config, policy)
 }
 
 /// Measures the tight σ of `pattern` on a path of `n` nodes at rate ρ —
@@ -472,17 +303,14 @@ impl SweepAggregate {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrappers stay covered until their removal release.
-    #![allow(deprecated)]
-
     use super::*;
     use aqt_core::{Greedy, GreedyPolicy};
-    use aqt_model::{FnSource, Injection};
+    use aqt_model::{Dag, DirectedTree, FnSource, Injection};
 
     #[test]
-    fn run_path_summarizes() {
+    fn run_pattern_summarizes_path_runs() {
         let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
-        let s = run_path(4, Greedy::new(GreedyPolicy::Fifo), &pattern, 5).unwrap();
+        let s = run_pattern(Path::new(4), Greedy::new(GreedyPolicy::Fifo), &pattern, 5).unwrap();
         assert_eq!(s.protocol, "Greedy-FIFO");
         assert_eq!(s.delivered, 1);
         assert_eq!(s.injected, 1);
@@ -491,52 +319,54 @@ mod tests {
     }
 
     #[test]
-    fn run_tree_summarizes() {
+    fn run_pattern_summarizes_tree_runs() {
         let tree = DirectedTree::star(3);
         let pattern = Pattern::from_injections(vec![Injection::new(0, 1, 0)]);
-        let s = run_tree(tree, Greedy::new(GreedyPolicy::Lifo), &pattern, 3).unwrap();
+        let s = run_pattern(tree, Greedy::new(GreedyPolicy::Lifo), &pattern, 3).unwrap();
         assert_eq!(s.delivered, 1);
     }
 
     #[test]
-    fn run_path_stream_matches_pattern_run() {
+    fn run_source_matches_pattern_run() {
         let pattern: Pattern = (0..12u64).map(|t| Injection::new(t, 0, 3)).collect();
-        let from_pattern = run_path(4, Greedy::new(GreedyPolicy::Fifo), &pattern, 8).unwrap();
+        let from_pattern =
+            run_pattern(Path::new(4), Greedy::new(GreedyPolicy::Fifo), &pattern, 8).unwrap();
         let source = FnSource::new(12, |t, out| out.push(Injection::new(t, 0, 3)));
-        let from_stream = run_path_stream(4, Greedy::new(GreedyPolicy::Fifo), source, 8).unwrap();
+        let from_stream =
+            run_source(Path::new(4), Greedy::new(GreedyPolicy::Fifo), source, 8).unwrap();
         assert_eq!(from_pattern, from_stream);
     }
 
     #[test]
-    fn run_tree_stream_runs() {
+    fn run_source_streams_tree_runs() {
         let tree = DirectedTree::star(3);
         let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 1, 0)));
-        let s = run_tree_stream(tree, Greedy::new(GreedyPolicy::Fifo), source, 4).unwrap();
+        let s = run_source(tree, Greedy::new(GreedyPolicy::Fifo), source, 4).unwrap();
         assert_eq!(s.delivered, 4);
     }
 
     #[test]
-    fn run_dag_summarizes_grid_runs() {
+    fn generic_runners_summarize_grid_runs() {
         use aqt_core::DagGreedy;
         // One packet across a 2×3 mesh corner to corner: 3 hops.
         let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 5)]);
-        let s = run_dag(Dag::grid(2, 3), DagGreedy::fifo(), &pattern, 6).unwrap();
+        let s = run_pattern(Dag::grid(2, 3), DagGreedy::fifo(), &pattern, 6).unwrap();
         assert_eq!(s.protocol, "DagGreedy-FIFO");
         assert_eq!(s.delivered, 1);
         assert_eq!(s.mean_latency, Some(3.0));
         let source = FnSource::new(4, |t, out| out.push(Injection::new(t, 0, 5)));
-        let st = run_dag_stream(Dag::grid(2, 3), DagGreedy::fifo(), source, 8).unwrap();
+        let st = run_source(Dag::grid(2, 3), DagGreedy::fifo(), source, 8).unwrap();
         assert_eq!(st.delivered, 4);
     }
 
     #[test]
-    fn run_dag_capacity_reports_losses() {
+    fn run_source_capacity_reports_dag_losses() {
         use aqt_core::DagGreedy;
         use aqt_model::DropTail;
         let source = FnSource::new(1, |t, out| {
             out.extend(std::iter::repeat_n(Injection::new(t, 0, 3), 4));
         });
-        let s = run_dag_capacity(
+        let s = run_source_capacity(
             Dag::grid(2, 2),
             DagGreedy::fifo(),
             source,
@@ -551,13 +381,13 @@ mod tests {
     }
 
     #[test]
-    fn run_path_capacity_reports_losses() {
+    fn run_source_capacity_reports_path_losses() {
         use aqt_model::DropTail;
         let source = FnSource::new(1, |t, out| {
             out.extend(std::iter::repeat_n(Injection::new(t, 0, 3), 4));
         });
-        let s = run_path_capacity(
-            4,
+        let s = run_source_capacity(
+            Path::new(4),
             Greedy::new(GreedyPolicy::Fifo),
             source,
             10,
@@ -573,13 +403,13 @@ mod tests {
     }
 
     #[test]
-    fn run_tree_capacity_runs() {
+    fn run_source_capacity_runs_trees() {
         use aqt_model::DropHead;
         let tree = DirectedTree::star(3);
         let source = FnSource::new(1, |t, out| {
             out.extend(std::iter::repeat_n(Injection::new(t, 1, 0), 3));
         });
-        let s = run_tree_capacity(
+        let s = run_source_capacity(
             tree,
             Greedy::new(GreedyPolicy::Fifo),
             source,

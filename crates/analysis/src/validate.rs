@@ -112,6 +112,28 @@ fn check_round0_capacity(
     Ok(())
 }
 
+/// A zero stride or capacity in a telemetry spec is always a mistake
+/// (the probe would clamp it to 1, silently ignoring the written
+/// value), so `scenarios check` refuses it before any run.
+fn check_telemetry_strides(spec: &aqt_telemetry::TelemetrySpec) -> Result<(), ScenarioError> {
+    for (field, value) in [
+        ("series_capacity", spec.series_capacity),
+        ("series_stride", spec.series_stride),
+        ("occupancy_stride", spec.occupancy_stride),
+    ] {
+        if value == 0 {
+            return Err(ScenarioError::Static {
+                check: "telemetry-strides",
+                reason: format!(
+                    "telemetry.{field} is 0; strides and capacities must be >= 1 \
+                     (1 = every round / unthinned)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Destination-depth d′ for Tree-PPTS (Prop. 3.5): the maximum number of
 /// destinations on any single root path. On a directed tree a node's
 /// root path is exactly the set of nodes it reaches, and every root path
@@ -147,6 +169,9 @@ impl Scenario {
 
         if let Some(cap) = &self.capacity {
             check_round0_capacity(&profile.round0, cap, protocol.injection_mode())?;
+        }
+        if let Some(t) = &self.telemetry {
+            check_telemetry_strides(t)?;
         }
 
         let mut warnings = Vec::new();
@@ -350,6 +375,7 @@ mod tests {
             },
             extra: 100,
             capacity: None,
+            telemetry: None,
         }
     }
 
@@ -384,6 +410,7 @@ mod tests {
                 config: CapacityConfig::uniform(2),
                 policy: DropPolicyKind::Tail,
             }),
+            telemetry: None,
         };
         let err = scenario.validate().unwrap_err();
         assert!(matches!(
@@ -401,6 +428,28 @@ mod tests {
             policy: DropPolicyKind::Tail,
         });
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_telemetry_stride_is_a_static_error() {
+        let mut scenario = diag_scenario();
+        scenario.telemetry = Some(aqt_telemetry::TelemetrySpec {
+            series_capacity: 1024,
+            series_stride: 0,
+            occupancy_stride: 1,
+        });
+        let err = scenario.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Static {
+                check: "telemetry-strides",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("series_stride"));
+        // A well-formed spec passes.
+        scenario.telemetry = Some(aqt_telemetry::TelemetrySpec::default());
+        assert!(scenario.validate().is_ok());
     }
 
     #[test]
@@ -426,6 +475,7 @@ mod tests {
             },
             extra: 200,
             capacity: None,
+            telemetry: None,
         };
         let report = scenario.validate().unwrap();
         assert_eq!(report.sigma, Some(4));
@@ -455,6 +505,7 @@ mod tests {
             },
             extra: 20,
             capacity: None,
+            telemetry: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("pts is proven")));
@@ -474,6 +525,7 @@ mod tests {
             },
             extra: 20,
             capacity: None,
+            telemetry: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report
@@ -493,6 +545,7 @@ mod tests {
             },
             extra: 40,
             capacity: None,
+            telemetry: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("Thm. 4.1")));

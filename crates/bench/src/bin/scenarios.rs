@@ -14,12 +14,15 @@
 //! harness emits (`--csv` for CSV, `--json` for raw `RunSummary` JSON).
 
 use aqt_analysis::{
-    run_scenarios_with_threads, sweep, RunSummary, Scenario, ScenarioError, ScenarioGrid,
-    StaticReport, Table,
+    run_scenario_telemetry_with, run_scenarios_with_threads, sweep, RunSummary, Scenario,
+    ScenarioError, ScenarioGrid, StaticReport, Table,
 };
+use aqt_bench::WallClock;
+use aqt_telemetry::TelemetryReport;
 
 fn usage() {
-    println!("Usage: scenarios [--parallel] [--threads N] [--csv | --json] FILE...");
+    println!("Usage: scenarios [--parallel] [--threads N] [--csv | --json]");
+    println!("                 [--telemetry PATH [--flush-rounds N]] FILE...");
     println!("       scenarios check [--json] FILE...");
     println!();
     println!("Runs JSON scenario files through the declarative scenario layer.");
@@ -33,6 +36,17 @@ fn usage() {
     println!("  --threads N    worker count for --parallel (default: all cores)");
     println!("  --csv          emit CSV instead of a rendered table");
     println!("  --json         emit the RunSummary list as JSON");
+    println!("  --telemetry PATH");
+    println!("                 attach a streaming telemetry probe to every run");
+    println!("                 (counters, occupancy/latency histogram sketches,");
+    println!("                 round series, phase profiling) and write the");
+    println!("                 merged TelemetryReport JSON to PATH; scenarios");
+    println!("                 run serially so the merge order is the input");
+    println!("                 order (incompatible with --parallel)");
+    println!("  --flush-rounds N");
+    println!("                 with --telemetry: rewrite PATH every N rounds");
+    println!("                 during a run, so long runs stream partial");
+    println!("                 telemetry to disk");
     println!("  -h, --help     print this message");
     println!();
     println!("The `check` subcommand statically validates each file without");
@@ -190,6 +204,8 @@ fn main() {
     let mut csv = false;
     let mut json = false;
     let mut threads: Option<usize> = None;
+    let mut telemetry: Option<String> = None;
+    let mut flush_rounds: Option<u64> = None;
     let mut files: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -204,6 +220,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--telemetry" => match iter.next() {
+                Some(path) if !path.starts_with('-') => telemetry = Some(path.clone()),
+                _ => {
+                    eprintln!("error: --telemetry needs a path (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            "--flush-rounds" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => flush_rounds = Some(n),
+                _ => {
+                    eprintln!("error: --flush-rounds needs a positive integer (try --help)");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with('-') => {
                 eprintln!("error: unknown option `{other}` (try --help)");
                 std::process::exit(2);
@@ -213,6 +243,14 @@ fn main() {
     }
     if csv && json {
         eprintln!("error: --csv and --json are mutually exclusive");
+        std::process::exit(2);
+    }
+    if telemetry.is_some() && parallel {
+        eprintln!("error: --telemetry runs serially; drop --parallel (try --help)");
+        std::process::exit(2);
+    }
+    if flush_rounds.is_some() && telemetry.is_none() {
+        eprintln!("error: --flush-rounds requires --telemetry (try --help)");
         std::process::exit(2);
     }
     if files.is_empty() {
@@ -243,7 +281,47 @@ fn main() {
         threads.unwrap_or(1)
     };
     let started = std::time::Instant::now();
-    let results = run_scenarios_with_threads(&scenarios, workers);
+    let results = match &telemetry {
+        // Telemetry path: serial runs with a probe each, merged in input
+        // order (merging sketches is bucket-wise addition, so the merged
+        // report is order-insensitive anyway), streamed to disk every
+        // --flush-rounds rounds and once more at the end.
+        Some(path) => {
+            let write = |report: &TelemetryReport| {
+                let json = serde_json::to_string_pretty(report).expect("report serializes");
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let mut merged = TelemetryReport::default();
+            let results: Vec<Result<RunSummary, ScenarioError>> = scenarios
+                .iter()
+                .map(|scenario| {
+                    let outcome = run_scenario_telemetry_with(
+                        scenario,
+                        1,
+                        Some(Box::new(WallClock::new())),
+                        flush_rounds,
+                        |partial| {
+                            // Completed scenarios + the in-flight one.
+                            let mut snapshot = merged.clone();
+                            snapshot.merge(partial);
+                            write(&snapshot);
+                        },
+                    );
+                    outcome.map(|(summary, report)| {
+                        merged.merge(&report);
+                        summary
+                    })
+                })
+                .collect();
+            write(&merged);
+            eprintln!("wrote telemetry report to {path}");
+            results
+        }
+        None => run_scenarios_with_threads(&scenarios, workers),
+    };
     let elapsed = started.elapsed();
 
     let failed = results.iter().filter(|r| r.is_err()).count();

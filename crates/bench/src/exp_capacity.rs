@@ -140,6 +140,7 @@ pub fn e11a_scenario(
             config: CapacityConfig::uniform(capacity),
             policy: DropPolicyKind::Tail,
         }),
+        telemetry: None,
     }
 }
 

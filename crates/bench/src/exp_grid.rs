@@ -98,6 +98,7 @@ pub fn e12_scenario(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> Sc
         source: load.spec(rounds),
         extra: EXTRA,
         capacity: None,
+        telemetry: None,
     }
 }
 

@@ -143,6 +143,17 @@ pub struct EngineBenchReport {
     pub mesh1m_packets_per_sec: f64,
     /// Shards (scoped worker threads) of the million-node wave.
     pub mesh1m_shards: usize,
+    /// Wall-clock of the E14 bare mesh-smoke rerun in milliseconds (the
+    /// untelemetered half of the overhead pair).
+    pub telemetry_overhead_plain_ms: f64,
+    /// Wall-clock of the E14 fully-probed mesh-smoke rerun in
+    /// milliseconds (occupancy + latency sketches, round series, phase
+    /// profiling on a real clock).
+    pub telemetry_overhead_probed_ms: f64,
+    /// Probe tax in percent: `(probed − plain) / plain × 100`. The
+    /// acceptance bar is < 10%; CI records the trajectory rather than
+    /// gating on one noisy sample.
+    pub telemetry_overhead_pct: f64,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -297,6 +308,12 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let mesh = crate::exp_mesh::measure_mesh(256, 256, if quick { 16 } else { 96 }, mesh_shards);
     let mesh1m = crate::exp_mesh::measure_mesh(1024, 1024, if quick { 2 } else { 24 }, mesh_shards);
 
+    // --- Part 7: the E14 telemetry overhead pair ----------------------
+    // The same smoke shape rerun bare vs fully probed; the delta is the
+    // streaming-telemetry tax tracked as a trajectory.
+    let (t_rows, t_cols, t_rounds) = crate::exp_telemetry::e14_instance(quick);
+    let telemetry = crate::exp_telemetry::measure_telemetry(t_rows, t_cols, t_rounds, mesh_shards);
+
     EngineBenchReport {
         quick,
         nodes: n,
@@ -344,6 +361,9 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         mesh1m_wall_ms: mesh1m.wall_ms,
         mesh1m_packets_per_sec: mesh1m.moves_per_sec,
         mesh1m_shards: mesh1m.shards,
+        telemetry_overhead_plain_ms: telemetry.plain_wall_ms,
+        telemetry_overhead_probed_ms: telemetry.probed_wall_ms,
+        telemetry_overhead_pct: telemetry.overhead_pct,
     }
 }
 
@@ -493,6 +513,12 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
         ]);
     }
     mesh.note("same workload as E13; exported to BENCH_engine.json as mesh_*/mesh1m_* fields");
+    mesh.note(format!(
+        "E14 telemetry pair on the smoke shape: plain {:.1} ms, probed {:.1} ms ({:+.1}%)",
+        report.telemetry_overhead_plain_ms,
+        report.telemetry_overhead_probed_ms,
+        report.telemetry_overhead_pct
+    ));
     vec![throughput, sweeps, capacity, dag, mesh]
 }
 
@@ -695,6 +721,10 @@ mod tests {
         assert!(report.mesh_packets_per_sec > 0.0);
         assert!(report.mesh1m_packets_per_sec > 0.0);
         assert!(report.mesh1m_moves > 0);
+        // The E14 telemetry pair ran and produced a finite overhead.
+        assert!(report.telemetry_overhead_plain_ms > 0.0);
+        assert!(report.telemetry_overhead_probed_ms > 0.0);
+        assert!(report.telemetry_overhead_pct.is_finite());
         let json = engine_bench_json(&report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
@@ -703,6 +733,7 @@ mod tests {
         assert!(json.contains("dag_rounds_per_sec"));
         assert!(json.contains("dag_peak_occupancy"));
         assert!(json.contains("mesh1m_packets_per_sec"));
+        assert!(json.contains("telemetry_overhead_pct"));
         let tables = render_e10(&report);
         assert_eq!(tables.len(), 5);
         assert!(!tables[0].to_csv().contains("NaN"));

@@ -19,6 +19,7 @@
 //! | E11 | finite buffers: goodput vs capacity, space thresholds | [`e11_capacity`] |
 //! | E12 | grid routing: peak buffer vs mesh dimensions | [`e12_grid`] |
 //! | E13 | million-node mesh: computed routing, arenas, sharded rounds | [`e13_mesh`] |
+//! | E14 | telemetry probe overhead + histogram sketches | [`e14_telemetry`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
@@ -36,6 +37,7 @@ mod exp_grid;
 mod exp_locality;
 mod exp_lower;
 mod exp_mesh;
+mod exp_telemetry;
 mod exp_throughput;
 mod exp_tradeoff;
 mod exp_upper;
@@ -51,6 +53,9 @@ pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
 pub use exp_mesh::{
     default_shards, e13_instances, e13_mesh, measure_mesh, render_e13, wave_source, MeshRun,
+};
+pub use exp_telemetry::{
+    e14_instance, e14_telemetry, measure_telemetry, render_e14, TelemetryRun, WallClock,
 };
 pub use exp_throughput::{
     bench_delta_table, bench_regressions, e10_throughput, e6_grid, engine_bench_json,
@@ -78,7 +83,7 @@ pub const EXPERIMENT_IDS: [&str; EXPERIMENT_INDEX.len()] = {
 
 /// The experiment index: `(id, claim, function)` — what `experiments
 /// --list` prints; the single source of truth for experiment ids.
-pub const EXPERIMENT_INDEX: [(&str, &str, &str); 15] = [
+pub const EXPERIMENT_INDEX: [(&str, &str, &str); 16] = [
     (
         "e1",
         "Prop. 3.1 - PTS single destination <= 2 + sigma",
@@ -128,6 +133,11 @@ pub const EXPERIMENT_INDEX: [(&str, &str, &str); 15] = [
         "million-node mesh - computed routing, arenas, sharded rounds",
         "e13_mesh",
     ),
+    (
+        "e14",
+        "telemetry - probe overhead + occupancy/latency sketches",
+        "e14_telemetry",
+    ),
     ("a1", "ablation - HPTS without ActivatePreBad", "a1_prebad"),
     ("a2", "ablation - eager delivery variants", "a2_eager"),
 ];
@@ -157,6 +167,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e11" => e11_capacity(quick),
         "e12" => e12_grid(quick),
         "e13" => e13_mesh(quick),
+        "e14" => e14_telemetry(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

@@ -47,6 +47,7 @@ use crate::ids::{NodeId, PacketId, Round};
 use crate::metrics::RunMetrics;
 use crate::packet::{Packet, StoredPacket};
 use crate::pattern::{Injection, Pattern, PatternError};
+use crate::probe::{EnginePhase, Probe};
 use crate::source::{InjectionSource, PatternSource};
 use crate::state::NetworkState;
 use crate::topology::Topology;
@@ -648,6 +649,21 @@ struct CapacityState {
 /// A validated forwarding move: `(from, packet, next hop, delivers)`.
 type Move = (NodeId, PacketId, NodeId, bool);
 
+/// Closes phase `phase` of round `t` on `probe`: reads the probe's clock,
+/// reports the elapsed nanoseconds since `last`, and returns the new
+/// anchor. A no-op returning 0 without a probe, so the unprobed hot path
+/// pays exactly one branch per phase boundary.
+fn phase_mark(probe: &mut Option<&mut dyn Probe>, t: Round, phase: EnginePhase, last: u64) -> u64 {
+    match probe.as_deref_mut() {
+        Some(p) => {
+            let now = p.now_nanos();
+            p.on_phase(t, phase, now.saturating_sub(last));
+            now
+        }
+        None => 0,
+    }
+}
+
 /// Validates the plan's sends for the nodes in `range` and collects their
 /// moves in node-major order — the sequential engine's move order
 /// restricted to the range, so concatenating the per-range lists in range
@@ -982,18 +998,44 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     /// or the protocol produced an invalid plan; the simulation must not be
     /// used further after an error.
     pub fn step(&mut self) -> Result<RoundOutcome, ModelError> {
+        self.step_impl(None)
+    }
+
+    /// [`step`](Simulation::step) with a [`Probe`] observing the round.
+    ///
+    /// The probe receives only shared references, so the run is
+    /// byte-identical to an unprobed one — same metrics, buffers and
+    /// sequence numbers.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`step`](Simulation::step).
+    pub fn step_probed(&mut self, probe: &mut dyn Probe) -> Result<RoundOutcome, ModelError> {
+        self.step_impl(Some(probe))
+    }
+
+    fn step_impl(&mut self, mut probe: Option<&mut dyn Probe>) -> Result<RoundOutcome, ModelError> {
         let t = self.round;
         let drops_before = self.metrics.dropped;
+        let mut mark = match probe.as_deref_mut() {
+            Some(p) => p.now_nanos(),
+            None => 0,
+        };
 
         let (injected, accepted) = self.injection_phase(t)?;
 
         // --- Observe L^t ----------------------------------------------
         self.metrics.observe(t, &self.state);
+        if let Some(p) = probe.as_deref_mut() {
+            p.on_observe(t, &self.state);
+        }
+        mark = phase_mark(&mut probe, t, EnginePhase::Inject, mark);
 
         // --- Forwarding step ------------------------------------------
         self.plan_buf.clear_sends();
         self.protocol
             .plan(t, &self.topology, &self.state, &mut self.plan_buf);
+        mark = phase_mark(&mut probe, t, EnginePhase::Plan, mark);
         if let Some(e) = collect_moves(
             &self.topology,
             &self.state,
@@ -1004,6 +1046,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         ) {
             return Err(e);
         }
+        mark = phase_mark(&mut probe, t, EnginePhase::Forward, mark);
         // Apply simultaneously: all removals strictly before all placements,
         // so a packet received this round can never be re-forwarded within
         // the same round.
@@ -1019,6 +1062,9 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         for (stored, hop, delivers) in self.lift_buf.drain(..) {
             if delivers {
                 self.metrics.record_delivery(t, stored.packet());
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_delivery(t, stored.packet());
+                }
                 delivered += 1;
             } else {
                 // A forwarded packet crossed its link either way; if the
@@ -1036,15 +1082,20 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         }
         let forwarded = self.moves_buf.len();
         self.metrics.forwarded += forwarded as u64;
+        phase_mark(&mut probe, t, EnginePhase::Merge, mark);
         self.round = t.next();
-        Ok(RoundOutcome {
+        let outcome = RoundOutcome {
             round: t,
             injected,
             accepted,
             forwarded,
             delivered,
             dropped: (self.metrics.dropped - drops_before) as usize,
-        })
+        };
+        if let Some(p) = probe {
+            p.on_round(&outcome, &self.state);
+        }
+        Ok(outcome)
     }
 
     /// Runs `rounds` rounds and returns the metrics.
@@ -1082,6 +1133,36 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
                 }
                 for _ in 0..extra {
                     self.step()?;
+                }
+            }
+        }
+        Ok(&self.metrics)
+    }
+
+    /// [`run_past_horizon`](Simulation::run_past_horizon) with a
+    /// [`Probe`] observing every round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first plan validation error.
+    pub fn run_past_horizon_probed(
+        &mut self,
+        extra: u64,
+        probe: &mut dyn Probe,
+    ) -> Result<&RunMetrics, ModelError> {
+        match self.source.horizon() {
+            Some(horizon) => {
+                let total = horizon + extra;
+                while self.round.value() < total {
+                    self.step_probed(probe)?;
+                }
+            }
+            None => {
+                while !self.source.is_exhausted() {
+                    self.step_probed(probe)?;
+                }
+                for _ in 0..extra {
+                    self.step_probed(probe)?;
                 }
             }
         }
@@ -1125,19 +1206,52 @@ where
     ///
     /// Exactly as [`step`](Simulation::step).
     pub fn step_sharded(&mut self, shards: usize) -> Result<RoundOutcome, ModelError> {
+        self.step_sharded_impl(shards, None)
+    }
+
+    /// [`step_sharded`](Simulation::step_sharded) with a [`Probe`]
+    /// observing the round. Per-shard validated move counts reach
+    /// [`Probe::on_shard_moves`] in ascending shard order; every other
+    /// hook fires exactly as in [`step_probed`](Simulation::step_probed),
+    /// from the coordinating thread at the sequential merge points.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`step`](Simulation::step).
+    pub fn step_sharded_probed(
+        &mut self,
+        shards: usize,
+        probe: &mut dyn Probe,
+    ) -> Result<RoundOutcome, ModelError> {
+        self.step_sharded_impl(shards, Some(probe))
+    }
+
+    fn step_sharded_impl(
+        &mut self,
+        shards: usize,
+        mut probe: Option<&mut dyn Probe>,
+    ) -> Result<RoundOutcome, ModelError> {
         let n = self.topology.node_count();
         let k = shards.clamp(1, n.max(1));
         if k == 1 {
-            return self.step();
+            return self.step_impl(probe);
         }
         self.state.ensure_shards(k);
         let t = self.round;
         let drops_before = self.metrics.dropped;
+        let mut mark = match probe.as_deref_mut() {
+            Some(p) => p.now_nanos(),
+            None => 0,
+        };
 
         let (injected, accepted) = self.injection_phase(t)?;
 
         // --- Observe L^t ----------------------------------------------
         self.metrics.observe(t, &self.state);
+        if let Some(p) = probe.as_deref_mut() {
+            p.on_observe(t, &self.state);
+        }
+        mark = phase_mark(&mut probe, t, EnginePhase::Inject, mark);
 
         let ranges = self.state.shard_ranges();
 
@@ -1169,6 +1283,7 @@ where
             self.protocol
                 .plan(t, &self.topology, &self.state, &mut self.plan_buf);
         }
+        mark = phase_mark(&mut probe, t, EnginePhase::Plan, mark);
 
         // --- Validate & collect moves ---------------------------------
         self.shard_moves.resize_with(k, Vec::new);
@@ -1196,6 +1311,12 @@ where
             }
         }
         let forwarded: usize = self.shard_moves.iter().map(Vec::len).sum();
+        if let Some(p) = probe.as_deref_mut() {
+            for (shard, moves) in self.shard_moves.iter().enumerate() {
+                p.on_shard_moves(t, shard, moves.len());
+            }
+        }
+        mark = phase_mark(&mut probe, t, EnginePhase::Forward, mark);
 
         // --- Apply -----------------------------------------------------
         let mut delivered = 0usize;
@@ -1217,6 +1338,9 @@ where
             for (stored, hop, delivers) in std::mem::take(&mut self.lift_buf).drain(..) {
                 if delivers {
                     self.metrics.record_delivery(t, stored.packet());
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_delivery(t, stored.packet());
+                    }
                     delivered += 1;
                 } else {
                     admit(
@@ -1318,24 +1442,35 @@ where
                 });
             }
             self.state.advance_seq(next - seq0);
+            // Shard buckets drained in ascending shard order, each in its
+            // shard's move order — the sequential delivery order, so
+            // probes see deliveries exactly as in `step`.
             for deliver in &self.shard_deliver {
                 for packet in deliver {
                     self.metrics.record_delivery(t, packet);
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_delivery(t, packet);
+                    }
                     delivered += 1;
                 }
             }
         }
 
         self.metrics.forwarded += forwarded as u64;
+        phase_mark(&mut probe, t, EnginePhase::Merge, mark);
         self.round = t.next();
-        Ok(RoundOutcome {
+        let outcome = RoundOutcome {
             round: t,
             injected,
             accepted,
             forwarded,
             delivered,
             dropped: (self.metrics.dropped - drops_before) as usize,
-        })
+        };
+        if let Some(p) = probe {
+            p.on_round(&outcome, &self.state);
+        }
+        Ok(outcome)
     }
 
     /// Runs `rounds` sharded rounds (see
@@ -1376,6 +1511,37 @@ where
                 }
                 for _ in 0..extra {
                     self.step_sharded(shards)?;
+                }
+            }
+        }
+        Ok(&self.metrics)
+    }
+
+    /// [`run_past_horizon_sharded`](Simulation::run_past_horizon_sharded)
+    /// with a [`Probe`] observing every round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first plan validation error.
+    pub fn run_past_horizon_sharded_probed(
+        &mut self,
+        extra: u64,
+        shards: usize,
+        probe: &mut dyn Probe,
+    ) -> Result<&RunMetrics, ModelError> {
+        match self.source.horizon() {
+            Some(horizon) => {
+                let total = horizon + extra;
+                while self.round.value() < total {
+                    self.step_sharded_probed(shards, probe)?;
+                }
+            }
+            None => {
+                while !self.source.is_exhausted() {
+                    self.step_sharded_probed(shards, probe)?;
+                }
+                for _ in 0..extra {
+                    self.step_sharded_probed(shards, probe)?;
                 }
             }
         }

@@ -63,6 +63,7 @@ mod ids;
 mod metrics;
 mod packet;
 mod pattern;
+mod probe;
 mod rate;
 mod source;
 mod state;
@@ -83,6 +84,7 @@ pub use ids::{NodeId, PacketId, Round};
 pub use metrics::{LatencyStats, RunMetrics};
 pub use packet::{Packet, StoredPacket};
 pub use pattern::{Injection, Pattern, PatternError, Rounds};
+pub use probe::{EnginePhase, Probe};
 pub use rate::{Rate, RateError};
 pub use source::{FnSource, InjectionSource, PatternSource};
 pub use state::NetworkState;

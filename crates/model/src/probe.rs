@@ -1,0 +1,135 @@
+//! Engine observation hooks: the [`Probe`] trait.
+//!
+//! A probe is a passive observer the engine invokes at fixed points of
+//! its round loop — it can count, sketch and time, but it receives only
+//! shared references to engine state and therefore **cannot perturb a
+//! run**: a probed run is byte-identical in
+//! [`RunMetrics`](crate::RunMetrics) to a plain one
+//! (`tests/sharded_conformance.rs` pins this).
+//!
+//! The probe points, in round order:
+//!
+//! 1. [`on_observe`](Probe::on_observe) — the paper's `L^t` measurement
+//!    point (post-injection, pre-forwarding), right after
+//!    `RunMetrics::observe`. This is where occupancy distributions are
+//!    sampled.
+//! 2. [`on_phase`](Probe::on_phase) — once per engine phase
+//!    ([`EnginePhase`]) with its wall-time in nanoseconds, measured by
+//!    the probe's own [`now_nanos`](Probe::now_nanos) clock. The default
+//!    clock returns 0, so library runs never read wall-clock time; a
+//!    real clock lives behind this hook in `aqt-bench`.
+//! 3. [`on_shard_moves`](Probe::on_shard_moves) — per-shard validated
+//!    move counts (sharded rounds only), reported in ascending shard
+//!    order — the same deterministic input-order merge the sweep layer
+//!    uses.
+//! 4. [`on_delivery`](Probe::on_delivery) — one call per delivered
+//!    packet, in the sequential engine's delivery order (the sharded
+//!    engine reports shard buckets in ascending shard order, which *is*
+//!    that order).
+//! 5. [`on_round`](Probe::on_round) — the completed [`RoundOutcome`]
+//!    plus the post-round state.
+//!
+//! All hooks default to no-ops, so `impl Probe for ()` is the canonical
+//! null probe and custom probes override only what they need.
+
+use crate::engine::RoundOutcome;
+use crate::ids::Round;
+use crate::packet::Packet;
+use crate::state::NetworkState;
+
+/// Phases of one engine round, as reported to [`Probe::on_phase`].
+///
+/// The sequential engine reports `Inject`, `Plan`, `Forward`, `Merge`;
+/// the sharded engine reports the same four, where `Plan` and `Forward`
+/// cover the parallel plan/validate fan-out and `Merge` covers the
+/// round-barrier arrival exchange and placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePhase {
+    /// Injection step: staged acceptance, this round's injections, and
+    /// the `L^t` observation.
+    Inject,
+    /// Protocol planning (parallel across shards when sharded).
+    Plan,
+    /// Move validation and collection — the forwarding step's read half.
+    Forward,
+    /// Move application: removals, arrival exchange and placements,
+    /// including deliveries.
+    Merge,
+}
+
+impl EnginePhase {
+    /// All phases, in round order.
+    pub const ALL: [EnginePhase; 4] = [
+        EnginePhase::Inject,
+        EnginePhase::Plan,
+        EnginePhase::Forward,
+        EnginePhase::Merge,
+    ];
+
+    /// Stable lowercase name (`"inject"`, `"plan"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePhase::Inject => "inject",
+            EnginePhase::Plan => "plan",
+            EnginePhase::Forward => "forward",
+            EnginePhase::Merge => "merge",
+        }
+    }
+}
+
+/// Passive observation hooks invoked by
+/// [`Simulation::step_probed`](crate::Simulation::step_probed) and
+/// [`Simulation::step_sharded_probed`](crate::Simulation::step_sharded_probed).
+///
+/// Every hook has a no-op default; see the [module docs](self) for the
+/// probe points and their ordering guarantees.
+pub trait Probe {
+    /// Current timestamp in nanoseconds, used by the engine to time
+    /// phases. The default returns 0 — phase durations come out as 0 and
+    /// no wall clock is ever read, keeping library runs deterministic.
+    fn now_nanos(&mut self) -> u64 {
+        0
+    }
+
+    /// The `L^t` measurement point of `round`: post-injection,
+    /// pre-forwarding.
+    fn on_observe(&mut self, _round: Round, _state: &NetworkState) {}
+
+    /// One engine phase of `round` took `nanos` nanoseconds (0 when
+    /// [`now_nanos`](Probe::now_nanos) is the default).
+    fn on_phase(&mut self, _round: Round, _phase: EnginePhase, _nanos: u64) {}
+
+    /// Shard `shard` validated `moves` moves in `round` (sharded rounds
+    /// only), reported in ascending shard order.
+    fn on_shard_moves(&mut self, _round: Round, _shard: usize, _moves: usize) {}
+
+    /// `packet` was delivered in `round`. End-to-end latency is
+    /// `round − packet.injected_at() + 1`, matching
+    /// [`LatencyStats`](crate::LatencyStats).
+    fn on_delivery(&mut self, _round: Round, _packet: &Packet) {}
+
+    /// The round completed with `outcome`; `state` is the post-round
+    /// network state.
+    fn on_round(&mut self, _outcome: &RoundOutcome, _state: &NetworkState) {}
+}
+
+/// The null probe: every hook is the default no-op.
+impl Probe for () {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = EnginePhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["inject", "plan", "forward", "merge"]);
+    }
+
+    #[test]
+    fn unit_probe_defaults_are_noops() {
+        let mut p = ();
+        assert_eq!(Probe::now_nanos(&mut p), 0);
+        p.on_phase(Round::ZERO, EnginePhase::Plan, 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Injectable time sources for phase profiling.
+//!
+//! Library code never reads the wall clock (the workspace lint enforces
+//! this), so phase timing is routed through the [`Clock`] trait: the
+//! [`TelemetryProbe`](crate::TelemetryProbe) asks its clock for a
+//! timestamp at every phase boundary. The default [`NullClock`] returns
+//! 0 everywhere — probed library runs stay deterministic and pay no
+//! syscalls — while `aqt-bench` supplies an `Instant`-backed clock for
+//! real profiling, and [`TickClock`] gives tests a deterministic
+//! monotonic source.
+
+/// A monotonic nanosecond source consulted at engine phase boundaries.
+///
+/// Implementations must be cheap: the engine calls
+/// [`now_nanos`](Clock::now_nanos) four times per round when profiling
+/// is enabled.
+pub trait Clock {
+    /// Current timestamp in nanoseconds. Only differences are ever
+    /// interpreted, so the epoch is arbitrary; returning a constant
+    /// (like [`NullClock`] does) yields all-zero phase durations.
+    fn now_nanos(&mut self) -> u64;
+}
+
+/// The deterministic default clock: always returns 0, so phase
+/// durations come out as 0 and no wall-clock time is ever read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_nanos(&mut self) -> u64 {
+        0
+    }
+}
+
+/// A deterministic test clock that advances a fixed number of
+/// nanoseconds per reading.
+#[derive(Debug, Clone)]
+pub struct TickClock {
+    now: u64,
+    step: u64,
+}
+
+impl TickClock {
+    /// Creates a clock that starts at 0 and advances `step` nanoseconds
+    /// on every [`now_nanos`](Clock::now_nanos) call.
+    pub fn new(step: u64) -> Self {
+        TickClock { now: 0, step }
+    }
+}
+
+impl Clock for TickClock {
+    fn now_nanos(&mut self) -> u64 {
+        let t = self.now;
+        self.now = self.now.wrapping_add(self.step);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_constant_zero() {
+        let mut c = NullClock;
+        assert_eq!(c.now_nanos(), 0);
+        assert_eq!(c.now_nanos(), 0);
+    }
+
+    #[test]
+    fn tick_clock_advances_by_step() {
+        let mut c = TickClock::new(7);
+        assert_eq!(c.now_nanos(), 0);
+        assert_eq!(c.now_nanos(), 7);
+        assert_eq!(c.now_nanos(), 14);
+    }
+}

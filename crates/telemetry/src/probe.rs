@@ -1,0 +1,267 @@
+//! The [`TelemetryProbe`]: a [`Probe`] implementation that feeds every
+//! engine hook into bounded sketches, counters and a ring series.
+
+use aqt_model::{EnginePhase, NetworkState, Packet, Probe, Round, RoundOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{Clock, NullClock};
+use crate::report::{TelemetryProfile, TelemetryReport};
+use crate::series::{RoundSample, RoundSeries};
+use crate::sketch::HistogramSketch;
+
+/// Configuration for a [`TelemetryProbe`].
+///
+/// All strides/capacities are clamped to at least 1 at probe
+/// construction. The spec is serializable so scenarios can carry it
+/// (the `telemetry` field of `aqt-analysis`' `Scenario`); note the
+/// vendored serde requires every field to be present in JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Ring capacity of the per-round series (samples retained).
+    pub series_capacity: u64,
+    /// Keep rounds where `round % series_stride == 0` in the series.
+    pub series_stride: u64,
+    /// Sample buffer occupancy distributions only on rounds where
+    /// `round % occupancy_stride == 0` (occupancy sampling touches every
+    /// node, so large meshes may want a stride > 1).
+    pub occupancy_stride: u64,
+}
+
+impl Default for TelemetrySpec {
+    /// 1024 retained samples, every round in the series, occupancy
+    /// sampled every round.
+    fn default() -> Self {
+        TelemetrySpec {
+            series_capacity: 1024,
+            series_stride: 1,
+            occupancy_stride: 1,
+        }
+    }
+}
+
+/// The standard telemetry probe: O(histogram buckets + ring capacity)
+/// memory, independent of rounds and node count.
+///
+/// Construct with [`new`](TelemetryProbe::new) (deterministic
+/// [`NullClock`], all phase times 0) or
+/// [`with_clock`](TelemetryProbe::with_clock) (e.g. a wall clock from
+/// `aqt-bench`), drive it through `Simulation::step_probed` /
+/// `run_past_horizon_probed` (or their sharded variants), then take the
+/// result with [`report`](TelemetryProbe::report).
+pub struct TelemetryProbe {
+    spec: TelemetrySpec,
+    clock: Box<dyn Clock>,
+    counters: crate::report::TelemetryCounters,
+    occupancy: HistogramSketch,
+    latency: HistogramSketch,
+    series: RoundSeries,
+    profile: TelemetryProfile,
+}
+
+impl std::fmt::Debug for TelemetryProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryProbe")
+            .field("spec", &self.spec)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetryProbe {
+    /// Creates a probe with the deterministic [`NullClock`] (phase
+    /// durations all 0; no wall-clock reads).
+    pub fn new(spec: TelemetrySpec) -> Self {
+        TelemetryProbe::with_clock(spec, Box::new(NullClock))
+    }
+
+    /// Creates a probe timing phases with `clock`.
+    pub fn with_clock(spec: TelemetrySpec, clock: Box<dyn Clock>) -> Self {
+        TelemetryProbe {
+            spec,
+            clock,
+            counters: crate::report::TelemetryCounters::default(),
+            occupancy: HistogramSketch::new(),
+            latency: HistogramSketch::new(),
+            series: RoundSeries::new(
+                spec.series_capacity.max(1) as usize,
+                spec.series_stride.max(1),
+            ),
+            profile: TelemetryProfile::default(),
+        }
+    }
+
+    /// The spec this probe was built with.
+    pub fn spec(&self) -> TelemetrySpec {
+        self.spec
+    }
+
+    /// Snapshots the accumulated telemetry. Cheap enough to call
+    /// mid-run for periodic flushing: O(buckets + retained samples).
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            data: crate::report::TelemetryData {
+                counters: self.counters,
+                occupancy: self.occupancy.clone(),
+                latency: self.latency.clone(),
+                series: self.series.to_data(),
+            },
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+impl Probe for TelemetryProbe {
+    fn now_nanos(&mut self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    fn on_observe(&mut self, round: Round, state: &NetworkState) {
+        if round.value() % self.spec.occupancy_stride.max(1) != 0 {
+            return;
+        }
+        for occ in state.occupancies() {
+            self.occupancy.record(occ as u64);
+        }
+    }
+
+    fn on_phase(&mut self, _round: Round, phase: EnginePhase, nanos: u64) {
+        match phase {
+            EnginePhase::Inject => self.profile.inject.record(nanos),
+            EnginePhase::Plan => self.profile.plan.record(nanos),
+            EnginePhase::Forward => self.profile.forward.record(nanos),
+            EnginePhase::Merge => self.profile.merge.record(nanos),
+        }
+    }
+
+    fn on_shard_moves(&mut self, _round: Round, shard: usize, moves: usize) {
+        if self.profile.shard_moves.len() <= shard {
+            self.profile.shard_moves.resize(shard + 1, 0);
+        }
+        self.profile.shard_moves[shard] += moves as u64;
+    }
+
+    fn on_delivery(&mut self, round: Round, packet: &Packet) {
+        // Same latency convention as RunMetrics: a packet injected and
+        // delivered in the same round took 1 round.
+        let latency = round.since(packet.injected_at()).unwrap_or(0) + 1;
+        self.latency.record(latency);
+    }
+
+    fn on_round(&mut self, outcome: &RoundOutcome, _state: &NetworkState) {
+        self.counters.rounds += 1;
+        self.counters.injected += outcome.injected as u64;
+        self.counters.accepted += outcome.accepted as u64;
+        self.counters.forwarded += outcome.forwarded as u64;
+        self.counters.delivered += outcome.delivered as u64;
+        self.counters.dropped += outcome.dropped as u64;
+        self.series.offer(RoundSample {
+            round: outcome.round.value(),
+            injected: outcome.injected as u64,
+            accepted: outcome.accepted as u64,
+            forwarded: outcome.forwarded as u64,
+            delivered: outcome.delivered as u64,
+            dropped: outcome.dropped as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TickClock;
+    use aqt_model::{
+        ForwardingPlan, Injection, NodeId, Path, Pattern, Protocol, Simulation, Topology,
+    };
+
+    /// Forward every non-empty buffer.
+    struct Drain;
+    impl<T: Topology> Protocol<T> for Drain {
+        fn name(&self) -> String {
+            "drain".into()
+        }
+        fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+            for v in 0..state.node_count() {
+                let v = NodeId::new(v);
+                if let Some(top) = state.lifo_top_where(v, |_| true) {
+                    plan.send(v, top.id());
+                }
+            }
+        }
+    }
+
+    fn two_packet_pattern() -> Pattern {
+        Pattern::from_injections(vec![Injection::new(0, 0, 3), Injection::new(1, 1, 3)])
+    }
+
+    #[test]
+    fn probe_counts_and_sketches_a_run() {
+        let pattern = two_packet_pattern();
+        let mut sim = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        let mut probe = TelemetryProbe::new(TelemetrySpec::default());
+        sim.run_past_horizon_probed(6, &mut probe).unwrap();
+        let report = probe.report();
+        assert_eq!(report.data.counters.injected, 2);
+        assert_eq!(report.data.counters.delivered, 2);
+        assert_eq!(report.data.latency.count(), 2);
+        // Packet 0 travels 0→3 (3 hops, latency 3+1 with the +1
+        // same-round convention applied after its final hop round).
+        assert!(report.data.latency.max >= 3);
+        assert!(report.data.occupancy.count() > 0);
+        assert_eq!(report.data.counters.rounds, report.data.series.offered);
+        // NullClock: all phase durations are zero.
+        assert_eq!(report.profile.plan.nanos, 0);
+        assert_eq!(report.profile.plan.rounds, report.data.counters.rounds);
+        assert!(report.profile.shard_moves.is_empty());
+    }
+
+    #[test]
+    fn probed_metrics_match_plain_run() {
+        let pattern = two_packet_pattern();
+        let mut plain = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        plain.run_past_horizon(6).unwrap();
+        let mut probed = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        let mut probe = TelemetryProbe::new(TelemetrySpec::default());
+        probed.run_past_horizon_probed(6, &mut probe).unwrap();
+        assert_eq!(
+            serde_json::to_string(plain.metrics()).unwrap(),
+            serde_json::to_string(probed.metrics()).unwrap()
+        );
+    }
+
+    #[test]
+    fn tick_clock_times_phases() {
+        let pattern = two_packet_pattern();
+        let mut sim = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        let mut probe =
+            TelemetryProbe::with_clock(TelemetrySpec::default(), Box::new(TickClock::new(1)));
+        sim.run_past_horizon_probed(6, &mut probe).unwrap();
+        let report = probe.report();
+        // TickClock advances 1ns per reading; each phase boundary is one
+        // reading, so every phase accumulates rounds × 1ns.
+        let rounds = report.data.counters.rounds;
+        assert_eq!(report.profile.inject.nanos, rounds);
+        assert_eq!(report.profile.plan.nanos, rounds);
+        assert_eq!(report.profile.forward.nanos, rounds);
+        assert_eq!(report.profile.merge.nanos, rounds);
+    }
+
+    #[test]
+    fn occupancy_stride_thins_sampling() {
+        let pattern = two_packet_pattern();
+        let spec = TelemetrySpec {
+            occupancy_stride: 4,
+            ..TelemetrySpec::default()
+        };
+        let mut sim = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        let mut probe = TelemetryProbe::new(spec);
+        sim.run_past_horizon_probed(6, &mut probe).unwrap();
+        let strided = probe.report();
+        let mut sim = Simulation::new(Path::new(4), Drain, &pattern).unwrap();
+        let mut probe = TelemetryProbe::new(TelemetrySpec::default());
+        sim.run_past_horizon_probed(6, &mut probe).unwrap();
+        let dense = probe.report();
+        assert!(strided.data.occupancy.count() < dense.data.occupancy.count());
+        // 4 nodes sampled on rounds 0, 4, ... only.
+        assert_eq!(strided.data.occupancy.count() % 4, 0);
+    }
+}

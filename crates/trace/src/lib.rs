@@ -12,6 +12,13 @@
 //! * [`sparkline`] / [`heatmap`] / [`loss_heatmap`] — ASCII renderings of
 //!   occupancy (and, for capacity-bounded runs, packet loss) over space
 //!   and time.
+//! * [`histogram`] — bar-chart rendering for the log2-bucket
+//!   [`HistogramSketch`]es that `aqt-telemetry` probes collect, so a
+//!   telemetry report can be eyeballed without leaving the terminal.
+//!
+//! [`Traced`] keeps memory bounded on long or large runs: past a
+//! configurable cell cap it decimates the trace in place (doubling its
+//! sampling stride) rather than growing without bound.
 //!
 //! ## Example: trace a run and render it
 //!
@@ -62,5 +69,7 @@ pub use event::{RoundRecord, SendRecord, Trace};
 pub use monitor::{
     run_monitored, BadnessExcessMonitor, Monitor, Monitored, OccupancyMonitor, Violation,
 };
-pub use render::{grid_heatmap, heatmap, loss_heatmap, sparkline};
+pub use render::{grid_heatmap, heatmap, histogram, loss_heatmap, sparkline};
 pub use traced::Traced;
+
+pub use aqt_telemetry::HistogramSketch;

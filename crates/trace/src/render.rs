@@ -1,9 +1,12 @@
-//! ASCII renderings of traces: sparklines for occupancy series and a
-//! space-time heatmap of the whole run.
+//! ASCII renderings of traces: sparklines for occupancy series, a
+//! space-time heatmap of the whole run, and bar charts for the
+//! log2-bucket histogram sketches produced by `aqt-telemetry`.
 //!
 //! These are debugging aids: a glance at the heatmap shows where the
 //! adversary piled packets up, how a peak-to-sink wave travels right, and
 //! whether a protocol idles (columns freeze) or leaks (a row saturates).
+
+use aqt_telemetry::HistogramSketch;
 
 use crate::event::Trace;
 
@@ -201,6 +204,64 @@ pub fn grid_heatmap(trace: &Trace, rows: usize, cols: usize) -> String {
     out
 }
 
+/// Renders a [`HistogramSketch`] as a horizontal bar chart: one line per
+/// occupied log2 bucket (and the empty buckets between them), labelled
+/// with the bucket's value range, bars scaled to the largest bucket and
+/// capped at `max_width` characters. The header carries the exact
+/// count / mean / p50 / p99 / max so the chart stands alone in a log.
+///
+/// Returns an empty string for an empty sketch.
+///
+/// # Examples
+///
+/// ```
+/// use aqt_telemetry::HistogramSketch;
+/// use aqt_trace::histogram;
+///
+/// let mut h = HistogramSketch::new();
+/// for v in [0, 0, 1, 2, 3, 6] {
+///     h.record(v);
+/// }
+/// let chart = histogram(&h, "occupancy", 40);
+/// assert!(chart.starts_with("occupancy — histogram"));
+/// assert!(chart.contains("4-7"));
+/// ```
+pub fn histogram(sketch: &HistogramSketch, title: &str, max_width: usize) -> String {
+    if sketch.count() == 0 {
+        return String::new();
+    }
+    let width = max_width.max(1);
+    let tallest = sketch.buckets.iter().copied().max().unwrap_or(0).max(1);
+    let label = |idx: usize| -> String {
+        match idx {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            _ => format!("{}-{}", 1u64 << (idx - 1), (1u64 << idx) - 1),
+        }
+    };
+    let mut out = format!(
+        "{title} — histogram (count {}, mean {:.2}, p50 {}, p99 {}, max {})\n",
+        sketch.count(),
+        sketch.mean(),
+        sketch.approx_quantile(0.5),
+        sketch.approx_quantile(0.99),
+        sketch.max
+    );
+    let label_width = (0..sketch.buckets.len())
+        .map(|i| label(i).len())
+        .max()
+        .unwrap_or(1);
+    for (idx, &n) in sketch.buckets.iter().enumerate() {
+        let bar = "█".repeat(((n as usize) * width).div_ceil(tallest as usize).min(width));
+        out.push_str(&format!(
+            "{:>label_width$} |{bar} {n}\n",
+            label(idx),
+            label_width = label_width
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +384,53 @@ mod tests {
     fn grid_heatmap_rejects_mismatched_dims() {
         let t = trace_with(vec![vec![0, 1]]);
         let _ = grid_heatmap(&t, 3, 3);
+    }
+
+    #[test]
+    fn histogram_renders_every_bucket_with_ranges() {
+        let mut h = HistogramSketch::new();
+        for v in [0u64, 0, 1, 2, 3, 3, 3, 9] {
+            h.record(v);
+        }
+        let chart = histogram(&h, "latency", 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Header + one line per bucket up to 9's bucket [8, 15].
+        assert!(lines[0].contains("count 8"), "{chart}");
+        assert!(lines[0].contains("max 9"), "{chart}");
+        assert_eq!(lines.len(), 1 + 5, "{chart}");
+        // The fullest bucket ([2,3]: samples 2, 3, 3, 3) gets the widest bar.
+        let bucket23 = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("2-3 "))
+            .unwrap();
+        assert!(bucket23.contains("█") && bucket23.ends_with('4'), "{chart}");
+        // The empty bucket between 3 and 9 still renders, with count 0.
+        let bucket47 = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("4-7 "))
+            .unwrap();
+        assert!(
+            !bucket47.contains('█') && bucket47.ends_with('0'),
+            "{chart}"
+        );
+    }
+
+    #[test]
+    fn histogram_empty_sketch_renders_empty() {
+        assert_eq!(histogram(&HistogramSketch::new(), "x", 10), "");
+    }
+
+    #[test]
+    fn histogram_bars_cap_at_width() {
+        let mut h = HistogramSketch::new();
+        for _ in 0..1000 {
+            h.record(1);
+        }
+        h.record(0);
+        let chart = histogram(&h, "x", 8);
+        for line in chart.lines().skip(1) {
+            assert!(line.chars().filter(|&c| c == '█').count() <= 8, "{chart}");
+        }
     }
 
     #[test]

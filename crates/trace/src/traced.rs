@@ -12,6 +12,26 @@ use crate::event::{RoundRecord, SendRecord, Trace};
 /// point and appends one [`RoundRecord`] per round. Retrieve the trace
 /// after the run through [`Simulation::protocol`](aqt_model::Simulation::protocol):
 ///
+/// ## Bounded memory
+///
+/// A full trace costs `O(node_count × rounds)` cells, which silently
+/// reaches gigabytes on million-node runs (a 2¹⁰×2¹⁰ mesh traced for
+/// 10 000 rounds is ~10¹⁰ cells). `Traced` therefore enforces a cell
+/// cap ([`Traced::DEFAULT_CELL_CAP`], 2²² ≈ 4M cells ≈ tens of MB;
+/// tune with [`with_cell_cap`](Traced::with_cell_cap)): whenever the
+/// recorded cells would exceed the cap, the trace is decimated in
+/// place — the sampling [`stride`](Traced::stride) doubles and only
+/// records whose round is a multiple of the new stride are retained.
+/// Recording then continues at the coarser stride, so memory stays
+/// `O(cap)` for any horizon while the retained records stay evenly
+/// spaced. Once the stride exceeds 1 the trace is a *sample*: drop
+/// deltas of rounds skipped going forward accumulate into the next
+/// retained record, but records removed by a decimation pass take
+/// their sends and drops with them, so aggregates such as
+/// [`Trace::peak`] or [`Trace::total_drops`] reflect only sampled
+/// rounds. For exact full-horizon aggregates on large runs, prefer
+/// the constant-memory histogram sketches in `aqt-telemetry`.
+///
 /// ```
 /// use aqt_core::{Greedy, GreedyPolicy};
 /// use aqt_model::{Injection, Path, Pattern, Simulation};
@@ -38,17 +58,47 @@ pub struct Traced<P> {
     /// [`RoundRecord::drops`](crate::RoundRecord::drops) for the
     /// attribution rule).
     seen_drops: Vec<u64>,
+    /// Decimation cap: retained records × node_count stays ≤ this.
+    cell_cap: usize,
+    /// Current sampling stride; rounds not divisible by it are skipped.
+    stride: u64,
 }
 
 impl<P> Traced<P> {
+    /// Default cap on retained trace cells (records × node_count).
+    ///
+    /// 2²² cells keep a full-resolution trace for any run where
+    /// `node_count × rounds ≤ ~4M` (e.g. a 64-node path for 65 536
+    /// rounds, or a 256×256 mesh for 64 rounds) and decimate beyond
+    /// that.
+    pub const DEFAULT_CELL_CAP: usize = 1 << 22;
+
     /// Wraps `inner`; the trace starts empty and grows by one record per
-    /// planned round.
+    /// planned round, decimating at [`Traced::DEFAULT_CELL_CAP`] cells.
     pub fn new(inner: P) -> Self {
         Traced {
             inner,
             trace: Trace::new("", 0),
             seen_drops: Vec::new(),
+            cell_cap: Self::DEFAULT_CELL_CAP,
+            stride: 1,
         }
+    }
+
+    /// Overrides the retained-cell cap (clamped to at least 1).
+    ///
+    /// A cap smaller than one round's worth of cells (`node_count`)
+    /// still retains at least the most recent record, so the trace is
+    /// never empty after a planned round.
+    pub fn with_cell_cap(mut self, cells: usize) -> Self {
+        self.cell_cap = cells.max(1);
+        self
+    }
+
+    /// The current sampling stride: 1 while the trace is complete,
+    /// doubled on every decimation pass.
+    pub fn stride(&self) -> u64 {
+        self.stride
     }
 
     /// The recorded trace so far.
@@ -90,6 +140,11 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
         if self.seen_drops.len() != state.node_count() {
             self.seen_drops = vec![0; state.node_count()];
         }
+        // Stride sampling: skipped rounds leave `seen_drops` untouched,
+        // so their drop deltas accumulate into the next retained record.
+        if round.value() % self.stride != 0 {
+            return;
+        }
         let occupancy = (0..state.node_count())
             .map(|v| state.occupancy(aqt_model::NodeId::new(v)) as u32)
             .collect();
@@ -126,6 +181,16 @@ impl<T: Topology, P: Protocol<T>> Protocol<T> for Traced<P> {
             drops,
             sends,
         });
+        // Decimate in place when the retained cells exceed the cap:
+        // double the stride and keep only stride-aligned records (round
+        // 0 always survives, so the trace is never emptied).
+        while self.trace.rounds.len() * state.node_count() > self.cell_cap
+            && self.trace.rounds.len() > 1
+        {
+            self.stride = self.stride.saturating_mul(2);
+            let stride = self.stride;
+            self.trace.rounds.retain(|r| r.round.value() % stride == 0);
+        }
     }
 }
 
@@ -175,6 +240,84 @@ mod tests {
         assert_eq!(trace.total_drops(), sim.metrics().dropped);
         assert_eq!(trace.rounds[0].drops[NodeId::new(0).index()], 2);
         assert_eq!(trace.drop_series()[0], 2);
+    }
+
+    #[test]
+    fn cell_cap_decimates_instead_of_blowing_up() {
+        // 8 nodes × 256 rounds = 2048 cells against a 64-cell cap: only
+        // 8 records fit, so the stride must climb while the protocol's
+        // behavior stays untouched.
+        let pattern: Pattern = (0..64u64).map(|t| Injection::new(t, 0, 7)).collect();
+        let mut capped = Simulation::new(
+            Path::new(8),
+            Traced::new(Ppts::new()).with_cell_cap(64),
+            &pattern,
+        )
+        .unwrap();
+        capped.run(256).unwrap();
+        let mut full = Simulation::new(Path::new(8), Traced::new(Ppts::new()), &pattern).unwrap();
+        full.run(256).unwrap();
+
+        // Transparent: decimation never changes what the run computes.
+        assert_eq!(
+            serde_json::to_string(capped.metrics()).unwrap(),
+            serde_json::to_string(full.metrics()).unwrap()
+        );
+
+        let traced = capped.protocol();
+        let stride = traced.stride();
+        assert!(stride > 1, "a 2048-cell run must decimate at cap 64");
+        let trace = traced.trace();
+        assert!(
+            trace.rounds.len() * 8 <= 64,
+            "retained cells {} exceed the cap",
+            trace.rounds.len() * 8
+        );
+        // Every survivor is stride-aligned, and round 0 always survives.
+        assert!(trace.rounds.iter().all(|r| r.round.value() % stride == 0));
+        assert_eq!(trace.rounds[0].round.value(), 0);
+        // The untouched run keeps full resolution.
+        assert_eq!(full.protocol().stride(), 1);
+        assert_eq!(full.protocol().trace().rounds.len(), 256);
+    }
+
+    #[test]
+    fn skipped_round_drops_accumulate_into_the_next_record() {
+        use aqt_model::{CapacityConfig, DropTail, NodeId};
+        // Cap 16 cells on an 8-node path holds 2 records. The push /
+        // decimate schedule is fixed by node_count and cap alone:
+        // record 0, record 1, record 2 (24 cells → stride 2, keep
+        // {0, 2}), skip 3, record 4 (→ stride 4, keep {0, 4}), skip
+        // 5-7. Round 3 is skipped *forward*, so its drop delta must
+        // land in round 4's record.
+        let pattern: Pattern = (0..8u64)
+            .flat_map(|t| std::iter::repeat_n(Injection::new(t, 0, 7), 4))
+            .collect();
+        let run = |traced: Traced<Ppts>| {
+            let mut sim = Simulation::new(Path::new(8), traced, &pattern)
+                .unwrap()
+                .with_capacity(CapacityConfig::uniform(2), DropTail);
+            sim.run(8).unwrap();
+            sim.protocol().clone()
+        };
+        let capped = run(Traced::new(Ppts::new()).with_cell_cap(16));
+        let full = run(Traced::new(Ppts::new()));
+
+        assert_eq!(capped.stride(), 4);
+        let rounds: Vec<u64> = capped
+            .trace()
+            .rounds
+            .iter()
+            .map(|r| r.round.value())
+            .collect();
+        assert_eq!(rounds, vec![0, 4]);
+        let at = |t: &Traced<Ppts>, r: usize| {
+            u64::from(t.trace().rounds[r].drops[NodeId::new(0).index()])
+        };
+        // Round 2 was the last *recorded* round before 4 (recorded,
+        // then decimated away), so record 4 carries rounds 3 + 4.
+        assert_eq!(at(&capped, 1), at(&full, 3) + at(&full, 4));
+        assert!(at(&full, 3) > 0, "round 3 must actually drop");
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config: CapacityConfig::uniform(6),
             policy: DropPolicyKind::Tail,
         }),
+        telemetry: None,
     };
 
     // Any run is a reproducible artifact: print the spec, then run it.
@@ -95,6 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         source: SourceSpec::AllFloods { rounds: 4 },
         extra: 10,
         capacity: None,
+        telemetry: None,
     };
     println!("\nPPTS on a grid: {}", run_scenario(&wrong).unwrap_err());
     Ok(())

@@ -18,6 +18,8 @@
 //! | [`adversary`] | `aqt-adversary` | bounded adversary generators incl. the §5 lower-bound construction |
 //! | [`algorithms`] | `aqt-core` | PTS, PPTS, HPTS, tree variants, greedy baselines, badness instrumentation |
 //! | [`analysis`] | `aqt-analysis` | bound formulas, sweep helpers, table rendering, Figure 1 |
+//! | [`telemetry`] | `aqt-telemetry` | streaming probes, histogram sketches, phase profiling |
+//! | [`trace`] | `aqt-trace` | execution tracing, invariant monitors, ASCII rendering |
 //!
 //! The most commonly used items are re-exported at the crate root.
 //!
@@ -106,6 +108,11 @@ pub mod trace {
     pub use aqt_trace::*;
 }
 
+/// Streaming telemetry: probes, histogram sketches, phase profiling.
+pub mod telemetry {
+    pub use aqt_telemetry::*;
+}
+
 pub use aqt_adversary::{
     grid, patterns, shape, Admitter, Cadence, DestSpec, LowerBoundAdversary, LowerBoundError,
     RandomAdversary, RandomPathSource, RandomTreeSource, ShapingSource, SourceSpec,
@@ -114,15 +121,11 @@ pub use aqt_adversary::{
 pub use aqt_analysis::{
     bounds, capacity_rate_grid, capacity_threshold, measured_sigma, measured_sigma_on,
     parallel_map, render_figure1, run_grid, run_pattern, run_scenario, run_scenario_sharded,
+    run_scenario_telemetry, run_scenario_telemetry_sharded, run_scenario_telemetry_with,
     run_scenarios, run_scenarios_with_threads, run_source, run_source_capacity, sweep,
     sweep_capacity_grid, CapacityGridPoint, CapacityProbe, CapacitySpec, CapacityThreshold,
     Prediction, RunSummary, Scenario, ScenarioError, ScenarioGrid, StaticReport, SweepAggregate,
     Table, Verdict,
-};
-#[allow(deprecated)]
-pub use aqt_analysis::{
-    run_dag, run_dag_capacity, run_dag_stream, run_path, run_path_capacity, run_path_stream,
-    run_tree, run_tree_capacity, run_tree_stream,
 };
 pub use aqt_core::{
     badness, low_antichain, Batched, DagGreedy, DestSpaceError, Greedy, GreedyPolicy, Hierarchy,
@@ -137,6 +140,10 @@ pub use aqt_model::{
     PacketId, Path, Pattern, PatternError, PatternSource, Protocol, Rate, RateError, Round,
     RoundOutcome, RunMetrics, Simulation, StagingMode, StoredPacket, Topology, TopologySpec,
     TopologySpecError, TreeError, TreeSpec, Victim,
+};
+pub use aqt_telemetry::{
+    Clock, HistogramSketch, NullClock, PhaseStat, RoundSample, TelemetryCounters, TelemetryData,
+    TelemetryProbe, TelemetryProfile, TelemetryReport, TelemetrySpec, TickClock,
 };
 pub use aqt_trace::{
     grid_heatmap, heatmap, loss_heatmap, run_monitored, sparkline, BadnessExcessMonitor, Monitor,

@@ -1,12 +1,14 @@
 //! The scenario differential suite: the declarative layer is a
-//! **conservative replacement** for the nine legacy `run_*` helpers.
+//! **conservative replacement** for hand-wired runs.
 //!
 //! For every cell of the protocol × topology × workload × capacity
 //! matrix, a [`Scenario`] describing the run must produce output
-//! *byte-identical* to the hand-wired legacy helper it replaces:
+//! *byte-identical* to the generic runner invocation it replaces:
 //!
-//! * the [`RunSummary`] returned by [`run_scenario`] equals the legacy
-//!   helper's, compared as serialized JSON;
+//! * the [`RunSummary`] returned by [`run_scenario`] equals the generic
+//!   runner's ([`run_pattern`] / [`run_source`] /
+//!   [`run_source_capacity`] on the concrete topology), compared as
+//!   serialized JSON;
 //! * the full [`RunMetrics`] JSON and the per-node cumulative drop
 //!   counters of a simulation assembled from the built specs
 //!   ([`TopologySpec::build`] → [`ProtocolSpec::build`] →
@@ -17,11 +19,8 @@
 //! `AnyTopology` dispatch, protocol adaptation, source construction or
 //! capacity plumbing shows up as a byte diff here.
 
-#![allow(deprecated)] // the legacy helpers are the reference under test
-
 use small_buffers::{
-    run_dag, run_dag_capacity, run_dag_stream, run_path, run_path_capacity, run_path_stream,
-    run_scenario, run_tree, run_tree_capacity, run_tree_stream, Batched, Cadence, CapacityConfig,
+    run_pattern, run_scenario, run_source, run_source_capacity, Batched, Cadence, CapacityConfig,
     CapacitySpec, Dag, DagGreedy, DestSpec, DirectedTree, DropPolicyKind, Greedy, GreedyPolicy,
     Injection, InjectionSource, NodeId, Path, Pattern, Ppts, Protocol, ProtocolSpec, Pts,
     RandomAdversary, Rate, RunSummary, Scenario, Simulation, SourceSpec, StagingMode, Topology,
@@ -114,10 +113,11 @@ fn scenario(
         source,
         extra: EXTRA,
         capacity,
+        telemetry: None,
     }
 }
 
-/// run_path ≡ scenario, across the whole path protocol registry.
+/// run_pattern on a path ≡ scenario, across the whole path protocol registry.
 #[test]
 fn path_pattern_runs_are_byte_identical() {
     let single = single_dest_pattern();
@@ -173,7 +173,7 @@ fn path_pattern_runs_are_byte_identical() {
         ),
     ];
     for (label, mk, spec, pattern) in cases {
-        let legacy_summary = run_path(N, mk(), pattern, EXTRA).expect("legacy run");
+        let legacy_summary = run_pattern(Path::new(N), mk(), pattern, EXTRA).expect("legacy run");
         let legacy = artifacts(
             Path::new(N),
             mk(),
@@ -190,7 +190,7 @@ fn path_pattern_runs_are_byte_identical() {
     }
     // Every greedy policy, on both the node-greedy and per-link registries.
     for policy in GreedyPolicy::ALL {
-        let legacy_summary = run_path(N, Greedy::new(policy), &multi, EXTRA).unwrap();
+        let legacy_summary = run_pattern(Path::new(N), Greedy::new(policy), &multi, EXTRA).unwrap();
         let legacy = artifacts(
             Path::new(N),
             Greedy::new(policy),
@@ -205,7 +205,8 @@ fn path_pattern_runs_are_byte_identical() {
         );
         assert_equivalent(&format!("greedy-{policy:?}"), &legacy_summary, legacy, &s);
 
-        let legacy_summary = run_path(N, DagGreedy::new(policy), &multi, EXTRA).unwrap();
+        let legacy_summary =
+            run_pattern(Path::new(N), DagGreedy::new(policy), &multi, EXTRA).unwrap();
         let legacy = artifacts(
             Path::new(N),
             DagGreedy::new(policy),
@@ -227,7 +228,7 @@ fn path_pattern_runs_are_byte_identical() {
     }
 }
 
-/// run_path_stream ≡ scenario for streaming generator sources.
+/// run_source on a path ≡ scenario for streaming generator sources.
 #[test]
 fn path_stream_runs_are_byte_identical() {
     let rate = Rate::new(2, 3).unwrap();
@@ -236,8 +237,8 @@ fn path_stream_runs_are_byte_identical() {
         .destinations(DestSpec::Spread { count: 3 })
         .cadence(Cadence::Bursty { period: 7 })
         .seed(11);
-    let legacy_summary = run_path_stream(
-        N,
+    let legacy_summary = run_source(
+        Path::new(N),
         Greedy::new(GreedyPolicy::LongestInSystem),
         adversary.stream_path(&Path::new(N)),
         EXTRA,
@@ -278,8 +279,13 @@ fn path_stream_runs_are_byte_identical() {
             2,
         )
     };
-    let legacy_summary =
-        run_path_stream(N, Greedy::new(GreedyPolicy::Fifo), mk_shaped(), EXTRA).unwrap();
+    let legacy_summary = run_source(
+        Path::new(N),
+        Greedy::new(GreedyPolicy::Fifo),
+        mk_shaped(),
+        EXTRA,
+    )
+    .unwrap();
     let legacy = artifacts(
         Path::new(N),
         Greedy::new(GreedyPolicy::Fifo),
@@ -306,7 +312,7 @@ fn path_stream_runs_are_byte_identical() {
     assert_equivalent("shaped-path-stream", &legacy_summary, legacy, &s);
 }
 
-/// run_path_capacity ≡ scenario across drop policies and staging modes.
+/// run_source_capacity on a path ≡ scenario across drop policies and staging modes.
 #[test]
 fn path_capacity_runs_are_byte_identical() {
     let overload = || {
@@ -325,8 +331,8 @@ fn path_capacity_runs_are_byte_identical() {
             for cap in [2usize, 5] {
                 let config = CapacityConfig::uniform(cap).staging(staging);
                 // Batched greedy exercises the staging machinery.
-                let legacy_summary = run_path_capacity(
-                    N,
+                let legacy_summary = run_source_capacity(
+                    Path::new(N),
                     Batched::new(Greedy::new(GreedyPolicy::Fifo), 3),
                     overload(),
                     EXTRA,
@@ -366,8 +372,8 @@ fn path_capacity_runs_are_byte_identical() {
     }
 }
 
-/// run_tree / run_tree_stream / run_tree_capacity ≡ scenario on every
-/// tree family.
+/// run_pattern / run_source / run_source_capacity on trees ≡ scenario on
+/// every tree family.
 #[test]
 fn tree_runs_are_byte_identical() {
     let trees: Vec<(&str, DirectedTree, TreeSpec)> = vec![
@@ -392,7 +398,7 @@ fn tree_runs_are_byte_identical() {
         let topo_spec = TopologySpec::Tree(tree_spec);
 
         // Pattern-based, TreePts and TreePpts.
-        let legacy_summary = run_tree(tree.clone(), TreePts::new(root), &gather, EXTRA).unwrap();
+        let legacy_summary = run_pattern(tree.clone(), TreePts::new(root), &gather, EXTRA).unwrap();
         let legacy = artifacts(
             tree.clone(),
             TreePts::new(root),
@@ -407,7 +413,7 @@ fn tree_runs_are_byte_identical() {
         );
         assert_equivalent(&format!("{label}-tree-pts"), &legacy_summary, legacy, &s);
 
-        let legacy_summary = run_tree(tree.clone(), TreePpts::new(), &gather, EXTRA).unwrap();
+        let legacy_summary = run_pattern(tree.clone(), TreePpts::new(), &gather, EXTRA).unwrap();
         let legacy = artifacts(
             tree.clone(),
             TreePpts::new(),
@@ -425,7 +431,7 @@ fn tree_runs_are_byte_identical() {
         // Streaming random adversary.
         let rate = Rate::new(1, 2).unwrap();
         let adversary = RandomAdversary::new(rate, 2, 40).seed(3);
-        let legacy_summary = run_tree_stream(
+        let legacy_summary = run_source(
             tree.clone(),
             Greedy::new(GreedyPolicy::Fifo),
             adversary.stream_tree(&tree),
@@ -458,7 +464,7 @@ fn tree_runs_are_byte_identical() {
 
         // Capacity-bounded.
         let config = CapacityConfig::uniform(2);
-        let legacy_summary = run_tree_capacity(
+        let legacy_summary = run_source_capacity(
             tree.clone(),
             Greedy::new(GreedyPolicy::Fifo),
             small_buffers::PatternSource::new(&gather),
@@ -494,8 +500,8 @@ fn tree_runs_are_byte_identical() {
     }
 }
 
-/// run_dag / run_dag_stream / run_dag_capacity ≡ scenario on every DAG
-/// family.
+/// run_pattern / run_source / run_source_capacity on DAGs ≡ scenario on
+/// every DAG family.
 #[test]
 fn dag_runs_are_byte_identical() {
     let dags: Vec<(&str, Dag, TopologySpec)> = vec![
@@ -529,7 +535,7 @@ fn dag_runs_are_byte_identical() {
         let pattern: Pattern = (0..8u64).map(|t| Injection::new(t, 0, sink)).collect();
         for policy in [GreedyPolicy::Fifo, GreedyPolicy::NearestToGo] {
             let legacy_summary =
-                run_dag(dag.clone(), DagGreedy::new(policy), &pattern, EXTRA).unwrap();
+                run_pattern(dag.clone(), DagGreedy::new(policy), &pattern, EXTRA).unwrap();
             let legacy = artifacts(
                 dag.clone(),
                 DagGreedy::new(policy),
@@ -548,7 +554,7 @@ fn dag_runs_are_byte_identical() {
         // Capacity-bounded with drops.
         let burst: Pattern = Pattern::from_injections(vec![Injection::new(0, 0, sink); 6]);
         let config = CapacityConfig::uniform(2);
-        let legacy_summary = run_dag_capacity(
+        let legacy_summary = run_source_capacity(
             dag.clone(),
             DagGreedy::fifo(),
             small_buffers::PatternSource::new(&burst),
@@ -580,7 +586,7 @@ fn dag_runs_are_byte_identical() {
 
     // Streaming grid loads on a mesh.
     let mesh = Dag::grid(4, 4);
-    let legacy_summary = run_dag_stream(
+    let legacy_summary = run_source(
         mesh.clone(),
         DagGreedy::fifo(),
         small_buffers::grid::all_floods_source(4, 4, 15),

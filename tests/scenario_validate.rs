@@ -77,6 +77,16 @@ fn empty_hierarchy_is_a_protocol_error() {
 }
 
 #[test]
+fn zero_telemetry_stride_is_a_static_check() {
+    let err = reject("invalid/zero_telemetry_stride.json");
+    assert!(
+        matches!(&err, ScenarioError::Static { check, .. } if *check == "telemetry-strides"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("series_stride"), "{err}");
+}
+
+#[test]
 fn out_of_range_destination_is_a_source_error() {
     let err = reject("invalid/out_of_range_dest.json");
     assert!(matches!(err, ScenarioError::Source(_)), "{err}");

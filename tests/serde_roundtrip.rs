@@ -380,6 +380,7 @@ mod scenario_specs {
                 config: CapacityConfig::uniform(3).staging(StagingMode::Counted),
                 policy: small_buffers::DropPolicyKind::Farthest,
             }),
+            telemetry: None,
         };
         let replay = roundtrip(&scenario);
         assert_eq!(replay, scenario);

@@ -14,8 +14,9 @@
 //! representations (computed grids and dense-table random DAGs).
 
 use small_buffers::{
-    run_scenario, run_scenario_sharded, CapacityConfig, CapacitySpec, DropPolicyKind, GreedyPolicy,
-    Injection, ProtocolSpec, Scenario, SourceSpec, StagingMode, Topology, TopologySpec, TreeSpec,
+    run_scenario, run_scenario_sharded, run_scenario_telemetry, run_scenario_telemetry_sharded,
+    CapacityConfig, CapacitySpec, DropPolicyKind, GreedyPolicy, Injection, ProtocolSpec, Scenario,
+    SourceSpec, StagingMode, TelemetrySpec, Topology, TopologySpec, TreeSpec,
 };
 
 const EXTRA: u64 = 40;
@@ -50,6 +51,7 @@ fn scenario(
         source,
         extra: EXTRA,
         capacity,
+        telemetry: None,
     }
 }
 
@@ -220,4 +222,123 @@ fn capacity_and_staging_cells_are_sharding_invariant() {
         }),
     );
     assert_sharding_invariant("capacity/mesh", &s);
+}
+
+/// Representative cells for the telemetry invariants below: a contended
+/// path under `Batched`, a streaming mesh, and a lossy capacity cell
+/// (so the probe sees drops, not just forwards).
+fn telemetry_cells() -> Vec<(&'static str, Scenario)> {
+    let spec = TelemetrySpec {
+        series_capacity: 32,
+        series_stride: 1,
+        occupancy_stride: 1,
+    };
+    let mut cells = vec![
+        (
+            "path/batched",
+            scenario(
+                TopologySpec::Path { n: 12 },
+                ProtocolSpec::Batched {
+                    inner: Box::new(ProtocolSpec::Greedy {
+                        policy: GreedyPolicy::Fifo,
+                    }),
+                    phase: 3,
+                },
+                path_pattern(),
+                None,
+            ),
+        ),
+        (
+            "grid/diag-wave",
+            scenario(
+                TopologySpec::Grid { rows: 8, cols: 8 },
+                ProtocolSpec::DagGreedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                SourceSpec::DiagonalWave {
+                    per_step: 1,
+                    gap: 1,
+                },
+                None,
+            ),
+        ),
+        (
+            "path/lossy",
+            scenario(
+                TopologySpec::Path { n: 10 },
+                ProtocolSpec::Greedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                SourceSpec::Repeat {
+                    source: 0,
+                    dest: 9,
+                    per_round: 3,
+                    rounds: 20,
+                },
+                Some(CapacitySpec {
+                    config: CapacityConfig::uniform(2),
+                    policy: DropPolicyKind::Tail,
+                }),
+            ),
+        ),
+    ];
+    for (_, s) in &mut cells {
+        s.telemetry = Some(spec);
+    }
+    cells
+}
+
+#[test]
+fn the_probe_observes_without_perturbing() {
+    // A probed run must report the exact summary of an unprobed one:
+    // the probe reads engine state, it never feeds back into it.
+    for (label, probed) in telemetry_cells() {
+        let plain = Scenario {
+            telemetry: None,
+            ..probed.clone()
+        };
+        let expected = serde_json::to_string(&run_scenario(&plain).expect("plain run")).unwrap();
+        let (summary, report) =
+            run_scenario_telemetry(&probed).unwrap_or_else(|e| panic!("{label}: probed run: {e}"));
+        assert_eq!(
+            expected,
+            serde_json::to_string(&summary).unwrap(),
+            "{label}: probe perturbed the run summary"
+        );
+        assert!(
+            report.data.counters.rounds > 0,
+            "{label}: probe saw nothing"
+        );
+        assert_eq!(
+            report.data.counters.delivered, summary.delivered,
+            "{label}: probe's delivered count disagrees with the summary"
+        );
+    }
+}
+
+#[test]
+fn telemetry_data_is_sharding_invariant() {
+    // The deterministic half of the report — counters, sketches, the
+    // round series — must be identical at 1, 2 and 4 shards: per-shard
+    // observations merge in shard order, so the merged `TelemetryData`
+    // is a pure function of the scenario. (The `profile` half is
+    // shard-shaped by design and excluded.)
+    for (label, s) in telemetry_cells() {
+        let (_, sequential) =
+            run_scenario_telemetry(&s).unwrap_or_else(|e| panic!("{label}: sequential: {e}"));
+        let expected = serde_json::to_string(&sequential.data).unwrap();
+        for shards in [1usize, 2, 4] {
+            let (_, sharded) = run_scenario_telemetry_sharded(&s, shards)
+                .unwrap_or_else(|e| panic!("{label}: {shards}-shard run failed: {e}"));
+            assert_eq!(
+                expected,
+                serde_json::to_string(&sharded.data).unwrap(),
+                "{label}: {shards}-shard TelemetryData diverged"
+            );
+        }
+        assert!(
+            sequential.data.counters.forwarded > 0,
+            "{label}: vacuous telemetry cell"
+        );
+    }
 }

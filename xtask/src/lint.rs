@@ -129,11 +129,12 @@ const CONTENT_RULES: [ContentRule; 7] = [
             "run_tree_stream(",
             "run_dag_stream(",
         ],
-        message: "the topology-specific run_* wrappers are deprecated; \
-                  build a Scenario (or call run_source) instead",
-        // sweep.rs defines the wrappers; everything else is a caller.
-        applies: |path| path != "crates/analysis/src/sweep.rs",
-        skip_line: |line| line.contains("fn ") || line.contains("pub use"),
+        message: "the topology-specific run_* wrappers were removed in PR 8; \
+                  build a Scenario (or call run_pattern/run_source) instead",
+        // The wrappers are gone: no definition site or re-export is
+        // exempt anymore, so any reappearance fires.
+        applies: |_| true,
+        skip_line: never_skip,
     },
     ContentRule {
         id: "no-dense-tables",
@@ -148,12 +149,13 @@ const CONTENT_RULES: [ContentRule; 7] = [
 ];
 
 /// The crates whose lib.rs must carry the safety/docs headers.
-const HEADER_FILES: [&str; 7] = [
+const HEADER_FILES: [&str; 8] = [
     "src/lib.rs",
     "crates/model/src/lib.rs",
     "crates/adversary/src/lib.rs",
     "crates/core/src/lib.rs",
     "crates/analysis/src/lib.rs",
+    "crates/telemetry/src/lib.rs",
     "crates/trace/src/lib.rs",
     "crates/bench/src/lib.rs",
 ];
@@ -638,14 +640,20 @@ pub fn f() -> &'static str {
     }
 
     #[test]
-    fn deprecated_runner_calls_fire_outside_sweep() {
+    fn deprecated_runner_calls_fire_everywhere() {
+        // The wrappers were removed in PR 8, so there is no exempt
+        // definition site any more: the rule fires even in sweep.rs.
         let call = "let _ = run_path(&topo, proto, &pat, 10);\n";
         assert_eq!(
             rules_fired("crates/bench/src/x.rs", call),
             vec!["no-deprecated-runners"]
         );
-        // The definition site and re-exports stay legal.
-        assert!(rules_fired("crates/analysis/src/sweep.rs", call).is_empty());
+        assert_eq!(
+            rules_fired("crates/analysis/src/sweep.rs", call),
+            vec!["no-deprecated-runners"]
+        );
+        // The tokens are call-shaped, so a bare identifier (e.g. in a
+        // `pub use` list) does not fire; only invocations do.
         let reexport = "pub use sweep::{run_path, run_tree};\n";
         assert!(rules_fired("crates/analysis/src/lib.rs", reexport).is_empty());
     }
