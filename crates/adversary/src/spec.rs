@@ -261,6 +261,11 @@ pub struct SourceProfile {
     /// Distinct destination nodes (sorted), when known. For shaped
     /// sources this is the inner wish stream's destination superset.
     pub dests: Option<Vec<usize>>,
+    /// Distinct `(source, dest)` pairs (sorted), exact only when the
+    /// schedule was materialized. Static checks that need to know which
+    /// routes the schedule actually uses (e.g. the fault-severed-route
+    /// scenario check) read this.
+    pub pairs: Option<Vec<(usize, usize)>>,
     /// A (ρ, σ) bound the schedule satisfies, when known.
     pub bound: Option<(Rate, u64)>,
     /// Whether `bound` holds by construction / closed form (`true`) or
@@ -298,6 +303,17 @@ fn round0_counts(injections: &[Injection]) -> Vec<(usize, usize)> {
         }
     }
     counts.into_iter().collect()
+}
+
+/// Distinct `(source, dest)` pairs used by the schedule, sorted.
+fn distinct_pairs(injections: &[Injection]) -> Vec<(usize, usize)> {
+    let mut pairs: Vec<(usize, usize)> = injections
+        .iter()
+        .map(|inj| (inj.source.index(), inj.dest.index()))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 fn distinct_dests(injections: &[Injection]) -> Vec<usize> {
@@ -669,6 +685,7 @@ impl SourceSpec {
                 injections: Some(pattern.len() as u64),
                 round0: round0_counts(pattern.injections()),
                 dests: Some(distinct_dests(pattern.injections())),
+                pairs: Some(distinct_pairs(pattern.injections())),
                 bound,
                 bound_declared: declared.is_some(),
                 exact: true,
@@ -702,6 +719,7 @@ impl SourceSpec {
             injections,
             round0: round0_counts(&round0_injections),
             dests: self.declared_dests(),
+            pairs: None,
             bound: declared,
             bound_declared: declared.is_some(),
             exact: false,

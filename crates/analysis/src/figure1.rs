@@ -51,12 +51,8 @@ pub fn render_figure1(h: &Hierarchy, trajectory: Option<(usize, usize)>) -> Stri
         for r in 0..h.interval_count(j) {
             let (a, b) = h.interval(j, r);
             let width = (b - a + 1) * cell;
-            // Box: '[' + label + padding + ']' occupying `width` chars.
             let label = format!("I{j},{r}");
-            let inner = width.saturating_sub(2);
-            row.push('[');
-            row.push_str(&format!("{label:^inner$}"));
-            row.push(']');
+            row.push_str(&interval_box(&label, width));
         }
         out.push_str(row.trim_end());
         out.push('\n');
@@ -90,6 +86,16 @@ pub fn render_figure1(h: &Hierarchy, trajectory: Option<(usize, usize)>) -> Stri
         }
     }
     out
+}
+
+/// One `[label]` interval box padded to `width` columns. A box cannot
+/// occupy fewer than `label.len() + 2` columns (the two brackets plus an
+/// uncut label): a smaller requested `width` — possible for one-node
+/// intervals of a narrow hierarchy — renders at that documented minimum
+/// instead of producing a malformed box.
+fn interval_box(label: &str, width: usize) -> String {
+    let inner = width.saturating_sub(2).max(label.len());
+    format!("[{label:^inner$}]")
 }
 
 /// The base-m representation of node `i`, zero-padded to ℓ digits.
@@ -148,6 +154,19 @@ mod tests {
         assert_eq!(base_m_label(&h, 0), "000");
         assert_eq!(base_m_label(&h, 17), "122");
         assert_eq!(base_m_label(&h, 26), "222");
+    }
+
+    #[test]
+    fn interval_box_clamps_tiny_widths_to_the_label() {
+        // Widths 0–3 cannot hold "[x]" + padding: every one renders the
+        // minimum well-formed box instead of a truncated one.
+        for width in 0..=3 {
+            assert_eq!(interval_box("x", width), "[x]", "width {width}");
+        }
+        // A label longer than the requested width also wins.
+        assert_eq!(interval_box("I10,3", 3), "[I10,3]");
+        // Room to spare centers the label.
+        assert_eq!(interval_box("x", 7), "[  x  ]");
     }
 
     #[test]

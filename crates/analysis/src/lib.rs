@@ -45,6 +45,7 @@
 //!     extra: 20,
 //!     capacity: None,
 //!     telemetry: None,
+//!     faults: None,
 //! };
 //! let summary = run_scenario(&scenario)?;
 //! let bound = bounds::pts_bound(2);

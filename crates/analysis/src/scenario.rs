@@ -30,7 +30,8 @@ use std::fmt;
 use aqt_adversary::{SourceSpec, SourceSpecError};
 use aqt_core::{ProtocolSpec, ProtocolSpecError};
 use aqt_model::{
-    CapacityConfig, DropPolicyKind, ModelError, Simulation, TopologySpec, TopologySpecError,
+    CapacityConfig, DropPolicyKind, FaultSpec, ModelError, Simulation, TopologySpec,
+    TopologySpecError,
 };
 use aqt_telemetry::{Clock, TelemetryProbe, TelemetryReport, TelemetrySpec};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,7 @@ pub struct CapacitySpec {
 ///     extra: 10,
 ///     capacity: None,
 ///     telemetry: None,
+///     faults: None,
 /// };
 /// let summary = run_scenario(&scenario)?;
 /// assert_eq!(summary.delivered, 3);
@@ -95,6 +97,10 @@ pub struct Scenario {
     /// never changes a summary. Absent in older JSON artifacts, which
     /// deserialize as `None`.
     pub telemetry: Option<TelemetrySpec>,
+    /// Deterministic fault schedule applied by every runner, or `None`
+    /// (and an empty spec behaves bit-for-bit like `None`). Absent in
+    /// older JSON artifacts, which deserialize as `None`.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Scenario {
@@ -200,6 +206,9 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunSummary, ScenarioError> {
     if let Some(cap) = &scenario.capacity {
         sim = sim.with_capacity(cap.config.clone(), cap.policy.build());
     }
+    if let Some(faults) = &scenario.faults {
+        sim = sim.with_faults(faults);
+    }
     sim.run_past_horizon(scenario.extra)?;
     Ok(RunSummary::from_metrics(
         sim.protocol().name(),
@@ -230,6 +239,9 @@ pub fn run_scenario_sharded(
     let mut sim = Simulation::from_source(topology, protocol, source);
     if let Some(cap) = &scenario.capacity {
         sim = sim.with_capacity(cap.config.clone(), cap.policy.build());
+    }
+    if let Some(faults) = &scenario.faults {
+        sim = sim.with_faults(faults);
     }
     sim.run_past_horizon_sharded(scenario.extra, shards)?;
     Ok(RunSummary::from_metrics(
@@ -294,6 +306,9 @@ pub fn run_scenario_telemetry_with(
     let mut sim = Simulation::from_source(topology, protocol, source);
     if let Some(cap) = &scenario.capacity {
         sim = sim.with_capacity(cap.config.clone(), cap.policy.build());
+    }
+    if let Some(faults) = &scenario.faults {
+        sim = sim.with_faults(faults);
     }
     let spec = scenario.telemetry.unwrap_or_default();
     let mut probe = match clock {
@@ -396,6 +411,7 @@ impl ScenarioGrid {
                             extra: self.extra,
                             capacity: capacity.clone(),
                             telemetry: None,
+                            faults: None,
                         });
                     }
                 }
@@ -448,6 +464,7 @@ mod tests {
             extra: 10,
             capacity: None,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -486,14 +503,55 @@ mod tests {
 
     #[test]
     fn scenario_roundtrips_through_json_values() {
+        use aqt_model::FaultEvent;
         let mut scenario = burst_scenario();
         scenario.name = Some("burst".into());
         scenario.capacity = Some(CapacitySpec {
             config: CapacityConfig::uniform(3).staging(StagingMode::Counted),
             policy: DropPolicyKind::Farthest,
         });
+        scenario.faults = Some(
+            FaultSpec::new(7)
+                .with_event(FaultEvent::LinkDown {
+                    from: 1,
+                    to: 2,
+                    at: 3,
+                    until: Some(6),
+                })
+                .with_event(FaultEvent::RandomLinks {
+                    count: 2,
+                    at: 0,
+                    until: Some(4),
+                }),
+        );
         let v = scenario.to_value();
         assert_eq!(Scenario::from_value(&v).unwrap(), scenario);
+    }
+
+    #[test]
+    fn faulted_scenario_runs_and_empty_spec_matches_none() {
+        use aqt_model::FaultEvent;
+        // A recovering outage on the burst's route delays but does not
+        // lose traffic.
+        let mut scenario = burst_scenario();
+        scenario.faults = Some(FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 1,
+            to: 2,
+            at: 0,
+            until: Some(4),
+        }));
+        let summary = run_scenario(&scenario).unwrap();
+        assert_eq!(summary.delivered, 4);
+        assert_eq!(summary.faulted, 0);
+        assert!(summary.max_latency > run_scenario(&burst_scenario()).unwrap().max_latency);
+
+        // An empty spec is bit-identical to no spec.
+        let mut empty = burst_scenario();
+        empty.faults = Some(FaultSpec::default());
+        assert_eq!(
+            run_scenario(&empty).unwrap(),
+            run_scenario(&burst_scenario()).unwrap()
+        );
     }
 
     #[test]

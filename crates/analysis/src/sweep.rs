@@ -47,6 +47,8 @@ pub struct RunSummary {
     pub max_latency: u64,
     /// Packets dropped by capacity enforcement (0 on unbounded runs).
     pub dropped: u64,
+    /// Packets lost to faults (0 on fault-free runs).
+    pub faulted: u64,
     /// Exact goodput delivered/injected, `None` when nothing was injected.
     pub goodput: Option<Rate>,
 }
@@ -62,6 +64,7 @@ impl RunSummary {
             mean_latency: metrics.latency.mean(),
             max_latency: metrics.latency.max_rounds,
             dropped: metrics.dropped,
+            faulted: metrics.faulted,
             goodput: metrics.goodput(),
         }
     }
@@ -473,6 +476,7 @@ mod tests {
             mean_latency: None,
             max_latency: occ as u64,
             dropped: 1,
+            faulted: 0,
             goodput: Some(Rate::ONE),
         };
         let a = vec![mk(3, 10), mk(7, 2), mk(5, 4)];

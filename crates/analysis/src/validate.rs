@@ -22,7 +22,10 @@
 
 use aqt_adversary::SourceSpec;
 use aqt_core::{Hierarchy, ProtocolSpec};
-use aqt_model::{AnyTopology, InjectionMode, NodeId, Rate, StagingMode, Topology, TopologySpec};
+use aqt_model::{
+    AnyTopology, FaultEvent, FaultSpec, InjectionMode, NodeId, Rate, Round, StagingMode, Topology,
+    TopologySpec,
+};
 use serde::Serialize;
 
 use crate::bounds;
@@ -134,6 +137,90 @@ fn check_telemetry_strides(spec: &aqt_telemetry::TelemetrySpec) -> Result<(), Sc
     Ok(())
 }
 
+/// Statically checks a fault schedule against the topology and workload:
+///
+/// * `"fault-bounds"` — every node a fault event names must exist
+///   (the engine would panic at [`Simulation::with_faults`] otherwise);
+/// * `"fault-severed-route"` — a *permanent* (never-recovering) fault
+///   that cuts the unique route of a `(source, dest)` pair the schedule
+///   actually injects on guarantees those packets are never delivered,
+///   so the scenario is provably broken before round 0. Recovering
+///   faults (`until` set) and delays never trigger this check.
+///
+/// [`Simulation::with_faults`]: aqt_model::Simulation::with_faults
+fn check_fault_schedule(
+    topology: &AnyTopology,
+    faults: &FaultSpec,
+    pairs: Option<&[(usize, usize)]>,
+) -> Result<(), ScenarioError> {
+    let n = topology.node_count();
+    let check = |what: &str, v: usize| -> Result<(), ScenarioError> {
+        if v >= n {
+            return Err(ScenarioError::Static {
+                check: "fault-bounds",
+                reason: format!("fault event {what} names node {v}, out of range (n = {n})"),
+            });
+        }
+        Ok(())
+    };
+    for event in &faults.events {
+        match event {
+            FaultEvent::LinkDown { from, to, .. } | FaultEvent::LinkDelay { from, to, .. } => {
+                check("link", *from)?;
+                check("link", *to)?;
+            }
+            FaultEvent::NodeCrash { node, .. } => check("crash", *node)?,
+            FaultEvent::Partition { group, .. } => {
+                for &v in group {
+                    check("partition", v)?;
+                }
+            }
+            FaultEvent::RandomLinks { .. } => {}
+        }
+    }
+    let Some(pairs) = pairs else {
+        return Ok(());
+    };
+    let mask = faults.permanent_mask(topology);
+    if mask.is_empty() {
+        return Ok(());
+    }
+    // The permanent mask is round-independent, so probing at round 0
+    // answers for every round.
+    let t = Round::ZERO;
+    for &(s, d) in pairs {
+        let dest = NodeId::new(d);
+        let mut v = NodeId::new(s);
+        let severed = loop {
+            if mask.is_node_down(v) {
+                break true;
+            }
+            if v == dest {
+                break false;
+            }
+            // An unroutable pair is the source spec's problem, not the
+            // fault schedule's.
+            let Some(hop) = topology.next_hop(v, dest) else {
+                break false;
+            };
+            if mask.blocks(v, hop, t) {
+                break true;
+            }
+            v = hop;
+        };
+        if severed {
+            return Err(ScenarioError::Static {
+                check: "fault-severed-route",
+                reason: format!(
+                    "the fault schedule permanently severs the route {s} -> {d}, which \
+                     the source injects on; those packets can never be delivered"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Destination-depth d′ for Tree-PPTS (Prop. 3.5): the maximum number of
 /// destinations on any single root path. On a directed tree a node's
 /// root path is exactly the set of nodes it reaches, and every root path
@@ -172,6 +259,9 @@ impl Scenario {
         }
         if let Some(t) = &self.telemetry {
             check_telemetry_strides(t)?;
+        }
+        if let Some(f) = &self.faults {
+            check_fault_schedule(&topology, f, profile.pairs.as_deref())?;
         }
 
         let mut warnings = Vec::new();
@@ -376,6 +466,7 @@ mod tests {
             extra: 100,
             capacity: None,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -411,6 +502,7 @@ mod tests {
                 policy: DropPolicyKind::Tail,
             }),
             telemetry: None,
+            faults: None,
         };
         let err = scenario.validate().unwrap_err();
         assert!(matches!(
@@ -476,6 +568,7 @@ mod tests {
             extra: 200,
             capacity: None,
             telemetry: None,
+            faults: None,
         };
         let report = scenario.validate().unwrap();
         assert_eq!(report.sigma, Some(4));
@@ -506,6 +599,7 @@ mod tests {
             extra: 20,
             capacity: None,
             telemetry: None,
+            faults: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("pts is proven")));
@@ -526,6 +620,7 @@ mod tests {
             extra: 20,
             capacity: None,
             telemetry: None,
+            faults: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report
@@ -546,11 +641,88 @@ mod tests {
             extra: 40,
             capacity: None,
             telemetry: None,
+            faults: None,
         };
         let report = scenario.validate().unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("Thm. 4.1")));
         // The Thm. 4.1 formula is still reported: l*m + sigma + 1 = 2*4 + 2 + 1.
         assert_eq!(report.prediction("peak_occupancy").unwrap().value, 11);
+    }
+
+    #[test]
+    fn out_of_range_fault_node_is_a_static_error() {
+        let mut scenario = diag_scenario();
+        scenario.faults = Some(FaultSpec::new(0).with_event(FaultEvent::NodeCrash {
+            node: 99,
+            at: 0,
+            until: None,
+        }));
+        let err = scenario.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Static {
+                check: "fault-bounds",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("node 99"));
+    }
+
+    #[test]
+    fn permanently_severed_route_is_a_static_error() {
+        // Burst 0 → 5 on a path; killing link 2 → 3 forever guarantees
+        // the burst can never be delivered.
+        let mut scenario = Scenario {
+            name: None,
+            topology: TopologySpec::Path { n: 6 },
+            protocol: ProtocolSpec::Greedy {
+                policy: GreedyPolicy::Fifo,
+            },
+            source: SourceSpec::Burst {
+                round: 0,
+                source: 0,
+                dest: 5,
+                size: 2,
+            },
+            extra: 20,
+            capacity: None,
+            telemetry: None,
+            faults: None,
+        };
+        scenario.faults = Some(FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 2,
+            to: 3,
+            at: 0,
+            until: None,
+        }));
+        let err = scenario.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Static {
+                check: "fault-severed-route",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("0 -> 5"));
+
+        // The same outage with a recovery window is legal: the route
+        // heals, so delivery is merely delayed.
+        scenario.faults = Some(FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 2,
+            to: 3,
+            at: 0,
+            until: Some(10),
+        }));
+        assert!(scenario.validate().is_ok());
+
+        // A permanent outage off the used route is also legal.
+        scenario.faults = Some(FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 4,
+            to: 3,
+            at: 0,
+            until: None,
+        }));
+        assert!(scenario.validate().is_ok());
     }
 
     #[test]

@@ -141,6 +141,7 @@ pub fn e11a_scenario(
             policy: DropPolicyKind::Tail,
         }),
         telemetry: None,
+        faults: None,
     }
 }
 

@@ -1,0 +1,304 @@
+//! E15 — degraded-regime routing: peak buffer + goodput vs dead links.
+//!
+//! The paper's bounds assume a static, always-live network; this
+//! experiment asks what survives when links die. For each protocol cell
+//! (PTS and HPTS on paths, DagGreedy on the mesh, TreePpts on a random
+//! tree, all capacity-bounded) E15 reruns the same workload under a
+//! seeded [`FaultSpec`] that takes `k` random links down for a recovery
+//! window, for growing `k`, and tabulates peak buffer occupancy, drops,
+//! faulted packets and goodput. The `k = 0` column is the fault-free
+//! baseline — byte-identical to a `faults: None` run by the empty-spec
+//! differential (`tests/fault_conformance.rs`).
+//!
+//! Outages do not destroy packets (only node crashes fault them); they
+//! block forwarding, so traffic piles up behind dead links. With finite
+//! buffers that pressure becomes drops — the degraded-regime goodput
+//! story E15 measures — and the conservation ledger
+//! `injected = delivered + dropped + faulted + in-network + staged`
+//! still holds round by round.
+
+use aqt_analysis::{run_scenario, CapacitySpec, RunSummary, Scenario, Table};
+use aqt_core::{GreedyPolicy, ProtocolSpec};
+use aqt_model::{
+    CapacityConfig, DirectedTree, DropPolicyKind, FaultEvent, FaultSpec, Injection, Rate,
+    TopologySpec, TreeSpec,
+};
+
+/// Settle time after the sources stop (covers the outage windows).
+const EXTRA: u64 = 120;
+
+/// Dead links are taken down at this round…
+const OUTAGE_AT: u64 = 2;
+
+/// …and recover at this round (exclusive), so every run still settles.
+const OUTAGE_UNTIL: u64 = 16;
+
+/// The dead-link counts E15 sweeps.
+pub fn e15_dead_link_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![0, 2, 4]
+    } else {
+        vec![0, 2, 4, 8]
+    }
+}
+
+/// The seeded outage schedule for `k` dead links: `k` random links down
+/// over `[OUTAGE_AT, OUTAGE_UNTIL)`. `k = 0` returns the empty spec —
+/// bit-identical to running without any fault layer.
+pub fn dead_links(k: usize) -> FaultSpec {
+    let spec = FaultSpec::new(0xE15 ^ k as u64);
+    if k == 0 {
+        return spec;
+    }
+    spec.with_event(FaultEvent::RandomLinks {
+        count: k,
+        at: OUTAGE_AT,
+        until: Some(OUTAGE_UNTIL),
+    })
+}
+
+/// The E15 protocol cells: `(label, fault-free scenario)`. Every cell is
+/// capacity-bounded so outage back-pressure shows up as lost goodput,
+/// with the capacity sized so the `k = 0` baseline is loss-free.
+pub fn e15_cells(quick: bool) -> Vec<(&'static str, Scenario)> {
+    let _ = quick; // cells are CI-sized; only the k sweep scales
+    let paced = |dest: usize| aqt_adversary::SourceSpec::PacedStream {
+        source: 0,
+        dest,
+        rate: Rate::new(1, 2).expect("valid rate"),
+        rounds: 40,
+    };
+    let cap = |c: usize| {
+        Some(CapacitySpec {
+            config: CapacityConfig::uniform(c),
+            policy: DropPolicyKind::Tail,
+        })
+    };
+    let tree_root = DirectedTree::random(16, 9).root().index();
+    vec![
+        (
+            "pts/path16",
+            Scenario {
+                name: Some("e15 pts paced stream".into()),
+                topology: TopologySpec::Path { n: 16 },
+                protocol: ProtocolSpec::Pts {
+                    dest: None,
+                    eager: true, // plain PTS holds deliveries back (see E11a)
+                },
+                source: paced(15),
+                extra: EXTRA,
+                capacity: cap(3), // PTS peak <= 2 + sigma, sigma = 0
+                telemetry: None,
+                faults: None,
+            },
+        ),
+        (
+            "hpts/path16",
+            Scenario {
+                name: Some("e15 hpts paced stream".into()),
+                topology: TopologySpec::Path { n: 16 },
+                protocol: ProtocolSpec::Hpts { levels: 2 },
+                source: paced(15),
+                extra: EXTRA,
+                capacity: cap(10), // HPTS bound l*n^(1/l) + sigma + 1 = 9
+                telemetry: None,
+                faults: None,
+            },
+        ),
+        (
+            "dag-greedy/grid6x6",
+            Scenario {
+                name: Some("e15 dag-greedy diag wave".into()),
+                topology: TopologySpec::Grid { rows: 6, cols: 6 },
+                protocol: ProtocolSpec::DagGreedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                // Every grid edge carries a rate-1 flood stream, so any
+                // dead link piles packets for the whole outage window.
+                source: aqt_adversary::SourceSpec::AllFloods { rounds: 20 },
+                extra: EXTRA,
+                capacity: cap(4), // fault-free flood peak is 2 (crossings)
+                telemetry: None,
+                faults: None,
+            },
+        ),
+        (
+            "tree-ppts/tree16",
+            Scenario {
+                name: Some("e15 tree-ppts gather".into()),
+                topology: TopologySpec::Tree(TreeSpec::Random { n: 16, seed: 9 }),
+                protocol: ProtocolSpec::TreePpts,
+                source: aqt_adversary::SourceSpec::Pattern {
+                    injections: (0..16usize)
+                        .filter(|&v| v != tree_root)
+                        .flat_map(|v| (0..3u64).map(move |t| Injection::new(3 * t, v, tree_root)))
+                        .collect(),
+                },
+                extra: EXTRA,
+                capacity: cap(16), // gather peak at the root's parent
+                telemetry: None,
+                faults: None,
+            },
+        ),
+    ]
+}
+
+/// One measured E15 point: a protocol cell under `dead_links` outages.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Cell label, e.g. `"pts/path16"`.
+    pub cell: &'static str,
+    /// Dead-link count `k` of the outage schedule.
+    pub dead_links: usize,
+    /// The run's summary (peak buffer, drops, faulted, goodput).
+    pub summary: RunSummary,
+}
+
+/// Runs the full E15 sweep: every cell × every dead-link count.
+///
+/// # Panics
+///
+/// Panics if any scenario fails validation or execution (all cells are
+/// statically checked in this module's tests).
+pub fn e15_rows(quick: bool) -> Vec<FaultRow> {
+    let mut rows = Vec::new();
+    for (cell, base) in e15_cells(quick) {
+        for k in e15_dead_link_counts(quick) {
+            let mut scenario = base.clone();
+            scenario.faults = Some(dead_links(k));
+            let summary =
+                run_scenario(&scenario).unwrap_or_else(|e| panic!("{cell} with k = {k}: {e}"));
+            rows.push(FaultRow {
+                cell,
+                dead_links: k,
+                summary,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep into the E15 table.
+pub fn render_e15(rows: &[FaultRow]) -> Table {
+    let mut table = Table::new(
+        "E15 - degraded regime: peak buffer + goodput vs dead links",
+        [
+            "cell",
+            "dead links",
+            "injected",
+            "delivered",
+            "dropped",
+            "faulted",
+            "peak buffer",
+            "max latency",
+            "goodput %",
+        ],
+    );
+    for row in rows {
+        let s = &row.summary;
+        table.push_row([
+            row.cell.to_string(),
+            row.dead_links.to_string(),
+            s.injected.to_string(),
+            s.delivered.to_string(),
+            s.dropped.to_string(),
+            s.faulted.to_string(),
+            s.max_occupancy.to_string(),
+            s.max_latency.to_string(),
+            s.goodput
+                .map_or_else(|| "-".into(), |g| format!("{:.1}", g.as_f64() * 100.0)),
+        ]);
+    }
+    table.note(format!(
+        "k random links down over rounds [{OUTAGE_AT}, {OUTAGE_UNTIL}); k = 0 is the fault-free baseline"
+    ));
+    table.note(
+        "outages block forwarding (packets survive); finite buffers turn the pile-up into drops",
+    );
+    table
+        .note("every run satisfies injected = delivered + dropped + faulted + in-network + staged");
+    table.note("token protocols (HPTS, TreePpts) park packets between activations, so their goodput-at-horizon sits below 100% even fault-free; their fault story is the peak-buffer column");
+    table
+}
+
+/// E15 — fault sweep (runs every cell × dead-link count and renders it).
+pub fn e15_faults(quick: bool) -> Vec<Table> {
+    vec![render_e15(&e15_rows(quick))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_validates_fault_free_and_faulted() {
+        for (cell, base) in e15_cells(true) {
+            base.validate().unwrap_or_else(|e| panic!("{cell}: {e}"));
+            let mut faulted = base.clone();
+            faulted.faults = Some(dead_links(4));
+            faulted
+                .validate()
+                .unwrap_or_else(|e| panic!("{cell} with outages: {e}"));
+        }
+    }
+
+    #[test]
+    fn baselines_are_loss_free_and_outages_degrade_the_path_cells() {
+        let rows = e15_rows(true);
+        let get = |cell: &str, k: usize| {
+            rows.iter()
+                .find(|r| r.cell == cell && r.dead_links == k)
+                .unwrap_or_else(|| panic!("missing row {cell}/{k}"))
+        };
+        // k = 0 baselines: capacities are sized so nothing drops, and the
+        // empty spec means nothing faults. (Token protocols — HPTS,
+        // TreePpts — park packets between activations, so full delivery
+        // by the horizon is only guaranteed for the greedy-style cells.)
+        for (cell, _) in e15_cells(true) {
+            let base = &get(cell, 0).summary;
+            assert_eq!(base.dropped, 0, "{cell}: baseline must be loss-free");
+            assert_eq!(base.faulted, 0, "{cell}: outages never fault packets");
+        }
+        for cell in ["pts/path16", "dag-greedy/grid6x6"] {
+            let base = &get(cell, 0).summary;
+            assert_eq!(base.delivered, base.injected, "{cell}");
+        }
+        // A path has a single route, so any dead link stalls the stream:
+        // latency must rise for PTS, and the cap-3 PTS cell must actually
+        // lose packets to back-pressure.
+        let (base, degraded) = (&get("pts/path16", 0).summary, &get("pts/path16", 4).summary);
+        assert!(
+            degraded.max_latency > base.max_latency,
+            "outages must delay the paced stream ({} vs {})",
+            degraded.max_latency,
+            base.max_latency
+        );
+        assert!(
+            degraded.dropped > 0,
+            "a 14-round outage must overflow capacity 3"
+        );
+        // Every grid edge carries a rate-1 flood, so dead links overflow
+        // the cap-4 buffers behind them.
+        assert!(
+            get("dag-greedy/grid6x6", 4).summary.dropped > 0,
+            "dead links must overflow the flood cell's buffers"
+        );
+    }
+
+    #[test]
+    fn e15_renders_every_cell_and_count() {
+        let tables = e15_faults(true);
+        assert_eq!(tables.len(), 1);
+        let rendered = tables[0].render();
+        for (cell, _) in e15_cells(true) {
+            assert!(rendered.contains(cell), "missing {cell} in\n{rendered}");
+        }
+        assert!(rendered.contains("dead links"));
+        assert!(!tables[0].to_csv().contains("NaN"));
+        // cells × k values rows were measured.
+        assert_eq!(
+            e15_rows(true).len(),
+            e15_cells(true).len() * e15_dead_link_counts(true).len()
+        );
+    }
+}

@@ -99,6 +99,7 @@ pub fn e12_scenario(rows: usize, cols: usize, load: GridLoad, rounds: u64) -> Sc
         extra: EXTRA,
         capacity: None,
         telemetry: None,
+        faults: None,
     }
 }
 

@@ -154,6 +154,21 @@ pub struct EngineBenchReport {
     /// acceptance bar is < 10%; CI records the trajectory rather than
     /// gating on one noisy sample.
     pub telemetry_overhead_pct: f64,
+    /// Wall-clock of the faulted DAG rerun in milliseconds: the E10d
+    /// flood workload under a recovering link outage plus a node-crash
+    /// window, i.e. the fault-mask hot path (E15's engine side).
+    pub fault_wall_ms: f64,
+    /// Rounds per second of the faulted DAG rerun.
+    pub fault_rounds_per_sec: f64,
+    /// Fault-mask overhead vs the fault-free DAG run, in percent (can be
+    /// slightly negative from timing noise).
+    pub fault_overhead_pct: f64,
+    /// Packets counted as `faulted` in the rerun (> 0 by construction:
+    /// the crash window covers a row injector).
+    pub fault_faulted: u64,
+    /// Goodput of the faulted rerun in percent (< 100: faulted packets
+    /// are never delivered).
+    pub fault_goodput_pct: f64,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -314,6 +329,42 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let (t_rows, t_cols, t_rounds) = crate::exp_telemetry::e14_instance(quick);
     let telemetry = crate::exp_telemetry::measure_telemetry(t_rows, t_cols, t_rounds, mesh_shards);
 
+    // --- Part 8: the fault-mask hot path (E15's engine side) ----------
+    // The exact Part-5 flood workload rerun under a recovering outage
+    // plus a node-crash window over a row injector: every planned move
+    // now consults the FaultState mask, and the crash converts some
+    // injections into `faulted` — pricing the degraded-regime engine.
+    let fault_spec = aqt_model::FaultSpec::new(0xE15)
+        .with_event(aqt_model::FaultEvent::RandomLinks {
+            count: 4,
+            at: 2,
+            until: Some(18),
+        })
+        .with_event(aqt_model::FaultEvent::NodeCrash {
+            node: (rows / 2) * cols,
+            at: 4,
+            until: Some(12),
+        });
+    let mut faulted_sim = Simulation::from_source(
+        aqt_model::Dag::grid(rows, cols),
+        aqt_core::DagGreedy::fifo(),
+        crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
+    )
+    .with_faults(&fault_spec);
+    let fault_started = Instant::now();
+    faulted_sim
+        .run_past_horizon(2 * (rows + cols) as u64 + 32)
+        .expect("valid faulted grid run");
+    let fault_wall_ms = fault_started.elapsed().as_secs_f64() * 1e3;
+    let fault_metrics = faulted_sim.metrics();
+    assert!(
+        fault_metrics.faulted > 0,
+        "the crash window must cover a row injector"
+    );
+    let fault_rounds = faulted_sim.round().value();
+    let fault_goodput_pct = fault_metrics.goodput().map_or(0.0, |g| g.as_f64() * 100.0);
+    let (fault_faulted, fault_secs) = (fault_metrics.faulted, (fault_wall_ms / 1e3).max(1e-9));
+
     EngineBenchReport {
         quick,
         nodes: n,
@@ -364,6 +415,11 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         telemetry_overhead_plain_ms: telemetry.plain_wall_ms,
         telemetry_overhead_probed_ms: telemetry.probed_wall_ms,
         telemetry_overhead_pct: telemetry.overhead_pct,
+        fault_wall_ms,
+        fault_rounds_per_sec: fault_rounds as f64 / fault_secs,
+        fault_overhead_pct: (fault_wall_ms - dag_wall_ms) / dag_wall_ms.max(1e-9) * 100.0,
+        fault_faulted,
+        fault_goodput_pct,
     }
 }
 
@@ -480,6 +536,13 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
         report.dag_peak_occupancy.to_string(),
     ]);
     dag.note("all rows flooded right + all columns flooded down on a row-column-routed mesh (DagGreedy-FIFO)");
+    dag.note(format!(
+        "faulted rerun (4 dead links + 1 crash window): {:.1} ms ({:+.1}%), {} faulted, goodput {:.1}%",
+        report.fault_wall_ms,
+        report.fault_overhead_pct,
+        report.fault_faulted,
+        report.fault_goodput_pct
+    ));
 
     let mut mesh = Table::new(
         "E10e - E13 mesh waves (computed routing, arenas, sharded rounds)",
@@ -547,7 +610,7 @@ pub fn parse_engine_bench_json(json: &str) -> Result<EngineBenchReport, String> 
 fn bench_delta_rows(
     current: &EngineBenchReport,
     baseline: &EngineBenchReport,
-) -> [(&'static str, f64, f64); 8] {
+) -> [(&'static str, f64, f64); 9] {
     [
         (
             "moves/s (mesh smoke)",
@@ -578,6 +641,11 @@ fn bench_delta_rows(
             "rounds/s (DAG)",
             baseline.dag_rounds_per_sec,
             current.dag_rounds_per_sec,
+        ),
+        (
+            "rounds/s (faulted DAG)",
+            baseline.fault_rounds_per_sec,
+            current.fault_rounds_per_sec,
         ),
         (
             "sweep speedup",
@@ -725,6 +793,11 @@ mod tests {
         assert!(report.telemetry_overhead_plain_ms > 0.0);
         assert!(report.telemetry_overhead_probed_ms > 0.0);
         assert!(report.telemetry_overhead_pct.is_finite());
+        // The faulted rerun actually faulted packets and lost goodput.
+        assert!(report.fault_wall_ms > 0.0);
+        assert!(report.fault_rounds_per_sec > 0.0);
+        assert!(report.fault_faulted > 0);
+        assert!(report.fault_goodput_pct > 0.0 && report.fault_goodput_pct < 100.0);
         let json = engine_bench_json(&report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
@@ -734,6 +807,8 @@ mod tests {
         assert!(json.contains("dag_peak_occupancy"));
         assert!(json.contains("mesh1m_packets_per_sec"));
         assert!(json.contains("telemetry_overhead_pct"));
+        assert!(json.contains("fault_rounds_per_sec"));
+        assert!(json.contains("fault_goodput_pct"));
         let tables = render_e10(&report);
         assert_eq!(tables.len(), 5);
         assert!(!tables[0].to_csv().contains("NaN"));

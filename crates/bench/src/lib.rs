@@ -20,6 +20,7 @@
 //! | E12 | grid routing: peak buffer vs mesh dimensions | [`e12_grid`] |
 //! | E13 | million-node mesh: computed routing, arenas, sharded rounds | [`e13_mesh`] |
 //! | E14 | telemetry probe overhead + histogram sketches | [`e14_telemetry`] |
+//! | E15 | degraded regime: peak buffer + goodput vs dead links | [`e15_faults`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
@@ -33,6 +34,7 @@
 
 mod exp_ablation;
 mod exp_capacity;
+mod exp_faults;
 mod exp_grid;
 mod exp_locality;
 mod exp_lower;
@@ -45,6 +47,9 @@ mod exp_upper;
 pub use exp_ablation::{a1_prebad, a2_eager, e8_figure1};
 pub use exp_capacity::{
     e11_capacity, e11a_scenario, e11b_rows, pts_two_wave, Contender, ThresholdRow,
+};
+pub use exp_faults::{
+    dead_links, e15_cells, e15_dead_link_counts, e15_faults, e15_rows, render_e15, FaultRow,
 };
 pub use exp_grid::{
     all_floods_source, e12_grid, e12_scenario, e12_shapes, e12a_sweep_grid, GridLoad,
@@ -83,7 +88,7 @@ pub const EXPERIMENT_IDS: [&str; EXPERIMENT_INDEX.len()] = {
 
 /// The experiment index: `(id, claim, function)` — what `experiments
 /// --list` prints; the single source of truth for experiment ids.
-pub const EXPERIMENT_INDEX: [(&str, &str, &str); 16] = [
+pub const EXPERIMENT_INDEX: [(&str, &str, &str); 17] = [
     (
         "e1",
         "Prop. 3.1 - PTS single destination <= 2 + sigma",
@@ -138,6 +143,11 @@ pub const EXPERIMENT_INDEX: [(&str, &str, &str); 16] = [
         "telemetry - probe overhead + occupancy/latency sketches",
         "e14_telemetry",
     ),
+    (
+        "e15",
+        "degraded regime - peak buffer + goodput vs dead links",
+        "e15_faults",
+    ),
     ("a1", "ablation - HPTS without ActivatePreBad", "a1_prebad"),
     ("a2", "ablation - eager delivery variants", "a2_eager"),
 ];
@@ -168,6 +178,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e12" => e12_grid(quick),
         "e13" => e13_mesh(quick),
         "e14" => e14_telemetry(quick),
+        "e15" => e15_faults(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

@@ -280,9 +280,11 @@ impl<'a> DropContext<'a> {
         self.round
     }
 
-    /// Remaining route length (in links) from the full buffer to `dest`.
-    /// Buffered packets always have a route, so this is ≥ 1 for every
-    /// destination a policy will ever ask about.
+    /// Remaining route length (in links) from the full buffer to `dest`,
+    /// or `usize::MAX` when `dest` is unreachable from this buffer — an
+    /// unreachable destination is *infinitely* far, so distance-ordering
+    /// policies ([`DropFarthest`]) evict such packets first rather than
+    /// treating them as already arrived.
     pub fn distance_to(&self, dest: NodeId) -> usize {
         (self.distance)(dest)
     }
@@ -580,6 +582,35 @@ mod tests {
         let d = |dest: NodeId| dest.index();
         assert_eq!(
             DropFarthest.select(&buf, &incoming(9, 1, 5), &ctx(&d)),
+            Victim::Incoming
+        );
+    }
+
+    #[test]
+    fn drop_farthest_evicts_unreachable_destination_first() {
+        use crate::topology::{Dag, Topology};
+        // Regression: the engine's distance closure maps an unreachable
+        // destination (`route_len` = `None`) to `usize::MAX`, not 0. With
+        // 0, a packet that can never arrive looked *closest* and
+        // `DropFarthest` would never evict it. Two components:
+        // 0 → 1 and 2 → 3, so node 3 is unreachable from node 0.
+        let dag = Dag::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let v = NodeId::new(0);
+        // The engine's `admit` closure, verbatim semantics.
+        let d = |dest: NodeId| dag.route_len(v, dest).unwrap_or(usize::MAX);
+        assert!(dag.route_len(v, NodeId::new(3)).is_none());
+        // Buffer holds a doomed packet (dest 3, unreachable) and a viable
+        // one (dest 1); the incoming packet is viable. The doomed packet
+        // must be the victim.
+        let buf = vec![stored(1, 0, 3, 0), stored(2, 0, 1, 1)];
+        assert_eq!(
+            DropFarthest.select(&buf, &incoming(9, 1, 1), &ctx(&d)),
+            Victim::Stored(PacketId::new(1))
+        );
+        // An unreachable incoming packet loses to a viable stored one.
+        let viable = vec![stored(2, 0, 1, 0)];
+        assert_eq!(
+            DropFarthest.select(&viable, &incoming(9, 1, 3), &ctx(&d)),
             Victim::Incoming
         );
     }

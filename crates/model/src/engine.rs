@@ -43,6 +43,7 @@
 use std::fmt;
 
 use crate::capacity::{CapacityConfig, DropContext, DropPolicy, StagingMode, Victim};
+use crate::fault::{FaultRuntime, FaultSpec, FaultState};
 use crate::ids::{NodeId, PacketId, Round};
 use crate::metrics::RunMetrics;
 use crate::packet::{Packet, StoredPacket};
@@ -567,6 +568,9 @@ pub struct RoundOutcome {
     /// Packets dropped by capacity enforcement this round (0 on
     /// unbounded runs).
     pub dropped: usize,
+    /// Packets lost to faults this round (0 on fault-free runs): swept
+    /// from a crashing node's buffer/staging, or injected at a dead node.
+    pub faulted: usize,
 }
 
 /// A complete run: topology + protocol + injection source + state.
@@ -636,6 +640,11 @@ pub struct Simulation<T: Topology, P: Protocol<T>, S: InjectionSource = PatternS
     /// [`with_capacity`](Simulation::with_capacity). `None` keeps the
     /// unbounded hot path entirely check-free.
     capacity: Option<CapacityState>,
+    /// Fault schedule, if enabled via
+    /// [`with_faults`](Simulation::with_faults). `None` (the fault-free
+    /// case, including an empty [`FaultSpec`]) keeps the hot path
+    /// entirely check-free.
+    faults: Option<FaultRuntime>,
 }
 
 /// Enforcement state of a capacity-bounded run: the limits plus the
@@ -671,10 +680,17 @@ fn phase_mark(probe: &mut Option<&mut dyn Probe>, t: Round, phase: EnginePhase, 
 /// error in that order, if any; each send's validity depends only on the
 /// plan and the (immutable) pre-forwarding state, so the first error over
 /// the concatenated ranges is exactly the sequential engine's error.
+///
+/// With a fault mask (`faults`), a send over a blocked link is silently
+/// skipped *before* the per-link bandwidth check — as if the protocol had
+/// not planned it, so two sends over one blocked link are both skipped
+/// rather than a `LinkOverload`. Skipped sends never enter the move list,
+/// which is why the sharded prefix-seq machinery needs no fault awareness.
 fn collect_moves<T: Topology>(
     topology: &T,
     state: &NetworkState,
     plan: &ForwardingPlan,
+    faults: Option<&FaultState>,
     t: Round,
     range: std::ops::Range<usize>,
     moves: &mut Vec<Move>,
@@ -698,6 +714,11 @@ fn collect_moves<T: Topology>(
                     round: t,
                 });
             };
+            if let Some(f) = faults {
+                if f.blocks(v, hop, t) {
+                    continue;
+                }
+            }
             // One packet per link per round: sends are node-major, so any
             // earlier send from the same node sits at the tail of the
             // move list (out-degrees are tiny; this scan is O(deg)).
@@ -755,7 +776,11 @@ fn admit<T: Topology>(
         state.note_drop(v);
         return Ok(false);
     }
-    let distance = |dest: NodeId| topology.route_len(v, dest).unwrap_or(0);
+    // Unreachable destinations sort as infinitely far (`route_len` is
+    // `None`): `DropFarthest` must prefer evicting a packet that can
+    // never arrive over one that still can. `unwrap_or(0)` here would
+    // make such a packet look *closest* and therefore unevictable.
+    let distance = |dest: NodeId| topology.route_len(v, dest).unwrap_or(usize::MAX);
     let ctx = DropContext::new(v, t, &distance);
     match cap.policy.select(state.buffer(v), &packet, &ctx) {
         Victim::Incoming => {
@@ -825,6 +850,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             shard_arrivals: Vec::new(),
             shard_deliver: Vec::new(),
             capacity: None,
+            faults: None,
         }
     }
 
@@ -858,6 +884,29 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     /// The capacity configuration, if this run is capacity-bounded.
     pub fn capacity(&self) -> Option<&CapacityConfig> {
         self.capacity.as_ref().map(|c| &c.config)
+    }
+
+    /// Enables deterministic fault injection per `spec` (see
+    /// [`FaultSpec`]): at the top of every round the engine advances the
+    /// spec's fault mask, sweeps crashing nodes' packets into
+    /// [`RunMetrics::faulted`], refuses injections at dead nodes, and
+    /// skips planned sends over blocked links. Fault losses are counted,
+    /// never silent, so conservation extends to
+    /// `injected = delivered + dropped + faulted + in-network + staged`.
+    ///
+    /// A spec with no events is not expanded at all — such a run is
+    /// bit-for-bit identical to a fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after stepping, or if an event references a node
+    /// outside the topology.
+    pub fn with_faults(mut self, spec: &FaultSpec) -> Self {
+        assert_eq!(self.round, Round::ZERO, "enable faults before stepping");
+        if !spec.events.is_empty() {
+            self.faults = Some(FaultRuntime::new(spec, &self.topology));
+        }
+        self
     }
 
     /// Enables per-round occupancy series recording (costs memory
@@ -913,6 +962,28 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     fn injection_phase(&mut self, t: Round) -> Result<(usize, usize), ModelError> {
         let mode = self.protocol.injection_mode();
 
+        // --- Fault mask -----------------------------------------------
+        // Advance the mask to this round first: a node crashing at `t`
+        // loses its buffered and staged packets to `faulted` before
+        // acceptance, injection or planning can touch them, and the
+        // whole round (including sharded planning/validation) sees one
+        // consistent mask. Runs on the coordinating thread only, so
+        // sequential and sharded rounds stay byte-identical.
+        if let Some(faults) = &mut self.faults {
+            faults.advance(t);
+            for &v in faults.newly_dead() {
+                while let Some(id) = self.state.buffer(v).first().map(|sp| sp.id()) {
+                    self.state.remove(v, id).expect("buffer scan is live");
+                    self.state.note_fault(v);
+                    self.metrics.record_fault(t, v);
+                }
+                for _ in 0..self.state.sweep_staged(v) {
+                    self.state.note_fault(v);
+                    self.metrics.record_fault(t, v);
+                }
+            }
+        }
+
         // --- Injection step -------------------------------------------
         // Acceptance of previously staged packets happens before this
         // round's injections are staged (Alg. 3 lines 3–5 accept rounds
@@ -948,6 +1019,17 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
                 crate::pattern::validate_injection(&self.topology, injection)?;
             }
             debug_assert_eq!(injection.round, t, "source emitted a mistimed injection");
+            // A dead node accepts no injections: the packet never comes
+            // into existence, but the adversary did inject it, so it is
+            // accounted as a fault loss at its source (conservation:
+            // `injected` counts it below).
+            if let Some(faults) = &self.faults {
+                if faults.state().is_node_down(injection.source) {
+                    self.state.note_fault(injection.source);
+                    self.metrics.record_fault(t, injection.source);
+                    continue;
+                }
+            }
             let packet = Packet::new(
                 PacketId::new(self.next_packet_id),
                 t,
@@ -1017,12 +1099,18 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
     fn step_impl(&mut self, mut probe: Option<&mut dyn Probe>) -> Result<RoundOutcome, ModelError> {
         let t = self.round;
         let drops_before = self.metrics.dropped;
+        let faults_before = self.metrics.faulted;
         let mut mark = match probe.as_deref_mut() {
             Some(p) => p.now_nanos(),
             None => 0,
         };
 
         let (injected, accepted) = self.injection_phase(t)?;
+        if let (Some(f), Some(p)) = (&self.faults, probe.as_deref_mut()) {
+            if !f.state().is_empty() {
+                p.on_fault(t, f.state());
+            }
+        }
 
         // --- Observe L^t ----------------------------------------------
         self.metrics.observe(t, &self.state);
@@ -1040,6 +1128,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             &self.topology,
             &self.state,
             &self.plan_buf,
+            self.faults.as_ref().map(|f| f.state()),
             t,
             0..self.topology.node_count(),
             &mut self.moves_buf,
@@ -1091,6 +1180,7 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
             forwarded,
             delivered,
             dropped: (self.metrics.dropped - drops_before) as usize,
+            faulted: (self.metrics.faulted - faults_before) as usize,
         };
         if let Some(p) = probe {
             p.on_round(&outcome, &self.state);
@@ -1239,12 +1329,18 @@ where
         self.state.ensure_shards(k);
         let t = self.round;
         let drops_before = self.metrics.dropped;
+        let faults_before = self.metrics.faulted;
         let mut mark = match probe.as_deref_mut() {
             Some(p) => p.now_nanos(),
             None => 0,
         };
 
         let (injected, accepted) = self.injection_phase(t)?;
+        if let (Some(f), Some(p)) = (&self.faults, probe.as_deref_mut()) {
+            if !f.state().is_empty() {
+                p.on_fault(t, f.state());
+            }
+        }
 
         // --- Observe L^t ----------------------------------------------
         self.metrics.observe(t, &self.state);
@@ -1292,13 +1388,19 @@ where
             let topology = &self.topology;
             let state = &self.state;
             let plan = &self.plan_buf;
+            // `Option<&FaultState>` is `Copy` and `FaultState` is plain
+            // `Vec`s (`Sync`), so every validate worker reads the same
+            // mask the sequential path consults.
+            let faults = self.faults.as_ref().map(|f| f.state());
             let first_error: Option<ModelError> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shard_moves
                     .iter_mut()
                     .zip(ranges.iter().cloned())
                     .map(|(moves, range)| {
-                        scope.spawn(move || collect_moves(topology, state, plan, t, range, moves))
+                        scope.spawn(move || {
+                            collect_moves(topology, state, plan, faults, t, range, moves)
+                        })
                     })
                     .collect();
                 handles
@@ -1466,6 +1568,7 @@ where
             forwarded,
             delivered,
             dropped: (self.metrics.dropped - drops_before) as usize,
+            faulted: (self.metrics.faulted - faults_before) as usize,
         };
         if let Some(p) = probe {
             p.on_round(&outcome, &self.state);
@@ -1552,6 +1655,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEvent;
     use crate::pattern::Injection;
     use crate::source::FnSource;
     use crate::topology::Path;
@@ -2221,6 +2325,253 @@ mod tests {
                 assert_eq!(packet, PacketId::new(998));
             }
             other => panic!("expected UnknownPacket at node 1, got {other:?}"),
+        }
+    }
+
+    /// Conservation with faults:
+    /// injected = delivered + dropped + faulted + buffered + staged.
+    fn assert_fault_conservation<T: Topology, P: Protocol<T>, S: InjectionSource>(
+        sim: &Simulation<T, P, S>,
+    ) {
+        let m = sim.metrics();
+        assert_eq!(
+            m.injected,
+            m.delivered
+                + m.dropped
+                + m.faulted
+                + sim.state().total_buffered() as u64
+                + sim.state().staged_len() as u64,
+            "conservation with faults"
+        );
+        assert_eq!(m.faulted, sim.state().total_faulted());
+    }
+
+    #[test]
+    fn link_down_stalls_forwarding_until_recovery() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let faults = FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 1,
+            to: 2,
+            at: 1,
+            until: Some(3),
+        });
+        let mut sim = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_faults(&faults);
+        sim.step().unwrap(); // t0: 0 → 1.
+        assert_eq!(sim.state().occupancy(NodeId::new(1)), 1);
+        for t in 1..3 {
+            let o = sim.step().unwrap(); // t1, t2: link 1→2 down, no move.
+            assert_eq!(o.forwarded, 0, "round {t}");
+            assert_eq!(sim.state().occupancy(NodeId::new(1)), 1);
+        }
+        sim.step().unwrap(); // t3: recovered, 1 → 2.
+        let o = sim.step().unwrap(); // t4: 2 → 3, delivered.
+        assert_eq!(o.delivered, 1);
+        assert_eq!(sim.metrics().faulted, 0);
+        assert_fault_conservation(&sim);
+    }
+
+    #[test]
+    fn node_crash_sweeps_buffer_into_faulted() {
+        // Three packets pile up at node 1 under Idle; node 1 then crashes.
+        let p = Pattern::from_injections(vec![Injection::new(0, 1, 3); 3]);
+        let faults = FaultSpec::new(0).with_event(FaultEvent::NodeCrash {
+            node: 1,
+            at: 2,
+            until: None,
+        });
+        let mut sim = Simulation::new(Path::new(4), Idle, &p)
+            .unwrap()
+            .with_faults(&faults);
+        sim.step().unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.metrics().faulted, 0);
+        let o = sim.step().unwrap(); // t2: crash sweeps the buffer.
+        assert_eq!(o.faulted, 3);
+        assert_eq!(sim.state().occupancy(NodeId::new(1)), 0);
+        let m = sim.metrics();
+        assert_eq!(m.faulted, 3);
+        assert_eq!(m.per_node_faulted, vec![0, 3, 0, 0]);
+        assert_eq!(m.first_fault_round, Some(Round::new(2)));
+        assert_eq!(sim.state().faults_at(NodeId::new(1)), 3);
+        assert_fault_conservation(&sim);
+    }
+
+    #[test]
+    fn injection_at_dead_node_is_faulted_not_lost() {
+        let p: Pattern = (0..4u64).map(|t| Injection::new(t, 0, 2)).collect();
+        let faults = FaultSpec::new(0).with_event(FaultEvent::NodeCrash {
+            node: 0,
+            at: 0,
+            until: None,
+        });
+        let mut sim = Simulation::new(Path::new(3), Drain, &p)
+            .unwrap()
+            .with_faults(&faults);
+        sim.run_past_horizon(4).unwrap();
+        let m = sim.metrics();
+        assert_eq!(m.injected, 4);
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.faulted, 4);
+        assert_eq!(m.first_fault_round, Some(Round::ZERO));
+        assert_fault_conservation(&sim);
+    }
+
+    #[test]
+    fn staged_packets_at_crashing_node_are_faulted() {
+        // Batched mode with phase 3: wishes staged in rounds 0–1, node 0
+        // crashes at round 2 — its staged wishes are swept before the
+        // round-3 acceptance boundary.
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3), Injection::new(1, 0, 3)]);
+        let faults = FaultSpec::new(0).with_event(FaultEvent::NodeCrash {
+            node: 0,
+            at: 2,
+            until: None,
+        });
+        let mut sim = Simulation::new(Path::new(4), BatchedDrain(3), &p)
+            .unwrap()
+            .with_faults(&faults);
+        sim.step().unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.state().staged_len(), 2);
+        let o = sim.step().unwrap(); // t2: crash.
+        assert_eq!(o.faulted, 2);
+        assert_eq!(sim.state().staged_len(), 0);
+        let o = sim.step().unwrap(); // t3: acceptance boundary, nothing left.
+        assert_eq!(o.accepted, 0);
+        assert_fault_conservation(&sim);
+    }
+
+    #[test]
+    fn partition_heals_and_traffic_resumes() {
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let faults = FaultSpec::new(0).with_event(FaultEvent::Partition {
+            group: vec![0, 1],
+            at: 0,
+            until: Some(4),
+        });
+        let mut sim = Simulation::new(Path::new(4), Drain, &p)
+            .unwrap()
+            .with_faults(&faults);
+        sim.run(4).unwrap(); // packet reaches node 1, then waits at the cut.
+        assert_eq!(sim.metrics().delivered, 0);
+        assert_eq!(sim.state().occupancy(NodeId::new(1)), 1);
+        sim.run_past_horizon(6).unwrap();
+        assert_eq!(sim.metrics().delivered, 1);
+        assert_eq!(sim.metrics().faulted, 0);
+    }
+
+    #[test]
+    fn link_delay_throttles_bandwidth() {
+        // extra = 1: link 0→1 forwards only on even rounds (bandwidth ½).
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1); 4]);
+        let faults = FaultSpec::new(0).with_event(FaultEvent::LinkDelay {
+            from: 0,
+            to: 1,
+            extra: 1,
+            at: 0,
+            until: None,
+        });
+        let mut sim = Simulation::new(Path::new(2), Drain, &p)
+            .unwrap()
+            .with_faults(&faults);
+        let mut delivered_on = Vec::new();
+        for t in 0..8u64 {
+            let o = sim.step().unwrap();
+            if o.delivered > 0 {
+                delivered_on.push(t);
+            }
+        }
+        assert_eq!(delivered_on, vec![0, 2, 4, 6]);
+        assert!(sim.is_drained());
+    }
+
+    #[test]
+    fn two_sends_over_a_blocked_link_are_skipped_not_overload() {
+        // Node 0 has out-degree 2 (so the plan accepts two sends), but
+        // both packets are destined to node 1 and resolve to the same
+        // link 0→1. Without the fault that is a LinkOverload; with the
+        // link down both sends are skipped as if never planned.
+        use crate::topology::Dag;
+        struct DoubleSend;
+        impl<T: Topology> Protocol<T> for DoubleSend {
+            fn name(&self) -> String {
+                "double-send".into()
+            }
+            fn plan(&mut self, _: Round, _: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
+                for sp in state.buffer(NodeId::new(0)) {
+                    plan.send(NodeId::new(0), sp.id());
+                }
+            }
+        }
+        let dag = || Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let p = Pattern::from_injections(vec![Injection::new(0, 0, 1); 2]);
+        let mut plain = Simulation::new(dag(), DoubleSend, &p).unwrap();
+        assert!(matches!(plain.step(), Err(ModelError::LinkOverload { .. })));
+        let faults = FaultSpec::new(0).with_event(FaultEvent::LinkDown {
+            from: 0,
+            to: 1,
+            at: 0,
+            until: None,
+        });
+        let mut faulted = Simulation::new(dag(), DoubleSend, &p)
+            .unwrap()
+            .with_faults(&faults);
+        let o = faulted.step().unwrap();
+        assert_eq!(o.forwarded, 0);
+        assert_eq!(faulted.state().occupancy(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn empty_fault_spec_is_byte_identical_to_fault_free() {
+        use crate::topology::Dag;
+        let mut plain = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern()).unwrap();
+        let mut empty = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern())
+            .unwrap()
+            .with_faults(&FaultSpec::default());
+        for _ in 0..12 {
+            let a = plain.step().unwrap();
+            let b = empty.step().unwrap();
+            assert_eq!(a, b);
+            assert_states_identical(&plain, &empty);
+        }
+    }
+
+    #[test]
+    fn sharded_fault_run_is_byte_identical_to_sequential() {
+        use crate::topology::Dag;
+        let faults = FaultSpec::new(11)
+            .with_event(FaultEvent::RandomLinks {
+                count: 4,
+                at: 2,
+                until: Some(8),
+            })
+            .with_event(FaultEvent::NodeCrash {
+                node: 5,
+                at: 3,
+                until: Some(7),
+            })
+            .with_event(FaultEvent::Partition {
+                group: vec![0, 1, 2, 3],
+                at: 9,
+                until: Some(11),
+            });
+        for shards in [2, 3, 7] {
+            let mut seq = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern())
+                .unwrap()
+                .with_faults(&faults);
+            let mut par = Simulation::new(Dag::grid(4, 4), Drain, &grid_pattern())
+                .unwrap()
+                .with_faults(&faults);
+            for _ in 0..16 {
+                let a = seq.step().unwrap();
+                let b = par.step_sharded(shards).unwrap();
+                assert_eq!(a, b, "shards = {shards}");
+                assert_states_identical(&seq, &par);
+            }
+            assert!(seq.metrics().faulted > 0, "crash never swept anything");
+            assert_fault_conservation(&seq);
         }
     }
 }

@@ -32,6 +32,11 @@
 //!   turning every occupancy bound into a falsifiable zero-drop
 //!   threshold; losses land in [`RunMetrics::dropped`] and goodput is
 //!   exact ([`RunMetrics::goodput`]).
+//! * **Fault injection** — [`Simulation::with_faults`] applies a seeded,
+//!   deterministic [`FaultSpec`] (link failures with recovery, node
+//!   crashes, partitions, link delays); packets lost to faults are
+//!   counted ([`RunMetrics::faulted`]), never silently dropped, so
+//!   conservation holds in degraded regimes too.
 //!
 //! Forwarding algorithms themselves (PTS, PPTS, HPTS, …) live in
 //! `aqt-core`; adversary generators (including the paper's §5 lower-bound
@@ -59,6 +64,7 @@
 mod boundedness;
 mod capacity;
 mod engine;
+mod fault;
 mod ids;
 mod metrics;
 mod packet;
@@ -80,6 +86,7 @@ pub use capacity::{
 pub use engine::{
     ForwardingPlan, InjectionMode, ModelError, PlanWindow, Protocol, RoundOutcome, Simulation,
 };
+pub use fault::{FaultEvent, FaultSpec, FaultState};
 pub use ids::{NodeId, PacketId, Round};
 pub use metrics::{LatencyStats, RunMetrics};
 pub use packet::{Packet, StoredPacket};

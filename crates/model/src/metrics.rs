@@ -73,6 +73,15 @@ pub struct RunMetrics {
     /// The first round in which a drop occurred, if any — the empirical
     /// onset of the lossy regime.
     pub first_drop_round: Option<Round>,
+    /// Packets lost to faults (0 on fault-free runs): swept from a
+    /// crashing node's buffer or injected at a dead node. Conservation
+    /// with faults reads
+    /// `injected = delivered + dropped + faulted + in-network + staged`.
+    pub faulted: u64,
+    /// Per-node fault-loss counts (all zero on fault-free runs).
+    pub per_node_faulted: Vec<u64>,
+    /// The first round in which a fault loss occurred, if any.
+    pub first_fault_round: Option<Round>,
     /// Optional per-round series of the max occupancy (enabled with
     /// [`Simulation::record_series`](crate::Simulation::record_series)).
     pub series: Option<Vec<usize>>,
@@ -93,6 +102,9 @@ impl RunMetrics {
             dropped: 0,
             per_node_drops: vec![0; n],
             first_drop_round: None,
+            faulted: 0,
+            per_node_faulted: vec![0; n],
+            first_fault_round: None,
             series: record_series.then(Vec::new),
         }
     }
@@ -144,6 +156,15 @@ impl RunMetrics {
         self.per_node_drops[node.index()] += 1;
         if self.first_drop_round.is_none() {
             self.first_drop_round = Some(round);
+        }
+    }
+
+    /// Records a fault loss at `node` in round `round`.
+    pub(crate) fn record_fault(&mut self, round: Round, node: NodeId) {
+        self.faulted += 1;
+        self.per_node_faulted[node.index()] += 1;
+        if self.first_fault_round.is_none() {
+            self.first_fault_round = Some(round);
         }
     }
 
@@ -230,6 +251,18 @@ mod tests {
         assert_eq!(m.dropped, 3);
         assert_eq!(m.per_node_drops, vec![1, 0, 2]);
         assert_eq!(m.first_drop_round, Some(Round::new(4)));
+    }
+
+    #[test]
+    fn fault_losses_accumulate_and_pin_first_round() {
+        let mut m = RunMetrics::new(3, false);
+        assert_eq!(m.first_fault_round, None);
+        m.record_fault(Round::new(2), NodeId::new(1));
+        m.record_fault(Round::new(5), NodeId::new(1));
+        m.record_fault(Round::new(5), NodeId::new(0));
+        assert_eq!(m.faulted, 3);
+        assert_eq!(m.per_node_faulted, vec![1, 2, 0]);
+        assert_eq!(m.first_fault_round, Some(Round::new(2)));
     }
 
     #[test]

@@ -9,30 +9,35 @@
 //!
 //! The probe points, in round order:
 //!
-//! 1. [`on_observe`](Probe::on_observe) — the paper's `L^t` measurement
+//! 1. [`on_fault`](Probe::on_fault) — fault-active rounds only: the
+//!    resolved [`FaultState`] for the round, right after the fault mask
+//!    is advanced (post-injection, before the `L^t` observation). Never
+//!    called on fault-free rounds or runs.
+//! 2. [`on_observe`](Probe::on_observe) — the paper's `L^t` measurement
 //!    point (post-injection, pre-forwarding), right after
 //!    `RunMetrics::observe`. This is where occupancy distributions are
 //!    sampled.
-//! 2. [`on_phase`](Probe::on_phase) — once per engine phase
+//! 3. [`on_phase`](Probe::on_phase) — once per engine phase
 //!    ([`EnginePhase`]) with its wall-time in nanoseconds, measured by
 //!    the probe's own [`now_nanos`](Probe::now_nanos) clock. The default
 //!    clock returns 0, so library runs never read wall-clock time; a
 //!    real clock lives behind this hook in `aqt-bench`.
-//! 3. [`on_shard_moves`](Probe::on_shard_moves) — per-shard validated
+//! 4. [`on_shard_moves`](Probe::on_shard_moves) — per-shard validated
 //!    move counts (sharded rounds only), reported in ascending shard
 //!    order — the same deterministic input-order merge the sweep layer
 //!    uses.
-//! 4. [`on_delivery`](Probe::on_delivery) — one call per delivered
+//! 5. [`on_delivery`](Probe::on_delivery) — one call per delivered
 //!    packet, in the sequential engine's delivery order (the sharded
 //!    engine reports shard buckets in ascending shard order, which *is*
 //!    that order).
-//! 5. [`on_round`](Probe::on_round) — the completed [`RoundOutcome`]
+//! 6. [`on_round`](Probe::on_round) — the completed [`RoundOutcome`]
 //!    plus the post-round state.
 //!
 //! All hooks default to no-ops, so `impl Probe for ()` is the canonical
 //! null probe and custom probes override only what they need.
 
 use crate::engine::RoundOutcome;
+use crate::fault::FaultState;
 use crate::ids::Round;
 use crate::packet::Packet;
 use crate::state::NetworkState;
@@ -90,6 +95,12 @@ pub trait Probe {
     fn now_nanos(&mut self) -> u64 {
         0
     }
+
+    /// The resolved fault mask for `round`, reported only on rounds
+    /// where at least one fault is active (never on fault-free rounds or
+    /// fault-free runs). Fires right after the engine advances the mask,
+    /// before [`on_observe`](Probe::on_observe).
+    fn on_fault(&mut self, _round: Round, _state: &FaultState) {}
 
     /// The `L^t` measurement point of `round`: post-injection,
     /// pre-forwarding.

@@ -137,6 +137,11 @@ pub struct NetworkState {
     /// otherwise). Observable by protocols and tracers.
     drops: Vec<u64>,
     dropped_total: u64,
+    /// Cumulative fault losses per node (fault-injected runs; all zero
+    /// otherwise): packets swept from a crashing node's buffer, or
+    /// injections arriving at a dead node.
+    faults: Vec<u64>,
+    faulted_total: u64,
     next_seq: u64,
 }
 
@@ -154,6 +159,8 @@ impl NetworkState {
             staged_counts: vec![0; n],
             drops: vec![0; n],
             dropped_total: 0,
+            faults: vec![0; n],
+            faulted_total: 0,
             next_seq: 0,
         }
     }
@@ -214,6 +221,17 @@ impl NetworkState {
     /// Cumulative packets dropped anywhere so far.
     pub fn total_dropped(&self) -> u64 {
         self.dropped_total
+    }
+
+    /// Cumulative packets lost to faults at `v` so far (fault-injected
+    /// runs; 0 otherwise).
+    pub fn faults_at(&self, v: NodeId) -> u64 {
+        self.faults[v.index()]
+    }
+
+    /// Cumulative packets lost to faults anywhere so far.
+    pub fn total_faulted(&self) -> u64 {
+        self.faulted_total
     }
 
     /// Looks up a packet in `v`'s buffer.
@@ -292,10 +310,26 @@ impl NetworkState {
         self.staged_counts.fill(0);
     }
 
+    /// Removes every staged packet whose source buffer is `v` (the node
+    /// crashed before acceptance), returning how many were removed.
+    pub(crate) fn sweep_staged(&mut self, v: NodeId) -> usize {
+        let before = self.staged.len();
+        self.staged.retain(|p| p.source() != v);
+        let removed = before - self.staged.len();
+        self.staged_counts[v.index()] -= removed;
+        removed
+    }
+
     /// Records a capacity drop at `v` in the cumulative counters.
     pub(crate) fn note_drop(&mut self, v: NodeId) {
         self.drops[v.index()] += 1;
         self.dropped_total += 1;
+    }
+
+    /// Records a fault loss at `v` in the cumulative counters.
+    pub(crate) fn note_fault(&mut self, v: NodeId) {
+        self.faults[v.index()] += 1;
+        self.faulted_total += 1;
     }
 
     /// Removes a packet from `v`'s buffer, returning it.

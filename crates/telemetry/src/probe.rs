@@ -1,7 +1,7 @@
 //! The [`TelemetryProbe`]: a [`Probe`] implementation that feeds every
 //! engine hook into bounded sketches, counters and a ring series.
 
-use aqt_model::{EnginePhase, NetworkState, Packet, Probe, Round, RoundOutcome};
+use aqt_model::{EnginePhase, FaultState, NetworkState, Packet, Probe, Round, RoundOutcome};
 use serde::{Deserialize, Serialize};
 
 use crate::clock::{Clock, NullClock};
@@ -142,9 +142,18 @@ impl Probe for TelemetryProbe {
 
     fn on_delivery(&mut self, round: Round, packet: &Packet) {
         // Same latency convention as RunMetrics: a packet injected and
-        // delivered in the same round took 1 round.
-        let latency = round.since(packet.injected_at()).unwrap_or(0) + 1;
+        // delivered in the same round took 1 round. A delivery round
+        // before the injection round is an engine invariant violation —
+        // surface it instead of silently recording a latency of 1.
+        let latency = round
+            .since(packet.injected_at())
+            .expect("delivery cannot precede injection")
+            + 1;
         self.latency.record(latency);
+    }
+
+    fn on_fault(&mut self, _round: Round, _state: &FaultState) {
+        self.counters.fault_rounds += 1;
     }
 
     fn on_round(&mut self, outcome: &RoundOutcome, _state: &NetworkState) {
@@ -154,6 +163,7 @@ impl Probe for TelemetryProbe {
         self.counters.forwarded += outcome.forwarded as u64;
         self.counters.delivered += outcome.delivered as u64;
         self.counters.dropped += outcome.dropped as u64;
+        self.counters.faulted += outcome.faulted as u64;
         self.series.offer(RoundSample {
             round: outcome.round.value(),
             injected: outcome.injected as u64,
@@ -161,6 +171,7 @@ impl Probe for TelemetryProbe {
             forwarded: outcome.forwarded as u64,
             delivered: outcome.delivered as u64,
             dropped: outcome.dropped as u64,
+            faulted: outcome.faulted as u64,
         });
     }
 }
@@ -243,6 +254,58 @@ mod tests {
         assert_eq!(report.profile.plan.nanos, rounds);
         assert_eq!(report.profile.forward.nanos, rounds);
         assert_eq!(report.profile.merge.nanos, rounds);
+    }
+
+    #[test]
+    fn latency_spans_a_flush_boundary() {
+        // A packet injected at round 2 and delivered at round 5, with a
+        // mid-flight report() (the flush snapshot) taken in between: the
+        // flush must not see the undelivered packet, and the final sketch
+        // must record the true 4-round latency — not the silent 1 the old
+        // `unwrap_or(0) + 1` fallback produced on a bad delta.
+        let pattern = Pattern::from_injections(vec![Injection::new(2, 0, 4)]);
+        let mut sim = Simulation::new(Path::new(5), Drain, &pattern).unwrap();
+        let mut probe = TelemetryProbe::new(TelemetrySpec::default());
+        for _ in 0..4 {
+            sim.step_probed(&mut probe).unwrap();
+        }
+        let mid = probe.report();
+        assert_eq!(mid.data.counters.delivered, 0);
+        assert_eq!(mid.data.latency.count(), 0);
+        for _ in 0..4 {
+            sim.step_probed(&mut probe).unwrap();
+        }
+        let report = probe.report();
+        assert_eq!(report.data.counters.delivered, 1);
+        assert_eq!(report.data.latency.count(), 1);
+        assert_eq!(report.data.latency.max, 4);
+    }
+
+    #[test]
+    fn fault_counters_mirror_the_engine() {
+        use aqt_model::{FaultEvent, FaultSpec};
+        // Node 1 crashes over rounds 1..3; the packet buffered there is
+        // swept into the faulted ledger and the probe sees both the loss
+        // and the two fault-active rounds.
+        let faults = FaultSpec::new(0).with_event(FaultEvent::NodeCrash {
+            node: 1,
+            at: 1,
+            until: Some(3),
+        });
+        let pattern = Pattern::from_injections(vec![Injection::new(0, 0, 3)]);
+        let mut sim = Simulation::new(Path::new(4), Drain, &pattern)
+            .unwrap()
+            .with_faults(&faults);
+        let mut probe = TelemetryProbe::new(TelemetrySpec::default());
+        for _ in 0..8 {
+            sim.step_probed(&mut probe).unwrap();
+        }
+        let report = probe.report();
+        assert_eq!(report.data.counters.faulted, sim.metrics().faulted);
+        assert_eq!(report.data.counters.faulted, 1);
+        assert_eq!(report.data.counters.fault_rounds, 2);
+        let per_round: u64 = report.data.series.samples.iter().map(|s| s.faulted).sum();
+        assert_eq!(per_round, 1);
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct TelemetryCounters {
     pub delivered: u64,
     /// Total packets dropped by capacity enforcement.
     pub dropped: u64,
+    /// Total packets lost to faults (crash sweeps and injections at dead
+    /// nodes; 0 on fault-free runs).
+    pub faulted: u64,
+    /// Rounds on which at least one fault was active (the engine's
+    /// `on_fault` hook fired; 0 on fault-free runs).
+    pub fault_rounds: u64,
 }
 
 impl TelemetryCounters {
@@ -46,6 +52,8 @@ impl TelemetryCounters {
         self.forwarded += other.forwarded;
         self.delivered += other.delivered;
         self.dropped += other.dropped;
+        self.faulted += other.faulted;
+        self.fault_rounds += other.fault_rounds;
     }
 }
 
@@ -167,6 +175,8 @@ mod tests {
             forwarded: 5,
             delivered: 1,
             dropped: 0,
+            faulted: 2,
+            fault_rounds: 1,
         };
         let b = TelemetryCounters {
             rounds: 1,
@@ -175,6 +185,8 @@ mod tests {
             forwarded: 1,
             delivered: 1,
             dropped: 4,
+            faulted: 3,
+            fault_rounds: 1,
         };
         a.merge(&b);
         assert_eq!(a.rounds, 3);
@@ -183,6 +195,8 @@ mod tests {
         assert_eq!(a.forwarded, 6);
         assert_eq!(a.delivered, 2);
         assert_eq!(a.dropped, 4);
+        assert_eq!(a.faulted, 5);
+        assert_eq!(a.fault_rounds, 2);
     }
 
     #[test]

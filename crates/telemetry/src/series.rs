@@ -23,6 +23,9 @@ pub struct RoundSample {
     pub delivered: u64,
     /// Packets dropped by capacity enforcement this round.
     pub dropped: u64,
+    /// Packets lost to faults this round (crash sweeps and injections at
+    /// dead nodes).
+    pub faulted: u64,
 }
 
 /// A bounded ring buffer of [`RoundSample`]s.

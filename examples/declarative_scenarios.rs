@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: DropPolicyKind::Tail,
         }),
         telemetry: None,
+        faults: None,
     };
 
     // Any run is a reproducible artifact: print the spec, then run it.
@@ -97,6 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         extra: 10,
         capacity: None,
         telemetry: None,
+        faults: None,
     };
     println!("\nPPTS on a grid: {}", run_scenario(&wrong).unwrap_err());
     Ok(())

@@ -135,11 +135,11 @@ pub use aqt_core::{
 pub use aqt_model::{
     analyze, brute_force_tight_sigma, interval_load, is_bounded, AnyTopology, BoundednessReport,
     CapacityConfig, Dag, DagError, DirectedTree, DropContext, DropFarthest, DropHead, DropNewest,
-    DropPolicy, DropPolicyKind, DropTail, ExcessTracker, FnSource, ForwardingPlan, Injection,
-    InjectionMode, InjectionSource, LatencyStats, ModelError, NetworkState, NodeId, Packet,
-    PacketId, Path, Pattern, PatternError, PatternSource, Protocol, Rate, RateError, Round,
-    RoundOutcome, RunMetrics, Simulation, StagingMode, StoredPacket, Topology, TopologySpec,
-    TopologySpecError, TreeError, TreeSpec, Victim,
+    DropPolicy, DropPolicyKind, DropTail, ExcessTracker, FaultEvent, FaultSpec, FaultState,
+    FnSource, ForwardingPlan, Injection, InjectionMode, InjectionSource, LatencyStats, ModelError,
+    NetworkState, NodeId, Packet, PacketId, Path, Pattern, PatternError, PatternSource, Protocol,
+    Rate, RateError, Round, RoundOutcome, RunMetrics, Simulation, StagingMode, StoredPacket,
+    Topology, TopologySpec, TopologySpecError, TreeError, TreeSpec, Victim,
 };
 pub use aqt_telemetry::{
     Clock, HistogramSketch, NullClock, PhaseStat, RoundSample, TelemetryCounters, TelemetryData,

@@ -114,6 +114,7 @@ fn scenario(
         extra: EXTRA,
         capacity,
         telemetry: None,
+        faults: None,
     }
 }
 

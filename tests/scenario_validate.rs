@@ -25,6 +25,7 @@ fn every_valid_artifact_passes_static_validation() {
     for file in [
         "e11a_fifo_cap4.json",
         "e12_grid_4x4_diag.json",
+        "faults_grid_links.json",
         "hpts_shaped_line.json",
         "ppts_roundrobin_path.json",
         "pts_two_wave_path.json",
@@ -84,6 +85,16 @@ fn zero_telemetry_stride_is_a_static_check() {
         "{err}"
     );
     assert!(err.to_string().contains("series_stride"), "{err}");
+}
+
+#[test]
+fn permanently_severed_route_is_a_static_check() {
+    let err = reject("invalid/fault_severed_route.json");
+    assert!(
+        matches!(&err, ScenarioError::Static { check, .. } if *check == "fault-severed-route"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("permanently severs"), "{err}");
 }
 
 #[test]

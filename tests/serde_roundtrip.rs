@@ -218,9 +218,9 @@ fn injection_json_is_human_readable() {
 
 mod scenario_specs {
     use small_buffers::{
-        run_scenario, Cadence, CapacityConfig, CapacitySpec, DestSpec, GreedyPolicy, Injection,
-        ProtocolSpec, Rate, Scenario, ScenarioGrid, SourceSpec, StagingMode, TopologySpec,
-        TreeSpec,
+        run_scenario, Cadence, CapacityConfig, CapacitySpec, DestSpec, FaultEvent, FaultSpec,
+        GreedyPolicy, Injection, ProtocolSpec, Rate, Scenario, ScenarioGrid, SourceSpec,
+        StagingMode, TopologySpec, TreeSpec,
     };
 
     fn roundtrip<T>(value: &T) -> T
@@ -381,6 +381,7 @@ mod scenario_specs {
                 policy: small_buffers::DropPolicyKind::Farthest,
             }),
             telemetry: None,
+            faults: None,
         };
         let replay = roundtrip(&scenario);
         assert_eq!(replay, scenario);
@@ -389,6 +390,46 @@ mod scenario_specs {
             run_scenario(&scenario).unwrap(),
             run_scenario(&replay).unwrap()
         );
+
+        // With a fault schedule attached, both the spec (every event
+        // kind) and the faulted replay survive the JSON trip.
+        let mut faulted = scenario.clone();
+        faulted.faults = Some(
+            FaultSpec::new(23)
+                .with_event(FaultEvent::LinkDown {
+                    from: 0,
+                    to: 1,
+                    at: 2,
+                    until: Some(6),
+                })
+                .with_event(FaultEvent::NodeCrash {
+                    node: 4,
+                    at: 3,
+                    until: None,
+                })
+                .with_event(FaultEvent::Partition {
+                    group: vec![0, 1, 3],
+                    at: 5,
+                    until: Some(9),
+                })
+                .with_event(FaultEvent::LinkDelay {
+                    from: 1,
+                    to: 2,
+                    extra: 2,
+                    at: 0,
+                    until: Some(12),
+                })
+                .with_event(FaultEvent::RandomLinks {
+                    count: 2,
+                    at: 1,
+                    until: Some(7),
+                }),
+        );
+        let faulted_replay = roundtrip(&faulted);
+        assert_eq!(faulted_replay, faulted);
+        let summary = run_scenario(&faulted).unwrap();
+        assert_eq!(summary, run_scenario(&faulted_replay).unwrap());
+        assert!(summary.faulted > 0, "the crashed node must fault packets");
 
         let grid = ScenarioGrid {
             name: None,

@@ -15,8 +15,9 @@
 
 use small_buffers::{
     run_scenario, run_scenario_sharded, run_scenario_telemetry, run_scenario_telemetry_sharded,
-    CapacityConfig, CapacitySpec, DropPolicyKind, GreedyPolicy, Injection, ProtocolSpec, Scenario,
-    SourceSpec, StagingMode, TelemetrySpec, Topology, TopologySpec, TreeSpec,
+    CapacityConfig, CapacitySpec, DropPolicyKind, FaultEvent, FaultSpec, GreedyPolicy, Injection,
+    ProtocolSpec, Scenario, SourceSpec, StagingMode, TelemetrySpec, Topology, TopologySpec,
+    TreeSpec,
 };
 
 const EXTRA: u64 = 40;
@@ -52,6 +53,7 @@ fn scenario(
         extra: EXTRA,
         capacity,
         telemetry: None,
+        faults: None,
     }
 }
 
@@ -224,6 +226,105 @@ fn capacity_and_staging_cells_are_sharding_invariant() {
     assert_sharding_invariant("capacity/mesh", &s);
 }
 
+/// A mixed fault schedule exercising every event kind with recovery
+/// windows, on the seed the artifacts use.
+fn mixed_faults() -> FaultSpec {
+    FaultSpec::new(11)
+        .with_event(FaultEvent::RandomLinks {
+            count: 4,
+            at: 2,
+            until: Some(8),
+        })
+        .with_event(FaultEvent::NodeCrash {
+            node: 5,
+            at: 3,
+            until: Some(7),
+        })
+        .with_event(FaultEvent::Partition {
+            group: vec![0, 1, 2, 3],
+            at: 9,
+            until: Some(11),
+        })
+        .with_event(FaultEvent::LinkDelay {
+            from: 0,
+            to: 1,
+            extra: 1,
+            at: 0,
+            until: Some(20),
+        })
+}
+
+#[test]
+fn fault_schedules_are_sharding_invariant() {
+    // Faults active during the run must not break byte-identity: the
+    // mask advances once per round on the coordinating thread, so every
+    // shard sees the same fault state.
+    let mut s = scenario(
+        TopologySpec::Grid { rows: 6, cols: 6 },
+        ProtocolSpec::DagGreedy {
+            policy: GreedyPolicy::Fifo,
+        },
+        SourceSpec::DiagonalWave {
+            per_step: 1,
+            gap: 1,
+        },
+        None,
+    );
+    s.faults = Some(mixed_faults());
+    assert_sharding_invariant("faults/grid", &s);
+
+    // A crashing node on a contended path sweeps buffered packets and
+    // blocks injections: the faulted ledger is non-zero and still
+    // byte-identical across shard counts — including under finite
+    // buffers and batched staging.
+    let mut s = scenario(
+        TopologySpec::Path { n: 12 },
+        ProtocolSpec::Batched {
+            inner: Box::new(ProtocolSpec::Greedy {
+                policy: GreedyPolicy::Fifo,
+            }),
+            phase: 3,
+        },
+        path_pattern(),
+        Some(CapacitySpec {
+            config: CapacityConfig::uniform(3),
+            policy: DropPolicyKind::Tail,
+        }),
+    );
+    s.faults = Some(FaultSpec::new(3).with_event(FaultEvent::NodeCrash {
+        node: 4,
+        at: 2,
+        until: Some(6),
+    }));
+    assert_sharding_invariant("faults/path-crash", &s);
+    assert!(
+        run_scenario(&s).unwrap().faulted > 0,
+        "faults/path-crash: vacuous — no packet was faulted"
+    );
+
+    // A tree under a windowed partition.
+    let mut s = scenario(
+        TopologySpec::Tree(TreeSpec::Random { n: 16, seed: 9 }),
+        ProtocolSpec::TreePpts,
+        SourceSpec::Pattern {
+            injections: {
+                let root = small_buffers::DirectedTree::random(16, 9).root().index();
+                (0..16usize)
+                    .filter(|&v| v != root)
+                    .flat_map(|v| (0..3u64).map(move |t| Injection::new(2 * t, v, root)))
+                    .collect()
+            },
+        },
+        None,
+    );
+    s.faults = Some(FaultSpec::new(5).with_event(FaultEvent::Partition {
+        group: vec![1, 2, 3, 4, 5],
+        at: 1,
+        until: Some(5),
+    }));
+    assert_sharding_invariant("faults/tree-partition", &s);
+}
+
 /// Representative cells for the telemetry invariants below: a contended
 /// path under `Batched`, a streaming mesh, and a lossy capacity cell
 /// (so the probe sees drops, not just forwards).
@@ -281,6 +382,21 @@ fn telemetry_cells() -> Vec<(&'static str, Scenario)> {
                 }),
             ),
         ),
+        ("grid/faulted", {
+            let mut s = scenario(
+                TopologySpec::Grid { rows: 6, cols: 6 },
+                ProtocolSpec::DagGreedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                SourceSpec::DiagonalWave {
+                    per_step: 1,
+                    gap: 1,
+                },
+                None,
+            );
+            s.faults = Some(mixed_faults());
+            s
+        }),
     ];
     for (_, s) in &mut cells {
         s.telemetry = Some(spec);

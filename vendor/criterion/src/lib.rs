@@ -224,7 +224,8 @@ fn run_one(
         println!("{label:<50} (no iterations recorded)");
         return;
     }
-    let per_iter = bencher.elapsed / u32::try_from(bencher.iters_done.min(u64::from(u32::MAX))).unwrap_or(1);
+    let per_iter =
+        bencher.elapsed / u32::try_from(bencher.iters_done.min(u64::from(u32::MAX))).unwrap_or(1);
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!(
             " ({:.2e} elem/s)",

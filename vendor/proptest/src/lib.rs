@@ -53,10 +53,7 @@ pub mod strategy {
         }
 
         /// Chains a dependent strategy after this one.
-        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F, S2>
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F, S2>
         where
             Self: Sized,
         {

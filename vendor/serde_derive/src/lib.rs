@@ -79,7 +79,9 @@ fn parse(input: TokenStream) -> Result<Input, String> {
     i += 1;
 
     if is_punct(toks.get(i), '<') {
-        return Err(format!("serde stub derive: generics on `{name}` are not supported"));
+        return Err(format!(
+            "serde stub derive: generics on `{name}` are not supported"
+        ));
     }
 
     let kind = match kw.as_str() {
@@ -274,7 +276,10 @@ fn emit_serialize(input: &Input) -> String {
                     )
                 })
                 .collect();
-            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
         }
         Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Kind::Tuple(arity) => {
@@ -287,7 +292,11 @@ fn emit_serialize(input: &Input) -> String {
         Kind::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"))
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
         }

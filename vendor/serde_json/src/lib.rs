@@ -215,7 +215,10 @@ impl Parser<'_> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            _ => Err(Error::custom(format!("unexpected input at byte {}", self.pos))),
+            _ => Err(Error::custom(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
         }
     }
 
@@ -339,8 +342,8 @@ impl Parser<'_> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| Error::custom("invalid unicode escape"))?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error::custom("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid unicode escape"))?;
         self.pos = end;
         Ok(code)
     }
