@@ -196,10 +196,18 @@ where
 
 /// [`parallel`] with an explicit worker count.
 ///
-/// Work is claimed from a shared atomic cursor (dynamic load balancing —
-/// heavy grid points do not stall light ones); each worker accumulates
-/// `(index, output)` pairs locally and the merge sorts by index, so no
-/// lock is held while `f` runs.
+/// The grid is cut into one contiguous chunk per worker (near-equal point
+/// counts) and each worker walks its chunk in order: one spawn per
+/// worker, no shared cursor, no per-point synchronization. Chunk outputs
+/// concatenate in worker order, which *is* input order, so the result
+/// equals [`serial`]'s for any pure `f`.
+///
+/// The worker count is additionally capped at the machine's available
+/// parallelism: for a CPU-bound sweep, threads beyond physical cores only
+/// add context-switch overhead (the source of the old `sweep_speedup < 1`
+/// regression on small runners), so oversubscribed calls degrade
+/// gracefully to fewer workers — down to the [`serial`] path on a single
+/// core.
 ///
 /// # Panics
 ///
@@ -215,35 +223,34 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads.min(n);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = threads.min(n).min(cores);
     if workers == 1 {
         return serial(inputs, f);
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, O)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if idx >= n {
-                            break;
-                        }
-                        local.push((idx, f(&inputs[idx])));
-                    }
-                    local
-                })
-            })
-            .collect();
+    let base = n / workers;
+    let extra = n % workers;
+    let chunks: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = inputs;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()));
+        }
         handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
-    indexed.sort_unstable_by_key(|&(idx, _)| idx);
-    debug_assert_eq!(indexed.len(), n, "every grid point computed exactly once");
-    indexed.into_iter().map(|(_, o)| o).collect()
+    let mut merged = Vec::with_capacity(n);
+    for chunk in chunks {
+        merged.extend(chunk);
+    }
+    debug_assert_eq!(merged.len(), n, "every grid point computed exactly once");
+    merged
 }
 
 /// Applies `f` to every input on scoped threads (at most `threads` at a
@@ -452,7 +459,8 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial_on_uneven_work() {
-        // Uneven per-item cost exercises the dynamic work claiming.
+        // Uneven per-item cost exercises the chunk merge: outputs must
+        // come back in input order however the chunks finish.
         let inputs: Vec<u64> = (0..64).collect();
         let f = |x: &u64| -> u64 {
             let mut acc = *x;

@@ -103,6 +103,19 @@ pub fn measure_mesh(rows: usize, cols: usize, rounds: u64, shards: usize) -> Mes
     }
 }
 
+/// [`measure_mesh`] hardened for baseline recording: one discarded
+/// warmup run, then the median-wall-clock run of three. The wave is
+/// deterministic, so the three runs differ only in `wall_ms` — this is
+/// what the `mesh_*`/`mesh1m_*` fields of `BENCH_engine.json` record.
+pub fn measure_mesh_median(rows: usize, cols: usize, rounds: u64, shards: usize) -> MeshRun {
+    let _warmup = measure_mesh(rows, cols, rounds, shards);
+    let mut runs: Vec<MeshRun> = (0..3)
+        .map(|_| measure_mesh(rows, cols, rounds, shards))
+        .collect();
+    runs.sort_unstable_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms));
+    runs.swap_remove(1)
+}
+
 /// The shard count E13 runs with: one per available core, floored at 1.
 /// (`run_sharded` degrades to the sequential engine at 1, so single-core
 /// hosts measure the computed-routing + arena layers without barrier

@@ -86,59 +86,59 @@ pub struct TelemetryRun {
     pub report: TelemetryReport,
 }
 
-/// Runs the diagonal wave twice — bare, then with a full telemetry probe
-/// — and reports the overhead plus the collected report.
+/// Runs the diagonal wave bare and with a full telemetry probe — each
+/// with a discarded warmup pass and the median of three timed passes,
+/// like the rest of the bench suite — and reports the overhead plus the
+/// collected report (from the last probed pass; a fresh probe is built
+/// per pass, and the workload is deterministic, so every pass collects
+/// the same data).
 ///
 /// # Panics
 ///
 /// Panics if the engine rejects the run or the probed run diverges from
 /// the bare run (the probe must be a pure observer).
 pub fn measure_telemetry(rows: usize, cols: usize, rounds: u64, shards: usize) -> TelemetryRun {
-    let run_plain = || {
+    let (plain_ms, plain_metrics) = crate::exp_throughput::timed_median_ms(|| {
         let mut sim = Simulation::from_source(
             Dag::grid(rows, cols),
             DagGreedy::fifo(),
             wave_source(rows, cols),
         );
-        let started = Instant::now();
         sim.run_sharded(rounds, shards).expect("valid wave run");
-        (started.elapsed(), sim)
-    };
-    let (plain_wall, plain_sim) = run_plain();
+        sim.metrics().clone()
+    });
 
-    let mut probed_sim = Simulation::from_source(
-        Dag::grid(rows, cols),
-        DagGreedy::fifo(),
-        wave_source(rows, cols),
-    );
-    let mut probe =
-        TelemetryProbe::with_clock(TelemetrySpec::default(), Box::new(WallClock::new()));
-    let started = Instant::now();
-    for _ in 0..rounds {
-        probed_sim
-            .step_sharded_probed(shards, &mut probe)
-            .expect("valid probed wave run");
-    }
-    let probed_wall = started.elapsed();
+    let (probed_ms, (probed_metrics, report)) = crate::exp_throughput::timed_median_ms(|| {
+        let mut probed_sim = Simulation::from_source(
+            Dag::grid(rows, cols),
+            DagGreedy::fifo(),
+            wave_source(rows, cols),
+        );
+        let mut probe =
+            TelemetryProbe::with_clock(TelemetrySpec::default(), Box::new(WallClock::new()));
+        for _ in 0..rounds {
+            probed_sim
+                .step_sharded_probed(shards, &mut probe)
+                .expect("valid probed wave run");
+        }
+        (probed_sim.metrics().clone(), probe.report())
+    });
 
     assert_eq!(
-        plain_sim.metrics(),
-        probed_sim.metrics(),
+        plain_metrics, probed_metrics,
         "the probe must observe, never perturb"
     );
 
-    let plain_ms = plain_wall.as_secs_f64() * 1e3;
-    let probed_ms = probed_wall.as_secs_f64() * 1e3;
     TelemetryRun {
         grid: format!("{rows}x{cols}"),
         nodes: rows * cols,
         rounds,
         shards,
-        moves: plain_sim.metrics().forwarded,
+        moves: plain_metrics.forwarded,
         plain_wall_ms: plain_ms,
         probed_wall_ms: probed_ms,
         overhead_pct: (probed_ms - plain_ms) / plain_ms.max(1e-9) * 100.0,
-        report: probe.report(),
+        report,
     }
 }
 

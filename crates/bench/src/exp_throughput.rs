@@ -24,6 +24,27 @@ use aqt_model::{
 };
 use serde::{Deserialize, Serialize};
 
+/// Times `run` with one discarded warmup pass followed by three measured
+/// passes, returning `(median wall-clock ms, last output)`. Every `*_ms`
+/// field in [`EngineBenchReport`] goes through this (or a local
+/// equivalent): a single-sample wall-clock on a shared runner flaps
+/// enough to trip `--fail-on-regression` on pure noise — the committed
+/// baseline once recorded a −30% "capacity overhead" that was nothing
+/// but scheduler jitter. The workloads are deterministic, so the passes
+/// differ only in wall-clock and any pass's output is the output.
+pub fn timed_median_ms<T>(mut run: impl FnMut() -> T) -> (f64, T) {
+    run(); // warmup: page in code and data, settle the allocator
+    let mut samples = [0.0f64; 3];
+    let mut last = None;
+    for s in &mut samples {
+        let started = Instant::now();
+        last = Some(run());
+        *s = started.elapsed().as_secs_f64() * 1e3;
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    (samples[1], last.expect("three passes ran"))
+}
+
 /// Disjoint-pairs stream on an `n`-node path (`n` even): every round, one
 /// packet `2i → 2i+1` for each of the `n/2` pairs. Each buffer `2i` sees
 /// exactly one crossing per round, so the stream is (1, 0)-bounded, and
@@ -39,7 +60,9 @@ pub fn pairs_source(n: usize, rounds: u64) -> impl InjectionSource {
 /// Everything E10 measures, serialized into `BENCH_engine.json` so future
 /// PRs can compare against a recorded trajectory (the repo commits a
 /// quick-mode baseline; CI prints the delta via
-/// [`bench_delta_table`]).
+/// [`bench_delta_table`]). Every `*_ms` field is the median of three
+/// timed passes after a discarded warmup ([`timed_median_ms`]), so the
+/// committed baseline records workload cost, not scheduler jitter.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineBenchReport {
     /// Whether the quick (CI-sized) instance was used.
@@ -68,11 +91,15 @@ pub struct EngineBenchReport {
     pub sweep_grid_points: usize,
     /// Worker threads used by the parallel sweep.
     pub sweep_threads: usize,
-    /// Wall-clock of the serial E6-grid sweep in milliseconds.
+    /// Wall-clock of the serial E6-grid sweep in milliseconds (minimum
+    /// over five passes interleaved with the parallel ones).
     pub sweep_serial_ms: f64,
-    /// Wall-clock of the parallel E6-grid sweep in milliseconds.
+    /// Wall-clock of the parallel E6-grid sweep in milliseconds (minimum
+    /// over five passes interleaved with the serial ones).
     pub sweep_parallel_ms: f64,
-    /// `sweep_serial_ms / sweep_parallel_ms` (> 1 on a multi-core host).
+    /// `sweep_serial_ms / sweep_parallel_ms` (> 1 on a multi-core host;
+    /// ≈ 1 on a single core, where the parallel call degrades to the
+    /// serial path).
     pub sweep_speedup: f64,
     /// Wall-clock of the capacity-enforced rerun of the throughput
     /// workload (capacity 1, drop-tail, zero drops by construction) —
@@ -169,6 +196,26 @@ pub struct EngineBenchReport {
     /// Goodput of the faulted rerun in percent (< 100: faulted packets
     /// are never delivered).
     pub fault_goodput_pct: f64,
+    /// Mesh shape of the E16 sparse wave (the mesh1m shape, so the two
+    /// rates compare the same topology at different live densities).
+    pub sparse_grid: String,
+    /// Nodes in the sparse mesh.
+    pub sparse_nodes: usize,
+    /// Packets live for the whole bounded sparse run (one per column).
+    pub sparse_live: usize,
+    /// Rounds of the sparse wave.
+    pub sparse_rounds: u64,
+    /// Packet-moves executed by the sparse wave (`live × rounds`).
+    pub sparse_moves: u64,
+    /// Median wall-clock of the sparse wave in milliseconds.
+    pub sparse_wall_ms: f64,
+    /// Packet-moves per second of the sparse wave — the active-set
+    /// headline: on the dense-scan engine this collapsed toward the
+    /// mesh1m rate because every round walked all 2²⁰ buffers to find
+    /// ~2¹⁰ live packets.
+    pub sparse_packets_per_sec: f64,
+    /// Shards (scoped worker threads) of the sparse wave.
+    pub sparse_shards: usize,
 }
 
 /// One point of the E6-style sweep grid: level count k and adversary seed.
@@ -216,74 +263,105 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     let n = if quick { 256 } else { 1024 };
     let rounds = if quick { 256 } else { 2048 };
     // n/2 packets per round: ≥ 1,048,576 injections in full mode.
-    let mut sim = Simulation::from_source(
-        Path::new(n),
-        Greedy::new(GreedyPolicy::Fifo),
-        pairs_source(n, rounds),
-    );
-    let started = Instant::now();
-    sim.run_past_horizon(2).expect("valid streaming run");
-    let wall = started.elapsed();
-    assert!(sim.is_drained(), "pairs stream must drain");
-    let metrics = sim.metrics();
-    let wall_ms = wall.as_secs_f64() * 1e3;
-    let executed_rounds = sim.round().value();
-    let secs = wall.as_secs_f64().max(1e-9);
+    let (wall_ms, (metrics, executed_rounds)) = timed_median_ms(|| {
+        let mut sim = Simulation::from_source(
+            Path::new(n),
+            Greedy::new(GreedyPolicy::Fifo),
+            pairs_source(n, rounds),
+        );
+        sim.run_past_horizon(2).expect("valid streaming run");
+        assert!(sim.is_drained(), "pairs stream must drain");
+        (sim.metrics().clone(), sim.round().value())
+    });
+    let secs = (wall_ms / 1e3).max(1e-9);
 
     // --- Part 2: serial vs parallel sweep over the E6 grid ------------
-    // At least two workers even on single-core hosts: `sweep_speedup`
-    // must measure the parallel path, not a degenerate one-thread run
-    // that reports ~1.0 by construction.
+    // Always request at least two workers; `sweep::parallel_with_threads`
+    // caps the actual worker count at the machine's cores, so a
+    // single-core host runs the serial path twice (speedup ≈ 1.0) instead
+    // of paying thread oversubscription, while any multi-core host really
+    // measures the chunked parallel path.
     let grid = e6_grid(quick);
     let threads = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
         .max(2);
-    let t0 = Instant::now();
-    let serial = sweep::serial(&grid, |p| run_e6_point(p, quick));
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t1 = Instant::now();
-    let parallel = sweep::parallel_with_threads(&grid, threads, |p| run_e6_point(p, quick));
-    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    // Time the two sweeps as *interleaved pairs* (s,p,s,p,...) and take
+    // the per-side minimum over five pairs: timing one side's three
+    // passes and then the other's puts any load drift on the shared
+    // runner entirely into the ratio (a committed baseline once showed
+    // the serial-degraded single-core pair 12% apart — two windows of
+    // the same code path). The minimum estimates each side's noise-free
+    // floor; interleaving makes both floors sample the same conditions.
+    let run_serial = || sweep::serial(&grid, |p| run_e6_point(p, quick));
+    let run_parallel = || sweep::parallel_with_threads(&grid, threads, |p| run_e6_point(p, quick));
+    let serial = run_serial(); // warmup both paths once, results kept
+    let parallel = run_parallel();
     assert_eq!(serial, parallel, "parallel sweep must be deterministic");
+    // Alternate which side goes first: under cgroup CPU throttling the
+    // second run of a pair is systematically the slower one, so a fixed
+    // order would bias even the minima.
+    let (mut serial_ms, mut parallel_ms) = (f64::MAX, f64::MAX);
+    for pass in 0..6 {
+        for side in 0..2 {
+            let started = Instant::now();
+            if (pass + side) % 2 == 0 {
+                assert_eq!(run_serial(), serial, "sweeps must be pure");
+                serial_ms = serial_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            } else {
+                assert_eq!(run_parallel(), parallel, "sweeps must be pure");
+                parallel_ms = parallel_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    let sweep_speedup = serial_ms / parallel_ms.max(1e-9);
+    // The regression this gate pinned down: per-point claiming plus
+    // oversubscription made the parallel sweep *slower* than serial.
+    // With contiguous chunks and the core cap, parallel must at least
+    // break even wherever a second core exists.
+    if std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2) {
+        assert!(
+            sweep_speedup >= 1.0,
+            "chunked parallel sweep slower than serial on a multi-core host: {sweep_speedup:.2}x"
+        );
+    }
 
     // --- Part 3: capacity enforcement overhead (E11 hot path) ---------
     // The exact part-1 schedule rerun at capacity 1 with drop-tail: the
     // pairs stream never buffers more than one packet anywhere, so zero
     // drops occur and any wall-clock delta is pure enforcement cost.
-    let mut capped = Simulation::from_source(
-        Path::new(n),
-        Greedy::new(GreedyPolicy::Fifo),
-        pairs_source(n, rounds),
-    )
-    .with_capacity(CapacityConfig::uniform(1), DropTail);
-    let cap_started = Instant::now();
-    capped.run_past_horizon(2).expect("valid capacity run");
-    let cap_wall = cap_started.elapsed();
-    assert!(capped.is_drained(), "capacity-1 pairs stream must drain");
-    assert_eq!(capped.metrics().dropped, 0, "pairs never overflow cap 1");
-    let cap_wall_ms = cap_wall.as_secs_f64() * 1e3;
-    let cap_secs = cap_wall.as_secs_f64().max(1e-9);
-    let cap_rounds = capped.round().value();
+    let (cap_wall_ms, (cap_metrics, cap_rounds)) = timed_median_ms(|| {
+        let mut capped = Simulation::from_source(
+            Path::new(n),
+            Greedy::new(GreedyPolicy::Fifo),
+            pairs_source(n, rounds),
+        )
+        .with_capacity(CapacityConfig::uniform(1), DropTail);
+        capped.run_past_horizon(2).expect("valid capacity run");
+        assert!(capped.is_drained(), "capacity-1 pairs stream must drain");
+        assert_eq!(capped.metrics().dropped, 0, "pairs never overflow cap 1");
+        (capped.metrics().clone(), capped.round().value())
+    });
+    let cap_secs = (cap_wall_ms / 1e3).max(1e-9);
 
     // --- Part 4: the lossy regime -------------------------------------
     // An overloaded single-route stream (4 pkts/round at node 0) into
     // capacity 8: the policy fires on most injections, measuring the
     // drop path itself.
     let lossy_cap = 8usize;
-    let mut lossy = Simulation::from_source(
-        Path::new(n),
-        Greedy::new(GreedyPolicy::Fifo),
-        FnSource::new(rounds, move |t, out| {
-            out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 4));
-        }),
-    )
-    .with_capacity(CapacityConfig::uniform(lossy_cap), DropTail);
-    let lossy_started = Instant::now();
-    lossy
-        .run_past_horizon((n * lossy_cap) as u64 + (n as u64))
-        .expect("valid lossy run");
-    let lossy_wall_ms = lossy_started.elapsed().as_secs_f64() * 1e3;
-    let lossy_metrics = lossy.metrics();
+    let (lossy_wall_ms, lossy_metrics) = timed_median_ms(|| {
+        let mut lossy = Simulation::from_source(
+            Path::new(n),
+            Greedy::new(GreedyPolicy::Fifo),
+            FnSource::new(rounds, move |t, out| {
+                out.extend(std::iter::repeat_n(Injection::new(t, 0, n - 1), 4));
+            }),
+        )
+        .with_capacity(CapacityConfig::uniform(lossy_cap), DropTail);
+        lossy
+            .run_past_horizon((n * lossy_cap) as u64 + (n as u64))
+            .expect("valid lossy run");
+        lossy.metrics().clone()
+    });
     assert!(lossy_metrics.dropped > 0, "the lossy run must lose packets");
     let lossy_goodput_pct = lossy_metrics.goodput().map_or(0.0, |g| g.as_f64() * 100.0);
     let (lossy_injected, lossy_dropped) = (lossy_metrics.injected, lossy_metrics.dropped);
@@ -298,21 +376,19 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         (32usize, 32usize)
     };
     let dag_rounds_budget = if quick { 256u64 } else { 1024 };
-    let mut dag_sim = Simulation::from_source(
-        aqt_model::Dag::grid(rows, cols),
-        aqt_core::DagGreedy::fifo(),
-        crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
-    );
-    let dag_started = Instant::now();
-    dag_sim
-        .run_past_horizon(2 * (rows + cols) as u64)
-        .expect("valid grid run");
-    let dag_wall = dag_started.elapsed();
-    assert!(dag_sim.is_drained(), "grid floods must drain");
-    let dag_metrics = dag_sim.metrics();
-    let dag_wall_ms = dag_wall.as_secs_f64() * 1e3;
-    let dag_secs = dag_wall.as_secs_f64().max(1e-9);
-    let dag_rounds = dag_sim.round().value();
+    let (dag_wall_ms, (dag_metrics, dag_rounds)) = timed_median_ms(|| {
+        let mut dag_sim = Simulation::from_source(
+            aqt_model::Dag::grid(rows, cols),
+            aqt_core::DagGreedy::fifo(),
+            crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
+        );
+        dag_sim
+            .run_past_horizon(2 * (rows + cols) as u64)
+            .expect("valid grid run");
+        assert!(dag_sim.is_drained(), "grid floods must drain");
+        (dag_sim.metrics().clone(), dag_sim.round().value())
+    });
+    let dag_secs = (dag_wall_ms / 1e3).max(1e-9);
     let (dag_injected, dag_peak_occupancy) = (dag_metrics.injected, dag_metrics.max_occupancy);
 
     // --- Part 6: the E13 mesh waves (computed routing + arena + shards)
@@ -320,8 +396,10 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     // round budgets keep quick mode CI-sized while still touching the
     // million-node regime.
     let mesh_shards = crate::exp_mesh::default_shards();
-    let mesh = crate::exp_mesh::measure_mesh(256, 256, if quick { 16 } else { 96 }, mesh_shards);
-    let mesh1m = crate::exp_mesh::measure_mesh(1024, 1024, if quick { 2 } else { 24 }, mesh_shards);
+    let mesh =
+        crate::exp_mesh::measure_mesh_median(256, 256, if quick { 16 } else { 96 }, mesh_shards);
+    let mesh1m =
+        crate::exp_mesh::measure_mesh_median(1024, 1024, if quick { 2 } else { 24 }, mesh_shards);
 
     // --- Part 7: the E14 telemetry overhead pair ----------------------
     // The same smoke shape rerun bare vs fully probed; the delta is the
@@ -345,25 +423,34 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
             at: 4,
             until: Some(12),
         });
-    let mut faulted_sim = Simulation::from_source(
-        aqt_model::Dag::grid(rows, cols),
-        aqt_core::DagGreedy::fifo(),
-        crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
-    )
-    .with_faults(&fault_spec);
-    let fault_started = Instant::now();
-    faulted_sim
-        .run_past_horizon(2 * (rows + cols) as u64 + 32)
-        .expect("valid faulted grid run");
-    let fault_wall_ms = fault_started.elapsed().as_secs_f64() * 1e3;
-    let fault_metrics = faulted_sim.metrics();
+    let (fault_wall_ms, (fault_metrics, fault_rounds)) = timed_median_ms(|| {
+        let mut faulted_sim = Simulation::from_source(
+            aqt_model::Dag::grid(rows, cols),
+            aqt_core::DagGreedy::fifo(),
+            crate::exp_grid::all_floods_source(rows, cols, dag_rounds_budget),
+        )
+        .with_faults(&fault_spec);
+        faulted_sim
+            .run_past_horizon(2 * (rows + cols) as u64 + 32)
+            .expect("valid faulted grid run");
+        (faulted_sim.metrics().clone(), faulted_sim.round().value())
+    });
     assert!(
         fault_metrics.faulted > 0,
         "the crash window must cover a row injector"
     );
-    let fault_rounds = faulted_sim.round().value();
     let fault_goodput_pct = fault_metrics.goodput().map_or(0.0, |g| g.as_f64() * 100.0);
     let (fault_faulted, fault_secs) = (fault_metrics.faulted, (fault_wall_ms / 1e3).max(1e-9));
+
+    // --- Part 9: the E16 sparse wave (the active-set hot path) --------
+    // ~1k live packets crossing the million-node mesh: the round cost
+    // must track the live set, not n. Kept at the mesh1m shape so
+    // `sparse_packets_per_sec` and `mesh1m_packets_per_sec` compare the
+    // same topology with and without a saturated mesh around the traffic.
+    // 512 rounds (~0.5M moves) per timed pass: long enough that the
+    // per-round rate, not timer and scheduler noise, decides the
+    // committed `sparse_packets_per_sec`.
+    let sparse = crate::exp_sparse::measure_sparse(1024, 1024, 512, mesh_shards);
 
     EngineBenchReport {
         quick,
@@ -380,12 +467,12 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         sweep_threads: threads,
         sweep_serial_ms: serial_ms,
         sweep_parallel_ms: parallel_ms,
-        sweep_speedup: serial_ms / parallel_ms.max(1e-9),
+        sweep_speedup,
         capacity_wall_ms: cap_wall_ms,
         capacity_rounds_per_sec: cap_rounds as f64 / cap_secs,
-        capacity_packets_per_sec: capped.metrics().injected as f64 / cap_secs,
+        capacity_packets_per_sec: cap_metrics.injected as f64 / cap_secs,
         capacity_overhead_pct: (cap_wall_ms - wall_ms) / wall_ms.max(1e-9) * 100.0,
-        capacity_dropped: capped.metrics().dropped,
+        capacity_dropped: cap_metrics.dropped,
         lossy_wall_ms,
         lossy_injected,
         lossy_dropped,
@@ -420,6 +507,14 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         fault_overhead_pct: (fault_wall_ms - dag_wall_ms) / dag_wall_ms.max(1e-9) * 100.0,
         fault_faulted,
         fault_goodput_pct,
+        sparse_grid: sparse.grid,
+        sparse_nodes: sparse.nodes,
+        sparse_live: sparse.live,
+        sparse_rounds: sparse.rounds,
+        sparse_moves: sparse.moves,
+        sparse_wall_ms: sparse.wall_ms,
+        sparse_packets_per_sec: sparse.moves_per_sec,
+        sparse_shards: sparse.shards,
     }
 }
 
@@ -577,6 +672,13 @@ pub fn render_e10(report: &EngineBenchReport) -> Vec<Table> {
     }
     mesh.note("same workload as E13; exported to BENCH_engine.json as mesh_*/mesh1m_* fields");
     mesh.note(format!(
+        "E16 sparse wave ({} live on {}): {:.1} ms, {:.2e} moves/s - the active-set O(live) rate",
+        report.sparse_live,
+        report.sparse_grid,
+        report.sparse_wall_ms,
+        report.sparse_packets_per_sec
+    ));
+    mesh.note(format!(
         "E14 telemetry pair on the smoke shape: plain {:.1} ms, probed {:.1} ms ({:+.1}%)",
         report.telemetry_overhead_plain_ms,
         report.telemetry_overhead_probed_ms,
@@ -610,7 +712,7 @@ pub fn parse_engine_bench_json(json: &str) -> Result<EngineBenchReport, String> 
 fn bench_delta_rows(
     current: &EngineBenchReport,
     baseline: &EngineBenchReport,
-) -> [(&'static str, f64, f64); 9] {
+) -> [(&'static str, f64, f64); 10] {
     [
         (
             "moves/s (mesh smoke)",
@@ -621,6 +723,11 @@ fn bench_delta_rows(
             "moves/s (mesh 1M)",
             baseline.mesh1m_packets_per_sec,
             current.mesh1m_packets_per_sec,
+        ),
+        (
+            "moves/s (sparse 1M)",
+            baseline.sparse_packets_per_sec,
+            current.sparse_packets_per_sec,
         ),
         (
             "rounds/s (streaming)",
@@ -728,6 +835,14 @@ pub fn bench_delta_table(current: &EngineBenchReport, baseline: &EngineBenchRepo
 mod tests {
     use super::*;
 
+    /// One shared quick measurement: `measure_engine` now times every
+    /// part warmup + 3×, so running it once per test that inspects the
+    /// report would dominate the suite's wall-clock.
+    fn quick_report() -> &'static EngineBenchReport {
+        static REPORT: std::sync::OnceLock<EngineBenchReport> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| measure_engine(true))
+    }
+
     #[test]
     fn pairs_source_is_dense_and_drains_instantly() {
         let mut sim = Simulation::from_source(
@@ -760,7 +875,7 @@ mod tests {
 
     #[test]
     fn e10_report_is_sane_and_serializes() {
-        let report = measure_engine(true);
+        let report = quick_report();
         assert_eq!(report.nodes, 256);
         assert_eq!(report.injected_packets, 256 * 128);
         assert_eq!(report.peak_live_packets, 128);
@@ -778,9 +893,11 @@ mod tests {
         assert_eq!(report.dag_nodes, 64);
         assert!(report.dag_rounds_per_sec > 0.0);
         assert!(report.dag_peak_occupancy >= 1);
-        // The sweep satellite: the parallel path really ran with >= 2
-        // workers, so sweep_speedup is a measurement, not a tautology.
+        // The sweep satellite: >= 2 workers are always *requested*; the
+        // sweep library caps at available cores, and measure_engine
+        // asserts speedup >= 1.0 wherever a second core exists.
         assert!(report.sweep_threads >= 2);
+        assert!(report.sweep_serial_ms > 0.0 && report.sweep_parallel_ms > 0.0);
         // The E13 mesh fields: the smoke and the million-node instance
         // both ran on the table-free path.
         assert_eq!(report.mesh_grid, "256x256");
@@ -798,7 +915,13 @@ mod tests {
         assert!(report.fault_rounds_per_sec > 0.0);
         assert!(report.fault_faulted > 0);
         assert!(report.fault_goodput_pct > 0.0 && report.fault_goodput_pct < 100.0);
-        let json = engine_bench_json(&report);
+        // The E16 sparse wave ran on the mesh1m shape with an exact,
+        // traffic-proportional move count.
+        assert_eq!(report.sparse_grid, report.mesh1m_grid);
+        assert_eq!(report.sparse_live, 1024);
+        assert_eq!(report.sparse_moves, 1024 * report.sparse_rounds);
+        assert!(report.sparse_packets_per_sec > 0.0);
+        let json = engine_bench_json(report);
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("sweep_parallel_ms"));
         assert!(json.contains("capacity_overhead_pct"));
@@ -809,7 +932,9 @@ mod tests {
         assert!(json.contains("telemetry_overhead_pct"));
         assert!(json.contains("fault_rounds_per_sec"));
         assert!(json.contains("fault_goodput_pct"));
-        let tables = render_e10(&report);
+        assert!(json.contains("sparse_packets_per_sec"));
+        assert!(json.contains("sparse_live"));
+        let tables = render_e10(report);
         assert_eq!(tables.len(), 5);
         assert!(!tables[0].to_csv().contains("NaN"));
         assert!(tables[2].render().contains("cap 1"));
@@ -819,21 +944,21 @@ mod tests {
 
     #[test]
     fn regressions_fire_only_past_the_threshold() {
-        let baseline = measure_engine(true);
+        let baseline = quick_report();
         // Identical reports never regress.
-        assert!(bench_regressions(&baseline, &baseline, 0.0).is_empty());
+        assert!(bench_regressions(baseline, baseline, 0.0).is_empty());
         // Halve one throughput metric: a -50% delta trips a 25% gate but
         // not a 75% one.
         let mut current = baseline.clone();
         current.dag_rounds_per_sec = baseline.dag_rounds_per_sec / 2.0;
-        let regs = bench_regressions(&current, &baseline, 25.0);
+        let regs = bench_regressions(&current, baseline, 25.0);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].0, "rounds/s (DAG)");
         assert!((regs[0].1 + 50.0).abs() < 1e-6);
-        assert!(bench_regressions(&current, &baseline, 75.0).is_empty());
+        assert!(bench_regressions(&current, baseline, 75.0).is_empty());
         // Instance mismatch disables the gate rather than comparing
         // apples to oranges.
         current.nodes = baseline.nodes + 1;
-        assert!(bench_regressions(&current, &baseline, 25.0).is_empty());
+        assert!(bench_regressions(&current, baseline, 25.0).is_empty());
     }
 }

@@ -21,6 +21,7 @@
 //! | E13 | million-node mesh: computed routing, arenas, sharded rounds | [`e13_mesh`] |
 //! | E14 | telemetry probe overhead + histogram sketches | [`e14_telemetry`] |
 //! | E15 | degraded regime: peak buffer + goodput vs dead links | [`e15_faults`] |
+//! | E16 | sparse wave: O(live packets) rounds on the 1M-node mesh | [`e16_sparse`] |
 //! | A1  | pre-bad cascade ablation | [`a1_prebad`] |
 //! | A2  | eager delivery ablation | [`a2_eager`] |
 //!
@@ -39,6 +40,7 @@ mod exp_grid;
 mod exp_locality;
 mod exp_lower;
 mod exp_mesh;
+mod exp_sparse;
 mod exp_telemetry;
 mod exp_throughput;
 mod exp_tradeoff;
@@ -57,15 +59,19 @@ pub use exp_grid::{
 pub use exp_locality::e9_locality;
 pub use exp_lower::e5_duel;
 pub use exp_mesh::{
-    default_shards, e13_instances, e13_mesh, measure_mesh, render_e13, wave_source, MeshRun,
+    default_shards, e13_instances, e13_mesh, measure_mesh, measure_mesh_median, render_e13,
+    wave_source, MeshRun,
+};
+pub use exp_sparse::{
+    e16_instances, e16_sparse, measure_sparse, render_e16, sparse_wave_source, SparseRun,
 };
 pub use exp_telemetry::{
     e14_instance, e14_telemetry, measure_telemetry, render_e14, TelemetryRun, WallClock,
 };
 pub use exp_throughput::{
     bench_delta_table, bench_regressions, e10_throughput, e6_grid, engine_bench_json,
-    measure_engine, pairs_source, parse_engine_bench_json, render_e10, run_e6_point, E6Point,
-    EngineBenchReport,
+    measure_engine, pairs_source, parse_engine_bench_json, render_e10, run_e6_point,
+    timed_median_ms, E6Point, EngineBenchReport,
 };
 pub use exp_tradeoff::{e6_tradeoff, e7_alpha};
 pub use exp_upper::{e1_pts, e2_ppts, e3_trees, e4_hpts};
@@ -88,7 +94,7 @@ pub const EXPERIMENT_IDS: [&str; EXPERIMENT_INDEX.len()] = {
 
 /// The experiment index: `(id, claim, function)` — what `experiments
 /// --list` prints; the single source of truth for experiment ids.
-pub const EXPERIMENT_INDEX: [(&str, &str, &str); 17] = [
+pub const EXPERIMENT_INDEX: [(&str, &str, &str); 18] = [
     (
         "e1",
         "Prop. 3.1 - PTS single destination <= 2 + sigma",
@@ -148,6 +154,11 @@ pub const EXPERIMENT_INDEX: [(&str, &str, &str); 17] = [
         "degraded regime - peak buffer + goodput vs dead links",
         "e15_faults",
     ),
+    (
+        "e16",
+        "sparse wave - O(live packets) rounds on the 1M-node mesh",
+        "e16_sparse",
+    ),
     ("a1", "ablation - HPTS without ActivatePreBad", "a1_prebad"),
     ("a2", "ablation - eager delivery variants", "a2_eager"),
 ];
@@ -179,6 +190,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
         "e13" => e13_mesh(quick),
         "e14" => e14_telemetry(quick),
         "e15" => e15_faults(quick),
+        "e16" => e16_sparse(quick),
         "a1" => a1_prebad(quick),
         "a2" => a2_eager(quick),
         other => panic!("unknown experiment id {other:?}; known: {EXPERIMENT_IDS:?}"),

@@ -35,6 +35,16 @@ fn plan_node<T: Topology>(
     if buffer.is_empty() {
         return;
     }
+    // Singleton fast path: one packet is one candidate link, and every
+    // policy's pick among one candidate is that packet — skip the
+    // partition pass (and its extra `next_hop` calls). On sparse meshes
+    // almost every live buffer lands here.
+    if let [sp] = buffer {
+        if topo.next_hop(v, sp.dest()).is_some() {
+            send(v, sp.id());
+        }
+        return;
+    }
     // Distinct links with traffic, in buffer (placement) order.
     hops.clear();
     for sp in buffer {
@@ -119,8 +129,10 @@ impl<T: Topology> Protocol<T> for DagGreedy {
     fn plan(&mut self, _round: Round, topo: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
         let policy = self.policy;
         let mut hops = std::mem::take(&mut self.hops);
-        for v in 0..state.node_count() {
-            let v = NodeId::new(v);
+        // Only nodes with buffered packets can send; the active set is
+        // exact at plan time and ascending, so this is the dense scan
+        // minus its empty-buffer no-ops — O(live nodes) per round.
+        for v in state.active_nodes() {
             plan_node(policy, topo, state, v, &mut hops, |v, id| plan.send(v, id));
         }
         self.hops = hops;
@@ -134,8 +146,7 @@ impl<T: Topology> Protocol<T> for DagGreedy {
 
     fn plan_range(&self, _round: Round, topo: &T, state: &NetworkState, w: &mut PlanWindow<'_>) {
         let mut hops = Vec::new();
-        for v in w.node_range() {
-            let v = NodeId::new(v);
+        for v in state.active_nodes_in(w.node_range()) {
             plan_node(self.policy, topo, state, v, &mut hops, |v, id| {
                 w.send(v, id)
             });

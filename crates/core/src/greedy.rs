@@ -143,8 +143,10 @@ impl<T: Topology> Protocol<T> for Greedy {
     }
 
     fn plan(&mut self, _round: Round, topo: &T, state: &NetworkState, plan: &mut ForwardingPlan) {
-        for v in 0..state.node_count() {
-            let v = NodeId::new(v);
+        // Empty buffers never forward, so walking the active set (exact at
+        // plan time) visits the same nodes a dense scan would send from,
+        // in the same ascending order — O(live nodes) per round.
+        for v in state.active_nodes() {
             let buffer = state.buffer(v);
             if let Some(sp) = self.select(topo, v, buffer) {
                 plan.send(v, sp.id());
@@ -153,14 +155,13 @@ impl<T: Topology> Protocol<T> for Greedy {
     }
 
     // Selection only reads the local buffer, so sharded planning is just
-    // the same loop over the window's node range.
+    // the same loop over the window's active nodes.
     fn supports_range_planning(&self) -> bool {
         true
     }
 
     fn plan_range(&self, _round: Round, topo: &T, state: &NetworkState, w: &mut PlanWindow<'_>) {
-        for v in w.node_range() {
-            let v = NodeId::new(v);
+        for v in state.active_nodes_in(w.node_range()) {
             if let Some(sp) = self.select(topo, v, state.buffer(v)) {
                 w.send(v, sp.id());
             }

@@ -25,6 +25,13 @@
 //! exempt (default; overflow resolves at acceptance) or counted against
 //! the source buffer (overflowing wishes are tail-dropped at stage time).
 //!
+//! All capacity decisions are applied through
+//! [`NetworkState::place`](crate::NetworkState::place) /
+//! [`NetworkState::remove`](crate::NetworkState::remove) on the
+//! coordinating thread, so evictions and rejections maintain the active
+//! set (occupancy bitset + worklist) incrementally — a drop that empties
+//! a buffer deactivates its node with no extra bookkeeping here.
+//!
 //! # Examples
 //!
 //! ```

@@ -107,6 +107,39 @@ pub struct ForwardingPlan {
     /// for non-uniform layouts; empty means one slot per node (identity).
     offsets: Vec<u32>,
     count: usize,
+    /// Slots filled since the last clear, in fill order, encoded as
+    /// `(slot << 32) | node` (see [`touched_entry`]). Lets
+    /// [`clear_sends`](ForwardingPlan::clear_sends) reset O(sends) slots
+    /// instead of wiping the whole array, and lets the engine walk only
+    /// scheduled sends — with the owning node carried along, so move
+    /// collection never searches the offset table — the plan-side half
+    /// of the active-set engine.
+    touched: Vec<u64>,
+    /// Recycled touched-lists for [`PlanWindow`]s (avoids per-round
+    /// allocation on the sharded path).
+    window_touched_pool: Vec<Vec<u64>>,
+}
+
+/// Encodes a touched-list entry: the slot in the high 32 bits (so
+/// sorting entries sorts by slot) and the owning node in the low 32.
+/// Carrying the node means decoding a send is O(1) instead of a binary
+/// search through the offset table — at a million nodes that search is
+/// 20 cold probes per send.
+#[inline]
+fn touched_entry(slot: usize, node: usize) -> u64 {
+    ((slot as u64) << 32) | node as u64
+}
+
+/// The slot of a touched-list entry.
+#[inline]
+fn entry_slot(e: u64) -> usize {
+    (e >> 32) as usize
+}
+
+/// The owning node of a touched-list entry.
+#[inline]
+fn entry_node(e: u64) -> usize {
+    (e & u64::from(u32::MAX)) as usize
 }
 
 impl ForwardingPlan {
@@ -116,6 +149,8 @@ impl ForwardingPlan {
             sends: vec![None; n],
             offsets: Vec::new(),
             count: 0,
+            touched: Vec::new(),
+            window_touched_pool: Vec::new(),
         }
     }
 
@@ -126,6 +161,7 @@ impl ForwardingPlan {
         self.sends.resize(n, None);
         self.offsets.clear();
         self.count = 0;
+        self.touched.clear();
     }
 
     /// Clears all sends and lays slots out for `topology`: every node gets
@@ -156,6 +192,7 @@ impl ForwardingPlan {
         self.sends.clear();
         self.sends.resize(total, None);
         self.count = 0;
+        self.touched.clear();
     }
 
     /// Clears all sends, keeping the current slot layout.
@@ -163,10 +200,31 @@ impl ForwardingPlan {
     /// The layout depends only on the topology, which is fixed for a
     /// simulation's lifetime — so the engine lays slots out once at
     /// construction ([`reset_for`](ForwardingPlan::reset_for)) and calls
-    /// this every round.
+    /// this every round. Only the slots touched since the last clear are
+    /// reset, so the cost is O(last round's sends), not O(slots) — at a
+    /// million mostly-idle nodes the difference is the round.
     pub fn clear_sends(&mut self) {
-        self.sends.fill(None);
+        for &e in &self.touched {
+            self.sends[entry_slot(e)] = None;
+        }
+        self.touched.clear();
         self.count = 0;
+    }
+
+    /// Sorts the touched-entry list into slot order (the slot lives in
+    /// the high bits, so a plain sort orders by slot; slots are unique).
+    /// Slots are node-major, so iterating the sorted list visits sends in
+    /// exactly the order a dense `0..node_count()` scan would — the
+    /// engine relies on this for byte-identical move collection.
+    fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// The touched entries (call
+    /// [`sort_touched`](ForwardingPlan::sort_touched) first for
+    /// node-major order). Decode with [`entry_slot`] / [`entry_node`].
+    fn touched_slots(&self) -> &[u64] {
+        &self.touched
     }
 
     /// Number of nodes the current layout covers.
@@ -206,6 +264,7 @@ impl ForwardingPlan {
         for i in range.clone() {
             if self.sends[i].is_none() {
                 self.sends[i] = Some(packet);
+                self.touched.push(touched_entry(i, v.index()));
                 self.count += 1;
                 return;
             }
@@ -252,12 +311,19 @@ impl ForwardingPlan {
     /// Splits the plan's send slots into one exclusive [`PlanWindow`] per
     /// node range (the ranges must be contiguous, ordered, and cover all
     /// nodes). The windows borrow disjoint slices, so shard workers fill
-    /// them in parallel; the caller re-derives
-    /// [`len`](ForwardingPlan::len) from the window counts afterwards.
+    /// them in parallel; the caller must hand each consumed window's parts
+    /// back via [`absorb_window`](ForwardingPlan::absorb_window), which
+    /// re-derives [`len`](ForwardingPlan::len) and merges the touched-slot
+    /// lists. The plan must be cleared *before* splitting
+    /// ([`clear_sends`](ForwardingPlan::clear_sends)).
     pub(crate) fn windows<'a>(
         &'a mut self,
         ranges: &[std::ops::Range<usize>],
     ) -> Vec<PlanWindow<'a>> {
+        debug_assert!(self.touched.is_empty(), "windows on an uncleared plan");
+        while self.window_touched_pool.len() < ranges.len() {
+            self.window_touched_pool.push(Vec::new());
+        }
         let offsets: &[u32] = &self.offsets;
         let mut out = Vec::with_capacity(ranges.len());
         let mut rest: &mut [Option<PacketId>] = &mut self.sends;
@@ -269,6 +335,8 @@ impl ForwardingPlan {
                 offsets[r.end] as usize
             };
             let (head, tail) = rest.split_at_mut(end - base);
+            let mut touched = self.window_touched_pool.pop().expect("pool refilled above");
+            touched.clear();
             out.push(PlanWindow {
                 first_node: r.start,
                 nodes: r.len(),
@@ -276,11 +344,22 @@ impl ForwardingPlan {
                 offsets,
                 sends: head,
                 count: 0,
+                touched,
             });
             base = end;
             rest = tail;
         }
         out
+    }
+
+    /// Folds a consumed window's parts (see [`PlanWindow::into_parts`])
+    /// back into the plan: the send count, and the window's touched slots
+    /// (global indices) onto the plan's list. The emptied vec returns to
+    /// the pool.
+    pub(crate) fn absorb_window(&mut self, count: usize, mut touched: Vec<u64>) {
+        self.count += count;
+        self.touched.append(&mut touched);
+        self.window_touched_pool.push(touched);
     }
 }
 
@@ -305,6 +384,10 @@ pub struct PlanWindow<'a> {
     /// The window's slice of the plan's send slots.
     sends: &'a mut [Option<PacketId>],
     count: usize,
+    /// Slots filled through this window, as *global* touched entries
+    /// (see [`touched_entry`]); folded back into the plan's touched list
+    /// after the parallel fill.
+    touched: Vec<u64>,
 }
 
 impl PlanWindow<'_> {
@@ -345,6 +428,8 @@ impl PlanWindow<'_> {
         for i in range.clone() {
             if self.sends[i].is_none() {
                 self.sends[i] = Some(packet);
+                self.touched
+                    .push(touched_entry(self.base_slot + i, v.index()));
                 self.count += 1;
                 return;
             }
@@ -365,12 +450,12 @@ impl PlanWindow<'_> {
         self.count == 0
     }
 
-    /// Clears the window's slots. Workers call this instead of a
-    /// full-plan clear, which parallelizes the per-round reset — at a
-    /// million nodes, zeroing the slot array is itself a visible cost.
-    fn clear(&mut self) {
-        self.sends.fill(None);
-        self.count = 0;
+    /// Consumes the window, returning its send count and touched-entry
+    /// list (global encoding) for [`ForwardingPlan::absorb_window`]. This
+    /// is how the per-shard fill results escape the `thread::scope`
+    /// workers.
+    pub(crate) fn into_parts(self) -> (usize, Vec<u64>) {
+        (self.count, self.touched)
     }
 }
 
@@ -392,6 +477,15 @@ pub trait Protocol<T: Topology> {
 
     /// Computes this round's forwarding decision for configuration `L^t`,
     /// filling `plan` (handed over empty, sized to the topology).
+    ///
+    /// The engine guarantees the state's active set is exact here (it
+    /// refreshes right before the `L^t` observation), so implementations
+    /// may iterate [`NetworkState::active_nodes`] /
+    /// [`NetworkState::active_nodes_in`] instead of `0..node_count()`:
+    /// only non-empty buffers can send, and both walks visit them in the
+    /// same ascending order, so the filled plan is identical while the
+    /// cost drops to O(live nodes). The contract is additive — a dense
+    /// scan remains correct.
     fn plan(&mut self, round: Round, topology: &T, state: &NetworkState, plan: &mut ForwardingPlan);
 
     /// Whether [`plan_range`](Protocol::plan_range) is implemented. The
@@ -411,6 +505,11 @@ pub trait Protocol<T: Topology> {
     /// (see [`supports_range_planning`](Protocol::supports_range_planning)).
     /// Takes `&self`: range planners run concurrently, so planning must
     /// not mutate protocol state.
+    ///
+    /// The sharded engine cuts window ranges along *active-set* quantiles
+    /// (near-equal live nodes per window), so implementations should walk
+    /// [`NetworkState::active_nodes_in`] over the window's range — a dense
+    /// range scan stays correct but re-introduces O(n/k) per shard.
     fn plan_range(
         &self,
         _round: Round,
@@ -673,69 +772,98 @@ fn phase_mark(probe: &mut Option<&mut dyn Probe>, t: Round, phase: EnginePhase, 
     }
 }
 
-/// Validates the plan's sends for the nodes in `range` and collects their
-/// moves in node-major order — the sequential engine's move order
-/// restricted to the range, so concatenating the per-range lists in range
-/// order reproduces the full sequential move list. Returns the first
-/// error in that order, if any; each send's validity depends only on the
-/// plan and the (immutable) pre-forwarding state, so the first error over
-/// the concatenated ranges is exactly the sequential engine's error.
+/// Cuts `0..n` into `k` contiguous node ranges holding near-equal shares
+/// of the (sorted, exact) active node list — the sharded plan partition.
+/// The ranges still cover every node, so the window machinery is
+/// unchanged; but only the live nodes inside each range cost anything to
+/// plan, so balancing live nodes (not fabric nodes) keeps shard wall-clock
+/// proportional to traffic.
+fn active_plan_ranges(active: &[u32], n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let a = active.len();
+    let mut out = Vec::with_capacity(k);
+    let mut prev = 0usize;
+    for i in 1..k {
+        let cut = a * i / k;
+        let b = if cut >= a {
+            n
+        } else {
+            (active[cut] as usize).max(prev)
+        };
+        out.push(prev..b);
+        prev = b;
+    }
+    out.push(prev..n);
+    out
+}
+
+/// Validates the plan's sends for a slice of its (sorted) touched slots
+/// and collects their moves. Slots are node-major, so walking a sorted
+/// touched slice visits sends exactly as a dense `0..node_count()` scan of
+/// the same slots would — concatenating per-slice lists in slice order
+/// reproduces the full sequential move list, in O(sends) instead of O(n).
+/// Returns the first error in that order, if any; each send's validity
+/// depends only on the plan and the (immutable) pre-forwarding state, so
+/// the first error over the concatenated slices is exactly the sequential
+/// engine's error.
 ///
 /// With a fault mask (`faults`), a send over a blocked link is silently
 /// skipped *before* the per-link bandwidth check — as if the protocol had
 /// not planned it, so two sends over one blocked link are both skipped
 /// rather than a `LinkOverload`. Skipped sends never enter the move list,
 /// which is why the sharded prefix-seq machinery needs no fault awareness.
+/// The engine also drops the mask entirely when it is empty
+/// ([`FaultState::is_empty`]), skipping the per-send consult.
 fn collect_moves<T: Topology>(
     topology: &T,
     state: &NetworkState,
     plan: &ForwardingPlan,
     faults: Option<&FaultState>,
     t: Round,
-    range: std::ops::Range<usize>,
+    touched: &[u64],
     moves: &mut Vec<Move>,
 ) -> Option<ModelError> {
     moves.clear();
-    for v in range {
-        let v = NodeId::new(v);
-        for pid in plan.sends_from(v) {
-            let Some(stored) = state.find(v, pid) else {
-                return Some(ModelError::UnknownPacket {
-                    node: v,
-                    packet: pid,
-                    round: t,
-                });
-            };
-            let dest = stored.dest();
-            let Some(hop) = topology.next_hop(v, dest) else {
-                return Some(ModelError::NoNextHop {
-                    node: v,
-                    packet: pid,
-                    round: t,
-                });
-            };
-            if let Some(f) = faults {
-                if f.blocks(v, hop, t) {
-                    continue;
-                }
+    for &entry in touched {
+        let v = NodeId::new(entry_node(entry));
+        let Some(pid) = plan.sends[entry_slot(entry)] else {
+            continue; // touched then cleared elsewhere: cannot happen today
+        };
+        let Some(stored) = state.find(v, pid) else {
+            return Some(ModelError::UnknownPacket {
+                node: v,
+                packet: pid,
+                round: t,
+            });
+        };
+        let dest = stored.dest();
+        let Some(hop) = topology.next_hop(v, dest) else {
+            return Some(ModelError::NoNextHop {
+                node: v,
+                packet: pid,
+                round: t,
+            });
+        };
+        if let Some(f) = faults {
+            if f.blocks(v, hop, t) {
+                continue;
             }
-            // One packet per link per round: sends are node-major, so any
-            // earlier send from the same node sits at the tail of the
-            // move list (out-degrees are tiny; this scan is O(deg)).
-            for &(pv, _, phop, _) in moves.iter().rev() {
-                if pv != v {
-                    break;
-                }
-                if phop == hop {
-                    return Some(ModelError::LinkOverload {
-                        node: v,
-                        hop,
-                        round: t,
-                    });
-                }
-            }
-            moves.push((v, pid, hop, hop == dest));
         }
+        // One packet per link per round: sends are node-major, so any
+        // earlier send from the same node sits at the tail of the
+        // move list (out-degrees are tiny; this scan is O(deg)).
+        for &(pv, _, phop, _) in moves.iter().rev() {
+            if pv != v {
+                break;
+            }
+            if phop == hop {
+                return Some(ModelError::LinkOverload {
+                    node: v,
+                    hop,
+                    round: t,
+                });
+            }
+        }
+        moves.push((v, pid, hop, hop == dest));
     }
     None
 }
@@ -1113,6 +1241,9 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         }
 
         // --- Observe L^t ----------------------------------------------
+        // Collapse the dirty worklist first: `observe` and the protocol's
+        // `plan` both walk the active set, and both need it exact.
+        self.state.refresh_active();
         self.metrics.observe(t, &self.state);
         if let Some(p) = probe.as_deref_mut() {
             p.on_observe(t, &self.state);
@@ -1124,13 +1255,19 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         self.protocol
             .plan(t, &self.topology, &self.state, &mut self.plan_buf);
         mark = phase_mark(&mut probe, t, EnginePhase::Plan, mark);
+        // Sort the touched slots into node-major order so the move list
+        // matches a dense scan's byte-for-byte.
+        self.plan_buf.sort_touched();
         if let Some(e) = collect_moves(
             &self.topology,
             &self.state,
             &self.plan_buf,
-            self.faults.as_ref().map(|f| f.state()),
+            self.faults
+                .as_ref()
+                .map(|f| f.state())
+                .filter(|f| !f.is_empty()),
             t,
-            0..self.topology.node_count(),
+            self.plan_buf.touched_slots(),
             &mut self.moves_buf,
         ) {
             return Err(e);
@@ -1138,35 +1275,59 @@ impl<T: Topology, P: Protocol<T>, S: InjectionSource> Simulation<T, P, S> {
         mark = phase_mark(&mut probe, t, EnginePhase::Forward, mark);
         // Apply simultaneously: all removals strictly before all placements,
         // so a packet received this round can never be re-forwarded within
-        // the same round.
-        self.lift_buf.clear();
-        for &(v, pid, hop, delivers) in &self.moves_buf {
-            let stored = self
-                .state
-                .remove(v, pid)
-                .expect("packet verified present above");
-            self.lift_buf.push((stored, hop, delivers));
-        }
+        // the same round. With unbounded buffers the two sweeps fuse into
+        // one: placements only ever append and removals are by id, so
+        // interleaving them leaves the same final buffers, the same arrival
+        // sequence order and the same delivery order — and the re-forward
+        // hazard cannot arise because the move list is already fixed. The
+        // two-pass shape is kept under capacities, where drop policies
+        // observe occupancy mid-apply.
         let mut delivered = 0usize;
-        for (stored, hop, delivers) in self.lift_buf.drain(..) {
-            if delivers {
-                self.metrics.record_delivery(t, stored.packet());
-                if let Some(p) = probe.as_deref_mut() {
-                    p.on_delivery(t, stored.packet());
+        if self.capacity.is_none() {
+            for &(v, pid, hop, delivers) in &self.moves_buf {
+                let stored = self
+                    .state
+                    .remove(v, pid)
+                    .expect("packet verified present above");
+                if delivers {
+                    self.metrics.record_delivery(t, stored.packet());
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_delivery(t, stored.packet());
+                    }
+                    delivered += 1;
+                } else {
+                    self.state.place(hop, *stored.packet(), t);
                 }
-                delivered += 1;
-            } else {
-                // A forwarded packet crossed its link either way; if the
-                // receiving buffer is full it (or a victim) is lost here.
-                admit(
-                    &self.topology,
-                    &mut self.capacity,
-                    &mut self.state,
-                    &mut self.metrics,
-                    hop,
-                    *stored.packet(),
-                    t,
-                )?;
+            }
+        } else {
+            self.lift_buf.clear();
+            for &(v, pid, hop, delivers) in &self.moves_buf {
+                let stored = self
+                    .state
+                    .remove(v, pid)
+                    .expect("packet verified present above");
+                self.lift_buf.push((stored, hop, delivers));
+            }
+            for (stored, hop, delivers) in self.lift_buf.drain(..) {
+                if delivers {
+                    self.metrics.record_delivery(t, stored.packet());
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_delivery(t, stored.packet());
+                    }
+                    delivered += 1;
+                } else {
+                    // A forwarded packet crossed its link either way; if the
+                    // receiving buffer is full it (or a victim) is lost here.
+                    admit(
+                        &self.topology,
+                        &mut self.capacity,
+                        &mut self.state,
+                        &mut self.metrics,
+                        hop,
+                        *stored.packet(),
+                        t,
+                    )?;
+                }
             }
         }
         let forwarded = self.moves_buf.len();
@@ -1343,6 +1504,10 @@ where
         }
 
         // --- Observe L^t ----------------------------------------------
+        // Collapse the dirty worklist first: `observe`, the protocol's
+        // planning pass and the active-balanced shard partition below all
+        // need the active set exact.
+        self.state.refresh_active();
         self.metrics.observe(t, &self.state);
         if let Some(p) = probe.as_deref_mut() {
             p.on_observe(t, &self.state);
@@ -1352,54 +1517,87 @@ where
         let ranges = self.state.shard_ranges();
 
         // --- Plan ------------------------------------------------------
+        // Touched-based clearing is O(last round's sends); do it up front
+        // so both branches (and the windows) start from a clean plan.
+        self.plan_buf.clear_sends();
         if self.protocol.supports_range_planning() {
+            // Partition the *active set*, not the node range: each window
+            // covers a near-equal share of the live nodes, so plan
+            // wall-clock tracks traffic rather than fabric size.
+            let plan_ranges = active_plan_ranges(self.state.active_slice(), n, k);
             let topology = &self.topology;
             let protocol = &self.protocol;
             let state = &self.state;
-            let windows = self.plan_buf.windows(&ranges);
-            let total: usize = std::thread::scope(|scope| {
+            let windows = self.plan_buf.windows(&plan_ranges);
+            let parts: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = windows
                     .into_iter()
                     .map(|mut w| {
                         scope.spawn(move || {
-                            w.clear();
                             protocol.plan_range(t, topology, state, &mut w);
-                            w.len()
+                            w.into_parts()
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("plan worker panicked"))
-                    .sum()
+                    .collect()
             });
-            self.plan_buf.count = total;
+            for (count, touched) in parts {
+                self.plan_buf.absorb_window(count, touched);
+            }
         } else {
-            self.plan_buf.clear_sends();
             self.protocol
                 .plan(t, &self.topology, &self.state, &mut self.plan_buf);
         }
+        // Node-major order for the touched slots — the dense scan's order.
+        self.plan_buf.sort_touched();
         mark = phase_mark(&mut probe, t, EnginePhase::Plan, mark);
 
         // --- Validate & collect moves ---------------------------------
+        // Cut the sorted touched-slot list into k node-aligned chunks of
+        // near-equal send count (node-aligned so the per-node LinkOverload
+        // tail scan never crosses a chunk): validation wall-clock tracks
+        // traffic too. Concatenating the chunk lists in order reproduces
+        // the sequential move list exactly.
         self.shard_moves.resize_with(k, Vec::new);
         self.shard_moves.truncate(k);
         {
             let topology = &self.topology;
             let state = &self.state;
             let plan = &self.plan_buf;
+            let touched = self.plan_buf.touched_slots();
+            let m = touched.len();
+            let mut cuts = Vec::with_capacity(k + 1);
+            cuts.push(0usize);
+            for i in 1..k {
+                let mut end = (m * i / k).max(cuts[i - 1]);
+                while end > 0 && end < m && entry_node(touched[end]) == entry_node(touched[end - 1])
+                {
+                    end += 1;
+                }
+                cuts.push(end);
+            }
+            cuts.push(m);
             // `Option<&FaultState>` is `Copy` and `FaultState` is plain
             // `Vec`s (`Sync`), so every validate worker reads the same
-            // mask the sequential path consults.
-            let faults = self.faults.as_ref().map(|f| f.state());
+            // mask the sequential path consults. An empty mask is dropped
+            // entirely — no per-send consult on fault-free rounds.
+            let faults = self
+                .faults
+                .as_ref()
+                .map(|f| f.state())
+                .filter(|f| !f.is_empty());
             let first_error: Option<ModelError> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shard_moves
                     .iter_mut()
-                    .zip(ranges.iter().cloned())
-                    .map(|(moves, range)| {
+                    .enumerate()
+                    .map(|(i, moves)| {
+                        let chunk = &touched[cuts[i]..cuts[i + 1]];
                         scope.spawn(move || {
-                            collect_moves(topology, state, plan, faults, t, range, moves)
+                            collect_moves(topology, state, plan, faults, t, chunk, moves)
                         })
                     })
                     .collect();
@@ -1457,10 +1655,25 @@ where
                 }
             }
         } else {
-            // Parallel apply. Sequential placement order is the global
-            // move order and only non-delivering moves consume a seq, so
-            // per-shard prefix counts give every arrival its sequential
-            // seq up front.
+            // Parallel apply. The validate chunks track traffic, not the
+            // arena segmentation, so first concatenate them (that *is* the
+            // sequential move order) and re-slice along the arena shard
+            // boundaries the views below hand out.
+            self.moves_buf.clear();
+            for moves in &self.shard_moves {
+                self.moves_buf.extend_from_slice(moves);
+            }
+            let mut slices: Vec<&[Move]> = Vec::with_capacity(k);
+            let all_moves: &[Move] = &self.moves_buf;
+            let mut at = 0usize;
+            for r in &ranges {
+                let end = at + all_moves[at..].partition_point(|m| m.0.index() < r.end);
+                slices.push(&all_moves[at..end]);
+                at = end;
+            }
+            // Sequential placement order is the global move order and only
+            // non-delivering moves consume a seq, so per-shard prefix
+            // counts give every arrival its sequential seq up front.
             let extra = n % k;
             let big = n / k + 1;
             let split = extra * big;
@@ -1475,7 +1688,7 @@ where
             let seq0 = self.state.seq_counter();
             let mut next = seq0;
             let mut bases = Vec::with_capacity(k);
-            for moves in &self.shard_moves {
+            for moves in &slices {
                 bases.push(next);
                 next += moves.iter().filter(|m| !m.3).count() as u64;
             }
@@ -1496,7 +1709,7 @@ where
                 std::thread::scope(|scope| {
                     for (((mut view, moves), (arrivals, deliver)), base) in views
                         .into_iter()
-                        .zip(&self.shard_moves)
+                        .zip(slices.iter().copied())
                         .zip(
                             self.shard_arrivals
                                 .iter_mut()
@@ -1544,6 +1757,17 @@ where
                 });
             }
             self.state.advance_seq(next - seq0);
+            // Shard views bypass the incremental bitset/worklist
+            // maintenance (bitset words straddle shard boundaries), so
+            // repair both from the move endpoints — O(moves), and the next
+            // refresh re-sorts the worklist.
+            for i in 0..self.moves_buf.len() {
+                let (v, _, hop, delivers) = self.moves_buf[i];
+                self.state.sync_occupancy(v);
+                if !delivers {
+                    self.state.sync_occupancy(hop);
+                }
+            }
             // Shard buckets drained in ascending shard order, each in its
             // shard's move order — the sequential delivery order, so
             // probes see deliveries exactly as in `step`.
@@ -2216,6 +2440,19 @@ mod tests {
         for v in 0..a.state().node_count() {
             let v = NodeId::new(v);
             assert_eq!(a.state().buffer(v), b.state().buffer(v), "buffer {v}");
+            // The occupancy bitset must stay exact on both engines —
+            // the sharded apply repairs it via sync_occupancy after
+            // ShardView mutations bypass the incremental maintenance.
+            assert_eq!(
+                a.state().is_occupied(v),
+                !a.state().buffer(v).is_empty(),
+                "sequential occupancy bit {v}"
+            );
+            assert_eq!(
+                b.state().is_occupied(v),
+                !b.state().buffer(v).is_empty(),
+                "sharded occupancy bit {v}"
+            );
         }
     }
 

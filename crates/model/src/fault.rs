@@ -425,6 +425,11 @@ pub(crate) struct FaultRuntime {
     /// Nodes that crashed this round (dead now, alive last round), in
     /// ascending order; the engine sweeps their buffers into `faulted`.
     newly_dead: Vec<NodeId>,
+    /// Every round at which some event starts or ends (`at` / `until`
+    /// values), sorted and deduplicated. Between boundaries the mask
+    /// cannot change, so [`advance`](FaultRuntime::advance) skips its
+    /// O(events + n) rebuild — most rounds of a long faulted run.
+    boundaries: Vec<u64>,
 }
 
 impl FaultRuntime {
@@ -505,6 +510,27 @@ impl FaultRuntime {
         }
         link_events.sort();
         delay_events.sort_by_key(|&(f, t, ..)| (f, t));
+        let mut boundaries = Vec::new();
+        let mut bound = |at: u64, until: Option<u64>| {
+            boundaries.push(at);
+            if let Some(u) = until {
+                boundaries.push(u);
+            }
+        };
+        for &(_, _, at, until) in &link_events {
+            bound(at, until);
+        }
+        for &(_, at, until) in &node_events {
+            bound(at, until);
+        }
+        for &(at, until) in &partition_events {
+            bound(at, until);
+        }
+        for &(_, _, _, at, until) in &delay_events {
+            bound(at, until);
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
         FaultRuntime {
             link_events,
             node_events,
@@ -513,14 +539,25 @@ impl FaultRuntime {
             state: FaultState::clear(n, masks),
             prev_dead: vec![false; n],
             newly_dead: Vec::new(),
+            boundaries,
         }
     }
 
     /// Rebuilds the [`FaultState`] for round `t` and records which nodes
-    /// crashed this round. O(events + n) per round, on the coordinating
-    /// thread only.
+    /// crashed this round. O(events + n) on event-boundary rounds, on the
+    /// coordinating thread only; a no-op (plus clearing the crash-edge
+    /// list) on every other round — event windows are half-open
+    /// `[at, until)`, so the mask only changes where some `at` or `until`
+    /// lands. Delay gating (`t % (extra + 1)`) is evaluated against `t` at
+    /// query time in [`FaultState::blocks`], so it needs no rebuild.
     pub(crate) fn advance(&mut self, t: Round) {
         let tv = t.value();
+        if self.boundaries.binary_search(&tv).is_err() {
+            // The mask is unchanged since the last boundary; no node can
+            // have crashed on a non-boundary round.
+            self.newly_dead.clear();
+            return;
+        }
         let active = |at: u64, until: Option<u64>| at <= tv && until.is_none_or(|u| tv < u);
         std::mem::swap(&mut self.prev_dead, &mut self.state.dead);
         self.state.dead.iter_mut().for_each(|d| *d = false);

@@ -128,19 +128,25 @@ impl RunMetrics {
     }
 
     /// Observes `L^t` (post-injection, pre-forwarding).
+    ///
+    /// Walks only the active set — the caller (the engine) refreshes it
+    /// first. Empty buffers can never raise a peak (updates are
+    /// strictly-greater, and the ascending walk preserves the dense scan's
+    /// tie-breaking), so skipping them is byte-identical to the historical
+    /// `0..node_count()` sweep while costing O(live nodes).
     pub(crate) fn observe(&mut self, round: Round, state: &NetworkState) {
         let mut round_max = 0usize;
         let mut round_total = 0usize;
-        for v in 0..state.node_count() {
-            let occ = state.occupancy(NodeId::new(v));
+        for v in state.active_nodes() {
+            let occ = state.occupancy(v);
             round_max = round_max.max(occ);
             round_total += occ;
-            if occ > self.per_node_peak[v] {
-                self.per_node_peak[v] = occ;
+            if occ > self.per_node_peak[v.index()] {
+                self.per_node_peak[v.index()] = occ;
             }
             if occ > self.max_occupancy {
                 self.max_occupancy = occ;
-                self.max_occupancy_at = Some((NodeId::new(v), round));
+                self.max_occupancy_at = Some((v, round));
             }
         }
         self.max_staged = self.max_staged.max(state.staged_len());
@@ -218,6 +224,7 @@ mod tests {
         st.place(NodeId::new(1), p(0), Round::ZERO);
         st.place(NodeId::new(1), p(1), Round::ZERO);
         st.place(NodeId::new(2), p(2), Round::ZERO);
+        st.refresh_active(); // the engine refreshes before every observe
         m.observe(Round::new(0), &st);
         assert_eq!(m.max_occupancy, 2);
         assert_eq!(m.max_occupancy_at, Some((NodeId::new(1), Round::new(0))));

@@ -6,10 +6,24 @@
 //! `[start, start + cap)` span inside it. The hot loop therefore walks
 //! cache-linear memory and never allocates per packet — a full-buffer node
 //! and an empty one cost the same pointer arithmetic — which is what keeps
-//! a million-node mesh round at memory speed. Spans grow by doubling
-//! (relocating to the slab tail), so total slab size stays within a
-//! constant factor of the peak aggregate occupancy; no compaction pass is
-//! needed.
+//! a million-node mesh round at memory speed. Spans grow by doubling,
+//! relocating to a recycled extent of the right size class when one is
+//! free (vacated extents are released at the per-round active-set
+//! refresh) and to the slab tail otherwise — so total slab size stays
+//! within a constant factor of the peak aggregate occupancy and traveling
+//! sparse traffic reuses the same hot extents round after round; no
+//! compaction pass is needed.
+//!
+//! On top of the arena sits the **active set**: a dense occupancy bitset
+//! (bit `v` ⇔ `|L(v)| > 0`, exact at all times) plus a dirty-node worklist
+//! that over-approximates the occupied set between refreshes. Every
+//! `0 → 1` occupancy transition pushes the node onto the worklist; a
+//! [`refresh_active`](NetworkState::refresh_active) sort/dedup/retain pass
+//! collapses it back to the exact ascending occupied set. The engine
+//! refreshes once per round (after injections and crash sweeps, before the
+//! `L^t` observation), which is what lets planning, validation and metrics
+//! run in O(live packets) instead of O(nodes) — the point of the
+//! active-set engine.
 
 use std::collections::BTreeMap;
 
@@ -48,6 +62,26 @@ struct Segment {
     slots: Vec<StoredPacket>,
     /// Total live packets across the segment (Σ span.len).
     live: usize,
+    /// Vacated extents by size class: `free[k]` holds the start slots of
+    /// recycled extents with `2^k ≤ cap < 2^(k+1)`. Span relocations pop
+    /// an exact-class extent before growing the slab, so traveling sparse
+    /// traffic (a wave vacating one row of spans per round while
+    /// occupying the next) reuses the same hot extents forever instead of
+    /// growing the slab every round.
+    free: Vec<Vec<u32>>,
+}
+
+impl Segment {
+    /// Files the extent `[start, start + cap)` for reuse (callers pass
+    /// `cap > 0`). Extents land in the class of their floor-log₂ size, so
+    /// a pop for a power-of-two request from that class always fits.
+    fn release_extent(&mut self, start: u32, cap: u32) {
+        let class = (31 - cap.leading_zeros()) as usize;
+        if self.free.len() <= class {
+            self.free.resize(class + 1, Vec::new());
+        }
+        self.free[class].push(start);
+    }
 }
 
 /// Pushes `sp` at the back of `v`'s span, relocating the span to the slab
@@ -57,12 +91,27 @@ struct Segment {
 fn span_push(span: &mut Span, seg: &mut Segment, sp: StoredPacket) {
     if span.len == span.cap {
         let new_cap = (span.cap * 2).max(2);
-        let new_start = seg.slots.len() as u32;
         let (s, l) = (span.start as usize, span.len as usize);
-        seg.slots.extend_from_within(s..s + l);
-        // Pad the reserve with copies of the incoming packet; anything
-        // beyond `len` is dead storage.
-        seg.slots.resize(new_start as usize + new_cap as usize, sp);
+        let class = new_cap.trailing_zeros() as usize;
+        let new_start = match seg.free.get_mut(class).and_then(Vec::pop) {
+            // A recycled extent of at least `new_cap` slots: copy the
+            // live prefix over in place of growing the slab.
+            Some(start) => {
+                seg.slots.copy_within(s..s + l, start as usize);
+                start
+            }
+            None => {
+                let start = seg.slots.len() as u32;
+                seg.slots.extend_from_within(s..s + l);
+                // Pad the reserve with copies of the incoming packet;
+                // anything beyond `len` is dead storage.
+                seg.slots.resize(start as usize + new_cap as usize, sp);
+                start
+            }
+        };
+        if span.cap > 0 {
+            seg.release_extent(span.start, span.cap);
+        }
         seg.slots[new_start as usize + l] = sp;
         span.start = new_start;
         span.cap = new_cap;
@@ -89,6 +138,11 @@ fn span_remove(span: &mut Span, seg: &mut Segment, id: PacketId) -> Option<Store
 /// slot segment of a contiguous node range. Handing out disjoint views
 /// (see [`NetworkState::shard_views`]) lets `std::thread::scope` workers
 /// mutate their shards in parallel without `unsafe`.
+///
+/// Views deliberately do **not** touch the occupancy bitset or worklist —
+/// bitset words straddle shard boundaries, so parallel maintenance would
+/// race. The engine repairs both after the parallel apply via
+/// [`NetworkState::sync_occupancy`] on every move endpoint.
 pub(crate) struct ShardView<'a> {
     first_node: usize,
     spans: &'a mut [Span],
@@ -143,6 +197,19 @@ pub struct NetworkState {
     faults: Vec<u64>,
     faulted_total: u64,
     next_seq: u64,
+    /// Occupancy bitset: bit `v` is set iff `v`'s buffer is non-empty.
+    /// Exact after every mutation (including crash sweeps and capacity
+    /// drops, which all funnel through [`place`](NetworkState::place) /
+    /// [`remove`](NetworkState::remove) or the sharded-apply fixup).
+    occ_bits: Vec<u64>,
+    /// Dirty-node worklist: every node whose occupancy went `0 → 1` since
+    /// the last refresh is pushed here (duplicates allowed, emptied nodes
+    /// linger). Invariant: occupied ⊆ worklist. After
+    /// [`refresh_active`](NetworkState::refresh_active) it is exactly the
+    /// ascending occupied set.
+    active: Vec<u32>,
+    /// Whether `active` is currently the exact sorted occupied set.
+    active_exact: bool,
 }
 
 impl NetworkState {
@@ -154,6 +221,7 @@ impl NetworkState {
                 nodes: n as u32,
                 slots: Vec::new(),
                 live: 0,
+                free: Vec::new(),
             }],
             staged: Vec::new(),
             staged_counts: vec![0; n],
@@ -162,6 +230,9 @@ impl NetworkState {
             faults: vec![0; n],
             faulted_total: 0,
             next_seq: 0,
+            occ_bits: vec![0; n.div_ceil(64)],
+            active: Vec::new(),
+            active_exact: true,
         }
     }
 
@@ -288,10 +359,17 @@ impl NetworkState {
     pub(crate) fn place(&mut self, v: NodeId, packet: Packet, round: Round) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let span = &mut self.spans[v.index()];
+        let i = v.index();
+        let span = &mut self.spans[i];
+        if span.len == 0 {
+            self.occ_bits[i / 64] |= 1u64 << (i % 64);
+            self.active.push(i as u32);
+            self.active_exact = false;
+        }
+        let seg = span.seg as usize;
         span_push(
             span,
-            &mut self.segs[span.seg as usize],
+            &mut self.segs[seg],
             StoredPacket::new(packet, round, seq),
         );
     }
@@ -334,8 +412,135 @@ impl NetworkState {
 
     /// Removes a packet from `v`'s buffer, returning it.
     pub(crate) fn remove(&mut self, v: NodeId, id: PacketId) -> Option<StoredPacket> {
-        let span = &mut self.spans[v.index()];
-        span_remove(span, &mut self.segs[span.seg as usize], id)
+        let i = v.index();
+        let span = &mut self.spans[i];
+        let seg = span.seg as usize;
+        let sp = span_remove(span, &mut self.segs[seg], id);
+        if sp.is_some() && span.len == 0 {
+            self.occ_bits[i / 64] &= !(1u64 << (i % 64));
+            // The node lingers on the worklist until the next refresh.
+            self.active_exact = false;
+        }
+        sp
+    }
+
+    // ------------------------------------------------------------------
+    // Active set (occupancy bitset + dirty-node worklist).
+    // ------------------------------------------------------------------
+
+    /// Whether `v`'s buffer is non-empty — an O(1) bitset probe, exact at
+    /// all times (unlike the worklist, which is only exact post-refresh).
+    #[inline]
+    pub fn is_occupied(&self, v: NodeId) -> bool {
+        let i = v.index();
+        self.occ_bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// The nodes with non-empty buffers, in ascending order.
+    ///
+    /// Only valid between a [`refresh_active`](NetworkState::refresh_active)
+    /// and the next mutation. The engine refreshes once per round right
+    /// before the `L^t` observation, so the set is exact throughout
+    /// [`Protocol::plan`](crate::Protocol::plan) — protocols may iterate it
+    /// instead of `0..node_count()` with identical results (empty buffers
+    /// never produce sends).
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(self.active_exact, "active_nodes on a stale worklist");
+        self.active.iter().map(|&v| NodeId::new(v as usize))
+    }
+
+    /// The active nodes within `range`, in ascending order — the
+    /// range-planner counterpart of
+    /// [`active_nodes`](NetworkState::active_nodes), with the same
+    /// exactness contract. A binary search into the sorted worklist, so
+    /// the cost is O(log live + live-in-range).
+    pub fn active_nodes_in(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(self.active_exact, "active_nodes_in on a stale worklist");
+        let lo = self.active.partition_point(|&v| (v as usize) < range.start);
+        let hi = self.active.partition_point(|&v| (v as usize) < range.end);
+        self.active[lo..hi].iter().map(|&v| NodeId::new(v as usize))
+    }
+
+    /// Number of active (non-empty) nodes. Derived from the occupancy
+    /// bitset, so — unlike the worklist iterators — it is exact at any
+    /// time, not just post-refresh. O(n / 64).
+    pub fn active_count(&self) -> usize {
+        self.occ_bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The refreshed worklist as a raw sorted slice (engine-only: used to
+    /// cut active-balanced shard boundaries).
+    pub(crate) fn active_slice(&self) -> &[u32] {
+        debug_assert!(self.active_exact, "active_slice on a stale worklist");
+        &self.active
+    }
+
+    /// Collapses the dirty-node worklist to the exact ascending occupied
+    /// set: sort, dedup, drop nodes whose buffers have emptied. O(dirty ·
+    /// log dirty), where dirty is bounded by the round's traffic — this is
+    /// the only per-round pass that is not O(1) per live packet, and the
+    /// sort is near-linear on the almost-sorted worklists real rounds
+    /// produce. The engine calls it once per round between the injection
+    /// phase and the `L^t` observation.
+    pub(crate) fn refresh_active(&mut self) {
+        if self.active_exact {
+            return;
+        }
+        self.active.sort_unstable();
+        // One fused compaction pass instead of dedup + retain: skip
+        // duplicates, keep occupied nodes, and recycle the extents of
+        // nodes that emptied since the last refresh. Nodes that empty
+        // and refill within a round never reach the release arm, so
+        // steady dense buffers keep their reserve (and the in-place
+        // fast path of `span_push`); traveling traffic hands its row of
+        // extents straight to the next row.
+        let spans = &mut self.spans;
+        let segs = &mut self.segs;
+        let mut keep = 0usize;
+        // u64 sentinel: no u32 node index can collide with it.
+        let mut prev = u64::MAX;
+        for r in 0..self.active.len() {
+            let v = self.active[r];
+            if u64::from(v) == prev {
+                continue;
+            }
+            prev = u64::from(v);
+            let span = &mut spans[v as usize];
+            if span.len > 0 {
+                self.active[keep] = v;
+                keep += 1;
+            } else if span.cap > 0 {
+                segs[span.seg as usize].release_extent(span.start, span.cap);
+                span.start = 0;
+                span.cap = 0;
+            }
+        }
+        self.active.truncate(keep);
+        self.active_exact = true;
+    }
+
+    /// Re-derives `v`'s occupancy bit from its span and enqueues it on the
+    /// worklist if newly occupied — the sharded-apply fixup.
+    /// [`ShardView`] placements/removals bypass the incremental
+    /// maintenance in [`place`](NetworkState::place) /
+    /// [`remove`](NetworkState::remove), so after a parallel apply the
+    /// engine calls this for every move endpoint (O(moves) total).
+    pub(crate) fn sync_occupancy(&mut self, v: NodeId) {
+        let i = v.index();
+        let occupied = self.spans[i].len > 0;
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        let was = self.occ_bits[w] & m != 0;
+        if occupied && !was {
+            self.occ_bits[w] |= m;
+            self.active.push(i as u32);
+            self.active_exact = false;
+        } else if !occupied && was {
+            self.occ_bits[w] &= !m;
+            self.active_exact = false;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -365,7 +570,8 @@ impl NetworkState {
     /// Re-segments the arena into `k` contiguous shards of (near-)equal
     /// node count: `n / k` nodes each, the first `n mod k` getting one
     /// extra. No-op when the segmentation already matches. Buffer contents
-    /// and all observable state are unchanged.
+    /// and all observable state are unchanged — per-node occupancy is
+    /// preserved, so the occupancy bitset and worklist stay valid as-is.
     pub(crate) fn ensure_shards(&mut self, k: usize) {
         let n = self.node_count();
         let k = k.clamp(1, n.max(1));
@@ -406,6 +612,9 @@ impl NetworkState {
                 nodes: nodes as u32,
                 slots,
                 live,
+                // Old free extents die with the old slabs (the repack
+                // above keeps only live slots).
+                free: Vec::new(),
             });
             node += nodes;
         }
@@ -604,6 +813,149 @@ mod tests {
         // Ranges are contiguous, ordered, and cover all nodes.
         st.ensure_shards(2);
         assert_eq!(st.shard_ranges(), vec![0..3, 3..5]);
+    }
+
+    /// Brute-force reference for the active set: the ascending list of
+    /// nodes with non-empty buffers, read straight off the span table.
+    fn brute_force_active(st: &NetworkState) -> Vec<usize> {
+        (0..st.node_count())
+            .filter(|&v| !st.buffer(NodeId::new(v)).is_empty())
+            .collect()
+    }
+
+    fn assert_active_consistent(st: &mut NetworkState) {
+        let expect = brute_force_active(st);
+        for v in 0..st.node_count() {
+            assert_eq!(
+                st.is_occupied(NodeId::new(v)),
+                expect.contains(&v),
+                "bitset diverges at node {v}"
+            );
+        }
+        st.refresh_active();
+        let got: Vec<usize> = st.active_nodes().map(|v| v.index()).collect();
+        assert_eq!(got, expect, "worklist diverges post-refresh");
+        assert_eq!(st.active_count(), expect.len());
+    }
+
+    #[test]
+    fn active_set_tracks_place_and_remove() {
+        let mut st = NetworkState::new(4);
+        assert!(!st.is_occupied(NodeId::new(2)));
+        st.place(NodeId::new(2), packet(1, 3), Round::new(0));
+        st.place(NodeId::new(2), packet(2, 3), Round::new(0));
+        st.place(NodeId::new(0), packet(3, 3), Round::new(0));
+        assert!(st.is_occupied(NodeId::new(2)));
+        assert_active_consistent(&mut st);
+        let got: Vec<usize> = st.active_nodes().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 2]);
+        st.remove(NodeId::new(2), PacketId::new(1)).unwrap();
+        assert!(st.is_occupied(NodeId::new(2)), "one packet left");
+        st.remove(NodeId::new(2), PacketId::new(2)).unwrap();
+        assert!(!st.is_occupied(NodeId::new(2)), "buffer emptied");
+        assert_active_consistent(&mut st);
+    }
+
+    #[test]
+    fn active_nodes_in_cuts_by_range() {
+        let mut st = NetworkState::new(10);
+        for v in [1usize, 4, 7, 9] {
+            st.place(NodeId::new(v), packet(v as u64, 0), Round::new(0));
+        }
+        st.refresh_active();
+        let in_range: Vec<usize> = st.active_nodes_in(2..8).map(|v| v.index()).collect();
+        assert_eq!(in_range, vec![4, 7]);
+        let all: Vec<usize> = st.active_nodes_in(0..10).map(|v| v.index()).collect();
+        assert_eq!(all, vec![1, 4, 7, 9]);
+        assert!(st.active_nodes_in(5..6).next().is_none());
+    }
+
+    #[test]
+    fn sync_occupancy_repairs_after_shard_view_mutation() {
+        let mut st = NetworkState::new(4);
+        for i in 0..4u64 {
+            st.place(NodeId::new((i % 2) as usize), packet(i, 3), Round::new(0));
+        }
+        st.ensure_shards(2);
+        let seq = st.seq_counter();
+        {
+            let mut views = st.shard_views();
+            // Empty node 1 into node 3 behind the bitset's back.
+            let a = views[0].remove(NodeId::new(1), PacketId::new(1)).unwrap();
+            let b = views[0].remove(NodeId::new(1), PacketId::new(3)).unwrap();
+            views[1].place_stored(
+                NodeId::new(3),
+                StoredPacket::new(*a.packet(), Round::new(1), seq),
+            );
+            views[1].place_stored(
+                NodeId::new(3),
+                StoredPacket::new(*b.packet(), Round::new(1), seq + 1),
+            );
+        }
+        st.advance_seq(2);
+        // The bitset is stale until the engine-style fixup runs.
+        st.sync_occupancy(NodeId::new(1));
+        st.sync_occupancy(NodeId::new(3));
+        assert!(!st.is_occupied(NodeId::new(1)));
+        assert!(st.is_occupied(NodeId::new(3)));
+        assert_active_consistent(&mut st);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// The occupancy bitset and (refreshed) worklist exactly equal the
+        /// brute-force "nodes with non-empty buffers" set after arbitrary
+        /// interleavings of injects, removals (forwarding/drops), crash
+        /// sweeps, reshardings and refreshes.
+        #[test]
+        fn active_set_matches_brute_force(
+            ops in proptest::collection::vec((0u8..5, 0usize..12, 1usize..5), 1..160)
+        ) {
+            let n = 12usize;
+            let mut st = NetworkState::new(n);
+            let mut next_id = 0u64;
+            for (kind, v, k) in ops {
+                let v = NodeId::new(v);
+                match kind {
+                    // Inject: place a fresh packet (forward-arrivals look
+                    // identical at the state layer).
+                    0 | 1 => {
+                        next_id += 1;
+                        st.place(v, packet(next_id, (next_id as usize) % n), Round::new(0));
+                    }
+                    // Forward/drop: remove the FIFO head if present.
+                    2 => {
+                        if let Some(id) = st.buffer(v).first().map(|sp| sp.id()) {
+                            st.remove(v, id).unwrap();
+                        }
+                    }
+                    // Crash sweep: drain the whole buffer, engine-style.
+                    3 => {
+                        while let Some(id) = st.buffer(v).first().map(|sp| sp.id()) {
+                            st.remove(v, id).unwrap();
+                            st.note_fault(v);
+                        }
+                    }
+                    // Reshard (occupancy-preserving) + refresh.
+                    _ => {
+                        st.ensure_shards(k);
+                        st.refresh_active();
+                    }
+                }
+                // The bitset must be exact after *every* op.
+                for u in 0..n {
+                    proptest::prop_assert_eq!(
+                        st.is_occupied(NodeId::new(u)),
+                        !st.buffer(NodeId::new(u)).is_empty()
+                    );
+                }
+            }
+            let expect = brute_force_active(&st);
+            st.refresh_active();
+            let got: Vec<usize> = st.active_nodes().map(|x| x.index()).collect();
+            proptest::prop_assert_eq!(got, expect);
+        }
     }
 
     #[test]

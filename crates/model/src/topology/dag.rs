@@ -555,6 +555,20 @@ impl From<DirectedTree> for Dag {
     }
 }
 
+/// Splits node index `i` into `(row, col)` on a `cols`-wide grid,
+/// strength-reducing the division when `cols` is a power of two (the
+/// common experiment shapes). The XY closed forms run a few of these per
+/// forwarded packet per round, so the saved hardware divides are visible
+/// at mesh scale.
+#[inline]
+fn row_col(i: usize, cols: usize) -> (usize, usize) {
+    if cols.is_power_of_two() {
+        (i >> cols.trailing_zeros(), i & (cols - 1))
+    } else {
+        (i / cols, i % cols)
+    }
+}
+
 impl Topology for Dag {
     fn node_count(&self) -> usize {
         self.adj_off.len() - 1
@@ -571,8 +585,8 @@ impl Topology for Dag {
             // XY: along the row to the destination column, then down —
             // exactly the row-edge-first tie-break of the dense DP.
             Routing::Grid { cols, .. } => {
-                let (r, c) = (f / cols, f % cols);
-                let (dr, dc) = (d / cols, d % cols);
+                let (r, c) = row_col(f, *cols);
+                let (dr, dc) = row_col(d, *cols);
                 if dr < r || dc < c {
                     return None;
                 }
@@ -621,7 +635,11 @@ impl Topology for Dag {
         }
         match &self.routing {
             Routing::Dense(t) => t.reaches(f, d),
-            Routing::Grid { cols, .. } => d / cols >= f / cols && d % cols >= f % cols,
+            Routing::Grid { cols, .. } => {
+                let (r, c) = row_col(f, *cols);
+                let (dr, dc) = row_col(d, *cols);
+                dr >= r && dc >= c
+            }
             Routing::Butterfly { k } => {
                 let per_level = 1usize << k;
                 let (l1, l2) = (f / per_level, d / per_level);
@@ -644,8 +662,8 @@ impl Topology for Dag {
         match &self.routing {
             Routing::Dense(t) => t.route_len(f, d),
             Routing::Grid { cols, .. } => {
-                let (r, c) = (f / cols, f % cols);
-                let (dr, dc) = (d / cols, d % cols);
+                let (r, c) = row_col(f, *cols);
+                let (dr, dc) = row_col(d, *cols);
                 (dr >= r && dc >= c).then(|| (dr - r) + (dc - c))
             }
             Routing::Butterfly { k } => {
@@ -678,12 +696,12 @@ impl Topology for Dag {
             if f >= n || d >= n {
                 return false;
             }
-            let (r, c) = (f / cols, f % cols);
-            let (dr, dc) = (d / cols, d % cols);
+            let (r, c) = row_col(f, *cols);
+            let (dr, dc) = row_col(d, *cols);
             if dr < r || dc < c || v == dest {
                 return false;
             }
-            let (vr, vc) = (v.index() / cols, v.index() % cols);
+            let (vr, vc) = row_col(v.index(), *cols);
             return (vr == r && vc >= c && vc <= dc) || (vc == dc && vr >= r && vr <= dr);
         }
         if !self.reaches(from, dest) {

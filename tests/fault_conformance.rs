@@ -134,6 +134,26 @@ fn matrix() -> Vec<(&'static str, Scenario)> {
             ),
         ),
         (
+            // The active-set engine's sparse regime: one packet per
+            // fourth row of a 24×24 mesh (~99% of nodes idle), so the
+            // fault layer's empty-mask bypass and crash sweeps interact
+            // with worklist maintenance rather than a dense scan.
+            "grid/sparse",
+            scenario(
+                TopologySpec::Grid { rows: 24, cols: 24 },
+                ProtocolSpec::DagGreedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                SourceSpec::Pattern {
+                    injections: (0..24usize)
+                        .step_by(4)
+                        .map(|r| Injection::new((r % 7) as u64, r * 24, r * 24 + 12))
+                        .collect(),
+                },
+                None,
+            ),
+        ),
+        (
             "tree/tree-ppts",
             scenario(
                 TopologySpec::Tree(TreeSpec::Random { n: 16, seed: 9 }),

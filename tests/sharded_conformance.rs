@@ -226,6 +226,86 @@ fn capacity_and_staging_cells_are_sharding_invariant() {
     assert_sharding_invariant("capacity/mesh", &s);
 }
 
+/// A sparse load for the active-set engine: one packet per fourth row of
+/// a `rows × cols` mesh, with a 3-packet burst on the first row so
+/// capacity cells actually drop. ~99% of nodes stay idle for the whole
+/// run, so touched-slot clearing, active-quantile shard cuts and the
+/// post-apply occupancy fixup govern every round.
+fn sparse_pattern(rows: usize, cols: usize) -> SourceSpec {
+    let mut injections: Vec<Injection> = (0..rows)
+        .step_by(4)
+        .map(|r| Injection::new((r % 7) as u64, r * cols, r * cols + cols / 2))
+        .collect();
+    injections.extend(std::iter::repeat_n(Injection::new(0, 0, cols / 2), 3));
+    SourceSpec::Pattern { injections }
+}
+
+#[test]
+fn sparse_active_set_cells_are_sharding_invariant() {
+    // The active-set engine's adversarial regime for byte-identity: a
+    // mesh big enough that dense node-range shard cuts would leave most
+    // workers idle, so the sharded path cuts plan windows at active-set
+    // quantiles instead — and must still reproduce the sequential run
+    // exactly.
+    let (rows, cols) = (48usize, 48usize);
+    let grid = TopologySpec::Grid { rows, cols };
+    let dag_fifo = ProtocolSpec::DagGreedy {
+        policy: GreedyPolicy::Fifo,
+    };
+    let s = scenario(
+        grid.clone(),
+        dag_fifo.clone(),
+        sparse_pattern(rows, cols),
+        None,
+    );
+    assert_sharding_invariant("sparse/grid", &s);
+    assert!(
+        run_scenario(&s).unwrap().delivered > 0,
+        "sparse/grid: vacuous — nothing delivered"
+    );
+
+    // Finite buffers: the burst overflows capacity 1, and every drop
+    // must remove its node from the active set identically across shard
+    // counts.
+    let s = scenario(
+        grid.clone(),
+        dag_fifo.clone(),
+        sparse_pattern(rows, cols),
+        Some(CapacitySpec {
+            config: CapacityConfig::uniform(1),
+            policy: DropPolicyKind::Tail,
+        }),
+    );
+    assert_sharding_invariant("sparse/capacity", &s);
+    assert!(
+        run_scenario(&s).unwrap().dropped > 0,
+        "sparse/capacity: vacuous — the burst never overflowed"
+    );
+
+    // Faults: a crash window over a sparse source drains its buffer
+    // mid-run (the sweep maintains the set), and dead links reroute
+    // nothing — blocked packets just wait, staying live.
+    let mut s = scenario(grid, dag_fifo, sparse_pattern(rows, cols), None);
+    s.faults = Some(
+        FaultSpec::new(16)
+            .with_event(FaultEvent::NodeCrash {
+                node: 4 * cols,
+                at: 2,
+                until: Some(9),
+            })
+            .with_event(FaultEvent::RandomLinks {
+                count: 6,
+                at: 3,
+                until: Some(12),
+            }),
+    );
+    assert_sharding_invariant("sparse/faulted", &s);
+    assert!(
+        run_scenario(&s).unwrap().faulted > 0,
+        "sparse/faulted: vacuous — the crash window faulted nothing"
+    );
+}
+
 /// A mixed fault schedule exercising every event kind with recovery
 /// windows, on the seed the artifacts use.
 fn mixed_faults() -> FaultSpec {
@@ -397,6 +477,20 @@ fn telemetry_cells() -> Vec<(&'static str, Scenario)> {
             s.faults = Some(mixed_faults());
             s
         }),
+        (
+            // The active-set engine under the probe: occupancy sampling
+            // walks the live set, so a mostly-idle mesh must sketch the
+            // same histograms at every shard count.
+            "grid/sparse",
+            scenario(
+                TopologySpec::Grid { rows: 24, cols: 24 },
+                ProtocolSpec::DagGreedy {
+                    policy: GreedyPolicy::Fifo,
+                },
+                sparse_pattern(24, 24),
+                None,
+            ),
+        ),
     ];
     for (_, s) in &mut cells {
         s.telemetry = Some(spec);

@@ -1,0 +1,51 @@
+//! Lint self-test fixture: the active-set idioms from the sparse engine.
+//! Occupancy bitsets are O(n / 64) words and dirty worklists are O(live)
+//! entries — nothing here is an O(n^2) routing table, so the
+//! no-dense-tables rule must stay silent on all of it.
+
+/// A dense occupancy bitset plus a deduplicated worklist, shaped like
+/// `NetworkState`'s active set.
+pub struct ActiveSet {
+    occ_bits: Vec<u64>,
+    active: Vec<u32>,
+}
+
+impl ActiveSet {
+    /// One bit per node, packed into 64-bit words.
+    pub fn new(n: usize) -> Self {
+        ActiveSet {
+            occ_bits: vec![0u64; (n + 63) / 64],
+            active: Vec::with_capacity(n / 64),
+        }
+    }
+
+    /// Sets `v`'s bit and enqueues it on the worklist (dups allowed).
+    pub fn insert(&mut self, v: usize) {
+        self.occ_bits[v / 64] |= 1u64 << (v % 64);
+        self.active.push(v as u32);
+    }
+
+    /// Tests `v`'s bit.
+    pub fn contains(&self, v: usize) -> bool {
+        self.occ_bits[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Collapses the worklist to the exact ascending set the bitset holds.
+    pub fn refresh(&mut self) {
+        self.active.sort_unstable();
+        self.active.dedup();
+        let bits = &self.occ_bits;
+        self.active
+            .retain(|&v| bits[v as usize / 64] & (1u64 << (v % 64)) != 0);
+    }
+
+    /// Population count over the bitset words.
+    pub fn len(&self) -> usize {
+        self.occ_bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.occ_bits.iter().all(|&w| w == 0)
+    }
+}

@@ -596,6 +596,27 @@ mod tests {
     }
 
     #[test]
+    fn active_set_idioms_stay_table_free() {
+        // The fixture distills the sparse-engine idioms — bitset word
+        // math (`(n + 63) / 64`), worklist capacity division — that look
+        // nothing like, and must never be confused with, O(n^2) tables.
+        let text = fixture("active_set.rs");
+        let fired = rules_fired("crates/model/src/active_set.rs", &text);
+        assert!(
+            fired.is_empty(),
+            "active-set fixture should pass: {fired:?}"
+        );
+        // And the real module the fixture stands in for.
+        let real = fs::read_to_string(repo_root().join("crates/model/src/state.rs"))
+            .expect("state.rs readable");
+        let fired = rules_fired("crates/model/src/state.rs", &real);
+        assert!(
+            fired.is_empty(),
+            "state.rs should pass every rule: {fired:?}"
+        );
+    }
+
+    #[test]
     fn waivers_and_test_modules_are_exempt() {
         let text = fixture("clean.rs");
         let violations = lint_file("crates/model/src/clean.rs", &text);
