@@ -196,11 +196,13 @@ where
 
 /// [`parallel`] with an explicit worker count.
 ///
-/// The grid is cut into one contiguous chunk per worker (near-equal point
-/// counts) and each worker walks its chunk in order: one spawn per
-/// worker, no shared cursor, no per-point synchronization. Chunk outputs
-/// concatenate in worker order, which *is* input order, so the result
-/// equals [`serial`]'s for any pure `f`.
+/// Workers claim grid points dynamically off a shared atomic cursor: one
+/// spawn per worker, one `fetch_add` per point. Dynamic claiming keeps
+/// all workers busy until the grid is drained even when per-point cost is
+/// skewed (the E6 grid varies with level count k) — static contiguous
+/// chunking would instead be bounded by the heaviest chunk. Each worker
+/// tags its outputs with the claimed index and the merge sorts them back
+/// to input order, so the result equals [`serial`]'s for any pure `f`.
 ///
 /// The worker count is additionally capped at the machine's available
 /// parallelism: for a CPU-bound sweep, threads beyond physical cores only
@@ -219,38 +221,54 @@ where
     F: Fn(&I) -> O + Sync,
 {
     assert!(threads > 0, "need at least one thread");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = threads.min(inputs.len()).min(cores).max(1);
+    parallel_workers(inputs, workers, f)
+}
+
+/// The worker engine behind [`parallel_with_threads`]: takes the final
+/// worker count directly, with no core cap. Split out so tests can force
+/// the multi-worker cursor path even on single-core machines (where the
+/// public entry points always degrade to [`serial`]).
+fn parallel_workers<I, O, F>(inputs: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
     let n = inputs.len();
     if n == 0 {
         return Vec::new();
     }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let workers = threads.min(n).min(cores);
     if workers == 1 {
         return serial(inputs, f);
     }
-    let base = n / workers;
-    let extra = n % workers;
-    let chunks: Vec<Vec<O>> = std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::with_capacity(workers);
-        let mut rest = inputs;
-        for w in 0..workers {
-            let take = base + usize::from(w < extra);
-            let (chunk, tail) = rest.split_at(take);
-            rest = tail;
-            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()));
-        }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, O)> = std::thread::scope(|scope| {
+        let (f, cursor) = (&f, &cursor);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&inputs[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
-    let mut merged = Vec::with_capacity(n);
-    for chunk in chunks {
-        merged.extend(chunk);
-    }
-    debug_assert_eq!(merged.len(), n, "every grid point computed exactly once");
-    merged
+    debug_assert_eq!(indexed.len(), n, "every grid point computed exactly once");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, o)| o).collect()
 }
 
 /// Applies `f` to every input on scoped threads (at most `threads` at a
@@ -471,6 +489,30 @@ mod tests {
         };
         assert_eq!(parallel(&inputs, f), serial(&inputs, f));
         assert_eq!(parallel_with_threads(&inputs, 3, f), serial(&inputs, f));
+    }
+
+    #[test]
+    fn forced_cursor_workers_preserve_order() {
+        // The public entry points cap workers at the machine's cores, so
+        // on a single-core runner they degrade to `serial` and never
+        // exercise the cursor path. Call the engine directly with forced
+        // worker counts so claiming + index-sort merge is always tested.
+        let inputs: Vec<u64> = (0..97).collect();
+        let f = |x: &u64| -> u64 {
+            let mut acc = *x;
+            for _ in 0..(*x % 5) * 800 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let expect = serial(&inputs, f);
+        for workers in [2, 3, 8, 97, 200] {
+            assert_eq!(
+                parallel_workers(&inputs, workers.min(inputs.len()), f),
+                expect,
+                "workers = {workers}"
+            );
+        }
     }
 
     #[test]

@@ -280,7 +280,7 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
     // caps the actual worker count at the machine's cores, so a
     // single-core host runs the serial path twice (speedup ≈ 1.0) instead
     // of paying thread oversubscription, while any multi-core host really
-    // measures the chunked parallel path.
+    // measures the cursor-claiming parallel path.
     let grid = e6_grid(quick);
     let threads = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
@@ -314,14 +314,15 @@ pub fn measure_engine(quick: bool) -> EngineBenchReport {
         }
     }
     let sweep_speedup = serial_ms / parallel_ms.max(1e-9);
-    // The regression this gate pinned down: per-point claiming plus
+    // The regression this gate pinned down: a scope spawn per point plus
     // oversubscription made the parallel sweep *slower* than serial.
-    // With contiguous chunks and the core cap, parallel must at least
-    // break even wherever a second core exists.
+    // With one spawn per worker, dynamic cursor claiming and the core
+    // cap, parallel must at least break even wherever a second core
+    // exists.
     if std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2) {
         assert!(
             sweep_speedup >= 1.0,
-            "chunked parallel sweep slower than serial on a multi-core host: {sweep_speedup:.2}x"
+            "parallel sweep slower than serial on a multi-core host: {sweep_speedup:.2}x"
         );
     }
 

@@ -6,7 +6,8 @@
 //! `[start, start + cap)` span inside it. The hot loop therefore walks
 //! cache-linear memory and never allocates per packet — a full-buffer node
 //! and an empty one cost the same pointer arithmetic — which is what keeps
-//! a million-node mesh round at memory speed. Spans grow by doubling,
+//! a million-node mesh round at memory speed. Spans grow to the next
+//! power of two past double their capacity,
 //! relocating to a recycled extent of the right size class when one is
 //! free (vacated extents are released at the per-round active-set
 //! refresh) and to the slab tail otherwise — so total slab size stays
@@ -62,25 +63,27 @@ struct Segment {
     slots: Vec<StoredPacket>,
     /// Total live packets across the segment (Σ span.len).
     live: usize,
-    /// Vacated extents by size class: `free[k]` holds the start slots of
+    /// Vacated extents by size class: `free[k]` holds `(start, cap)` of
     /// recycled extents with `2^k ≤ cap < 2^(k+1)`. Span relocations pop
     /// an exact-class extent before growing the slab, so traveling sparse
     /// traffic (a wave vacating one row of spans per round while
     /// occupying the next) reuses the same hot extents forever instead of
     /// growing the slab every round.
-    free: Vec<Vec<u32>>,
+    free: Vec<Vec<(u32, u32)>>,
 }
 
 impl Segment {
     /// Files the extent `[start, start + cap)` for reuse (callers pass
     /// `cap > 0`). Extents land in the class of their floor-log₂ size, so
-    /// a pop for a power-of-two request from that class always fits.
+    /// a pop for a power-of-two request from that class always fits; the
+    /// true capacity travels with the extent so any slack beyond the
+    /// request stays usable by the adopting span.
     fn release_extent(&mut self, start: u32, cap: u32) {
         let class = (31 - cap.leading_zeros()) as usize;
         if self.free.len() <= class {
             self.free.resize(class + 1, Vec::new());
         }
-        self.free[class].push(start);
+        self.free[class].push((start, cap));
     }
 }
 
@@ -90,23 +93,28 @@ impl Segment {
 /// share the one implementation.
 fn span_push(span: &mut Span, seg: &mut Segment, sp: StoredPacket) {
     if span.len == span.cap {
-        let new_cap = (span.cap * 2).max(2);
+        // Request a power of two ≥ 2·cap: repacks (`ensure_shards`) leave
+        // arbitrary caps, and the free lists are classed by floor-log₂,
+        // so only a power-of-two request popped from its own class
+        // (extent cap ∈ [2^k, 2^(k+1))) is guaranteed to fit the copy.
+        let want = (span.cap * 2).max(2).next_power_of_two();
         let (s, l) = (span.start as usize, span.len as usize);
-        let class = new_cap.trailing_zeros() as usize;
-        let new_start = match seg.free.get_mut(class).and_then(Vec::pop) {
-            // A recycled extent of at least `new_cap` slots: copy the
-            // live prefix over in place of growing the slab.
-            Some(start) => {
+        let class = want.trailing_zeros() as usize;
+        let (new_start, new_cap) = match seg.free.get_mut(class).and_then(Vec::pop) {
+            // A recycled extent of at least `want` slots: copy the live
+            // prefix over in place of growing the slab. The span adopts
+            // the extent's true capacity so slack slots aren't leaked.
+            Some((start, cap)) => {
                 seg.slots.copy_within(s..s + l, start as usize);
-                start
+                (start, cap)
             }
             None => {
                 let start = seg.slots.len() as u32;
                 seg.slots.extend_from_within(s..s + l);
                 // Pad the reserve with copies of the incoming packet;
                 // anything beyond `len` is dead storage.
-                seg.slots.resize(start as usize + new_cap as usize, sp);
-                start
+                seg.slots.resize(start as usize + want as usize, sp);
+                (start, want)
             }
         };
         if span.cap > 0 {
@@ -956,6 +964,68 @@ mod tests {
             let got: Vec<usize> = st.active_nodes().map(|x| x.index()).collect();
             proptest::prop_assert_eq!(got, expect);
         }
+    }
+
+    #[test]
+    fn regrow_after_repack_skips_too_small_extents() {
+        let mut st = NetworkState::new(4);
+        for i in 0..3u64 {
+            st.place(NodeId::new(0), packet(i, 3), Round::new(0));
+        }
+        for i in 3..5u64 {
+            st.place(NodeId::new(1), packet(i, 3), Round::new(0));
+        }
+        // Repack leaves cap == len: node 0 gets cap 3, node 1 cap 2,
+        // both in segment 0.
+        st.ensure_shards(2);
+        st.remove(NodeId::new(1), PacketId::new(3)).unwrap();
+        st.remove(NodeId::new(1), PacketId::new(4)).unwrap();
+        // Releases node 1's 2-slot extent into free class 1.
+        st.refresh_active();
+        // Growing node 0 (3 live + 1 incoming) must not adopt that
+        // 2-slot extent: a non-power-of-two request of 6 used to land in
+        // class trailing_zeros(6) == 1 and the relocation copied live
+        // slots past the extent (panicking, or on larger slabs silently
+        // overwriting neighbouring spans).
+        st.place(NodeId::new(0), packet(9, 3), Round::new(0));
+        let ids: Vec<u64> = st
+            .buffer(NodeId::new(0))
+            .iter()
+            .map(|sp| sp.id().value())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 9]);
+        assert!(st.buffer(NodeId::new(1)).is_empty());
+        assert_eq!(st.total_buffered(), 4);
+    }
+
+    #[test]
+    fn recycled_extent_keeps_true_capacity() {
+        let mut st = NetworkState::new(2);
+        for i in 0..5u64 {
+            st.place(NodeId::new(0), packet(i, 1), Round::new(0));
+        }
+        // Repack leaves node 0 with a 5-slot (non-power-of-two) extent.
+        st.ensure_shards(2);
+        assert_eq!(st.spans[0].cap, 5);
+        for i in 0..5u64 {
+            st.remove(NodeId::new(0), PacketId::new(i)).unwrap();
+        }
+        // Releases the 5-slot extent into free class 2.
+        st.refresh_active();
+        for i in 10..15u64 {
+            st.place(NodeId::new(0), packet(i, 1), Round::new(0));
+        }
+        // The third push requested a power-of-two 4 and popped the
+        // 5-slot extent; the span must keep the full 5, not shrink the
+        // extent to 4 and leak the slack slot from both the span and
+        // the free lists.
+        assert_eq!(st.spans[0].cap, 5, "recycled extent keeps its slack");
+        let ids: Vec<u64> = st
+            .buffer(NodeId::new(0))
+            .iter()
+            .map(|sp| sp.id().value())
+            .collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14]);
     }
 
     #[test]
